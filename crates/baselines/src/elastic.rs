@@ -1,0 +1,169 @@
+//! Elastic sensitivity (Johnson, Near & Song — Uber's Flex), the third
+//! member of the smooth-sensitivity family the paper's related work
+//! discusses (§2: "Elastic sensitivity and residual sensitivity, both of
+//! which are efficiently computable versions of smooth sensitivity").
+//!
+//! Where the LS baseline computes the max *qualifying* contribution (it must
+//! evaluate the query's predicates), elastic sensitivity bounds local
+//! sensitivity at distance k with **predicate-independent max frequencies**
+//! of the join keys: `ES^{(k)}(D) = mf(D) + k`, `mf` being the largest
+//! number of fact rows referencing any single private-entity key, predicates
+//! ignored. That makes it cheaper (statistics are reusable across queries)
+//! but strictly looser than LS — the trade the paper alludes to.
+
+use crate::error::BaselineError;
+use starj_engine::{contributions, execute, Agg, StarQuery, StarSchema};
+use starj_noise::smooth::{beta_cauchy, smooth_bound_linear};
+use starj_noise::{GeneralCauchy, StarRng};
+
+/// The elastic-sensitivity mechanism for star-join COUNT queries.
+#[derive(Debug, Clone)]
+pub struct ElasticMechanism {
+    /// Private dimension tables (entity = their fk combination).
+    pub private_dims: Vec<String>,
+    /// Cauchy tail exponent γ (paper's choice: 4).
+    pub gamma: f64,
+    /// Declared cap for the distance extrapolation.
+    pub gs_cap: f64,
+}
+
+/// A released answer with diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticAnswer {
+    /// The noisy query answer.
+    pub value: f64,
+    /// The predicate-independent max frequency used as the base sensitivity.
+    pub max_frequency: f64,
+    /// The β-smooth bound that calibrated the noise.
+    pub smooth_bound: f64,
+}
+
+impl ElasticMechanism {
+    /// Standard configuration: γ = 4.
+    pub fn new(private_dims: Vec<String>, gs_cap: f64) -> Self {
+        ElasticMechanism { private_dims, gamma: 4.0, gs_cap }
+    }
+
+    /// The predicate-independent max frequency of the private entity keys —
+    /// computable once per schema and reused for every query.
+    pub fn max_frequency(&self, schema: &StarSchema) -> Result<f64, BaselineError> {
+        // Contributions of the unfiltered COUNT = raw fanouts.
+        let unfiltered = StarQuery::count("__elastic_mf__");
+        Ok(contributions(schema, &unfiltered, &self.private_dims)?.max())
+    }
+
+    /// Answers a COUNT query with elastic-sensitivity-calibrated Cauchy noise.
+    pub fn answer(
+        &self,
+        schema: &StarSchema,
+        query: &StarQuery,
+        epsilon: f64,
+        rng: &mut StarRng,
+    ) -> Result<ElasticAnswer, BaselineError> {
+        if !matches!(query.agg, Agg::Count) || query.is_grouped() {
+            return Err(BaselineError::NotSupported {
+                mechanism: "Elastic",
+                what: format!("non-COUNT or grouped query `{}`", query.name),
+            });
+        }
+        if !(self.gs_cap.is_finite() && self.gs_cap > 0.0) {
+            return Err(BaselineError::InvalidConfig(format!(
+                "gs_cap must be positive, got {}",
+                self.gs_cap
+            )));
+        }
+        let mf = self.max_frequency(schema)?;
+        let beta = beta_cauchy(epsilon, self.gamma)?;
+        let smooth = smooth_bound_linear(mf, 1.0, self.gs_cap.max(mf), beta)?;
+        let dist = GeneralCauchy::for_smooth_sensitivity(smooth, epsilon, self.gamma)?;
+        let truth = execute(schema, query)?.scalar()?;
+        Ok(ElasticAnswer { value: truth + dist.sample(rng), max_frequency: mf, smooth_bound: smooth })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ls::LsMechanism;
+    use starj_ssb::{generate, qc3, qg2, qs2, SsbConfig};
+
+    fn setup() -> StarSchema {
+        generate(&SsbConfig { scale: 0.005, seed: 91, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn supports_count_only() {
+        let s = setup();
+        let m = ElasticMechanism::new(vec!["Customer".into()], 1e6);
+        let mut rng = StarRng::from_seed(1);
+        assert!(m.answer(&s, &qc3(), 1.0, &mut rng).is_ok());
+        assert!(matches!(
+            m.answer(&s, &qs2(), 1.0, &mut rng),
+            Err(BaselineError::NotSupported { .. })
+        ));
+        assert!(matches!(
+            m.answer(&s, &qg2(), 1.0, &mut rng),
+            Err(BaselineError::NotSupported { .. })
+        ));
+    }
+
+    #[test]
+    fn max_frequency_dominates_filtered_local_sensitivity() {
+        // The elastic bound ignores predicates, so it can only be looser.
+        let s = setup();
+        let m = ElasticMechanism::new(vec!["Customer".into()], 1e6);
+        let mf = m.max_frequency(&s).unwrap();
+        let ls = starj_engine::max_contribution(&s, &qc3(), &["Customer".to_string()])
+            .unwrap();
+        assert!(mf >= ls, "elastic mf {mf} must dominate filtered LS {ls}");
+        assert!(mf >= 1.0);
+    }
+
+    #[test]
+    fn elastic_is_noisier_than_ls_on_selective_queries() {
+        // Statistically: on a filtered query, elastic's unfiltered mf exceeds
+        // LS's filtered bound, so its median deviation is at least as large.
+        let s = setup();
+        let truth =
+            starj_engine::execute(&s, &qc3()).unwrap().scalar().unwrap();
+        let elastic = ElasticMechanism::new(vec!["Customer".into()], 1e6);
+        let ls = LsMechanism::cauchy(vec!["Customer".into()], 1e6);
+        let med = |f: &mut dyn FnMut(&mut StarRng) -> f64| {
+            let mut devs: Vec<f64> = (0..200)
+                .map(|t| {
+                    let mut rng = StarRng::from_seed(5).derive_index(t);
+                    (f(&mut rng) - truth).abs()
+                })
+                .collect();
+            devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            devs[100]
+        };
+        let e_med = med(&mut |rng| elastic.answer(&s, &qc3(), 0.5, rng).unwrap().value);
+        let l_med = med(&mut |rng| ls.answer(&s, &qc3(), 0.5, rng).unwrap().value);
+        assert!(
+            e_med >= l_med * 0.9,
+            "elastic ({e_med:.1}) should not beat LS ({l_med:.1}) meaningfully"
+        );
+    }
+
+    #[test]
+    fn diagnostics_are_consistent() {
+        let s = setup();
+        let m = ElasticMechanism::new(vec!["Customer".into()], 1e6);
+        let mut rng = StarRng::from_seed(7);
+        let a = m.answer(&s, &qc3(), 1.0, &mut rng).unwrap();
+        assert!(a.smooth_bound >= a.max_frequency);
+        assert!(a.value.is_finite());
+    }
+
+    #[test]
+    fn invalid_cap_rejected() {
+        let s = setup();
+        let m = ElasticMechanism::new(vec!["Customer".into()], -1.0);
+        let mut rng = StarRng::from_seed(8);
+        assert!(matches!(
+            m.answer(&s, &qc3(), 1.0, &mut rng),
+            Err(BaselineError::InvalidConfig(_))
+        ));
+    }
+}

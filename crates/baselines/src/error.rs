@@ -1,0 +1,66 @@
+//! Error type for baseline mechanisms.
+
+use starj_engine::EngineError;
+use starj_noise::NoiseError;
+use std::fmt;
+
+/// Errors from baseline mechanism execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Relational engine failure.
+    Engine(EngineError),
+    /// Noise primitive failure (bad ε, scale, …).
+    Noise(NoiseError),
+    /// The mechanism does not support this query shape — e.g. LS on SUM
+    /// queries or R2T on GROUP BY, the paper's "Not supported" table cells.
+    NotSupported {
+        /// Mechanism name.
+        mechanism: &'static str,
+        /// What was asked of it.
+        what: String,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Engine(e) => write!(f, "engine error: {e}"),
+            BaselineError::Noise(e) => write!(f, "noise error: {e}"),
+            BaselineError::NotSupported { mechanism, what } => {
+                write!(f, "{mechanism} does not support {what}")
+            }
+            BaselineError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<EngineError> for BaselineError {
+    fn from(e: EngineError) -> Self {
+        BaselineError::Engine(e)
+    }
+}
+
+impl From<NoiseError> for BaselineError {
+    fn from(e: NoiseError) -> Self {
+        BaselineError::Noise(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BaselineError = EngineError::UnknownTable("X".into()).into();
+        assert!(e.to_string().contains("X"));
+        let e: BaselineError = NoiseError::InvalidEpsilon(0.0).into();
+        assert!(e.to_string().contains("epsilon"));
+        let e = BaselineError::NotSupported { mechanism: "LS", what: "SUM queries".into() };
+        assert!(e.to_string().contains("LS") && e.to_string().contains("SUM"));
+    }
+}

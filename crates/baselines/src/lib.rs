@@ -1,0 +1,51 @@
+//! Baseline DP mechanisms the paper compares DP-starJ against.
+//!
+//! * [`lm`] — the plain Laplace Mechanism, applicable only in the
+//!   `(1,0)`-private scenario (fact table private, bounded sensitivity);
+//! * [`ls`] — the local-sensitivity output mechanism of Tao et al. (paper
+//!   §4's "LS"), with the Cauchy (pure ε-DP) and Laplace ((ε,δ)-DP)
+//!   smooth-sensitivity variants. COUNT only, matching Table 1's
+//!   "Not supported" entries for SUM and GROUP BY;
+//! * [`r2t`] — Race-to-the-Top (Dong et al.): geometrically increasing
+//!   truncation thresholds, a Laplace-noised and penalized answer per
+//!   threshold, and the maximum released. COUNT and SUM; no GROUP BY
+//!   ("a future work of R2T's authors", Table 1 footnote);
+//! * [`tm`] — truncation mechanisms: naive per-entity truncation for
+//!   star-joins (§4's basic TM) and naive degree truncation + smooth
+//!   sensitivity for k-star counting (Table 2's TM).
+//!
+//! Every mechanism consumes a [`starj_noise::StarRng`] stream and a privacy
+//! budget ε, and reports enough intermediate state (chosen τ, smooth bound…)
+//! for the experiment harness to explain its behaviour.
+//!
+//! As an extension beyond the paper's comparison set, [`elastic`] implements
+//! elastic sensitivity (Uber's Flex), the other efficiently-computable
+//! smooth-sensitivity variant named in the paper's related work.
+//!
+//! # Example
+//!
+//! ```
+//! use starj_baselines::R2tConfig;
+//! use starj_noise::StarRng;
+//! use starj_ssb::{generate, qc1, SsbConfig};
+//!
+//! let schema = generate(&SsbConfig::at_scale(0.005, 7)).unwrap();
+//! let cfg = R2tConfig::new(1e5, vec!["Customer".into()]);
+//! let mut rng = StarRng::from_seed(1);
+//! let answer = starj_baselines::r2t_answer(&schema, &qc1(), 1.0, &cfg, &mut rng).unwrap();
+//! assert!(answer.value >= 0.0, "R2T releases max(candidates, 0)");
+//! ```
+
+pub mod elastic;
+pub mod error;
+pub mod lm;
+pub mod ls;
+pub mod r2t;
+pub mod tm;
+
+pub use elastic::{ElasticAnswer, ElasticMechanism};
+pub use error::BaselineError;
+pub use lm::laplace_mechanism;
+pub use ls::{LsAnswer, LsMechanism, LsNeighboring, LsVariant};
+pub use r2t::{kstar_r2t, r2t_answer, R2tAnswer, R2tConfig};
+pub use tm::{kstar_tm, star_truncation, KstarTmConfig};

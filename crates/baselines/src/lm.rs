@@ -1,0 +1,62 @@
+//! The plain Laplace Mechanism (paper Theorem 3.2).
+//!
+//! Only sound for queries with *bounded* global sensitivity — in star-joins
+//! that is the `(1,0)`-private scenario where adding/removing one fact tuple
+//! changes a COUNT by 1 (or a SUM by the measure bound). With any private
+//! dimension table the sensitivity is unbounded and this mechanism is
+//! inapplicable, which is exactly why the paper develops DP-starJ.
+
+use crate::error::BaselineError;
+use starj_noise::{Laplace, StarRng};
+
+/// Releases `true_answer + Lap(sensitivity/ε)`.
+pub fn laplace_mechanism(
+    true_answer: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut StarRng,
+) -> Result<f64, BaselineError> {
+    let lap = Laplace::from_sensitivity(sensitivity, epsilon)?;
+    Ok(true_answer + lap.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_and_scale_calibrated() {
+        let mut rng = StarRng::from_seed(1);
+        let n = 50_000;
+        let sens = 1.0;
+        let eps = 0.5;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| laplace_mechanism(100.0, sens, eps, &mut rng).unwrap())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.1, "mean {mean}");
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let expected = 2.0 * (sens / eps) * (sens / eps);
+        assert!((var - expected).abs() / expected < 0.1, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn rejects_bad_budget() {
+        let mut rng = StarRng::from_seed(2);
+        assert!(laplace_mechanism(1.0, 1.0, 0.0, &mut rng).is_err());
+        assert!(laplace_mechanism(1.0, -1.0, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let spread = |eps: f64| {
+            let mut rng = StarRng::from_seed(3);
+            (0..20_000)
+                .map(|_| (laplace_mechanism(0.0, 1.0, eps, &mut rng).unwrap()).abs())
+                .sum::<f64>()
+                / 20_000.0
+        };
+        assert!(spread(0.1) > 5.0 * spread(1.0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Runtime side of the DESIGN.md §7 ablations: PMA invalid-range policies
+//! (resampling costs redraws), budget splits, WD strategies, and the R2T
+//! τ-grid base (a larger base means fewer thresholds). The error side lives
+//! in the `ablations` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dp_starj::pm::{pm_answer, BudgetSplit, PmConfig};
+use dp_starj::pma::{perturb_constraint, RangePolicy};
+use dp_starj::workload::{wd_answer, PredicateWorkload, WdConfig, WorkloadBlock};
+use starj_baselines::R2tConfig;
+use starj_engine::{Constraint, Domain};
+use starj_linalg::StrategyKind;
+use starj_noise::StarRng;
+use starj_ssb::{generate, qc3, w1, SsbConfig, BLOCKS};
+
+fn adapt(w: &starj_ssb::Workload) -> PredicateWorkload {
+    let blocks = BLOCKS
+        .iter()
+        .map(|(t, a, d)| WorkloadBlock { table: (*t).into(), attr: (*a).into(), domain: *d })
+        .collect();
+    let rows = w
+        .queries
+        .iter()
+        .map(|q| vec![q.year.clone(), q.cust_region.clone(), q.supp_region.clone()])
+        .collect();
+    PredicateWorkload::new(blocks, rows).expect("well-formed")
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let schema = generate(&SsbConfig::at_scale(0.005, 13)).expect("SSB generation");
+    let mut group = c.benchmark_group("ablations");
+
+    // PMA policies: resampling pays for redraws at small ε.
+    let domain = Domain::numeric("year", 7).unwrap();
+    let range = Constraint::Range { lo: 1, hi: 5 };
+    for (name, policy) in [
+        ("pma_resample", RangePolicy::Resample { max_attempts: 64 }),
+        ("pma_swap", RangePolicy::Swap),
+        ("pma_collapse", RangePolicy::Collapse),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StarRng::from_seed(1),
+                |mut rng| perturb_constraint(&range, &domain, 0.1, policy, &mut rng).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Budget splits.
+    for (name, split) in
+        [("pm_per_table", BudgetSplit::PerTable), ("pm_per_predicate", BudgetSplit::PerPredicate)]
+    {
+        let cfg = PmConfig { split, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StarRng::from_seed(2),
+                |mut rng| pm_answer(&schema, &qc3(), 1.0, &cfg, &mut rng).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // WD strategies on W1.
+    let w = adapt(&w1());
+    for (name, strategies) in [
+        ("wd_identity", vec![StrategyKind::Identity; 3]),
+        ("wd_dyadic", vec![StrategyKind::DyadicRanges; 3]),
+    ] {
+        let cfg = WdConfig { strategies: Some(strategies), ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StarRng::from_seed(3),
+                |mut rng| wd_answer(&schema, &w, 1.0, &cfg, &mut rng).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // R2T grid base: base 4 halves the number of thresholds.
+    for (name, base) in [("r2t_base2", 2.0), ("r2t_base4", 4.0)] {
+        let cfg = R2tConfig { base, ..R2tConfig::new(1e5, vec!["Customer".into()]) };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StarRng::from_seed(4),
+                |mut rng| starj_baselines::r2t_answer(&schema, &qc3(), 1.0, &cfg, &mut rng)
+                    .unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

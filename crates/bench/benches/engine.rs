@@ -1,0 +1,38 @@
+//! Relational engine throughput: the bitmap semi-join scan, weighted
+//! execution, group-by, and contribution extraction that every mechanism
+//! builds on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starj_engine::{contributions, execute, execute_weighted, Agg, WeightedPredicate};
+use starj_ssb::{generate, qc3, qg2, SsbConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let schema = generate(&SsbConfig::at_scale(0.01, 11)).expect("SSB generation");
+    let mut group = c.benchmark_group("engine");
+
+    group.bench_function("execute_qc3_count", |b| {
+        b.iter(|| execute(&schema, &qc3()).unwrap())
+    });
+
+    group.bench_function("execute_qg2_groupby", |b| {
+        b.iter(|| execute(&schema, &qg2()).unwrap())
+    });
+
+    let weighted = vec![
+        WeightedPredicate::new("Customer", "region", vec![0.2, 0.9, 0.4, 0.0, 0.5]),
+        WeightedPredicate::new("Supplier", "region", vec![1.0, 0.0, 0.3, 0.7, 0.2]),
+    ];
+    group.bench_function("execute_weighted", |b| {
+        b.iter(|| execute_weighted(&schema, &weighted, &Agg::Count).unwrap())
+    });
+
+    let dims = vec!["Customer".to_string()];
+    group.bench_function("contributions_qc3", |b| {
+        b.iter(|| contributions(&schema, &qc3(), &dims).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

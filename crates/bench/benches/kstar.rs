@@ -1,0 +1,57 @@
+//! Mechanism runtime on k-star counting — Table 2's time columns: PM counts
+//! once over a (noisy) range; R2T builds the per-center contribution profile;
+//! TM projects the whole graph to bounded degree first.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dp_starj::pma::RangePolicy;
+use starj_baselines::{kstar_r2t, kstar_tm, KstarTmConfig, R2tConfig};
+use starj_graph::{deezer_like, KStarQuery};
+use starj_noise::StarRng;
+
+fn bench_kstar(c: &mut Criterion) {
+    let graph = deezer_like(0.02, 5).expect("graph generation");
+    let q2 = KStarQuery::full(2, graph.num_nodes());
+    let q3 = KStarQuery::full(3, graph.num_nodes());
+    let mut group = c.benchmark_group("kstar_mechanisms");
+
+    group.bench_function("pm_q2star", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(1),
+            |mut rng| dp_starj::pm_kstar(&graph, &q2, 1.0, RangePolicy::default(), &mut rng)
+                .unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("pm_q3star", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(2),
+            |mut rng| dp_starj::pm_kstar(&graph, &q3, 1.0, RangePolicy::default(), &mut rng)
+                .unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let cfg = R2tConfig::new(1e9, vec![]);
+    group.bench_function("r2t_q2star", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(3),
+            |mut rng| kstar_r2t(&graph, &q2, 1.0, &cfg, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let tm_cfg = KstarTmConfig::default();
+    group.bench_function("tm_q2star", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(4),
+            |mut rng| kstar_tm(&graph, &q2, 1.0, &tm_cfg, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kstar);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Mechanism runtime on star-join queries — the efficiency comparison
+//! underlying the running-time panels of Figures 4 and 5: PM needs one
+//! bitmap semi-join; R2T and LS additionally compute per-entity
+//! contributions (and R2T races over a τ grid).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dp_starj::pm::{pm_answer, PmConfig};
+use starj_baselines::{LsMechanism, R2tConfig};
+use starj_noise::StarRng;
+use starj_ssb::{generate, qc3, qs3, SsbConfig};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let schema = generate(&SsbConfig::at_scale(0.01, 7)).expect("SSB generation");
+    let dims = vec!["Customer".to_string()];
+    let mut group = c.benchmark_group("starjoin_mechanisms");
+
+    group.bench_function("pm_qc3", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(1),
+            |mut rng| pm_answer(&schema, &qc3(), 1.0, &PmConfig::default(), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("pm_qs3", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(2),
+            |mut rng| pm_answer(&schema, &qs3(), 1.0, &PmConfig::default(), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let r2t_cfg = R2tConfig::new(1e5, dims.clone());
+    group.bench_function("r2t_qc3", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(3),
+            |mut rng| starj_baselines::r2t_answer(&schema, &qc3(), 1.0, &r2t_cfg, &mut rng)
+                .unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let ls = LsMechanism::cauchy(dims, 1e6);
+    group.bench_function("ls_qc3", |b| {
+        b.iter_batched(
+            || StarRng::from_seed(4),
+            |mut rng| ls.answer(&schema, &qc3(), 1.0, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

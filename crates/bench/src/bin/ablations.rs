@@ -1,0 +1,172 @@
+//! Ablation studies for the design choices recorded in DESIGN.md §7:
+//!
+//! 1. **PMA invalid-range policy** — Resample vs Swap vs Collapse;
+//! 2. **Budget split granularity** — ε/n per table vs ε/p per predicate;
+//! 3. **WD strategy choice** — auto vs forced identity/dyadic on W1/W2;
+//! 4. **R2T τ-grid base** — 2 vs 4;
+//! 5. **PMA noise family** — rounded continuous Laplace (Algorithm 2) vs
+//!    discrete Laplace (geometric).
+
+use dp_starj::pm::{pm_answer, BudgetSplit, PmConfig};
+use dp_starj::pma::{perturb_constraint_with, NoiseKind, RangePolicy};
+use starj_engine::{Constraint, Domain};
+use dp_starj::workload::{
+    wd_answer, workload_relative_error, PredicateWorkload, WdConfig, WorkloadBlock,
+};
+use starj_bench::harness::pct;
+use starj_bench::{root_seed, ssb_sf, stats, trials_count, TablePrinter};
+use starj_baselines::R2tConfig;
+use starj_linalg::StrategyKind;
+use starj_noise::StarRng;
+use starj_ssb::{generate, qc3, qc4, w1, w2, SsbConfig, BLOCKS};
+
+fn adapt(w: &starj_ssb::Workload) -> PredicateWorkload {
+    let blocks = BLOCKS
+        .iter()
+        .map(|(t, a, d)| WorkloadBlock { table: (*t).into(), attr: (*a).into(), domain: *d })
+        .collect();
+    let rows = w
+        .queries
+        .iter()
+        .map(|q| vec![q.year.clone(), q.cust_region.clone(), q.supp_region.clone()])
+        .collect();
+    PredicateWorkload::new(blocks, rows).expect("well-formed")
+}
+
+fn main() {
+    let sf = ssb_sf();
+    // Ablation deltas are smaller than mechanism-vs-mechanism gaps, so use a
+    // larger trial floor to keep the comparisons out of the noise.
+    let trials = trials_count().max(50);
+    let seed = root_seed();
+    let eps = 0.5;
+    println!("Ablations (SF={sf}, ε={eps}, {trials} trials)\n");
+    let schema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
+
+    // 1. PMA range policy, on the range-heavy Qc3.
+    println!("1. PMA invalid-range policy (Qc3):");
+    let truth = starj_bench::mechanisms::truth(&schema, &qc3());
+    let t1 = TablePrinter::new(&["policy", "err%"], &[10, 8]);
+    for (name, policy) in [
+        ("Resample", RangePolicy::Resample { max_attempts: 64 }),
+        ("Swap", RangePolicy::Swap),
+        ("Collapse", RangePolicy::Collapse),
+    ] {
+        let cfg = PmConfig { policy, ..Default::default() };
+        let errs: Vec<f64> = (0..trials)
+            .map(|t| {
+                let mut rng =
+                    StarRng::from_seed(seed).derive(&format!("ab1/{name}")).derive_index(t);
+                pm_answer(&schema, &qc3(), eps, &cfg, &mut rng)
+                    .expect("PM runs")
+                    .result
+                    .relative_error(&truth)
+            })
+            .collect();
+        t1.row(&[name, &pct(stats(&errs).mean)]);
+    }
+
+    // 2. Budget split, on the 4-dimension Qc4.
+    println!("\n2. Budget split granularity (Qc4):");
+    let truth = starj_bench::mechanisms::truth(&schema, &qc4());
+    let t2 = TablePrinter::new(&["split", "err%"], &[14, 8]);
+    for (name, split) in
+        [("PerTable", BudgetSplit::PerTable), ("PerPredicate", BudgetSplit::PerPredicate)]
+    {
+        let cfg = PmConfig { split, ..Default::default() };
+        let errs: Vec<f64> = (0..trials)
+            .map(|t| {
+                let mut rng =
+                    StarRng::from_seed(seed).derive(&format!("ab2/{name}")).derive_index(t);
+                pm_answer(&schema, &qc4(), eps, &cfg, &mut rng)
+                    .expect("PM runs")
+                    .result
+                    .relative_error(&truth)
+            })
+            .collect();
+        t2.row(&[name, &pct(stats(&errs).mean)]);
+    }
+
+    // 3. WD strategy, on both workloads.
+    println!("\n3. WD strategy choice (W1/W2):");
+    let t3 = TablePrinter::new(&["workload", "strategy", "err%"], &[8, 10, 8]);
+    for (wname, w) in [("W1", adapt(&w1())), ("W2", adapt(&w2()))] {
+        let truth = w.true_answers(&schema).expect("exact");
+        let variants: Vec<(&str, WdConfig)> = vec![
+            ("auto", WdConfig::default()),
+            (
+                "identity",
+                WdConfig {
+                    strategies: Some(vec![StrategyKind::Identity; 3]),
+                    ..Default::default()
+                },
+            ),
+            (
+                "dyadic",
+                WdConfig {
+                    strategies: Some(vec![StrategyKind::DyadicRanges; 3]),
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (sname, cfg) in variants {
+            let errs: Vec<f64> = (0..trials)
+                .map(|t| {
+                    let mut rng = StarRng::from_seed(seed)
+                        .derive(&format!("ab3/{wname}/{sname}"))
+                        .derive_index(t);
+                    let ans = wd_answer(&schema, &w, eps, &cfg, &mut rng).expect("WD runs");
+                    workload_relative_error(&ans, &truth)
+                })
+                .collect();
+            t3.row(&[wname, sname, &pct(stats(&errs).mean)]);
+        }
+    }
+
+    // 4. R2T τ-grid base, on Qc3.
+    println!("\n4. R2T τ-grid base (Qc3):");
+    let truth = starj_bench::mechanisms::truth(&schema, &qc3()).scalar().expect("scalar");
+    let t4 = TablePrinter::new(&["base", "err%"], &[6, 8]);
+    for base in [2.0, 4.0] {
+        let cfg = R2tConfig { base, ..R2tConfig::new(1e5, vec!["Customer".into()]) };
+        let errs: Vec<f64> = (0..trials)
+            .map(|t| {
+                let mut rng =
+                    StarRng::from_seed(seed).derive(&format!("ab4/{base}")).derive_index(t);
+                let a = starj_baselines::r2t_answer(&schema, &qc3(), eps, &cfg, &mut rng)
+                    .expect("R2T runs");
+                (a.value - truth).abs() / truth.max(1.0)
+            })
+            .collect();
+        t4.row(&[&format!("{base}"), &pct(stats(&errs).mean)]);
+    }
+
+    // 5. PMA noise family: mean displacement of a perturbed range endpoint.
+    println!("\n5. PMA noise family (year range [1,5], dom 7, ε per predicate = {eps}):");
+    let t5 = TablePrinter::new(&["noise", "mean endpoint shift"], &[12, 20]);
+    let domain = Domain::numeric("year", 7).expect("valid domain");
+    for (name, kind) in [
+        ("continuous", NoiseKind::ContinuousLaplace),
+        ("discrete", NoiseKind::DiscreteLaplace),
+    ] {
+        let mut shift = 0.0;
+        let reps = trials * 40;
+        for t in 0..reps {
+            let mut rng =
+                StarRng::from_seed(seed).derive(&format!("ab5/{name}")).derive_index(t);
+            if let Constraint::Range { lo, hi } = perturb_constraint_with(
+                &Constraint::Range { lo: 1, hi: 5 },
+                &domain,
+                eps,
+                RangePolicy::default(),
+                kind,
+                &mut rng,
+            )
+            .expect("PMA runs")
+            {
+                shift += (f64::from(lo) - 1.0).abs() + (f64::from(hi) - 5.0).abs();
+            }
+        }
+        t5.row(&[name, &format!("{:.3}", shift / (2.0 * reps as f64))]);
+    }
+}

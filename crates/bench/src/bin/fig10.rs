@@ -1,0 +1,63 @@
+//! Reproduces **Figure 10**: error level of PM, R2T and LS on the snowflake
+//! queries Qtc (COUNT) and Qts (SUM), ε ∈ {0.1, 0.5, 1}.
+
+use starj_bench::harness::pct;
+use starj_bench::{
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
+    MechOutcome, TablePrinter,
+};
+use starj_noise::StarRng;
+use starj_ssb::{generate_snowflake, qtc, qts, SsbConfig};
+
+const EPSILONS: [f64; 3] = [0.1, 0.5, 1.0];
+
+fn main() {
+    let sf = ssb_sf();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!("Figure 10: snowflake queries Qtc/Qts (SF={sf}, {trials} trials)\n");
+
+    let schema =
+        generate_snowflake(&SsbConfig::at_scale(sf, seed)).expect("snowflake generation");
+    let table = TablePrinter::new(
+        &["query", "eps", "PM err%", "R2T err%", "LS err%"],
+        &[6, 5, 9, 10, 10],
+    );
+
+    for q in [qtc(), qts()] {
+        for eps in EPSILONS {
+            let truth = starj_bench::mechanisms::truth(&schema, &q);
+            let dims = vec!["Customer".to_string()];
+            let mut cells: Vec<String> = vec![q.name.clone(), format!("{eps}")];
+            for mech in ["PM", "R2T", "LS"] {
+                let mut errs = Vec::new();
+                let mut supported = true;
+                for t in 0..trials {
+                    let mut rng = StarRng::from_seed(seed)
+                        .derive(&format!("f10/{mech}/{eps}/{}", q.name))
+                        .derive_index(t);
+                    let out = match mech {
+                        "PM" => pm_rel_err(&schema, &q, &truth, eps, &mut rng),
+                        "R2T" => r2t_rel_err(
+                            &schema, &q, &truth, eps, 1e5, dims.clone(), &mut rng,
+                        ),
+                        _ => ls_rel_err(
+                            &schema, &q, &truth, eps, 1e6, false, dims.clone(), &mut rng,
+                        ),
+                    };
+                    match out {
+                        MechOutcome::Ran { rel_err, .. } => errs.push(rel_err),
+                        MechOutcome::NotSupported => {
+                            supported = false;
+                            break;
+                        }
+                    }
+                }
+                cells.push(if supported { pct(stats(&errs).mean) } else { "n/s".into() });
+            }
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            table.row(&refs);
+        }
+        table.rule();
+    }
+}

@@ -1,0 +1,89 @@
+//! Reproduces **Figure 11**: error level of PM, R2T and LS under Gaussian-
+//! mixture fact data with increasingly skewed parameterizations, on Qc3
+//! (COUNT, top) and Qs3 (SUM, bottom), ε ∈ {0.1, 0.2, 0.5, 0.8, 1}.
+
+use starj_bench::harness::pct;
+use starj_bench::{
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
+    MechOutcome, TablePrinter,
+};
+use starj_noise::StarRng;
+use starj_ssb::{generate, qc3, qs3, FactDistribution, SsbConfig};
+
+const EPSILONS: [f64; 5] = [0.1, 0.2, 0.5, 0.8, 1.0];
+
+/// Three mixtures with growing skew (components in unit key space).
+fn mixtures() -> Vec<(&'static str, FactDistribution)> {
+    vec![
+        (
+            "GM-sym",
+            FactDistribution::GaussianMixture(vec![(0.5, 0.3, 0.1), (0.5, 0.7, 0.1)]),
+        ),
+        (
+            "GM-skew",
+            FactDistribution::GaussianMixture(vec![(0.8, 0.2, 0.05), (0.2, 0.8, 0.05)]),
+        ),
+        (
+            "GM-heavy",
+            FactDistribution::GaussianMixture(vec![(0.95, 0.1, 0.02), (0.05, 0.9, 0.02)]),
+        ),
+    ]
+}
+
+fn main() {
+    let sf = ssb_sf();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!("Figure 11: Gaussian-mixture data (SF={sf}, {trials} trials)\n");
+
+    let table = TablePrinter::new(
+        &["query", "mixture", "eps", "PM err%", "R2T err%", "LS err%"],
+        &[6, 9, 5, 9, 10, 10],
+    );
+
+    for q in [qc3(), qs3()] {
+        for (mix_name, dist) in mixtures() {
+            let schema = generate(&SsbConfig {
+                distribution: dist.clone(),
+                ..SsbConfig::at_scale(sf, seed)
+            })
+            .expect("SSB generation");
+            let truth = starj_bench::mechanisms::truth(&schema, &q);
+            let dims = vec!["Customer".to_string()];
+            for eps in EPSILONS {
+                let mut cells: Vec<String> =
+                    vec![q.name.clone(), mix_name.to_string(), format!("{eps}")];
+                for mech in ["PM", "R2T", "LS"] {
+                    let mut errs = Vec::new();
+                    let mut supported = true;
+                    for t in 0..trials {
+                        let mut rng = StarRng::from_seed(seed)
+                            .derive(&format!("f11/{mech}/{mix_name}/{eps}/{}", q.name))
+                            .derive_index(t);
+                        let out = match mech {
+                            "PM" => pm_rel_err(&schema, &q, &truth, eps, &mut rng),
+                            "R2T" => r2t_rel_err(
+                                &schema, &q, &truth, eps, 1e6, dims.clone(), &mut rng,
+                            ),
+                            _ => ls_rel_err(
+                                &schema, &q, &truth, eps, 1e6, false, dims.clone(),
+                                &mut rng,
+                            ),
+                        };
+                        match out {
+                            MechOutcome::Ran { rel_err, .. } => errs.push(rel_err),
+                            MechOutcome::NotSupported => {
+                                supported = false;
+                                break;
+                            }
+                        }
+                    }
+                    cells.push(if supported { pct(stats(&errs).mean) } else { "n/s".into() });
+                }
+                let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+                table.row(&refs);
+            }
+            table.rule();
+        }
+    }
+}

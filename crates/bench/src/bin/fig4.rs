@@ -1,0 +1,68 @@
+//! Reproduces **Figure 4**: error level and running time of PM, R2T and LS
+//! on the COUNT queries Qc1–Qc4 across data scales {0.25, 0.5, 0.75, 1}
+//! (relative to `SSB_SF`; set `SSB_SF=1` for the paper's absolute scales).
+
+use starj_bench::harness::{pct, secs};
+use starj_bench::{
+    ls_rel_err, pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats,
+    trials_count, MechOutcome, TablePrinter,
+};
+use starj_noise::StarRng;
+use starj_ssb::{generate, qc1, qc2, qc3, qc4, SsbConfig};
+
+const SCALES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+const EPSILON: f64 = 1.0;
+
+fn main() {
+    let base_sf = ssb_sf();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!(
+        "Figure 4: COUNT queries, error level (top) and running time (bottom), \
+         ε = {EPSILON}, scales ×{base_sf}\n"
+    );
+
+    let queries = [qc1(), qc2(), qc3(), qc4()];
+    let table = TablePrinter::new(
+        &["query", "scale", "PM err%", "PM t(s)", "R2T err%", "R2T t(s)", "LS err%", "LS t(s)"],
+        &[6, 6, 9, 8, 9, 8, 10, 8],
+    );
+
+    for q in &queries {
+        for rel_scale in SCALES {
+            let sf = base_sf * rel_scale;
+            let schema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
+            let truth = starj_bench::mechanisms::truth(&schema, q);
+            let dims = private_dims_for(q);
+
+            let mut cells: Vec<String> = vec![q.name.clone(), format!("{rel_scale}")];
+            for mech in ["PM", "R2T", "LS"] {
+                let mut errs = Vec::new();
+                let mut times = Vec::new();
+                for t in 0..trials {
+                    let mut rng = StarRng::from_seed(seed)
+                        .derive(&format!("f4/{mech}/{rel_scale}/{}", q.name))
+                        .derive_index(t);
+                    let out = match mech {
+                        "PM" => pm_rel_err(&schema, q, &truth, EPSILON, &mut rng),
+                        "R2T" => r2t_rel_err(
+                            &schema, q, &truth, EPSILON, 1e5, dims.clone(), &mut rng,
+                        ),
+                        _ => ls_rel_err(
+                            &schema, q, &truth, EPSILON, 1e6, false, dims.clone(), &mut rng,
+                        ),
+                    };
+                    if let MechOutcome::Ran { rel_err, secs } = out {
+                        errs.push(rel_err);
+                        times.push(secs);
+                    }
+                }
+                cells.push(pct(stats(&errs).mean));
+                cells.push(secs(stats(&times).mean));
+            }
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            table.row(&refs);
+        }
+        table.rule();
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduces **Figure 5**: error level and running time of PM and R2T on
+//! the SUM queries Qs2–Qs4 across data scales {0.25, 0.5, 0.75, 1} (LS does
+//! not support SUM).
+
+use starj_bench::harness::{pct, secs};
+use starj_bench::{
+    pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
+    MechOutcome, TablePrinter,
+};
+use starj_noise::StarRng;
+use starj_ssb::{generate, qs2, qs3, qs4, SsbConfig};
+
+const SCALES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+const EPSILON: f64 = 1.0;
+/// Declared GS for R2T on SUM queries: contribution bound = fanout bound ×
+/// max revenue (10⁴).
+const R2T_GS_SUM: f64 = 1e8;
+
+fn main() {
+    let base_sf = ssb_sf();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!(
+        "Figure 5: SUM queries, error level (top) and running time (bottom), \
+         ε = {EPSILON}, scales ×{base_sf}\n"
+    );
+
+    let queries = [qs2(), qs3(), qs4()];
+    let table = TablePrinter::new(
+        &["query", "scale", "PM err%", "PM t(s)", "R2T err%", "R2T t(s)"],
+        &[6, 6, 9, 8, 9, 8],
+    );
+
+    for q in &queries {
+        for rel_scale in SCALES {
+            let sf = base_sf * rel_scale;
+            let schema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
+            let truth = starj_bench::mechanisms::truth(&schema, q);
+            let dims = private_dims_for(q);
+
+            let mut cells: Vec<String> = vec![q.name.clone(), format!("{rel_scale}")];
+            for mech in ["PM", "R2T"] {
+                let mut errs = Vec::new();
+                let mut times = Vec::new();
+                for t in 0..trials {
+                    let mut rng = StarRng::from_seed(seed)
+                        .derive(&format!("f5/{mech}/{rel_scale}/{}", q.name))
+                        .derive_index(t);
+                    let out = match mech {
+                        "PM" => pm_rel_err(&schema, q, &truth, EPSILON, &mut rng),
+                        _ => r2t_rel_err(
+                            &schema,
+                            q,
+                            &truth,
+                            EPSILON,
+                            R2T_GS_SUM,
+                            dims.clone(),
+                            &mut rng,
+                        ),
+                    };
+                    if let MechOutcome::Ran { rel_err, secs } = out {
+                        errs.push(rel_err);
+                        times.push(secs);
+                    }
+                }
+                cells.push(pct(stats(&errs).mean));
+                cells.push(secs(stats(&times).mean));
+            }
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            table.row(&refs);
+        }
+        table.rule();
+    }
+}

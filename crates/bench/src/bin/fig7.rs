@@ -1,0 +1,87 @@
+//! Reproduces **Figure 7**: error level of PM, R2T and LS under Uniform,
+//! Exponential and Gamma fact-data distributions, on Qc3 (COUNT, top) and
+//! Qs3 (SUM, bottom), across data scales.
+
+use starj_bench::harness::pct;
+use starj_bench::{
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
+    MechOutcome, TablePrinter,
+};
+use starj_noise::StarRng;
+use starj_ssb::{generate, qc3, qs3, FactDistribution, SsbConfig};
+
+const SCALES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+const EPSILON: f64 = 0.5;
+
+fn distributions() -> Vec<(&'static str, FactDistribution)> {
+    vec![
+        ("Uniform", FactDistribution::Uniform),
+        ("Exponential", FactDistribution::Exponential { rate: 1.0 }),
+        ("Gamma", FactDistribution::Gamma { shape: 2.0, scale: 0.125 }),
+    ]
+}
+
+fn main() {
+    let base_sf = ssb_sf();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!(
+        "Figure 7: error under different data distributions (ε={EPSILON}, scales ×{base_sf})\n"
+    );
+
+    let table = TablePrinter::new(
+        &["query", "dist", "scale", "PM err%", "R2T err%", "LS err%"],
+        &[6, 12, 6, 9, 10, 10],
+    );
+
+    for q in [qc3(), qs3()] {
+        for (dist_name, dist) in distributions() {
+            for rel_scale in SCALES {
+                let schema = generate(&SsbConfig {
+                    distribution: dist.clone(),
+                    ..SsbConfig::at_scale(base_sf * rel_scale, seed)
+                })
+                .expect("SSB generation");
+                let truth = starj_bench::mechanisms::truth(&schema, &q);
+                let dims = vec!["Customer".to_string()];
+
+                let mut cells: Vec<String> =
+                    vec![q.name.clone(), dist_name.to_string(), format!("{rel_scale}")];
+                for mech in ["PM", "R2T", "LS"] {
+                    let mut errs = Vec::new();
+                    let mut supported = true;
+                    for t in 0..trials {
+                        let mut rng = StarRng::from_seed(seed)
+                            .derive(&format!("f7/{mech}/{dist_name}/{rel_scale}/{}", q.name))
+                            .derive_index(t);
+                        let out = match mech {
+                            "PM" => pm_rel_err(&schema, &q, &truth, EPSILON, &mut rng),
+                            "R2T" => r2t_rel_err(
+                                &schema, &q, &truth, EPSILON, 1e6, dims.clone(), &mut rng,
+                            ),
+                            _ => ls_rel_err(
+                                &schema, &q, &truth, EPSILON, 1e6, false, dims.clone(),
+                                &mut rng,
+                            ),
+                        };
+                        match out {
+                            MechOutcome::Ran { rel_err, .. } => errs.push(rel_err),
+                            MechOutcome::NotSupported => {
+                                supported = false;
+                                break;
+                            }
+                        }
+                    }
+                    cells.push(if supported {
+                        pct(stats(&errs).mean)
+                    } else {
+                        "n/s".to_string()
+                    });
+                }
+                let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+                table.row(&refs);
+            }
+            table.rule();
+        }
+    }
+}

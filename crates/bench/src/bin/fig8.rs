@@ -1,0 +1,58 @@
+//! Reproduces **Figure 8**: error level of PM, R2T and LS for the five
+//! predicate domain-size combinations {5×7, 5×10⁴, 250×10⁴, 5×366, 250×366}.
+
+use starj_bench::harness::pct;
+use starj_bench::{
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
+    MechOutcome, TablePrinter,
+};
+use starj_noise::StarRng;
+use starj_ssb::{domain_size_queries, generate, SsbConfig};
+
+const EPSILON: f64 = 0.5;
+
+fn main() {
+    let sf = ssb_sf();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!("Figure 8: error vs predicate domain sizes (SF={sf}, ε={EPSILON})\n");
+
+    let schema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
+    let table = TablePrinter::new(
+        &["domains", "PM err%", "R2T err%", "LS err%"],
+        &[10, 9, 10, 12],
+    );
+
+    for (label, q) in domain_size_queries() {
+        let truth = starj_bench::mechanisms::truth(&schema, &q);
+        let dims = vec!["Customer".to_string()];
+        let mut cells: Vec<String> = vec![label];
+        for mech in ["PM", "R2T", "LS"] {
+            let mut errs = Vec::new();
+            for t in 0..trials {
+                let mut rng = StarRng::from_seed(seed)
+                    .derive(&format!("f8/{mech}/{}", q.name))
+                    .derive_index(t);
+                let out = match mech {
+                    "PM" => pm_rel_err(&schema, &q, &truth, EPSILON, &mut rng),
+                    "R2T" => {
+                        r2t_rel_err(&schema, &q, &truth, EPSILON, 1e5, dims.clone(), &mut rng)
+                    }
+                    _ => ls_rel_err(
+                        &schema, &q, &truth, EPSILON, 1e6, false, dims.clone(), &mut rng,
+                    ),
+                };
+                if let MechOutcome::Ran { rel_err, .. } = out {
+                    errs.push(rel_err);
+                }
+            }
+            cells.push(pct(stats(&errs).mean));
+        }
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        table.row(&refs);
+    }
+    println!(
+        "\nPM error grows mildly with the domain product (noise ∝ dom size, \n\
+         but clamping into the domain damps it — paper §6.2)."
+    );
+}

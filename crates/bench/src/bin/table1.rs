@@ -1,0 +1,91 @@
+//! Reproduces **Table 1**: relative error (%) of PM, R2T and LS on the nine
+//! SSB queries, for ε ∈ {0.1, 0.2, 0.5, 0.8, 1}.
+//!
+//! ```text
+//! SSB_SF=0.25 TRIALS=10 cargo run --release -p starj-bench --bin table1
+//! ```
+
+use starj_bench::harness::pct;
+use starj_bench::{
+    ls_rel_err, pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats,
+    trials_count, MechOutcome, TablePrinter,
+};
+use starj_noise::StarRng;
+use starj_ssb::{all_queries, generate, SsbConfig};
+
+const EPSILONS: [f64; 5] = [0.1, 0.2, 0.5, 0.8, 1.0];
+const R2T_GS: f64 = 1e5;
+const LS_CAP: f64 = 1e6;
+
+fn main() {
+    let sf = ssb_sf();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!("Table 1: relative error (%) on SSB queries (SF={sf}, {trials} trials)\n");
+
+    let schema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
+    let queries = all_queries();
+    let truths: Vec<_> =
+        queries.iter().map(|q| starj_bench::mechanisms::truth(&schema, q)).collect();
+
+    let mut headers: Vec<&str> = vec!["eps", "mech"];
+    let names: Vec<String> = queries.iter().map(|q| q.name.clone()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let widths: Vec<usize> =
+        std::iter::once(5).chain(std::iter::once(5)).chain(names.iter().map(|_| 9)).collect();
+    let table = TablePrinter::new(&headers, &widths);
+
+    for eps in EPSILONS {
+        for mech in ["PM", "R2T", "LS"] {
+            let mut cells: Vec<String> = vec![format!("{eps}"), mech.to_string()];
+            for (qi, q) in queries.iter().enumerate() {
+                let dims = private_dims_for(q);
+                let mut errs = Vec::new();
+                let mut supported = true;
+                for t in 0..trials {
+                    let mut rng = StarRng::from_seed(seed)
+                        .derive(&format!("t1/{mech}/{eps}/{}", q.name))
+                        .derive_index(t);
+                    let out = match mech {
+                        "PM" => pm_rel_err(&schema, q, &truths[qi], eps, &mut rng),
+                        "R2T" => r2t_rel_err(
+                            &schema,
+                            q,
+                            &truths[qi],
+                            eps,
+                            R2T_GS,
+                            dims.clone(),
+                            &mut rng,
+                        ),
+                        _ => ls_rel_err(
+                            &schema,
+                            q,
+                            &truths[qi],
+                            eps,
+                            LS_CAP,
+                            false,
+                            dims.clone(),
+                            &mut rng,
+                        ),
+                    };
+                    match out {
+                        MechOutcome::Ran { rel_err, .. } => errs.push(rel_err),
+                        MechOutcome::NotSupported => {
+                            supported = false;
+                            break;
+                        }
+                    }
+                }
+                cells.push(if supported {
+                    pct(stats(&errs).mean)
+                } else {
+                    "n/s".to_string()
+                });
+            }
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            table.row(&refs);
+        }
+        table.rule();
+    }
+    println!("\nn/s = not supported (LS: SUM/GROUP BY; R2T: GROUP BY), as in the paper.");
+}

@@ -1,0 +1,107 @@
+//! Reproduces **Table 2**: relative error (%) and running time (s) of PM,
+//! R2T and TM on k-star counting queries Q2* and Q3* over the Deezer-like
+//! and Amazon-like networks, ε ∈ {0.1, 0.5, 1}.
+//!
+//! ```text
+//! GRAPH_FRAC=1.0 TRIALS=10 cargo run --release -p starj-bench --bin table2
+//! ```
+
+use dp_starj::pma::RangePolicy;
+use starj_bench::harness::{pct, secs};
+use starj_bench::{graph_frac, root_seed, stats, trials_count, TablePrinter};
+use starj_baselines::{kstar_r2t, kstar_tm, KstarTmConfig, R2tConfig};
+use starj_graph::{amazon_like, deezer_like, kstar_count, Graph, KStarQuery};
+use starj_noise::StarRng;
+use std::time::Instant;
+
+const EPSILONS: [f64; 3] = [0.1, 0.5, 1.0];
+/// Per-mechanism-cell wall-clock budget in seconds (the paper's 3-hour
+/// limit, scaled; override with TIME_LIMIT_SECS).
+fn time_limit() -> f64 {
+    starj_bench::env_f64("TIME_LIMIT_SECS", 120.0)
+}
+
+fn run_cell(
+    graph: &Graph,
+    query: &KStarQuery,
+    mech: &str,
+    eps: f64,
+    trials: u64,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    let truth = kstar_count(graph, query) as f64;
+    let mut errs = Vec::new();
+    let mut times = Vec::new();
+    let started = Instant::now();
+    for t in 0..trials {
+        if started.elapsed().as_secs_f64() > time_limit() {
+            return None; // over time limit
+        }
+        let mut rng = StarRng::from_seed(seed)
+            .derive(&format!("t2/{mech}/{eps}/{}", query.name()))
+            .derive_index(t);
+        let start = Instant::now();
+        let value = match mech {
+            "PM" => dp_starj::pm_kstar(graph, query, eps, RangePolicy::default(), &mut rng)
+                .expect("PM runs")
+                .0,
+            "R2T" => {
+                let gs = starj_graph::binomial(u64::from(graph.max_degree()), query.k) as f64;
+                let cfg = R2tConfig::new(gs.max(2.0), vec![]);
+                kstar_r2t(graph, query, eps, &cfg, &mut rng).expect("R2T runs").value
+            }
+            _ => kstar_tm(graph, query, eps, &KstarTmConfig::default(), &mut rng)
+                .expect("TM runs")
+                .0,
+        };
+        times.push(start.elapsed().as_secs_f64());
+        errs.push((value - truth).abs() / truth.max(1.0));
+    }
+    Some((stats(&errs).mean, stats(&times).mean))
+}
+
+fn main() {
+    let frac = graph_frac();
+    let trials = trials_count();
+    let seed = root_seed();
+    println!(
+        "Table 2: k-star queries on synthetic Deezer/Amazon stand-ins \
+         (fraction {frac} of full size, {trials} trials)\n"
+    );
+
+    let datasets: Vec<(&str, Graph)> = vec![
+        ("Deezer", deezer_like(frac, seed).expect("deezer generation")),
+        ("Amazon", amazon_like(frac, seed ^ 0x9E37).expect("amazon generation")),
+    ];
+
+    let table = TablePrinter::new(
+        &["dataset", "query", "mech", "eps=0.1 err%", "time(s)", "eps=0.5 err%", "time(s)", "eps=1 err%", "time(s)"],
+        &[8, 6, 5, 12, 8, 12, 8, 10, 8],
+    );
+
+    for (name, graph) in &datasets {
+        for k in [2u32, 3] {
+            let query = KStarQuery::full(k, graph.num_nodes());
+            for mech in ["PM", "R2T", "TM"] {
+                let mut cells: Vec<String> =
+                    vec![name.to_string(), query.name(), mech.to_string()];
+                for eps in EPSILONS {
+                    match run_cell(graph, &query, mech, eps, trials, seed) {
+                        Some((err, time)) => {
+                            cells.push(pct(err));
+                            cells.push(secs(time));
+                        }
+                        None => {
+                            cells.push("overtime".into());
+                            cells.push("-".into());
+                        }
+                    }
+                }
+                let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+                table.row(&refs);
+            }
+            table.rule();
+        }
+    }
+    println!("\nDatasets are degree-sequence-matched synthetic stand-ins (DESIGN.md).");
+}

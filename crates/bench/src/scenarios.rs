@@ -1,0 +1,64 @@
+//! Shared experiment scenario helpers.
+
+use crate::harness::{env_f64, env_u64};
+use starj_engine::StarQuery;
+
+/// SSB scale factor for experiments (`SSB_SF`, default 0.05). The paper
+/// sweeps 0.25–1; the default keeps a full run under a minute while
+/// preserving every comparison's shape — raise it to match the paper scale.
+pub fn ssb_sf() -> f64 {
+    env_f64("SSB_SF", 0.05)
+}
+
+/// Independent trials per experiment cell (`TRIALS`, default 10 — the
+/// paper's "average of 10 independent runs").
+pub fn trials_count() -> u64 {
+    env_u64("TRIALS", 10)
+}
+
+/// Graph scale fraction for Table 2 (`GRAPH_FRAC`, default 0.05;
+/// 1.0 = the full 144k/847k Deezer-like and 335k/926k Amazon-like graphs).
+pub fn graph_frac() -> f64 {
+    env_f64("GRAPH_FRAC", 0.05)
+}
+
+/// Root seed for all experiments (`SEED`, default 2023).
+pub fn root_seed() -> u64 {
+    env_u64("SEED", 2023)
+}
+
+/// The private dimension(s) the data-dependent baselines protect for a given
+/// query: `Customer` when the query touches it (the paper's motivating
+/// example), otherwise the first of Supplier/Part/Date carrying a predicate,
+/// falling back to Customer (DESIGN.md interpretation #5).
+pub fn private_dims_for(query: &StarQuery) -> Vec<String> {
+    let tables = query.predicate_tables();
+    for preferred in ["Customer", "Supplier", "Part", "Date"] {
+        if tables.contains(&preferred) {
+            return vec![preferred.to_string()];
+        }
+    }
+    vec!["Customer".to_string()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starj_ssb::{qc1, qc2, qc3};
+
+    #[test]
+    fn private_dim_prefers_customer() {
+        assert_eq!(private_dims_for(&qc3()), vec!["Customer".to_string()]);
+        // Qc2 touches Part + Supplier + Date(no) — Supplier preferred.
+        assert_eq!(private_dims_for(&qc2()), vec!["Supplier".to_string()]);
+        // Qc1 touches only Date.
+        assert_eq!(private_dims_for(&qc1()), vec!["Date".to_string()]);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(ssb_sf() > 0.0);
+        assert!(trials_count() >= 1);
+        assert!(graph_frac() > 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the DP-starJ core.
+
+use starj_engine::EngineError;
+use starj_linalg::LinalgError;
+use starj_noise::NoiseError;
+use std::fmt;
+
+/// Errors raised by DP-starJ mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Relational engine failure.
+    Engine(EngineError),
+    /// Noise primitive failure.
+    Noise(NoiseError),
+    /// Linear-algebra failure (workload decomposition).
+    Linalg(LinalgError),
+    /// A mechanism precondition was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
+            CoreError::Noise(e) => write!(f, "noise error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linalg error: {e}"),
+            CoreError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<NoiseError> for CoreError {
+    fn from(e: NoiseError) -> Self {
+        CoreError::Noise(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: CoreError = EngineError::UnknownTable("T".into()).into();
+        assert!(e.to_string().contains("T"));
+        let e: CoreError = NoiseError::InvalidEpsilon(-1.0).into();
+        assert!(e.to_string().contains("epsilon"));
+        let e: CoreError = LinalgError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        let e = CoreError::Invalid("custom".into());
+        assert_eq!(e.to_string(), "custom");
+    }
+}

@@ -1,0 +1,133 @@
+//! The `(a,b)`-private scenario taxonomy (paper Definition 3.7).
+//!
+//! A star-join task is `(a,b)`-private when `a ∈ {0,1}` fact tables and
+//! `b ≤ n` dimension tables are sensitive (`a + b ≥ 1`). The scenario
+//! determines which mechanisms are even applicable: the plain Laplace
+//! mechanism only works for `(1,0)` (bounded sensitivity), while any private
+//! dimension (`b ≥ 1`) makes output perturbation's global sensitivity
+//! unbounded — the paper's motivation for the Predicate Mechanism.
+
+use crate::error::CoreError;
+use starj_engine::StarSchema;
+
+/// Which relations of a star schema are sensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivacySpec {
+    /// Whether the fact table is private (`a = 1`).
+    pub fact_private: bool,
+    /// The private dimension tables, by name (`b` = length).
+    pub private_dims: Vec<String>,
+}
+
+impl PrivacySpec {
+    /// The `(1,0)`-private scenario: only the fact table is sensitive.
+    pub fn fact_only() -> Self {
+        PrivacySpec { fact_private: true, private_dims: vec![] }
+    }
+
+    /// A `(0,k)`-private scenario over the named dimensions.
+    pub fn dims(private_dims: Vec<String>) -> Self {
+        PrivacySpec { fact_private: false, private_dims }
+    }
+
+    /// `a` of the `(a,b)` pair.
+    pub fn a(&self) -> u8 {
+        u8::from(self.fact_private)
+    }
+
+    /// `b` of the `(a,b)` pair.
+    pub fn b(&self) -> usize {
+        self.private_dims.len()
+    }
+
+    /// Validates the spec against a schema: `a + b ≥ 1`, `b ≤ n`, and every
+    /// named dimension exists.
+    pub fn validate(&self, schema: &StarSchema) -> Result<(), CoreError> {
+        if self.a() == 0 && self.b() == 0 {
+            return Err(CoreError::Invalid(
+                "(a,b)-private requires at least one sensitive table (a + b ≥ 1)".into(),
+            ));
+        }
+        if self.b() > schema.num_dims() {
+            return Err(CoreError::Invalid(format!(
+                "spec names {} private dimensions but the schema has {}",
+                self.b(),
+                schema.num_dims()
+            )));
+        }
+        for d in &self.private_dims {
+            schema.dim(d)?;
+        }
+        let mut sorted = self.private_dims.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != self.private_dims.len() {
+            return Err(CoreError::Invalid("private dimension list has duplicates".into()));
+        }
+        Ok(())
+    }
+
+    /// True iff the plain Laplace mechanism is applicable — only the
+    /// `(1,0)`-private scenario has bounded global sensitivity (paper §4).
+    pub fn laplace_mechanism_applicable(&self) -> bool {
+        self.fact_private && self.private_dims.is_empty()
+    }
+
+    /// Human-readable scenario label, e.g. `"(0,2)-private"`.
+    pub fn describe(&self) -> String {
+        format!("({},{})-private", self.a(), self.b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starj_ssb::{generate, SsbConfig};
+
+    fn schema() -> StarSchema {
+        generate(&SsbConfig { scale: 0.001, seed: 1, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn labels_and_counts() {
+        let s = PrivacySpec::fact_only();
+        assert_eq!((s.a(), s.b()), (1, 0));
+        assert_eq!(s.describe(), "(1,0)-private");
+        assert!(s.laplace_mechanism_applicable());
+
+        let s = PrivacySpec::dims(vec!["Customer".into(), "Supplier".into()]);
+        assert_eq!((s.a(), s.b()), (0, 2));
+        assert_eq!(s.describe(), "(0,2)-private");
+        assert!(!s.laplace_mechanism_applicable());
+    }
+
+    #[test]
+    fn validation_accepts_known_dims() {
+        let schema = schema();
+        assert!(PrivacySpec::fact_only().validate(&schema).is_ok());
+        assert!(PrivacySpec::dims(vec!["Customer".into()]).validate(&schema).is_ok());
+        let mixed = PrivacySpec {
+            fact_private: true,
+            private_dims: vec!["Part".into(), "Date".into()],
+        };
+        assert!(mixed.validate(&schema).is_ok(), "(1,2)-private is legal");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let schema = schema();
+        let none = PrivacySpec { fact_private: false, private_dims: vec![] };
+        assert!(none.validate(&schema).is_err(), "a + b ≥ 1 required");
+        assert!(PrivacySpec::dims(vec!["Ghost".into()]).validate(&schema).is_err());
+        let dup = PrivacySpec::dims(vec!["Customer".into(), "Customer".into()]);
+        assert!(dup.validate(&schema).is_err());
+        let too_many = PrivacySpec::dims(vec![
+            "Customer".into(),
+            "Supplier".into(),
+            "Part".into(),
+            "Date".into(),
+            "Date".into(),
+        ]);
+        assert!(too_many.validate(&schema).is_err());
+    }
+}

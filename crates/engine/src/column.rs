@@ -1,0 +1,134 @@
+//! Typed columns.
+
+use crate::domain::Domain;
+
+/// Column payload: keys (primary/foreign), coded attributes with a domain,
+/// or integer measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Primary or foreign key values.
+    Key(Vec<u32>),
+    /// Attribute codes constrained to a finite [`Domain`].
+    Code {
+        /// Domain the codes are drawn from.
+        domain: Domain,
+        /// Per-row codes.
+        values: Vec<u32>,
+    },
+    /// Integer measure (e.g. `revenue`, `quantity`).
+    Measure(Vec<i64>),
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// A key column.
+    pub fn key(name: impl Into<String>, values: Vec<u32>) -> Self {
+        Column { name: name.into(), data: ColumnData::Key(values) }
+    }
+
+    /// An attribute column over `domain`.
+    pub fn attr(name: impl Into<String>, domain: Domain, values: Vec<u32>) -> Self {
+        Column { name: name.into(), data: ColumnData::Code { domain, values } }
+    }
+
+    /// A measure column.
+    pub fn measure(name: impl Into<String>, values: Vec<i64>) -> Self {
+        Column { name: name.into(), data: ColumnData::Measure(values) }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Key(v) => v.len(),
+            ColumnData::Code { values, .. } => values.len(),
+            ColumnData::Measure(v) => v.len(),
+        }
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The raw payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Key values, if this is a key column.
+    pub fn as_key(&self) -> Option<&[u32]> {
+        match &self.data {
+            ColumnData::Key(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Attribute codes, if this is an attribute column.
+    pub fn as_codes(&self) -> Option<&[u32]> {
+        match &self.data {
+            ColumnData::Code { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Measure values, if this is a measure column.
+    pub fn as_measure(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Measure(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The attribute's domain, if this is an attribute column.
+    pub fn domain(&self) -> Option<&Domain> {
+        match &self.data {
+            ColumnData::Code { domain, .. } => Some(domain),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_kind() {
+        let d = Domain::numeric("x", 4).unwrap();
+        let k = Column::key("pk", vec![0, 1, 2]);
+        let a = Column::attr("a", d.clone(), vec![1, 3, 0]);
+        let m = Column::measure("m", vec![10, -2, 7]);
+
+        assert_eq!(k.as_key(), Some(&[0, 1, 2][..]));
+        assert!(k.as_codes().is_none() && k.as_measure().is_none());
+
+        assert_eq!(a.as_codes(), Some(&[1, 3, 0][..]));
+        assert_eq!(a.domain().unwrap().size(), 4);
+        assert!(a.as_key().is_none());
+
+        assert_eq!(m.as_measure(), Some(&[10, -2, 7][..]));
+        assert!(m.domain().is_none());
+
+        assert_eq!(k.len(), 3);
+        assert!(!k.is_empty());
+        assert_eq!(a.name(), "a");
+    }
+
+    #[test]
+    fn empty_column_reports_empty() {
+        let c = Column::key("pk", vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

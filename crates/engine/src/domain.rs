@@ -1,0 +1,130 @@
+//! Finite attribute domains.
+//!
+//! The paper (Definition 1.1) gives every dimension attribute `a_i` a finite
+//! domain `dom(a_i)` of size `m_i`; the Predicate Mechanism's noise scale is
+//! that size. Domains may be purely numeric (codes `0..size`) or carry labels
+//! (e.g. the five SSB regions).
+
+use crate::error::EngineError;
+use std::sync::Arc;
+
+/// A finite attribute domain: codes `0..size`, optionally labelled.
+///
+/// Cloning is cheap — label storage is shared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    name: String,
+    size: u32,
+    labels: Option<Arc<Vec<String>>>,
+}
+
+impl Domain {
+    /// A numeric domain of the given size (codes `0..size`).
+    pub fn numeric(name: impl Into<String>, size: u32) -> Result<Self, EngineError> {
+        if size == 0 {
+            return Err(EngineError::InvalidSchema(format!(
+                "domain `{}` must have positive size",
+                name.into()
+            )));
+        }
+        Ok(Domain { name: name.into(), size, labels: None })
+    }
+
+    /// A categorical domain whose size is the number of labels.
+    pub fn categorical<S: Into<String>>(
+        name: impl Into<String>,
+        labels: Vec<S>,
+    ) -> Result<Self, EngineError> {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        if labels.is_empty() {
+            return Err(EngineError::InvalidSchema(format!(
+                "categorical domain `{}` needs at least one label",
+                name.into()
+            )));
+        }
+        Ok(Domain {
+            name: name.into(),
+            size: labels.len() as u32,
+            labels: Some(Arc::new(labels)),
+        })
+    }
+
+    /// Domain name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of codes, `m_i = |dom(a_i)|`.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// True iff `code` is a member of the domain.
+    pub fn contains(&self, code: u32) -> bool {
+        code < self.size
+    }
+
+    /// The code of a label, if this domain is labelled and contains it.
+    pub fn code_of(&self, label: &str) -> Option<u32> {
+        self.labels
+            .as_ref()?
+            .iter()
+            .position(|l| l == label)
+            .map(|p| p as u32)
+    }
+
+    /// The label of a code, if labelled and in range.
+    pub fn label_of(&self, code: u32) -> Option<&str> {
+        self.labels.as_ref()?.get(code as usize).map(String::as_str)
+    }
+
+    /// Clamps an integer onto the domain, the paper's "perturbation result is
+    /// still within the domain value range" behaviour for PM (§6).
+    pub fn clamp(&self, value: i64) -> u32 {
+        value.clamp(0, i64::from(self.size) - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_domain_basics() {
+        let d = Domain::numeric("year", 7).unwrap();
+        assert_eq!(d.size(), 7);
+        assert!(d.contains(0) && d.contains(6) && !d.contains(7));
+        assert_eq!(d.code_of("1992"), None, "numeric domains have no labels");
+        assert!(Domain::numeric("empty", 0).is_err());
+    }
+
+    #[test]
+    fn categorical_lookup_round_trips() {
+        let d = Domain::categorical(
+            "region",
+            vec!["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"],
+        )
+        .unwrap();
+        assert_eq!(d.size(), 5);
+        assert_eq!(d.code_of("ASIA"), Some(2));
+        assert_eq!(d.label_of(2), Some("ASIA"));
+        assert_eq!(d.code_of("MARS"), None);
+        assert_eq!(d.label_of(9), None);
+    }
+
+    #[test]
+    fn empty_categorical_rejected() {
+        assert!(Domain::categorical::<String>("x", vec![]).is_err());
+    }
+
+    #[test]
+    fn clamp_stays_in_domain() {
+        let d = Domain::numeric("city", 250).unwrap();
+        assert_eq!(d.clamp(-5), 0);
+        assert_eq!(d.clamp(0), 0);
+        assert_eq!(d.clamp(123), 123);
+        assert_eq!(d.clamp(249), 249);
+        assert_eq!(d.clamp(250), 249);
+        assert_eq!(d.clamp(i64::MAX), 249);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Errors raised while building schemas or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced table does not exist in the schema.
+    UnknownTable(String),
+    /// A referenced column does not exist in a table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// A column exists but has the wrong kind for the operation.
+    WrongColumnKind {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// What the caller expected ("key", "attribute", "measure").
+        expected: &'static str,
+    },
+    /// Two columns in one table share a name.
+    DuplicateColumn(String),
+    /// Columns in one table have different lengths.
+    LengthMismatch {
+        /// Table name.
+        table: String,
+    },
+    /// A primary key is not dense (`pk[i] != i`).
+    NonDensePrimaryKey {
+        /// Table name.
+        table: String,
+    },
+    /// A foreign key value exceeds the referenced table's row count.
+    ForeignKeyOutOfRange {
+        /// Fact/dimension column holding the dangling reference.
+        column: String,
+        /// The offending key value.
+        value: u32,
+        /// Number of rows in the referenced table.
+        referenced_rows: usize,
+    },
+    /// An attribute code lies outside its declared domain.
+    CodeOutOfDomain {
+        /// Column name.
+        column: String,
+        /// Offending code.
+        code: u32,
+        /// Domain size.
+        domain: u32,
+    },
+    /// A predicate constraint is malformed (e.g. `lo > hi`, empty set,
+    /// constants outside the domain).
+    InvalidConstraint(String),
+    /// A weighted predicate's weight vector length differs from the domain.
+    WeightLengthMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Supplied weights length.
+        got: usize,
+        /// Expected domain size.
+        expected: u32,
+    },
+    /// The result was a group map but a scalar was requested, or vice versa.
+    WrongResultShape(&'static str),
+    /// Schema-level invariant violation with a free-form message.
+    InvalidSchema(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            EngineError::WrongColumnKind { table, column, expected } => {
+                write!(f, "column `{table}.{column}` is not a {expected} column")
+            }
+            EngineError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            EngineError::LengthMismatch { table } => {
+                write!(f, "columns of table `{table}` have differing lengths")
+            }
+            EngineError::NonDensePrimaryKey { table } => {
+                write!(f, "primary key of `{table}` must be dense (pk[i] == i)")
+            }
+            EngineError::ForeignKeyOutOfRange { column, value, referenced_rows } => write!(
+                f,
+                "foreign key `{column}` value {value} exceeds referenced table ({referenced_rows} rows)"
+            ),
+            EngineError::CodeOutOfDomain { column, code, domain } => {
+                write!(f, "code {code} in column `{column}` outside domain of size {domain}")
+            }
+            EngineError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            EngineError::WeightLengthMismatch { attr, got, expected } => write!(
+                f,
+                "weight vector for `{attr}` has length {got}, domain expects {expected}"
+            ),
+            EngineError::WrongResultShape(expected) => {
+                write!(f, "query result does not have the expected shape: {expected}")
+            }
+            EngineError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = EngineError::UnknownColumn { table: "Part".into(), column: "mfgr".into() };
+        assert!(e.to_string().contains("Part") && e.to_string().contains("mfgr"));
+        let e = EngineError::ForeignKeyOutOfRange {
+            column: "CK".into(),
+            value: 99,
+            referenced_rows: 10,
+        };
+        assert!(e.to_string().contains("99"));
+    }
+}

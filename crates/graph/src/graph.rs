@@ -1,0 +1,225 @@
+//! Undirected simple graphs in CSR (compressed sparse row) form.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is ≥ the declared node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Declared node count.
+        nodes: u32,
+    },
+    /// The graph must have at least one node.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range (graph has {nodes} nodes)")
+            }
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph: `n` nodes, adjacency in CSR layout.
+///
+/// Self-loops and duplicate edges are dropped at construction, so degrees
+/// are simple-graph degrees — the quantity k-star counting needs.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: u32,
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; endpoints must be `< n`.
+    /// Duplicate edges (in either orientation) and self-loops are ignored.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut seen: HashSet<u64> = HashSet::with_capacity(edges.len());
+        let mut degree = vec![0u32; n as usize];
+        let mut simple: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a >= n {
+                return Err(GraphError::NodeOutOfRange { node: a, nodes: n });
+            }
+            if b >= n {
+                return Err(GraphError::NodeOutOfRange { node: b, nodes: n });
+            }
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if seen.insert((u64::from(lo) << 32) | u64::from(hi)) {
+                simple.push((lo, hi));
+                degree[lo as usize] += 1;
+                degree[hi as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0usize; n as usize + 1];
+        for v in 0..n as usize {
+            offsets[v + 1] = offsets[v] + degree[v] as usize;
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; simple.len() * 2];
+        for (a, b) in simple {
+            neighbors[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        Ok(Graph { n, offsets, neighbors })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of (undirected, deduplicated) edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// All degrees, indexed by node.
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.n).map(|v| self.degree(v)).collect()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E|/n`.
+    pub fn avg_degree(&self) -> f64 {
+        self.neighbors.len() as f64 / self.n as f64
+    }
+
+    /// Neighbors of node `v`, unordered.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// A copy of the graph with every degree truncated to at most `theta`:
+    /// for each node, surplus incident edges are removed (lowest-id neighbors
+    /// kept). This is the naive-truncation projection used by the TM
+    /// baseline (Kasiviswanathan et al.).
+    pub fn truncate_degrees(&self, theta: u32) -> Graph {
+        // Greedy edge-removal: keep an edge only if both endpoints still have
+        // capacity. A single pass over edges (lo < hi order) is the standard
+        // deterministic projection.
+        let mut capacity = vec![theta; self.n as usize];
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for v in 0..self.n {
+            for &u in self.neighbors(v) {
+                if v < u {
+                    edges.push((v, u));
+                }
+            }
+        }
+        let mut kept = Vec::with_capacity(edges.len());
+        for (a, b) in edges {
+            if capacity[a as usize] > 0 && capacity[b as usize] > 0 {
+                capacity[a as usize] -= 1;
+                capacity[b as usize] -= 1;
+                kept.push((a, b));
+            }
+        }
+        Graph::from_edges(self.n, &kept).expect("kept edges are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_dedups() {
+        // Triangle with a duplicate and a self-loop.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 0), (2, 2)]).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degrees(), vec![2, 2, 2]);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        let mut n0: Vec<u32> = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2, 3]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(Graph::from_edges(0, &[]), Err(GraphError::Empty)));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_degree() {
+        let g = Graph::from_edges(5, &[(0, 1)]).unwrap();
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn truncation_caps_degrees() {
+        // Star: center 0 with 5 leaves.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let t = g.truncate_degrees(2);
+        assert_eq!(t.degree(0), 2);
+        assert!(t.num_edges() == 2);
+        assert!(t.degrees().iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn truncation_with_large_theta_is_identity() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let t = g.truncate_degrees(10);
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.degrees(), g.degrees());
+    }
+
+    #[test]
+    fn truncation_never_increases_degrees() {
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (5, 6), (6, 7)],
+        )
+        .unwrap();
+        let t = g.truncate_degrees(2);
+        for v in 0..8u32 {
+            assert!(t.degree(v) <= g.degree(v));
+            assert!(t.degree(v) <= 2);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! k-star counting.
+//!
+//! A k-star is a center node with k distinct incident edges; the count over
+//! a set of admissible centers is `Σ_v C(deg(v), k)`. The paper's queries
+//! `Q2*` and `Q3*` restrict centers with a range predicate
+//! (`from_id BETWEEN 1 AND n`), whose domain size — the number of vertices —
+//! calibrates the Predicate Mechanism.
+
+use crate::graph::Graph;
+
+/// `C(n, k)` in `u128`, saturating at `u128::MAX` (never reached for real
+/// degree sequences, but keeps the arithmetic total).
+pub fn binomial(n: u64, k: u32) -> u128 {
+    let k = k as u64;
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul((n - i) as u128);
+        result /= (i + 1) as u128;
+    }
+    result
+}
+
+/// A k-star counting query with a center-range predicate `[lo, hi]`
+/// (inclusive, node ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KStarQuery {
+    /// Star arity (2 or 3 in the paper).
+    pub k: u32,
+    /// Lowest admissible center id.
+    pub lo: u32,
+    /// Highest admissible center id (inclusive).
+    pub hi: u32,
+}
+
+impl KStarQuery {
+    /// A query over all centers of an `n`-node graph — the paper's
+    /// `BETWEEN 1 AND n` predicate.
+    pub fn full(k: u32, n: u32) -> Self {
+        KStarQuery { k, lo: 0, hi: n.saturating_sub(1) }
+    }
+
+    /// The predicate's domain size (number of vertices, per the paper).
+    pub fn domain(&self, graph: &Graph) -> u32 {
+        graph.num_nodes()
+    }
+
+    /// Query label (`Q2*`, `Q3*`).
+    pub fn name(&self) -> String {
+        format!("Q{}*", self.k)
+    }
+}
+
+/// Counts k-stars with centers in `[query.lo, query.hi]`.
+pub fn kstar_count(graph: &Graph, query: &KStarQuery) -> u128 {
+    if query.lo > query.hi {
+        return 0;
+    }
+    let hi = query.hi.min(graph.num_nodes().saturating_sub(1));
+    let mut total: u128 = 0;
+    for v in query.lo..=hi {
+        total += binomial(u64::from(graph.degree(v)), query.k);
+    }
+    total
+}
+
+/// Counts k-stars on the degree-truncated graph (`θ`-projection) — the TM
+/// baseline's truncated query `Q(D, θ)`.
+pub fn truncated_kstar_count(graph: &Graph, query: &KStarQuery, theta: u32) -> u128 {
+    if query.lo > query.hi {
+        return 0;
+    }
+    let truncated = graph.truncate_degrees(theta);
+    kstar_count(&truncated, query)
+}
+
+/// Brute-force k-star enumeration (k ∈ {2, 3}) for validating
+/// [`kstar_count`] on small graphs: explicitly enumerates unordered neighbor
+/// pairs/triples around each admissible center.
+pub fn kstar_count_naive(graph: &Graph, query: &KStarQuery) -> u128 {
+    assert!(
+        query.k == 2 || query.k == 3,
+        "naive enumeration is implemented for k ∈ {{2, 3}} only"
+    );
+    if query.lo > query.hi {
+        return 0;
+    }
+    let hi = query.hi.min(graph.num_nodes().saturating_sub(1));
+    let mut total: u128 = 0;
+    for v in query.lo..=hi {
+        let nbrs = graph.neighbors(v);
+        let d = nbrs.len();
+        if query.k == 2 {
+            for i in 0..d {
+                for _ in (i + 1)..d {
+                    total += 1;
+                }
+            }
+        } else {
+            for i in 0..d {
+                for j in (i + 1)..d {
+                    for _ in (j + 1)..d {
+                        let _ = (i, j);
+                        total += 1;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_known_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(100_000, 3), 166_661_666_700_000);
+    }
+
+    #[test]
+    fn star_graph_counts() {
+        // Center 0 with 5 leaves: C(5,2)=10 2-stars + each leaf contributes 0.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        assert_eq!(kstar_count(&g, &KStarQuery::full(2, 6)), 10);
+        assert_eq!(kstar_count(&g, &KStarQuery::full(3, 6)), 10);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        // Each node has degree 2 → C(2,2)=1 two-star each.
+        assert_eq!(kstar_count(&g, &KStarQuery::full(2, 3)), 3);
+        assert_eq!(kstar_count(&g, &KStarQuery::full(3, 3)), 0);
+    }
+
+    #[test]
+    fn range_predicate_restricts_centers() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (4, 5)]).unwrap();
+        // Center 0 has C(3,2)=3; centers 1..5 contribute 0 (degree ≤ 1).
+        assert_eq!(kstar_count(&g, &KStarQuery { k: 2, lo: 0, hi: 5 }), 3);
+        assert_eq!(kstar_count(&g, &KStarQuery { k: 2, lo: 1, hi: 5 }), 0);
+        assert_eq!(kstar_count(&g, &KStarQuery { k: 2, lo: 3, hi: 1 }), 0, "empty range");
+    }
+
+    #[test]
+    fn range_clamps_to_graph() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        assert_eq!(kstar_count(&g, &KStarQuery { k: 2, lo: 0, hi: 999 }), 1);
+    }
+
+    #[test]
+    fn naive_matches_formula_on_random_small_graphs() {
+        let mut edges = Vec::new();
+        // Deterministic pseudo-random small graph.
+        let mut x: u64 = 12345;
+        for _ in 0..40 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x >> 33) % 12;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (x >> 33) % 12;
+            edges.push((a as u32, b as u32));
+        }
+        let g = Graph::from_edges(12, &edges).unwrap();
+        for k in [2u32, 3] {
+            for (lo, hi) in [(0u32, 11u32), (2, 8), (5, 5)] {
+                let q = KStarQuery { k, lo, hi };
+                assert_eq!(
+                    kstar_count(&g, &q),
+                    kstar_count_naive(&g, &q),
+                    "mismatch for k={k} range=({lo},{hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_count_is_monotone_in_theta() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2)],
+        )
+        .unwrap();
+        let q = KStarQuery::full(2, 7);
+        let full = kstar_count(&g, &q);
+        let mut prev = 0u128;
+        for theta in 1..=6 {
+            let t = truncated_kstar_count(&g, &q, theta);
+            assert!(t >= prev, "truncated count must grow with θ");
+            assert!(t <= full);
+            prev = t;
+        }
+        assert_eq!(truncated_kstar_count(&g, &q, 6), full);
+    }
+
+    #[test]
+    fn query_metadata() {
+        let g = Graph::from_edges(10, &[(0, 1)]).unwrap();
+        let q = KStarQuery::full(2, 10);
+        assert_eq!(q.name(), "Q2*");
+        assert_eq!(q.domain(&g), 10);
+        assert_eq!((q.lo, q.hi), (0, 9));
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors from matrix construction and numerical routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    DimMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Left operand shape.
+        left: (usize, usize),
+        /// Right operand shape.
+        right: (usize, usize),
+    },
+    /// A matrix required to be invertible was (numerically) singular.
+    Singular,
+    /// An empty matrix was supplied where data is required.
+    Empty,
+    /// A non-finite value was encountered.
+    NotFinite,
+    /// Row lengths disagree when building from rows.
+    RaggedRows,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::Empty => write!(f, "matrix must be non-empty"),
+            LinalgError::NotFinite => write!(f, "non-finite value encountered"),
+            LinalgError::RaggedRows => write!(f, "all rows must have equal length"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shapes() {
+        let e = LinalgError::DimMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("2x3") && s.contains("4x5"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Row-major dense matrix.
+
+use crate::error::LinalgError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` matrix of `f64`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// All-zero matrix. Errors if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        Ok(Mat { rows, cols, data: vec![0.0; rows * cols] })
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Result<Self, LinalgError> {
+        let mut m = Mat::zeros(n, n)?;
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from rows; all rows must be equally long and non-empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let c = rows[0].len();
+        if c == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if rows.iter().any(|row| row.len() != c) {
+            return Err(LinalgError::RaggedRows);
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NotFinite);
+        }
+        Ok(Mat { rows: r, cols: c, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn<F>(rows: usize, cols: usize, mut f: F) -> Result<Self, LinalgError>
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let mut m = Mat::zeros(rows, cols)?;
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimMismatch {
+                op: "matmul",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols)?;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimMismatch {
+                op: "matvec",
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out =
+            Mat { rows: self.cols, cols: self.rows, data: vec![0.0; self.data.len()] };
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum. Shapes must match.
+    pub fn add(&self, rhs: &Mat) -> Result<Mat, LinalgError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference. Shapes must match.
+    pub fn sub(&self, rhs: &Mat) -> Result<Mat, LinalgError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Mat,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Mat, LinalgError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::DimMismatch {
+                op,
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| f(*a, *b)).collect();
+        Ok(Mat { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// True iff all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// True iff `self` and `rhs` agree entry-wise within `tol`.
+    pub fn approx_eq(&self, rhs: &Mat, tol: f64) -> bool {
+        self.rows == rhs.rows
+            && self.cols == rhs.cols
+            && self.data.iter().zip(&rhs.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:8.3}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Mat::zeros(0, 3).is_err());
+        assert!(Mat::from_rows(&[]).is_err());
+        assert!(Mat::from_rows(&[vec![]]).is_err());
+        assert!(Mat::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        assert!(Mat::from_rows(&[vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let i3 = Mat::identity(3).unwrap();
+        assert!(a.matmul(&i3).unwrap().approx_eq(&a, 1e-12));
+        let i2 = Mat::identity(2).unwrap();
+        assert!(i2.matmul(&a).unwrap().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Mat::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Mat::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_check() {
+        let a = Mat::zeros(2, 3).unwrap();
+        let b = Mat::zeros(2, 3).unwrap();
+        assert!(matches!(a.matmul(&b), Err(LinalgError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_rows(&[vec![1.0, -1.0], vec![2.0, 0.5]]).unwrap();
+        let v = vec![3.0, 4.0];
+        let got = a.matvec(&v).unwrap();
+        assert!((got[0] - -1.0).abs() < 1e-12);
+        assert!((got[1] - 8.0).abs() < 1e-12);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_and_norms() {
+        let a = Mat::from_rows(&[vec![3.0, -4.0]]).unwrap();
+        let b = Mat::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        assert!(a.add(&b).unwrap().approx_eq(&Mat::from_rows(&[vec![4.0, -3.0]]).unwrap(), 0.0));
+        assert!(a.sub(&b).unwrap().approx_eq(&Mat::from_rows(&[vec![2.0, -5.0]]).unwrap(), 0.0));
+        assert!((a.frobenius() - 5.0).abs() < 1e-12);
+        assert!((a.max_abs() - 4.0).abs() < 1e-12);
+        assert!((a.scale(2.0).max_abs() - 8.0).abs() < 1e-12);
+        let c = Mat::zeros(2, 2).unwrap();
+        assert!(a.add(&c).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Moore–Penrose pseudo-inverse via normal equations.
+//!
+//! Workload Decomposition needs `A⁺` for strategy matrices `A`, which in this
+//! reproduction always have full rank (identity and dyadic-range strategies
+//! both contain the standard basis). The normal-equation route
+//! `A⁺ = (AᵀA)⁻¹Aᵀ` (full column rank) or `A⁺ = Aᵀ(AAᵀ)⁻¹` (full row rank)
+//! is therefore exact; a tiny ridge fallback guards against borderline
+//! conditioning and is documented as such.
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+use crate::solve::invert;
+
+/// Computes the Moore–Penrose pseudo-inverse of `a`.
+///
+/// Strategy matrices in this workspace are tall-or-square with full column
+/// rank or wide with full row rank. If both normal-equation systems are
+/// singular, a ridge-regularized inverse (`λ = 1e-10·‖A‖²`) is used as a
+/// last resort so that reconstruction degrades smoothly instead of failing.
+pub fn pinv(a: &Mat) -> Result<Mat, LinalgError> {
+    let at = a.transpose();
+    if a.rows() >= a.cols() {
+        // A⁺ = (AᵀA)⁻¹ Aᵀ
+        let gram = at.matmul(a)?;
+        match invert(&gram) {
+            Ok(gram_inv) => gram_inv.matmul(&at),
+            Err(LinalgError::Singular) => ridge_pinv(a, &at),
+            Err(e) => Err(e),
+        }
+    } else {
+        // A⁺ = Aᵀ (AAᵀ)⁻¹
+        let gram = a.matmul(&at)?;
+        match invert(&gram) {
+            Ok(gram_inv) => at.matmul(&gram_inv),
+            Err(LinalgError::Singular) => ridge_pinv(a, &at),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Ridge fallback: `(AᵀA + λI)⁻¹Aᵀ` with a tiny λ scaled to the matrix.
+fn ridge_pinv(a: &Mat, at: &Mat) -> Result<Mat, LinalgError> {
+    let lambda = 1e-10 * a.max_abs().powi(2).max(1e-300);
+    let gram = at.matmul(a)?;
+    let mut ridged = gram;
+    for i in 0..ridged.rows() {
+        ridged[(i, i)] += lambda;
+    }
+    invert(&ridged)?.matmul(at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn penrose_holds(a: &Mat, ap: &Mat, tol: f64) {
+        // 1. A A⁺ A = A
+        let aapa = a.matmul(ap).unwrap().matmul(a).unwrap();
+        assert!(aapa.approx_eq(a, tol), "Penrose 1 failed");
+        // 2. A⁺ A A⁺ = A⁺
+        let apaap = ap.matmul(a).unwrap().matmul(ap).unwrap();
+        assert!(apaap.approx_eq(ap, tol), "Penrose 2 failed");
+        // 3. (A A⁺)ᵀ = A A⁺
+        let aap = a.matmul(ap).unwrap();
+        assert!(aap.transpose().approx_eq(&aap, tol), "Penrose 3 failed");
+        // 4. (A⁺ A)ᵀ = A⁺ A
+        let apa = ap.matmul(a).unwrap();
+        assert!(apa.transpose().approx_eq(&apa, tol), "Penrose 4 failed");
+    }
+
+    #[test]
+    fn pinv_of_identity() {
+        let i = Mat::identity(5).unwrap();
+        assert!(pinv(&i).unwrap().approx_eq(&i, 1e-10));
+    }
+
+    #[test]
+    fn pinv_of_invertible_square_is_inverse() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let ap = pinv(&a).unwrap();
+        let inv = invert(&a).unwrap();
+        assert!(ap.approx_eq(&inv, 1e-9));
+    }
+
+    #[test]
+    fn pinv_tall_full_column_rank() {
+        let a = Mat::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let ap = pinv(&a).unwrap();
+        assert_eq!(ap.rows(), 2);
+        assert_eq!(ap.cols(), 3);
+        penrose_holds(&a, &ap, 1e-9);
+    }
+
+    #[test]
+    fn pinv_wide_full_row_rank() {
+        let a = Mat::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]).unwrap();
+        let ap = pinv(&a).unwrap();
+        assert_eq!(ap.rows(), 3);
+        assert_eq!(ap.cols(), 2);
+        penrose_holds(&a, &ap, 1e-9);
+    }
+
+    #[test]
+    fn pinv_dyadic_like_strategy() {
+        // Rows: all points of a domain of 4 plus the dyadic ranges.
+        let a = Mat::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let ap = pinv(&a).unwrap();
+        penrose_holds(&a, &ap, 1e-9);
+        // Reconstruction: any workload M over the domain satisfies M = (M A⁺) A
+        // because A spans the full space.
+        let m = Mat::from_rows(&[vec![1.0, 1.0, 1.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]).unwrap();
+        let x = m.matmul(&ap).unwrap();
+        let back = x.matmul(&a).unwrap();
+        assert!(back.approx_eq(&m, 1e-8), "reconstruction failed:\n{back}");
+    }
+
+    #[test]
+    fn ridge_fallback_on_rank_deficient() {
+        // Rank-1 matrix: true pinv exists; ridge fallback should return
+        // something finite that approximately satisfies Penrose 1.
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let ap = pinv(&a).unwrap();
+        assert!(ap.is_finite());
+        let aapa = a.matmul(&ap).unwrap().matmul(&a).unwrap();
+        assert!(aapa.approx_eq(&a, 1e-3), "ridge fallback too inaccurate");
+    }
+}

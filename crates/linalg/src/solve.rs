@@ -1,0 +1,139 @@
+//! Gauss–Jordan inversion and linear solves with partial pivoting.
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+
+/// Numerical singularity threshold, relative to the largest pivot seen.
+const PIVOT_EPS: f64 = 1e-12;
+
+/// Inverts a square matrix via Gauss–Jordan elimination with partial
+/// pivoting. Returns [`LinalgError::Singular`] when a pivot (relative to the
+/// matrix magnitude) vanishes.
+pub fn invert(a: &Mat) -> Result<Mat, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::DimMismatch {
+            op: "invert",
+            left: (a.rows(), a.cols()),
+            right: (a.cols(), a.rows()),
+        });
+    }
+    let n = a.rows();
+    let mut work = a.clone();
+    let mut inv = Mat::identity(n)?;
+    let scale = work.max_abs().max(1.0);
+
+    for col in 0..n {
+        // Partial pivot: the largest |entry| in this column at or below row `col`.
+        let mut pivot_row = col;
+        let mut pivot_val = work[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = work[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val <= PIVOT_EPS * scale {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            swap_rows(&mut work, col, pivot_row);
+            swap_rows(&mut inv, col, pivot_row);
+        }
+        // Normalize the pivot row.
+        let p = work[(col, col)];
+        for j in 0..n {
+            work[(col, j)] /= p;
+            inv[(col, j)] /= p;
+        }
+        // Eliminate the column from every other row.
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = work[(r, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let w = work[(col, j)];
+                let i = inv[(col, j)];
+                work[(r, j)] -= factor * w;
+                inv[(r, j)] -= factor * i;
+            }
+        }
+    }
+    if !inv.is_finite() {
+        return Err(LinalgError::NotFinite);
+    }
+    Ok(inv)
+}
+
+/// Solves `A x = b` for square `A` using [`invert`].
+pub fn solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let inv = invert(a)?;
+    inv.matvec(b)
+}
+
+fn swap_rows(m: &mut Mat, r1: usize, r2: usize) {
+    if r1 == r2 {
+        return;
+    }
+    for j in 0..m.cols() {
+        let tmp = m[(r1, j)];
+        m[(r1, j)] = m[(r2, j)];
+        m[(r2, j)] = tmp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let i = Mat::identity(4).unwrap();
+        assert!(invert(&i).unwrap().approx_eq(&i, 1e-12));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Mat::from_rows(&[
+            vec![4.0, 7.0, 2.0],
+            vec![3.0, 5.0, 1.0],
+            vec![8.0, 1.0, 6.0],
+        ])
+        .unwrap();
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Mat::identity(3).unwrap(), 1e-9), "got\n{prod}");
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(invert(&a), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Mat::zeros(2, 3).unwrap();
+        assert!(matches!(invert(&a), Err(LinalgError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        assert!(inv.approx_eq(&a, 1e-12), "permutation is its own inverse");
+    }
+}

@@ -1,0 +1,181 @@
+//! Strategy matrices for Workload Decomposition (paper §5.3).
+//!
+//! A strategy matrix `A` must satisfy two constraints in DP-starJ:
+//!
+//! 1. every workload predicate row must be a linear combination of strategy
+//!    rows (`M = XA` solvable), and
+//! 2. every strategy row must itself be a *valid PM predicate* — a point or a
+//!    contiguous range over the attribute domain — because Algorithm 4
+//!    perturbs strategy rows with the Predicate Mechanism for an Attribute
+//!    (PMA), which only understands point and range constraints.
+//!
+//! Both built-in strategies keep rows contiguous: the identity strategy is
+//! all point predicates; the dyadic strategy adds power-of-two aligned ranges
+//! (the classical hierarchical strategy for prefix/range workloads).
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+
+/// Which strategy matrix to build for a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// One point predicate per domain value (`A = I_m`). Optimal for
+    /// workloads of point constraints (the paper's `W1`).
+    Identity,
+    /// All points plus power-of-two aligned ranges. Lets any prefix/range
+    /// query be answered by O(log m) strategy rows.
+    DyadicRanges,
+    /// All prefixes `[0, i]`, `i = 0..m` — a basis (lower-triangular ones
+    /// matrix) that answers cumulative workloads like the paper's `W2` with
+    /// a single strategy row per query.
+    Prefixes,
+}
+
+/// A strategy matrix together with the contiguous `[lo, hi]` range each row
+/// represents, so rows can be handed directly to PMA.
+#[derive(Debug, Clone)]
+pub struct RangeStrategy {
+    /// Inclusive `[lo, hi]` bounds per strategy row, over `0..domain`.
+    pub ranges: Vec<(u32, u32)>,
+    /// The 0/1 indicator matrix, one row per range, `domain` columns.
+    pub matrix: Mat,
+}
+
+impl RangeStrategy {
+    /// Number of strategy rows.
+    pub fn num_rows(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Domain size (columns).
+    pub fn domain(&self) -> u32 {
+        self.matrix.cols() as u32
+    }
+}
+
+/// Builds the requested strategy over a domain of size `domain ≥ 1`.
+pub fn build_strategy(kind: StrategyKind, domain: u32) -> Result<RangeStrategy, LinalgError> {
+    if domain == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let m = domain as usize;
+    let mut ranges: Vec<(u32, u32)> = match kind {
+        StrategyKind::Prefixes => (0..domain).map(|i| (0, i)).collect(),
+        _ => (0..domain).map(|i| (i, i)).collect(),
+    };
+    if kind == StrategyKind::DyadicRanges {
+        let mut len = 2u32;
+        while u64::from(len) <= domain as u64 {
+            let mut start = 0u32;
+            while start < domain {
+                let end = (start + len - 1).min(domain - 1);
+                if end > start {
+                    ranges.push((start, end));
+                }
+                start = start.saturating_add(len);
+            }
+            // Guard against overflow on pathological domains.
+            if len > domain {
+                break;
+            }
+            len = len.saturating_mul(2);
+        }
+        // The full-domain range, if not already present.
+        if domain > 1 && !ranges.contains(&(0, domain - 1)) {
+            ranges.push((0, domain - 1));
+        }
+    }
+    let rows: Vec<Vec<f64>> = ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            let mut row = vec![0.0; m];
+            for v in lo..=hi {
+                row[v as usize] = 1.0;
+            }
+            row
+        })
+        .collect();
+    Ok(RangeStrategy { matrix: Mat::from_rows(&rows)?, ranges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pinv::pinv;
+
+    #[test]
+    fn identity_strategy_is_identity_matrix() {
+        let s = build_strategy(StrategyKind::Identity, 5).unwrap();
+        assert_eq!(s.num_rows(), 5);
+        assert!(s.matrix.approx_eq(&Mat::identity(5).unwrap(), 0.0));
+        assert_eq!(s.ranges, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn dyadic_contains_all_points_and_full_range() {
+        let s = build_strategy(StrategyKind::DyadicRanges, 7).unwrap();
+        for i in 0..7u32 {
+            assert!(s.ranges.contains(&(i, i)), "missing point {i}");
+        }
+        assert!(s.ranges.contains(&(0, 6)), "missing full range");
+        assert_eq!(s.domain(), 7);
+    }
+
+    #[test]
+    fn dyadic_rows_are_contiguous_indicators() {
+        let s = build_strategy(StrategyKind::DyadicRanges, 12).unwrap();
+        for (idx, &(lo, hi)) in s.ranges.iter().enumerate() {
+            assert!(lo <= hi && hi < 12);
+            let row = s.matrix.row(idx);
+            for (v, &x) in row.iter().enumerate() {
+                let inside = (v as u32) >= lo && (v as u32) <= hi;
+                assert_eq!(x, if inside { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_row_count_is_linearithmic() {
+        let m = 64;
+        let s = build_strategy(StrategyKind::DyadicRanges, m).unwrap();
+        // points (m) + m/2 + m/4 + ... + 1 ≈ 2m − 1 rows.
+        assert!(s.num_rows() as u32 <= 2 * m + 1, "too many rows: {}", s.num_rows());
+    }
+
+    #[test]
+    fn any_prefix_decomposes_over_dyadic() {
+        // Every prefix [0, k] must be expressible via the strategy: check by
+        // verifying the least-squares reconstruction through A⁺ is exact.
+        let s = build_strategy(StrategyKind::DyadicRanges, 9).unwrap();
+        let ap = pinv(&s.matrix).unwrap();
+        for k in 0..9usize {
+            let mut prefix = vec![0.0; 9];
+            for cell in prefix.iter_mut().take(k + 1) {
+                *cell = 1.0;
+            }
+            let m = Mat::from_rows(&[prefix.clone()]).unwrap();
+            let back = m.matmul(&ap).unwrap().matmul(&s.matrix).unwrap();
+            assert!(back.approx_eq(&m, 1e-8), "prefix {k} not spanned");
+        }
+    }
+
+    #[test]
+    fn zero_domain_rejected() {
+        assert!(build_strategy(StrategyKind::Identity, 0).is_err());
+        assert!(build_strategy(StrategyKind::Prefixes, 0).is_err());
+    }
+
+    #[test]
+    fn prefix_strategy_is_lower_triangular_basis() {
+        let s = build_strategy(StrategyKind::Prefixes, 5).unwrap();
+        assert_eq!(s.num_rows(), 5);
+        for (i, &(lo, hi)) in s.ranges.iter().enumerate() {
+            assert_eq!((lo, hi), (0, i as u32));
+        }
+        // Invertible: pinv equals the true inverse; reconstruction is exact
+        // for any workload over the domain.
+        let ap = pinv(&s.matrix).unwrap();
+        let prod = s.matrix.matmul(&ap).unwrap();
+        assert!(prod.approx_eq(&Mat::identity(5).unwrap(), 1e-8));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the dense linear-algebra kernel.
+
+use proptest::prelude::*;
+use starj_linalg::{build_strategy, invert, pinv, Mat, StrategyKind};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(
+        proptest::collection::vec(-5.0f64..5.0, cols),
+        rows,
+    )
+    .prop_map(|rows| Mat::from_rows(&rows).expect("well-formed"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn matmul_is_associative(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+        c in small_matrix(2, 3),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-6));
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn inverse_round_trips_on_diagonally_dominant(
+        diag in proptest::collection::vec(1.0f64..10.0, 4),
+        off in proptest::collection::vec(-0.1f64..0.1, 16),
+    ) {
+        // Diagonal dominance guarantees invertibility.
+        let mut m = Mat::zeros(4, 4).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                m[(i, j)] = if i == j { diag[i] } else { off[i * 4 + j] };
+            }
+        }
+        let inv = invert(&m).unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        prop_assert!(prod.approx_eq(&Mat::identity(4).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn pinv_satisfies_first_penrose_condition_on_tall(
+        a in small_matrix(5, 3),
+    ) {
+        // Random tall matrices are a.s. full column rank; the ridge fallback
+        // keeps degenerate draws approximately correct, so use a loose tol.
+        let ap = pinv(&a).unwrap();
+        let aapa = a.matmul(&ap).unwrap().matmul(&a).unwrap();
+        prop_assert!(aapa.approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn strategies_span_every_point_query(domain in 1u32..40) {
+        for kind in [StrategyKind::Identity, StrategyKind::DyadicRanges, StrategyKind::Prefixes] {
+            let s = build_strategy(kind, domain).unwrap();
+            let ap = pinv(&s.matrix).unwrap();
+            for point in 0..domain {
+                let mut row = vec![0.0; domain as usize];
+                row[point as usize] = 1.0;
+                let m = Mat::from_rows(&[row]).unwrap();
+                let back = m.matmul(&ap).unwrap().matmul(&s.matrix).unwrap();
+                prop_assert!(
+                    back.approx_eq(&m, 1e-6),
+                    "{kind:?} cannot express point {point} of domain {domain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_rows_are_contiguous_pma_predicates(domain in 1u32..60) {
+        for kind in [StrategyKind::Identity, StrategyKind::DyadicRanges, StrategyKind::Prefixes] {
+            let s = build_strategy(kind, domain).unwrap();
+            for (idx, &(lo, hi)) in s.ranges.iter().enumerate() {
+                prop_assert!(lo <= hi && hi < domain);
+                let row = s.matrix.row(idx);
+                for (v, &x) in row.iter().enumerate() {
+                    let inside = (v as u32) >= lo && (v as u32) <= hi;
+                    prop_assert_eq!(x, if inside { 1.0 } else { 0.0 });
+                }
+            }
+        }
+    }
+}

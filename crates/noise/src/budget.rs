@@ -1,0 +1,209 @@
+//! `(ε, δ)` privacy-budget bookkeeping.
+//!
+//! The paper's Algorithms 1 and 3 split a query budget evenly across the `n`
+//! dimension-table predicates (`ε_i = ε/n`); Algorithm 2 splits a range
+//! predicate's budget across its two endpoints; sequential composition (Dwork
+//! & Roth) justifies summing budgets of sub-mechanisms that all touch the
+//! same record. This module makes those rules explicit and validated.
+
+use crate::error::NoiseError;
+
+/// An `(ε, δ)` differential-privacy budget. `δ = 0` is pure ε-DP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyBudget {
+    /// Pure ε-DP budget (`δ = 0`).
+    pub fn pure(epsilon: f64) -> Result<Self, NoiseError> {
+        PrivacyBudget::approx(epsilon, 0.0)
+    }
+
+    /// Approximate `(ε, δ)`-DP budget.
+    pub fn approx(epsilon: f64, delta: f64) -> Result<Self, NoiseError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(NoiseError::InvalidEpsilon(epsilon));
+        }
+        if !(delta.is_finite() && (0.0..1.0).contains(&delta)) {
+            return Err(NoiseError::InvalidDelta(delta));
+        }
+        Ok(PrivacyBudget { epsilon, delta })
+    }
+
+    /// The ε component.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The δ component.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// True iff this is a pure ε-DP budget.
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+
+    /// Splits the budget evenly into `k` parts (`ε/k`, `δ/k` each) — the
+    /// paper's `ε_i = ε/n` rule for `n` dimension predicates.
+    pub fn split_even(&self, k: usize) -> Result<Vec<PrivacyBudget>, NoiseError> {
+        if k == 0 {
+            return Err(NoiseError::InvalidParam { name: "k", value: 0.0 });
+        }
+        let part = PrivacyBudget {
+            epsilon: self.epsilon / k as f64,
+            delta: self.delta / k as f64,
+        };
+        Ok(vec![part; k])
+    }
+
+    /// Splits the budget proportionally to non-negative `weights`.
+    pub fn split_weighted(&self, weights: &[f64]) -> Result<Vec<PrivacyBudget>, NoiseError> {
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(NoiseError::InvalidWeights);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(NoiseError::InvalidWeights);
+        }
+        Ok(weights
+            .iter()
+            .map(|w| PrivacyBudget {
+                epsilon: self.epsilon * w / total,
+                delta: self.delta * w / total,
+            })
+            .collect())
+    }
+
+    /// Sequential composition: the total budget consumed by running each
+    /// sub-mechanism on the same data (basic composition theorem).
+    pub fn compose_sequential(parts: &[PrivacyBudget]) -> Result<PrivacyBudget, NoiseError> {
+        if parts.is_empty() {
+            return Err(NoiseError::InvalidWeights);
+        }
+        let epsilon = parts.iter().map(|p| p.epsilon).sum();
+        let delta: f64 = parts.iter().map(|p| p.delta).sum();
+        PrivacyBudget::approx(epsilon, delta.min(1.0 - f64::EPSILON))
+    }
+
+    /// Parallel composition: mechanisms run on *disjoint* partitions of the
+    /// data cost only the maximum of their budgets.
+    pub fn compose_parallel(parts: &[PrivacyBudget]) -> Result<PrivacyBudget, NoiseError> {
+        if parts.is_empty() {
+            return Err(NoiseError::InvalidWeights);
+        }
+        let epsilon = parts.iter().map(|p| p.epsilon).fold(0.0, f64::max);
+        let delta = parts.iter().map(|p| p.delta).fold(0.0, f64::max);
+        PrivacyBudget::approx(epsilon, delta)
+    }
+}
+
+/// A running ledger that tracks budget consumption over the life of a
+/// session — useful for workload experiments where many queries share one
+/// global budget.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    total: PrivacyBudget,
+    spent_epsilon: f64,
+    spent_delta: f64,
+}
+
+impl BudgetLedger {
+    /// Opens a ledger over the given total budget.
+    pub fn new(total: PrivacyBudget) -> Self {
+        BudgetLedger { total, spent_epsilon: 0.0, spent_delta: 0.0 }
+    }
+
+    /// Attempts to charge `cost` against the remaining budget; errors if the
+    /// charge would exceed the total.
+    pub fn charge(&mut self, cost: PrivacyBudget) -> Result<(), NoiseError> {
+        let tol = 1e-9;
+        if self.spent_epsilon + cost.epsilon > self.total.epsilon * (1.0 + tol)
+            || self.spent_delta + cost.delta > self.total.delta + tol
+        {
+            return Err(NoiseError::InvalidEpsilon(cost.epsilon));
+        }
+        self.spent_epsilon += cost.epsilon;
+        self.spent_delta += cost.delta;
+        Ok(())
+    }
+
+    /// ε spent so far.
+    pub fn spent_epsilon(&self) -> f64 {
+        self.spent_epsilon
+    }
+
+    /// ε still available.
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.total.epsilon - self.spent_epsilon).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_budgets() {
+        assert!(PrivacyBudget::pure(0.0).is_err());
+        assert!(PrivacyBudget::pure(-1.0).is_err());
+        assert!(PrivacyBudget::pure(f64::INFINITY).is_err());
+        assert!(PrivacyBudget::approx(1.0, -0.1).is_err());
+        assert!(PrivacyBudget::approx(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn split_even_matches_paper_rule() {
+        let b = PrivacyBudget::pure(1.0).unwrap();
+        let parts = b.split_even(4).unwrap();
+        assert_eq!(parts.len(), 4);
+        for p in &parts {
+            assert!((p.epsilon() - 0.25).abs() < 1e-12);
+            assert!(p.is_pure());
+        }
+        assert!(b.split_even(0).is_err());
+    }
+
+    #[test]
+    fn split_then_compose_is_lossless() {
+        let b = PrivacyBudget::approx(0.8, 1e-6).unwrap();
+        let parts = b.split_even(5).unwrap();
+        let back = PrivacyBudget::compose_sequential(&parts).unwrap();
+        assert!((back.epsilon() - 0.8).abs() < 1e-12);
+        assert!((back.delta() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_split_is_proportional() {
+        let b = PrivacyBudget::pure(1.0).unwrap();
+        let parts = b.split_weighted(&[1.0, 3.0]).unwrap();
+        assert!((parts[0].epsilon() - 0.25).abs() < 1e-12);
+        assert!((parts[1].epsilon() - 0.75).abs() < 1e-12);
+        assert!(b.split_weighted(&[]).is_err());
+        assert!(b.split_weighted(&[-1.0, 2.0]).is_err());
+        assert!(b.split_weighted(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn parallel_composition_takes_max() {
+        let a = PrivacyBudget::pure(0.3).unwrap();
+        let b = PrivacyBudget::pure(0.7).unwrap();
+        let c = PrivacyBudget::compose_parallel(&[a, b]).unwrap();
+        assert!((c.epsilon() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_enforces_total() {
+        let total = PrivacyBudget::pure(1.0).unwrap();
+        let mut ledger = BudgetLedger::new(total);
+        let half = PrivacyBudget::pure(0.5).unwrap();
+        assert!(ledger.charge(half).is_ok());
+        assert!(ledger.charge(half).is_ok());
+        assert!(ledger.charge(half).is_err(), "over-spend must fail");
+        assert!((ledger.spent_epsilon() - 1.0).abs() < 1e-9);
+        assert!(ledger.remaining_epsilon() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! The discrete Laplace (two-sided geometric) distribution.
+//!
+//! Predicate constants live on integer domains, so perturbing them with a
+//! *discrete* mechanism is the type-correct alternative to rounding a
+//! continuous Laplace draw (Ghosh–Roughgarden–Sundararajan's geometric
+//! mechanism is the discrete optimum for counting queries). DP-starJ's
+//! Algorithm 2 rounds continuous noise; the `pma` module exposes this
+//! distribution as an ablation alternative.
+
+use crate::error::NoiseError;
+use crate::rng::StarRng;
+
+/// Zero-mean discrete Laplace: `P(k) ∝ α^{|k|}` over the integers, with
+/// `α = exp(-1/scale)`. Matching the continuous mechanism's calibration,
+/// `scale = sensitivity / ε` gives ε-DP for integer-valued queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteLaplace {
+    scale: f64,
+    alpha: f64,
+}
+
+impl DiscreteLaplace {
+    /// Creates a discrete Laplace distribution with the given scale.
+    pub fn new(scale: f64) -> Result<Self, NoiseError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(NoiseError::InvalidScale(scale));
+        }
+        Ok(DiscreteLaplace { scale, alpha: (-1.0 / scale).exp() })
+    }
+
+    /// Calibrates the scale as `sensitivity / ε`.
+    pub fn from_sensitivity(sensitivity: f64, epsilon: f64) -> Result<Self, NoiseError> {
+        if !(sensitivity.is_finite() && sensitivity >= 0.0) {
+            return Err(NoiseError::InvalidSensitivity(sensitivity));
+        }
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(NoiseError::InvalidEpsilon(epsilon));
+        }
+        DiscreteLaplace::new((sensitivity / epsilon).max(f64::MIN_POSITIVE))
+    }
+
+    /// The scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The geometric decay `α = e^{-1/scale}`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Distribution variance: `2α / (1 − α)²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.alpha / ((1.0 - self.alpha) * (1.0 - self.alpha))
+    }
+
+    /// One integer sample: difference of two geometric draws, the standard
+    /// two-sided geometric construction.
+    pub fn sample(&self, rng: &mut StarRng) -> i64 {
+        let g1 = self.geometric(rng);
+        let g2 = self.geometric(rng);
+        g1 - g2
+    }
+
+    /// Geometric(1 − α) over {0, 1, 2, …} by inverse CDF.
+    fn geometric(&self, rng: &mut StarRng) -> i64 {
+        if self.alpha <= 0.0 {
+            return 0;
+        }
+        let u = rng.open01();
+        // P(X ≥ k) = α^k  ⇒  X = floor(ln u / ln α).
+        let k = (u.ln() / self.alpha.ln()).floor();
+        if k.is_finite() {
+            k.clamp(0.0, 1e18) as i64
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DiscreteLaplace::new(0.0).is_err());
+        assert!(DiscreteLaplace::new(-2.0).is_err());
+        assert!(DiscreteLaplace::new(f64::NAN).is_err());
+        assert!(DiscreteLaplace::from_sensitivity(1.0, 0.0).is_err());
+        assert!(DiscreteLaplace::from_sensitivity(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_sensitivity_is_nearly_silent() {
+        let d = DiscreteLaplace::from_sensitivity(0.0, 1.0).unwrap();
+        let mut rng = StarRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_are_symmetric_integers() {
+        let d = DiscreteLaplace::new(3.0).unwrap();
+        let mut rng = StarRng::from_seed(2);
+        let n = 100_000;
+        let mut pos = 0usize;
+        let mut neg = 0usize;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            if s > 0 {
+                pos += 1;
+            } else if s < 0 {
+                neg += 1;
+            }
+        }
+        let ratio = pos as f64 / neg as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "symmetry broken: {ratio}");
+    }
+
+    #[test]
+    fn variance_matches_theory() {
+        let d = DiscreteLaplace::new(2.0).unwrap();
+        let mut rng = StarRng::from_seed(3);
+        let n = 300_000;
+        let var: f64 =
+            (0..n).map(|_| (d.sample(&mut rng) as f64).powi(2)).sum::<f64>() / n as f64;
+        let expected = d.variance();
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "variance {var} vs theory {expected}"
+        );
+    }
+
+    #[test]
+    fn variance_approaches_continuous_laplace_for_large_scale() {
+        // For scale ≫ 1 the discrete variance 2α/(1−α)² → 2·scale².
+        let d = DiscreteLaplace::new(50.0).unwrap();
+        let continuous = 2.0 * 50.0 * 50.0;
+        assert!((d.variance() - continuous).abs() / continuous < 0.05);
+    }
+
+    #[test]
+    fn small_scale_concentrates_at_zero() {
+        let d = DiscreteLaplace::new(0.2).unwrap();
+        let mut rng = StarRng::from_seed(4);
+        let zeros = (0..10_000).filter(|_| d.sample(&mut rng) == 0).count();
+        assert!(zeros > 9_500, "scale 0.2 should almost always emit 0: {zeros}");
+    }
+}

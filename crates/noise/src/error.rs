@@ -1,0 +1,66 @@
+//! Error type shared by all noise primitives.
+
+use std::fmt;
+
+/// Errors produced when constructing or using a noise primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// A distribution scale parameter was non-positive or non-finite.
+    InvalidScale(f64),
+    /// A privacy budget `ε` was non-positive or non-finite.
+    InvalidEpsilon(f64),
+    /// A privacy parameter `δ` was outside `[0, 1)`.
+    InvalidDelta(f64),
+    /// A sensitivity value was negative or non-finite.
+    InvalidSensitivity(f64),
+    /// Weights supplied for a split or a mixture were unusable
+    /// (empty, negative, non-finite, or summing to zero).
+    InvalidWeights,
+    /// A named parameter was out of its legal range.
+    InvalidParam {
+        /// Parameter name as it appears in the constructor.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::InvalidScale(s) => write!(f, "invalid distribution scale: {s}"),
+            NoiseError::InvalidEpsilon(e) => write!(f, "invalid privacy budget epsilon: {e}"),
+            NoiseError::InvalidDelta(d) => write!(f, "invalid privacy parameter delta: {d}"),
+            NoiseError::InvalidSensitivity(s) => write!(f, "invalid sensitivity: {s}"),
+            NoiseError::InvalidWeights => write!(f, "weights must be non-empty, finite, non-negative and sum to a positive value"),
+            NoiseError::InvalidParam { name, value } => {
+                write!(f, "parameter `{name}` out of range: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            NoiseError::InvalidScale(-1.0).to_string(),
+            NoiseError::InvalidEpsilon(0.0).to_string(),
+            NoiseError::InvalidDelta(1.5).to_string(),
+            NoiseError::InvalidSensitivity(f64::NAN).to_string(),
+            NoiseError::InvalidWeights.to_string(),
+            NoiseError::InvalidParam { name: "gamma", value: 1.0 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(NoiseError::InvalidParam { name: "gamma", value: 1.0 }
+            .to_string()
+            .contains("gamma"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Label vocabularies for the SSB attribute hierarchies.
+//!
+//! Codes are hierarchical so the generator can keep region/nation/city (and
+//! mfgr/category/brand) mutually consistent:
+//! `nation = region·5 + i`, `city = nation·10 + j`,
+//! `category = mfgr·5 + i`, `brand = category·40 + j`.
+
+/// The five TPC-H/SSB regions, in code order.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// 25 nations, five per region, in code order (`nation = region·5 + i`).
+pub const NATIONS: [&str; 25] = [
+    // AFRICA
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    // AMERICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+    // ASIA
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+    // EUROPE
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    // MIDDLE EAST
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+];
+
+/// The five part manufacturers, in code order.
+pub const MFGRS: [&str; 5] = ["MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"];
+
+/// Number of cities per nation (city domain = 250).
+pub const CITIES_PER_NATION: u32 = 10;
+
+/// Number of categories per manufacturer (category domain = 25).
+pub const CATEGORIES_PER_MFGR: u32 = 5;
+
+/// Number of brands per category (brand domain = 1000).
+pub const BRANDS_PER_CATEGORY: u32 = 40;
+
+/// The 25 category labels `MFGR#mc` (`m` = mfgr 1–5, `c` = category 1–5), in
+/// code order — so `"MFGR#12"` is code 1, matching the paper's Qc2.
+pub fn category_labels() -> Vec<String> {
+    let mut out = Vec::with_capacity(25);
+    for m in 1..=5 {
+        for c in 1..=5 {
+            out.push(format!("MFGR#{m}{c}"));
+        }
+    }
+    out
+}
+
+/// City labels `NATION#j`, in code order.
+pub fn city_labels() -> Vec<String> {
+    let mut out = Vec::with_capacity(250);
+    for nation in NATIONS.iter() {
+        for j in 0..CITIES_PER_NATION {
+            out.push(format!("{nation}#{j}"));
+        }
+    }
+    out
+}
+
+/// Year labels `"1992"…"1998"`, in code order.
+pub fn year_labels() -> Vec<String> {
+    (1992..=1998).map(|y| y.to_string()).collect()
+}
+
+/// Resolves a year to its code (`1992 → 0`).
+pub fn year_code(year: i32) -> u32 {
+    (year - 1992).clamp(0, 6) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchies_have_paper_domain_sizes() {
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(MFGRS.len(), 5);
+        assert_eq!(category_labels().len(), 25);
+        assert_eq!(city_labels().len(), 250);
+        assert_eq!(year_labels().len(), 7);
+    }
+
+    #[test]
+    fn united_states_sits_in_america_block() {
+        let code = NATIONS.iter().position(|n| *n == "UNITED STATES").unwrap() as u32;
+        assert_eq!(code / 5, 1, "AMERICA is region code 1");
+        assert_eq!(code, 9);
+    }
+
+    #[test]
+    fn category_mfgr12_is_code_1() {
+        assert_eq!(category_labels()[1], "MFGR#12");
+    }
+
+    #[test]
+    fn year_code_clamps() {
+        assert_eq!(year_code(1992), 0);
+        assert_eq!(year_code(1993), 1);
+        assert_eq!(year_code(1998), 6);
+        assert_eq!(year_code(2024), 6);
+        assert_eq!(year_code(1800), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's workload matrices `W1` and `W2` (§6.1, Figure 9).
+//!
+//! Both workloads query three dimension attributes — `Date.year` (domain 7),
+//! `Customer.region` (5) and `Supplier.region` (5) — whose one-hot encodings
+//! concatenate to the 17-column matrices printed in the paper. `W1` holds 11
+//! point/short-range queries; `W2` holds 7 cumulative (prefix) queries on the
+//! year block.
+
+use starj_engine::{Constraint, Predicate, StarQuery};
+use starj_linalg::Mat;
+
+/// The three attribute blocks `(table, attr, domain)` every workload query
+/// constrains, in one-hot column order.
+pub const BLOCKS: [(&str, &str, u32); 3] =
+    [("Date", "year", 7), ("Customer", "region", 5), ("Supplier", "region", 5)];
+
+/// One workload query: a constraint per block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadQuery {
+    /// Constraint on `Date.year` (domain 7).
+    pub year: Constraint,
+    /// Constraint on `Customer.region` (domain 5).
+    pub cust_region: Constraint,
+    /// Constraint on `Supplier.region` (domain 5).
+    pub supp_region: Constraint,
+}
+
+impl WorkloadQuery {
+    /// The constraint for block index 0–2.
+    pub fn block(&self, i: usize) -> &Constraint {
+        match i {
+            0 => &self.year,
+            1 => &self.cust_region,
+            _ => &self.supp_region,
+        }
+    }
+
+    /// Converts the workload query to an executable COUNT star query.
+    pub fn to_star_query(&self, name: &str) -> StarQuery {
+        let mut q = StarQuery::count(name);
+        for (i, (table, attr, _)) in BLOCKS.iter().enumerate() {
+            q = q.with(Predicate {
+                table: (*table).into(),
+                attr: (*attr).into(),
+                constraint: self.block(i).clone(),
+            });
+        }
+        q
+    }
+}
+
+/// A named workload of star-join counting queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload label (`"W1"`, `"W2"`).
+    pub name: &'static str,
+    /// The queries, in the paper's row order.
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    /// Number of queries `l`.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff the workload is empty (never for the built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Executable star queries named `{workload}_{i}`.
+    pub fn to_star_queries(&self) -> Vec<StarQuery> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| q.to_star_query(&format!("{}_{}", self.name, i)))
+            .collect()
+    }
+
+    /// The `l × m_i` one-hot predicate matrix of block `i` (paper: `P_i^L`).
+    pub fn predicate_matrix(&self, block: usize) -> Mat {
+        let domain = BLOCKS[block].2;
+        let rows: Vec<Vec<f64>> =
+            self.queries.iter().map(|q| q.block(block).to_indicator(domain)).collect();
+        Mat::from_rows(&rows).expect("workloads are non-empty")
+    }
+
+    /// The full `l × 17` one-hot matrix (blocks concatenated) — the exact
+    /// matrices printed in the paper's §6.1.
+    pub fn one_hot(&self) -> Mat {
+        let rows: Vec<Vec<f64>> = self
+            .queries
+            .iter()
+            .map(|q| {
+                let mut row = Vec::with_capacity(17);
+                for (i, (_, _, dom)) in BLOCKS.iter().enumerate() {
+                    row.extend(q.block(i).to_indicator(*dom));
+                }
+                row
+            })
+            .collect();
+        Mat::from_rows(&rows).expect("workloads are non-empty")
+    }
+}
+
+fn point(v: u32) -> Constraint {
+    Constraint::Point(v)
+}
+
+fn range(lo: u32, hi: u32) -> Constraint {
+    Constraint::Range { lo, hi }
+}
+
+/// `W1`: 11 queries — points on each of the 7 years (blocks 2/3 pinned), then
+/// four short year ranges with varying region points. Matches the 11×17
+/// matrix in the paper.
+pub fn w1() -> Workload {
+    let mut queries = Vec::with_capacity(11);
+    for y in 0..6u32 {
+        queries.push(WorkloadQuery {
+            year: point(y),
+            cust_region: point(0),
+            supp_region: point(0),
+        });
+    }
+    queries.push(WorkloadQuery { year: point(6), cust_region: point(0), supp_region: point(1) });
+    queries.push(WorkloadQuery { year: range(2, 3), cust_region: point(1), supp_region: point(1) });
+    queries.push(WorkloadQuery { year: range(3, 4), cust_region: point(2), supp_region: point(1) });
+    queries.push(WorkloadQuery { year: range(4, 5), cust_region: point(3), supp_region: point(1) });
+    queries.push(WorkloadQuery { year: range(5, 6), cust_region: point(4), supp_region: point(1) });
+    Workload { name: "W1", queries }
+}
+
+/// `W2`: 7 cumulative queries — year prefixes `[0, i]` with varying region
+/// points. Matches the 7×17 matrix in the paper.
+pub fn w2() -> Workload {
+    let regions: [(u32, u32); 7] =
+        [(2, 0), (2, 0), (0, 0), (2, 1), (3, 2), (4, 0), (2, 1)];
+    let queries = (0..7u32)
+        .map(|i| WorkloadQuery {
+            year: range(0, i),
+            cust_region: point(regions[i as usize].0),
+            supp_region: point(regions[i as usize].1),
+        })
+        .collect();
+    Workload { name: "W2", queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w1_matches_paper_matrix() {
+        let w = w1();
+        assert_eq!(w.len(), 11);
+        let m = w.one_hot();
+        assert_eq!((m.rows(), m.cols()), (11, 17));
+        // Row 0: year point 0, both regions point 0.
+        assert_eq!(m.row(0), &[1., 0., 0., 0., 0., 0., 0., 1., 0., 0., 0., 0., 1., 0., 0., 0., 0.]);
+        // Row 7 (paper row 8): year range [2,3], cust 1, supp 1.
+        assert_eq!(m.row(7), &[0., 0., 1., 1., 0., 0., 0., 0., 1., 0., 0., 0., 0., 1., 0., 0., 0.]);
+        // Row 10 (paper row 11): year range [5,6], cust 4, supp 1.
+        assert_eq!(m.row(10), &[0., 0., 0., 0., 0., 1., 1., 0., 0., 0., 0., 1., 0., 1., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn w2_matches_paper_matrix() {
+        let w = w2();
+        assert_eq!(w.len(), 7);
+        let m = w.one_hot();
+        assert_eq!((m.rows(), m.cols()), (7, 17));
+        // Row 0: prefix [0,0], cust 2, supp 0.
+        assert_eq!(m.row(0), &[1., 0., 0., 0., 0., 0., 0., 0., 0., 1., 0., 0., 1., 0., 0., 0., 0.]);
+        // Row 2: prefix [0,2], cust 0, supp 0.
+        assert_eq!(m.row(2), &[1., 1., 1., 0., 0., 0., 0., 1., 0., 0., 0., 0., 1., 0., 0., 0., 0.]);
+        // Row 6: full prefix, cust 2, supp 1.
+        assert_eq!(m.row(6), &[1., 1., 1., 1., 1., 1., 1., 0., 0., 1., 0., 0., 0., 1., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn w2_year_block_is_cumulative() {
+        let m = w2().predicate_matrix(0);
+        for i in 0..7 {
+            let ones: f64 = m.row(i).iter().sum();
+            assert_eq!(ones, (i + 1) as f64, "row {i} is the prefix [0, {i}]");
+        }
+    }
+
+    #[test]
+    fn per_block_matrices_have_block_domains() {
+        let w = w1();
+        assert_eq!(w.predicate_matrix(0).cols(), 7);
+        assert_eq!(w.predicate_matrix(1).cols(), 5);
+        assert_eq!(w.predicate_matrix(2).cols(), 5);
+    }
+
+    #[test]
+    fn star_queries_carry_three_predicates() {
+        for q in w1().to_star_queries() {
+            assert_eq!(q.predicates.len(), 3);
+            assert_eq!(q.predicate_tables(), vec!["Date", "Customer", "Supplier"]);
+        }
+    }
+
+    #[test]
+    fn workload_queries_execute_on_ssb() {
+        let schema = crate::gen::generate(&crate::gen::SsbConfig {
+            scale: 0.002,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        for q in w1().to_star_queries().iter().chain(w2().to_star_queries().iter()) {
+            starj_engine::execute(&schema, q).expect("workload query must run");
+        }
+    }
+}

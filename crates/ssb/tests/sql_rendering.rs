@@ -1,0 +1,86 @@
+//! Renders the paper's queries against the real SSB schema and checks the
+//! SQL matches the appendix text (Appendix A.1) fragment-for-fragment.
+
+use starj_engine::to_sql;
+use starj_ssb::{generate, qc1, qc2, qc3, qc4, qg2, qg4, qs3, SsbConfig};
+
+fn schema() -> starj_engine::StarSchema {
+    generate(&SsbConfig { scale: 0.001, seed: 1, ..Default::default() }).unwrap()
+}
+
+#[test]
+fn qc1_matches_appendix() {
+    let sql = to_sql(&schema(), &qc1());
+    assert!(sql.starts_with("SELECT count(*) FROM Lineorder, Date"), "{sql}");
+    assert!(sql.contains("Lineorder.orderdate = Date.dk"), "{sql}");
+    assert!(sql.contains("Date.year = '1993'"), "{sql}");
+}
+
+#[test]
+fn qc2_matches_appendix() {
+    let sql = to_sql(&schema(), &qc2());
+    assert!(sql.contains("Part.category = 'MFGR#12'"), "{sql}");
+    assert!(sql.contains("Supplier.region = 'AMERICA'"), "{sql}");
+    assert!(sql.contains("Lineorder.suppkey = Supplier.pk"), "{sql}");
+    assert!(sql.contains("Lineorder.partkey = Part.pk"), "{sql}");
+}
+
+#[test]
+fn qc3_matches_appendix() {
+    let sql = to_sql(&schema(), &qc3());
+    assert!(sql.contains("Customer.region = 'ASIA'"), "{sql}");
+    assert!(sql.contains("Supplier.region = 'ASIA'"), "{sql}");
+    assert!(sql.contains("Date.year BETWEEN '1992' AND '1997'"), "{sql}");
+}
+
+#[test]
+fn qc4_has_all_four_joins_and_in_list() {
+    let sql = to_sql(&schema(), &qc4());
+    for frag in [
+        "Lineorder.custkey = Customer.pk",
+        "Lineorder.suppkey = Supplier.pk",
+        "Lineorder.partkey = Part.pk",
+        "Lineorder.orderdate = Date.dk",
+        "Supplier.nation = 'UNITED STATES'",
+        "Part.mfgr IN ('MFGR#1', 'MFGR#2')",
+    ] {
+        assert!(sql.contains(frag), "missing `{frag}` in: {sql}");
+    }
+}
+
+#[test]
+fn sum_and_group_queries_render_aggregates() {
+    let s = schema();
+    assert!(to_sql(&s, &qs3()).starts_with("SELECT sum(Lineorder.revenue)"));
+    let g2 = to_sql(&s, &qg2());
+    assert!(g2.contains("GROUP BY Date.year, Part.brand"), "{g2}");
+    let g4 = to_sql(&s, &qg4());
+    assert!(g4.contains("sum(Lineorder.revenue - Lineorder.supplycost)"), "{g4}");
+    assert!(g4.contains("GROUP BY Date.year, Part.category"), "{g4}");
+}
+
+#[test]
+fn snowflake_query_renders_month_join() {
+    let snow = starj_ssb::generate_snowflake(&SsbConfig {
+        scale: 0.001,
+        seed: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let sql = to_sql(&snow, &starj_ssb::qtc());
+    assert!(sql.contains("Date.mk = Month.mk"), "snowflake two-hop join: {sql}");
+    assert!(sql.contains("Month.monthnum BETWEEN 0 AND 5"), "{sql}");
+}
+
+#[test]
+fn noisy_queries_render_too() {
+    // PM's noisy rewrites are ordinary queries — render one for audit.
+    use dp_starj::pm::{perturb_query, PmConfig};
+    use starj_noise::StarRng;
+    let s = schema();
+    let mut rng = StarRng::from_seed(3);
+    let noisy = perturb_query(&s, &qc3(), 0.5, &PmConfig::default(), &mut rng).unwrap();
+    let sql = to_sql(&s, &noisy);
+    assert!(sql.starts_with("SELECT count(*)"));
+    assert!(sql.contains("Customer.region = "), "{sql}");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the DP-starJ reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the runnable examples
+//! and the cross-crate integration tests can `use dp_starj_repro::...`.
+
+pub use dp_starj as core;
+pub use starj_baselines as baselines;
+pub use starj_engine as engine;
+pub use starj_graph as graph;
+pub use starj_linalg as linalg;
+pub use starj_noise as noise;
+pub use starj_ssb as ssb;

@@ -1,0 +1,145 @@
+//! End-to-end pipeline tests: the Table 1 experiment at miniature scale —
+//! SSB generation → exact execution → every mechanism → relative errors.
+
+use dp_starj_repro::baselines::{LsMechanism, R2tConfig};
+use dp_starj_repro::core::pm::{pm_answer, PmConfig};
+use dp_starj_repro::engine::{execute, Agg, StarSchema};
+use dp_starj_repro::noise::StarRng;
+use dp_starj_repro::ssb::{all_queries, generate, SsbConfig};
+
+fn schema() -> StarSchema {
+    generate(&SsbConfig { scale: 0.01, seed: 99, ..Default::default() }).unwrap()
+}
+
+#[test]
+fn pm_answers_every_table1_query() {
+    let s = schema();
+    for q in all_queries() {
+        let truth = execute(&s, &q).unwrap();
+        let mut rng = StarRng::from_seed(1).derive(&q.name);
+        let ans = pm_answer(&s, &q, 1.0, &PmConfig::default(), &mut rng)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", q.name));
+        let err = ans.result.positional_relative_error(&truth);
+        assert!(err.is_finite(), "{}: error must be finite", q.name);
+    }
+}
+
+#[test]
+fn r2t_supports_exactly_count_and_sum() {
+    let s = schema();
+    let cfg = R2tConfig::new(1e5, vec!["Customer".into()]);
+    for q in all_queries() {
+        let mut rng = StarRng::from_seed(2).derive(&q.name);
+        let res = dp_starj_repro::baselines::r2t_answer(&s, &q, 1.0, &cfg, &mut rng);
+        if q.is_grouped() {
+            assert!(res.is_err(), "{}: R2T must reject GROUP BY", q.name);
+        } else {
+            assert!(res.is_ok(), "{}: R2T must answer scalar aggregates", q.name);
+        }
+    }
+}
+
+#[test]
+fn ls_supports_exactly_count() {
+    let s = schema();
+    let mech = LsMechanism::cauchy(vec!["Customer".into()], 1e6);
+    for q in all_queries() {
+        let mut rng = StarRng::from_seed(3).derive(&q.name);
+        let res = mech.answer(&s, &q, 1.0, &mut rng);
+        let is_plain_count = matches!(q.agg, Agg::Count) && !q.is_grouped();
+        assert_eq!(res.is_ok(), is_plain_count, "{}: LS support mismatch", q.name);
+    }
+}
+
+#[test]
+fn pm_mean_answer_tracks_truth_on_broad_count() {
+    // Over many runs, PM's mean answer on a broad count query should sit
+    // within a modest band of the truth (predicate shifts mostly relabel
+    // which year/region is counted, and uniform data balances those).
+    let s = schema();
+    let q = dp_starj_repro::ssb::qc1();
+    let truth = execute(&s, &q).unwrap().scalar().unwrap();
+    let n = 60;
+    let mean: f64 = (0..n)
+        .map(|t| {
+            let mut rng = StarRng::from_seed(4).derive_index(t);
+            pm_answer(&s, &q, 1.0, &PmConfig::default(), &mut rng)
+                .unwrap()
+                .result
+                .scalar()
+                .unwrap()
+        })
+        .sum::<f64>()
+        / n as f64;
+    assert!(
+        (mean - truth).abs() / truth < 0.25,
+        "mean PM answer {mean} strays from truth {truth}"
+    );
+}
+
+#[test]
+fn mechanisms_are_deterministic_under_seed() {
+    let s = schema();
+    let q = dp_starj_repro::ssb::qc3();
+    let run_pm = || {
+        let mut rng = StarRng::from_seed(77);
+        pm_answer(&s, &q, 0.5, &PmConfig::default(), &mut rng)
+            .unwrap()
+            .result
+            .scalar()
+            .unwrap()
+    };
+    assert_eq!(run_pm(), run_pm());
+    let cfg = R2tConfig::new(1e5, vec!["Customer".into()]);
+    let run_r2t = || {
+        let mut rng = StarRng::from_seed(78);
+        dp_starj_repro::baselines::r2t_answer(&s, &q, 0.5, &cfg, &mut rng).unwrap().value
+    };
+    assert_eq!(run_r2t(), run_r2t());
+}
+
+#[test]
+fn scaling_leaves_pm_error_flat_but_grows_runtime() {
+    // The Figure 4 shape: PM's error depends on domains, not data size.
+    let q = dp_starj_repro::ssb::qc1();
+    let mean_err = |sf: f64| {
+        let s = generate(&SsbConfig { scale: sf, seed: 5, ..Default::default() }).unwrap();
+        let truth = execute(&s, &q).unwrap().scalar().unwrap();
+        let n = 30;
+        (0..n)
+            .map(|t| {
+                let mut rng = StarRng::from_seed(6).derive_index(t);
+                let v = pm_answer(&s, &q, 1.0, &PmConfig::default(), &mut rng)
+                    .unwrap()
+                    .result
+                    .scalar()
+                    .unwrap();
+                (v - truth).abs() / truth
+            })
+            .sum::<f64>()
+            / n as f64
+    };
+    let small = mean_err(0.005);
+    let large = mean_err(0.02);
+    // Not a strict equality — just "no blow-up with scale".
+    assert!(
+        large < small * 3.0 + 0.05,
+        "PM error should not grow with scale: {small:.4} → {large:.4}"
+    );
+}
+
+#[test]
+fn snowflake_pipeline_runs_end_to_end() {
+    let snow = dp_starj_repro::ssb::generate_snowflake(&SsbConfig {
+        scale: 0.005,
+        seed: 8,
+        ..Default::default()
+    })
+    .unwrap();
+    for q in [dp_starj_repro::ssb::qtc(), dp_starj_repro::ssb::qts()] {
+        let truth = execute(&snow, &q).unwrap();
+        let mut rng = StarRng::from_seed(9).derive(&q.name);
+        let ans = pm_answer(&snow, &q, 1.0, &PmConfig::default(), &mut rng).unwrap();
+        assert!(ans.result.relative_error(&truth).is_finite());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the relational engine: the bitmap semi-join
+//! must agree with a brute-force nested-loop join on arbitrary instances.
+
+use dp_starj_repro::engine::{
+    execute, execute_weighted, Agg, Column, Constraint, Dimension, Domain, GroupAttr,
+    Predicate, StarQuery, StarSchema, Table, WeightedPredicate,
+};
+use proptest::prelude::*;
+
+/// A small random star instance: two dimensions with attribute domains and
+/// a fact table of foreign keys + a measure.
+#[derive(Debug, Clone)]
+struct Instance {
+    dim_a_attrs: Vec<u32>, // domain 4
+    dim_b_attrs: Vec<u32>, // domain 3
+    fact: Vec<(usize, usize, i64)>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1usize..8, 1usize..6).prop_flat_map(|(na, nb)| {
+        (
+            proptest::collection::vec(0u32..4, na),
+            proptest::collection::vec(0u32..3, nb),
+            proptest::collection::vec((0usize..na, 0usize..nb, -50i64..50), 0..40),
+        )
+            .prop_map(|(dim_a_attrs, dim_b_attrs, fact)| Instance {
+                dim_a_attrs,
+                dim_b_attrs,
+                fact,
+            })
+    })
+}
+
+fn build(instance: &Instance) -> StarSchema {
+    let da = Domain::numeric("x", 4).unwrap();
+    let db = Domain::numeric("y", 3).unwrap();
+    let a = Table::new(
+        "A",
+        vec![
+            Column::key("pk", (0..instance.dim_a_attrs.len() as u32).collect()),
+            Column::attr("x", da, instance.dim_a_attrs.clone()),
+        ],
+    )
+    .unwrap();
+    let b = Table::new(
+        "B",
+        vec![
+            Column::key("pk", (0..instance.dim_b_attrs.len() as u32).collect()),
+            Column::attr("y", db, instance.dim_b_attrs.clone()),
+        ],
+    )
+    .unwrap();
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("fa", instance.fact.iter().map(|r| r.0 as u32).collect()),
+            Column::key("fb", instance.fact.iter().map(|r| r.1 as u32).collect()),
+            Column::measure("m", instance.fact.iter().map(|r| r.2).collect()),
+        ],
+    )
+    .unwrap();
+    StarSchema::new(fact, vec![Dimension::new(a, "pk", "fa"), Dimension::new(b, "pk", "fb")])
+        .unwrap()
+}
+
+fn constraint_strategy(domain: u32) -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        (0..domain).prop_map(Constraint::Point),
+        (0..domain, 0..domain).prop_map(|(a, b)| Constraint::Range {
+            lo: a.min(b),
+            hi: a.max(b)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn count_matches_nested_loop(
+        inst in instance_strategy(),
+        ca in constraint_strategy(4),
+        cb in constraint_strategy(3),
+    ) {
+        let schema = build(&inst);
+        let q = StarQuery::count("q")
+            .with(Predicate { table: "A".into(), attr: "x".into(), constraint: ca.clone() })
+            .with(Predicate { table: "B".into(), attr: "y".into(), constraint: cb.clone() });
+        let got = execute(&schema, &q).unwrap().scalar().unwrap();
+        let brute = inst
+            .fact
+            .iter()
+            .filter(|(fa, fb, _)| {
+                ca.matches(inst.dim_a_attrs[*fa]) && cb.matches(inst.dim_b_attrs[*fb])
+            })
+            .count() as f64;
+        prop_assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn sum_matches_nested_loop(
+        inst in instance_strategy(),
+        ca in constraint_strategy(4),
+    ) {
+        let schema = build(&inst);
+        let q = StarQuery::sum("q", "m")
+            .with(Predicate { table: "A".into(), attr: "x".into(), constraint: ca.clone() });
+        let got = execute(&schema, &q).unwrap().scalar().unwrap();
+        let brute: i64 = inst
+            .fact
+            .iter()
+            .filter(|(fa, _, _)| ca.matches(inst.dim_a_attrs[*fa]))
+            .map(|(_, _, m)| *m)
+            .sum();
+        prop_assert_eq!(got, brute as f64);
+    }
+
+    #[test]
+    fn group_totals_equal_scalar_total(inst in instance_strategy()) {
+        let schema = build(&inst);
+        let grouped = StarQuery::count("g").group_by(GroupAttr::new("A", "x"));
+        let res = execute(&schema, &grouped).unwrap();
+        let total: f64 = res.groups().unwrap().values().sum();
+        prop_assert_eq!(total, inst.fact.len() as f64);
+    }
+
+    #[test]
+    fn indicator_weights_equal_binary_predicates(
+        inst in instance_strategy(),
+        ca in constraint_strategy(4),
+    ) {
+        let schema = build(&inst);
+        let binary = StarQuery::count("b")
+            .with(Predicate { table: "A".into(), attr: "x".into(), constraint: ca.clone() });
+        let want = execute(&schema, &binary).unwrap().scalar().unwrap();
+        let weighted = WeightedPredicate::new("A", "x", ca.to_indicator(4));
+        let got = execute_weighted(&schema, &[weighted], &Agg::Count).unwrap();
+        prop_assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_execution_is_linear_in_weights(
+        inst in instance_strategy(),
+        w in proptest::collection::vec(0.0f64..2.0, 4),
+        scale in 0.1f64..5.0,
+    ) {
+        let schema = build(&inst);
+        let base = execute_weighted(
+            &schema,
+            &[WeightedPredicate::new("A", "x", w.clone())],
+            &Agg::Count,
+        )
+        .unwrap();
+        let scaled_w: Vec<f64> = w.iter().map(|v| v * scale).collect();
+        let scaled = execute_weighted(
+            &schema,
+            &[WeightedPredicate::new("A", "x", scaled_w)],
+            &Agg::Count,
+        )
+        .unwrap();
+        prop_assert!((scaled - base * scale).abs() < 1e-6 * (1.0 + base.abs()));
+    }
+
+    #[test]
+    fn contributions_sum_to_query_total(
+        inst in instance_strategy(),
+        ca in constraint_strategy(4),
+    ) {
+        let schema = build(&inst);
+        let q = StarQuery::count("q")
+            .with(Predicate { table: "A".into(), attr: "x".into(), constraint: ca });
+        let total = execute(&schema, &q).unwrap().scalar().unwrap();
+        let contrib =
+            dp_starj_repro::engine::contributions(&schema, &q, &["A".to_string()]).unwrap();
+        let summed: f64 = contrib.per_entity.values().sum();
+        prop_assert!((summed - total).abs() < 1e-9);
+        prop_assert!((contrib.total - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the graph substrate and k-star counting.
+
+use dp_starj_repro::graph::{binomial, kstar_count, Graph, KStarQuery};
+use proptest::prelude::*;
+
+fn edges_strategy() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2u32..30).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..80),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn degree_sum_equals_twice_edges((n, edges) in edges_strategy()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let degree_sum: u64 = g.degrees().iter().map(|&d| u64::from(d)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges() as u64);
+    }
+
+    #[test]
+    fn neighbors_are_mutual((n, edges) in edges_strategy()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                prop_assert!(
+                    g.neighbors(u).contains(&v),
+                    "edge {v}-{u} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kstar_formula_matches_enumeration((n, edges) in edges_strategy(), k in 2u32..4) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let q = KStarQuery::full(k, n);
+        prop_assert_eq!(
+            kstar_count(&g, &q),
+            dp_starj_repro::graph::kstar_count_naive(&g, &q)
+        );
+    }
+
+    #[test]
+    fn kstar_ranges_partition((n, edges) in edges_strategy(), split in 0u32..30) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mid = split % n;
+        let total = kstar_count(&g, &KStarQuery::full(2, n));
+        let left = kstar_count(&g, &KStarQuery { k: 2, lo: 0, hi: mid });
+        let right = if mid + 1 < n {
+            kstar_count(&g, &KStarQuery { k: 2, lo: mid + 1, hi: n - 1 })
+        } else {
+            0
+        };
+        prop_assert_eq!(total, left + right, "center ranges must partition the count");
+    }
+
+    #[test]
+    fn truncation_monotone_in_theta((n, edges) in edges_strategy()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let q = KStarQuery::full(2, n);
+        let mut prev = 0u128;
+        for theta in 1..=g.max_degree().max(1) {
+            let t = dp_starj_repro::graph::truncated_kstar_count(&g, &q, theta);
+            prop_assert!(t >= prev, "θ={theta} decreased the truncated count");
+            prev = t;
+        }
+        prop_assert_eq!(prev, kstar_count(&g, &q), "θ = max degree is lossless");
+    }
+
+    #[test]
+    fn binomial_pascal_identity(n in 0u64..200, k in 1u32..6) {
+        // C(n+1, k) = C(n, k) + C(n, k-1).
+        prop_assert_eq!(
+            binomial(n + 1, k),
+            binomial(n, k) + binomial(n, k - 1)
+        );
+    }
+
+    #[test]
+    fn adding_an_edge_never_decreases_kstars((n, edges) in edges_strategy()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let q = KStarQuery::full(2, n);
+        let before = kstar_count(&g, &q);
+        // Add one new edge between the first non-adjacent pair, if any.
+        'outer: for a in 0..n {
+            for b in (a + 1)..n {
+                if !g.neighbors(a).contains(&b) {
+                    let mut more = edges.clone();
+                    more.push((a, b));
+                    let g2 = Graph::from_edges(n, &more).unwrap();
+                    prop_assert!(kstar_count(&g2, &q) >= before);
+                    break 'outer;
+                }
+            }
+        }
+    }
+}

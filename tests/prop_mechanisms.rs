@@ -1,0 +1,168 @@
+//! Property-based tests for the DP mechanisms' structural invariants.
+
+use dp_starj_repro::core::pma::{perturb_constraint, RangePolicy};
+use dp_starj_repro::core::theory::{loose_variance_bound, tight_variance_bound};
+use dp_starj_repro::engine::{Constraint, Domain};
+use dp_starj_repro::noise::{PrivacyBudget, StarRng};
+use proptest::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = RangePolicy> {
+    prop_oneof![
+        Just(RangePolicy::Resample { max_attempts: 16 }),
+        Just(RangePolicy::Swap),
+        Just(RangePolicy::Collapse),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pma_point_stays_point_in_domain(
+        domain_size in 1u32..500,
+        seed in 0u64..1_000,
+        eps in 0.01f64..10.0,
+        policy in any_policy(),
+    ) {
+        let v = seed as u32 % domain_size;
+        let domain = Domain::numeric("a", domain_size).unwrap();
+        let mut rng = StarRng::from_seed(seed);
+        let out = perturb_constraint(&Constraint::Point(v), &domain, eps, policy, &mut rng)
+            .unwrap();
+        match out {
+            Constraint::Point(p) => prop_assert!(p < domain_size),
+            other => prop_assert!(false, "point became {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pma_range_stays_valid_range_in_domain(
+        domain_size in 2u32..500,
+        a in 0u32..500,
+        b in 0u32..500,
+        seed in 0u64..1_000,
+        eps in 0.01f64..10.0,
+        policy in any_policy(),
+    ) {
+        let lo = (a % domain_size).min(b % domain_size);
+        let hi = (a % domain_size).max(b % domain_size);
+        let domain = Domain::numeric("a", domain_size).unwrap();
+        let mut rng = StarRng::from_seed(seed);
+        let out = perturb_constraint(
+            &Constraint::Range { lo, hi },
+            &domain,
+            eps,
+            policy,
+            &mut rng,
+        )
+        .unwrap();
+        match out {
+            Constraint::Range { lo: l, hi: r } => {
+                prop_assert!(l <= r, "inverted range from {policy:?}");
+                prop_assert!(r < domain_size);
+            }
+            other => prop_assert!(false, "range became {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pma_nondegenerate_ranges_stay_nondegenerate_under_resample(
+        domain_size in 3u32..100,
+        seed in 0u64..500,
+        eps in 0.01f64..2.0,
+    ) {
+        // Algorithm 2's strict guard: a true range of width ≥ 1 must not
+        // collapse under the Resample policy.
+        let domain = Domain::numeric("a", domain_size).unwrap();
+        let mut rng = StarRng::from_seed(seed);
+        let out = perturb_constraint(
+            &Constraint::Range { lo: 0, hi: domain_size - 2 },
+            &domain,
+            eps,
+            RangePolicy::Resample { max_attempts: 16 },
+            &mut rng,
+        )
+        .unwrap();
+        if let Constraint::Range { lo, hi } = out {
+            prop_assert!(hi > lo, "non-degenerate range collapsed to [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn budget_split_even_then_compose_round_trips(
+        eps in 0.01f64..20.0,
+        k in 1usize..30,
+    ) {
+        let b = PrivacyBudget::pure(eps).unwrap();
+        let parts = b.split_even(k).unwrap();
+        prop_assert_eq!(parts.len(), k);
+        let total = PrivacyBudget::compose_sequential(&parts).unwrap();
+        prop_assert!((total.epsilon() - eps).abs() < 1e-9 * eps.max(1.0));
+    }
+
+    #[test]
+    fn variance_bounds_ordering_holds(
+        eps in 0.05f64..5.0,
+        domains in proptest::collection::vec(1u32..400, 1..5),
+    ) {
+        let n = domains.len();
+        let loose = loose_variance_bound(n, eps, &domains).unwrap();
+        let tight = tight_variance_bound(n, eps, &domains).unwrap();
+        prop_assert!(loose.is_finite() && tight.is_finite());
+        prop_assert!(tight > 0.0);
+        // For n = 1 they coincide; for n ≥ 2 with the factor ≥ 1 the loose
+        // bound dominates whenever 2n²/ε² ≥ 1 (always true for ε ≤ n·√2).
+        if n >= 2 && 2.0 * (n as f64).powi(2) / (eps * eps) >= 1.0 {
+            prop_assert!(loose >= tight * 0.999_999);
+        }
+    }
+
+    #[test]
+    fn pma_epsilon_monotonicity_in_distribution(
+        domain_size in 10u32..200,
+        seed in 0u64..200,
+    ) {
+        // Mean displacement at ε=0.05 must exceed that at ε=5 (run a small
+        // inner loop per case to smooth randomness).
+        let domain = Domain::numeric("a", domain_size).unwrap();
+        let v = domain_size / 2;
+        let mean_shift = |eps: f64| {
+            let mut rng = StarRng::from_seed(seed);
+            let mut acc = 0.0;
+            for _ in 0..64 {
+                if let Constraint::Point(p) = perturb_constraint(
+                    &Constraint::Point(v),
+                    &domain,
+                    eps,
+                    RangePolicy::Swap,
+                    &mut rng,
+                )
+                .unwrap()
+                {
+                    acc += (f64::from(p) - f64::from(v)).abs();
+                }
+            }
+            acc / 64.0
+        };
+        prop_assert!(mean_shift(0.05) + 1e-9 >= mean_shift(5.0));
+    }
+}
+
+#[test]
+fn neighboring_instances_preserve_schema_invariants() {
+    // Deterministic (non-proptest) structural check across many deletions.
+    use dp_starj_repro::core::neighbors::delete_dim_tuple_cascade;
+    use dp_starj_repro::ssb::{generate, SsbConfig};
+    let schema =
+        generate(&SsbConfig { scale: 0.001, seed: 55, ..Default::default() }).unwrap();
+    let customers = schema.dim("Customer").unwrap().table.num_rows() as u32;
+    for key in (0..customers).step_by(7) {
+        // StarSchema::new inside the constructor re-validates FKs and dense
+        // PKs — success is the invariant.
+        let neighbor = delete_dim_tuple_cascade(&schema, "Customer", key).unwrap();
+        assert_eq!(
+            neighbor.dim("Customer").unwrap().table.num_rows() as u32,
+            customers - 1
+        );
+    }
+}
