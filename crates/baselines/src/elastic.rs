@@ -77,7 +77,11 @@ impl ElasticMechanism {
         let smooth = smooth_bound_linear(mf, 1.0, self.gs_cap.max(mf), beta)?;
         let dist = GeneralCauchy::for_smooth_sensitivity(smooth, epsilon, self.gamma)?;
         let truth = execute(schema, query)?.scalar()?;
-        Ok(ElasticAnswer { value: truth + dist.sample(rng), max_frequency: mf, smooth_bound: smooth })
+        Ok(ElasticAnswer {
+            value: truth + dist.sample(rng),
+            max_frequency: mf,
+            smooth_bound: smooth,
+        })
     }
 }
 
@@ -113,8 +117,7 @@ mod tests {
         let s = setup();
         let m = ElasticMechanism::new(vec!["Customer".into()], 1e6);
         let mf = m.max_frequency(&s).unwrap();
-        let ls = starj_engine::max_contribution(&s, &qc3(), &["Customer".to_string()])
-            .unwrap();
+        let ls = starj_engine::max_contribution(&s, &qc3(), &["Customer".to_string()]).unwrap();
         assert!(mf >= ls, "elastic mf {mf} must dominate filtered LS {ls}");
         assert!(mf >= 1.0);
     }
@@ -124,8 +127,7 @@ mod tests {
         // Statistically: on a filtered query, elastic's unfiltered mf exceeds
         // LS's filtered bound, so its median deviation is at least as large.
         let s = setup();
-        let truth =
-            starj_engine::execute(&s, &qc3()).unwrap().scalar().unwrap();
+        let truth = starj_engine::execute(&s, &qc3()).unwrap().scalar().unwrap();
         let elastic = ElasticMechanism::new(vec!["Customer".into()], 1e6);
         let ls = LsMechanism::cauchy(vec!["Customer".into()], 1e6);
         let med = |f: &mut dyn FnMut(&mut StarRng) -> f64| {

@@ -30,13 +30,11 @@ mod tests {
         let n = 50_000;
         let sens = 1.0;
         let eps = 0.5;
-        let samples: Vec<f64> = (0..n)
-            .map(|_| laplace_mechanism(100.0, sens, eps, &mut rng).unwrap())
-            .collect();
+        let samples: Vec<f64> =
+            (0..n).map(|_| laplace_mechanism(100.0, sens, eps, &mut rng).unwrap()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!((mean - 100.0).abs() < 0.1, "mean {mean}");
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let expected = 2.0 * (sens / eps) * (sens / eps);
         assert!((var - expected).abs() / expected < 0.1, "var {var} vs {expected}");
     }

@@ -192,8 +192,7 @@ mod tests {
         // Under FK-cascade neighboring the declared GS drives the smooth
         // bound — the Figure 6 effect.
         let s = setup();
-        let truth =
-            starj_engine::execute(&s, &qc1()).unwrap().scalar().unwrap();
+        let truth = starj_engine::execute(&s, &qc1()).unwrap().scalar().unwrap();
         let mad = |cap: f64| {
             let m = LsMechanism::cauchy_fk(vec!["Customer".into()], cap);
             let mut rng = StarRng::from_seed(3);
@@ -205,10 +204,7 @@ mod tests {
         };
         let small = mad(1e3);
         let large = mad(1e7);
-        assert!(
-            large > 5.0 * small,
-            "larger declared GS must mean more noise: {small} vs {large}"
-        );
+        assert!(large > 5.0 * small, "larger declared GS must mean more noise: {small} vs {large}");
     }
 
     #[test]

@@ -227,8 +227,7 @@ mod tests {
         // Verify the prefix-sum truncation against the direct formula exposed
         // by Contributions::truncated_total.
         let s = setup();
-        let contrib =
-            starj_engine::contributions(&s, &qc3(), &["Customer".to_string()]).unwrap();
+        let contrib = starj_engine::contributions(&s, &qc3(), &["Customer".to_string()]).unwrap();
         let mut values: Vec<f64> = contrib.per_entity.values().copied().collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for tau in [0.5, 1.0, 3.0, 100.0] {

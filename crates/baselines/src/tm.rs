@@ -73,9 +73,7 @@ pub fn kstar_tm(
     rng: &mut StarRng,
 ) -> Result<(f64, u32, f64), BaselineError> {
     let theta = match cfg.theta {
-        Some(0) => {
-            return Err(BaselineError::InvalidConfig("theta must be positive".into()))
-        }
+        Some(0) => return Err(BaselineError::InvalidConfig("theta must be positive".into())),
         Some(t) => t,
         None => 4 * (graph.avg_degree().ceil() as u32).max(1) + 1,
     };
@@ -86,7 +84,8 @@ pub fn kstar_tm(
 
     // Per-change effect bound on the θ-bounded graph.
     let d_theta = binomial(u64::from(theta), query.k) as f64
-        + theta as f64 * binomial(u64::from(theta.saturating_sub(1)), query.k.saturating_sub(1)) as f64;
+        + theta as f64
+            * binomial(u64::from(theta.saturating_sub(1)), query.k.saturating_sub(1)) as f64;
     let beta = beta_cauchy(epsilon, cfg.gamma)?;
     let smooth = smooth_bound_linear(d_theta, d_theta, cfg.gs_cap.max(d_theta), beta)?;
     let dist = GeneralCauchy::for_smooth_sensitivity(smooth, epsilon, cfg.gamma)?;
@@ -119,8 +118,7 @@ mod tests {
         // Tiny τ: heavy downward bias (most entities dropped).
         assert!(mean_answer(0.5) < truth * 0.2);
         // Generous τ above every fanout: nearly unbiased, modest noise.
-        let fanout = starj_engine::max_contribution(&s, &qc1(), &["Customer".to_string()])
-            .unwrap();
+        let fanout = starj_engine::max_contribution(&s, &qc1(), &["Customer".to_string()]).unwrap();
         assert!((mean_answer(fanout * 2.0) - truth).abs() < truth * 0.2);
     }
 
@@ -163,10 +161,7 @@ mod tests {
             acc += kstar_tm(&g, &q, 5.0, &cfg, &mut r).unwrap().0;
         }
         let mean = acc / 100.0;
-        assert!(
-            mean < truth * 0.5,
-            "θ=2 must lose most stars: mean {mean} vs truth {truth}"
-        );
+        assert!(mean < truth * 0.5, "θ=2 must lose most stars: mean {mean} vs truth {truth}");
     }
 
     #[test]
@@ -184,8 +179,7 @@ mod tests {
         let q = KStarQuery::full(2, g.num_nodes());
         let cfg = KstarTmConfig::default();
         let theta = 4 * (g.avg_degree().ceil() as u32) + 1;
-        let truncated =
-            kstar_count(&g.truncate_degrees(theta), &q) as f64;
+        let truncated = kstar_count(&g.truncate_degrees(theta), &q) as f64;
         let mad = |eps: f64| {
             let mut devs: Vec<f64> = (0..60)
                 .map(|t| {

@@ -83,8 +83,9 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || StarRng::from_seed(4),
-                |mut rng| starj_baselines::r2t_answer(&schema, &qc3(), 1.0, &cfg, &mut rng)
-                    .unwrap(),
+                |mut rng| {
+                    starj_baselines::r2t_answer(&schema, &qc3(), 1.0, &cfg, &mut rng).unwrap()
+                },
                 BatchSize::SmallInput,
             )
         });

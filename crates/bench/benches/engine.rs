@@ -10,13 +10,9 @@ fn bench_engine(c: &mut Criterion) {
     let schema = generate(&SsbConfig::at_scale(0.01, 11)).expect("SSB generation");
     let mut group = c.benchmark_group("engine");
 
-    group.bench_function("execute_qc3_count", |b| {
-        b.iter(|| execute(&schema, &qc3()).unwrap())
-    });
+    group.bench_function("execute_qc3_count", |b| b.iter(|| execute(&schema, &qc3()).unwrap()));
 
-    group.bench_function("execute_qg2_groupby", |b| {
-        b.iter(|| execute(&schema, &qg2()).unwrap())
-    });
+    group.bench_function("execute_qg2_groupby", |b| b.iter(|| execute(&schema, &qg2()).unwrap()));
 
     let weighted = vec![
         WeightedPredicate::new("Customer", "region", vec![0.2, 0.9, 0.4, 0.0, 0.5]),

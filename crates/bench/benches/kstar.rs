@@ -17,8 +17,9 @@ fn bench_kstar(c: &mut Criterion) {
     group.bench_function("pm_q2star", |b| {
         b.iter_batched(
             || StarRng::from_seed(1),
-            |mut rng| dp_starj::pm_kstar(&graph, &q2, 1.0, RangePolicy::default(), &mut rng)
-                .unwrap(),
+            |mut rng| {
+                dp_starj::pm_kstar(&graph, &q2, 1.0, RangePolicy::default(), &mut rng).unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -26,8 +27,9 @@ fn bench_kstar(c: &mut Criterion) {
     group.bench_function("pm_q3star", |b| {
         b.iter_batched(
             || StarRng::from_seed(2),
-            |mut rng| dp_starj::pm_kstar(&graph, &q3, 1.0, RangePolicy::default(), &mut rng)
-                .unwrap(),
+            |mut rng| {
+                dp_starj::pm_kstar(&graph, &q3, 1.0, RangePolicy::default(), &mut rng).unwrap()
+            },
             BatchSize::SmallInput,
         )
     });

@@ -34,8 +34,9 @@ fn bench_mechanisms(c: &mut Criterion) {
     group.bench_function("r2t_qc3", |b| {
         b.iter_batched(
             || StarRng::from_seed(3),
-            |mut rng| starj_baselines::r2t_answer(&schema, &qc3(), 1.0, &r2t_cfg, &mut rng)
-                .unwrap(),
+            |mut rng| {
+                starj_baselines::r2t_answer(&schema, &qc3(), 1.0, &r2t_cfg, &mut rng).unwrap()
+            },
             BatchSize::SmallInput,
         )
     });

@@ -9,13 +9,13 @@
 
 use dp_starj::pm::{pm_answer, BudgetSplit, PmConfig};
 use dp_starj::pma::{perturb_constraint_with, NoiseKind, RangePolicy};
-use starj_engine::{Constraint, Domain};
 use dp_starj::workload::{
     wd_answer, workload_relative_error, PredicateWorkload, WdConfig, WorkloadBlock,
 };
+use starj_baselines::R2tConfig;
 use starj_bench::harness::pct;
 use starj_bench::{root_seed, ssb_sf, stats, trials_count, TablePrinter};
-use starj_baselines::R2tConfig;
+use starj_engine::{Constraint, Domain};
 use starj_linalg::StrategyKind;
 use starj_noise::StarRng;
 use starj_ssb::{generate, qc3, qc4, w1, w2, SsbConfig, BLOCKS};
@@ -145,15 +145,13 @@ fn main() {
     println!("\n5. PMA noise family (year range [1,5], dom 7, ε per predicate = {eps}):");
     let t5 = TablePrinter::new(&["noise", "mean endpoint shift"], &[12, 20]);
     let domain = Domain::numeric("year", 7).expect("valid domain");
-    for (name, kind) in [
-        ("continuous", NoiseKind::ContinuousLaplace),
-        ("discrete", NoiseKind::DiscreteLaplace),
-    ] {
+    for (name, kind) in
+        [("continuous", NoiseKind::ContinuousLaplace), ("discrete", NoiseKind::DiscreteLaplace)]
+    {
         let mut shift = 0.0;
         let reps = trials * 40;
         for t in 0..reps {
-            let mut rng =
-                StarRng::from_seed(seed).derive(&format!("ab5/{name}")).derive_index(t);
+            let mut rng = StarRng::from_seed(seed).derive(&format!("ab5/{name}")).derive_index(t);
             if let Constraint::Range { lo, hi } = perturb_constraint_with(
                 &Constraint::Range { lo: 1, hi: 5 },
                 &domain,

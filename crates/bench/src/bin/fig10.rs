@@ -3,8 +3,8 @@
 
 use starj_bench::harness::pct;
 use starj_bench::{
-    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
-    MechOutcome, TablePrinter,
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count, MechOutcome,
+    TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::{generate_snowflake, qtc, qts, SsbConfig};
@@ -17,12 +17,9 @@ fn main() {
     let seed = root_seed();
     println!("Figure 10: snowflake queries Qtc/Qts (SF={sf}, {trials} trials)\n");
 
-    let schema =
-        generate_snowflake(&SsbConfig::at_scale(sf, seed)).expect("snowflake generation");
-    let table = TablePrinter::new(
-        &["query", "eps", "PM err%", "R2T err%", "LS err%"],
-        &[6, 5, 9, 10, 10],
-    );
+    let schema = generate_snowflake(&SsbConfig::at_scale(sf, seed)).expect("snowflake generation");
+    let table =
+        TablePrinter::new(&["query", "eps", "PM err%", "R2T err%", "LS err%"], &[6, 5, 9, 10, 10]);
 
     for q in [qtc(), qts()] {
         for eps in EPSILONS {
@@ -38,12 +35,10 @@ fn main() {
                         .derive_index(t);
                     let out = match mech {
                         "PM" => pm_rel_err(&schema, &q, &truth, eps, &mut rng),
-                        "R2T" => r2t_rel_err(
-                            &schema, &q, &truth, eps, 1e5, dims.clone(), &mut rng,
-                        ),
-                        _ => ls_rel_err(
-                            &schema, &q, &truth, eps, 1e6, false, dims.clone(), &mut rng,
-                        ),
+                        "R2T" => r2t_rel_err(&schema, &q, &truth, eps, 1e5, dims.clone(), &mut rng),
+                        _ => {
+                            ls_rel_err(&schema, &q, &truth, eps, 1e6, false, dims.clone(), &mut rng)
+                        }
                     };
                     match out {
                         MechOutcome::Ran { rel_err, .. } => errs.push(rel_err),

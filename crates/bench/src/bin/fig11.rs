@@ -4,8 +4,8 @@
 
 use starj_bench::harness::pct;
 use starj_bench::{
-    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
-    MechOutcome, TablePrinter,
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count, MechOutcome,
+    TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::{generate, qc3, qs3, FactDistribution, SsbConfig};
@@ -15,18 +15,9 @@ const EPSILONS: [f64; 5] = [0.1, 0.2, 0.5, 0.8, 1.0];
 /// Three mixtures with growing skew (components in unit key space).
 fn mixtures() -> Vec<(&'static str, FactDistribution)> {
     vec![
-        (
-            "GM-sym",
-            FactDistribution::GaussianMixture(vec![(0.5, 0.3, 0.1), (0.5, 0.7, 0.1)]),
-        ),
-        (
-            "GM-skew",
-            FactDistribution::GaussianMixture(vec![(0.8, 0.2, 0.05), (0.2, 0.8, 0.05)]),
-        ),
-        (
-            "GM-heavy",
-            FactDistribution::GaussianMixture(vec![(0.95, 0.1, 0.02), (0.05, 0.9, 0.02)]),
-        ),
+        ("GM-sym", FactDistribution::GaussianMixture(vec![(0.5, 0.3, 0.1), (0.5, 0.7, 0.1)])),
+        ("GM-skew", FactDistribution::GaussianMixture(vec![(0.8, 0.2, 0.05), (0.2, 0.8, 0.05)])),
+        ("GM-heavy", FactDistribution::GaussianMixture(vec![(0.95, 0.1, 0.02), (0.05, 0.9, 0.02)])),
     ]
 }
 
@@ -62,11 +53,17 @@ fn main() {
                             .derive_index(t);
                         let out = match mech {
                             "PM" => pm_rel_err(&schema, &q, &truth, eps, &mut rng),
-                            "R2T" => r2t_rel_err(
-                                &schema, &q, &truth, eps, 1e6, dims.clone(), &mut rng,
-                            ),
+                            "R2T" => {
+                                r2t_rel_err(&schema, &q, &truth, eps, 1e6, dims.clone(), &mut rng)
+                            }
                             _ => ls_rel_err(
-                                &schema, &q, &truth, eps, 1e6, false, dims.clone(),
+                                &schema,
+                                &q,
+                                &truth,
+                                eps,
+                                1e6,
+                                false,
+                                dims.clone(),
                                 &mut rng,
                             ),
                         };

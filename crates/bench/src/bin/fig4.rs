@@ -4,8 +4,8 @@
 
 use starj_bench::harness::{pct, secs};
 use starj_bench::{
-    ls_rel_err, pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats,
-    trials_count, MechOutcome, TablePrinter,
+    ls_rel_err, pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
+    MechOutcome, TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::{generate, qc1, qc2, qc3, qc4, SsbConfig};
@@ -45,11 +45,18 @@ fn main() {
                         .derive_index(t);
                     let out = match mech {
                         "PM" => pm_rel_err(&schema, q, &truth, EPSILON, &mut rng),
-                        "R2T" => r2t_rel_err(
-                            &schema, q, &truth, EPSILON, 1e5, dims.clone(), &mut rng,
-                        ),
+                        "R2T" => {
+                            r2t_rel_err(&schema, q, &truth, EPSILON, 1e5, dims.clone(), &mut rng)
+                        }
                         _ => ls_rel_err(
-                            &schema, q, &truth, EPSILON, 1e6, false, dims.clone(), &mut rng,
+                            &schema,
+                            q,
+                            &truth,
+                            EPSILON,
+                            1e6,
+                            false,
+                            dims.clone(),
+                            &mut rng,
                         ),
                     };
                     if let MechOutcome::Ran { rel_err, secs } = out {

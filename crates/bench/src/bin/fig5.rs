@@ -4,8 +4,8 @@
 
 use starj_bench::harness::{pct, secs};
 use starj_bench::{
-    pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
-    MechOutcome, TablePrinter,
+    pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats, trials_count, MechOutcome,
+    TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::{generate, qs2, qs3, qs4, SsbConfig};

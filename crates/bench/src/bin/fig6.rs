@@ -8,8 +8,8 @@
 
 use starj_bench::harness::pct;
 use starj_bench::{
-    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
-    MechOutcome, TablePrinter,
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count, MechOutcome,
+    TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::gen::find_key_with;
@@ -67,7 +67,14 @@ fn main() {
                         // LS under FK-cascade neighboring: the declared GS is
                         // reachable in one step (DESIGN.md #9).
                         _ => ls_rel_err(
-                            &schema, q, &truth, EPSILON, gs, true, dims.clone(), &mut rng,
+                            &schema,
+                            q,
+                            &truth,
+                            EPSILON,
+                            gs,
+                            true,
+                            dims.clone(),
+                            &mut rng,
                         ),
                     };
                     if let MechOutcome::Ran { rel_err, .. } = out {

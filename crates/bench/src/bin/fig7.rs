@@ -4,8 +4,8 @@
 
 use starj_bench::harness::pct;
 use starj_bench::{
-    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
-    MechOutcome, TablePrinter,
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count, MechOutcome,
+    TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::{generate, qc3, qs3, FactDistribution, SsbConfig};
@@ -57,10 +57,22 @@ fn main() {
                         let out = match mech {
                             "PM" => pm_rel_err(&schema, &q, &truth, EPSILON, &mut rng),
                             "R2T" => r2t_rel_err(
-                                &schema, &q, &truth, EPSILON, 1e6, dims.clone(), &mut rng,
+                                &schema,
+                                &q,
+                                &truth,
+                                EPSILON,
+                                1e6,
+                                dims.clone(),
+                                &mut rng,
                             ),
                             _ => ls_rel_err(
-                                &schema, &q, &truth, EPSILON, 1e6, false, dims.clone(),
+                                &schema,
+                                &q,
+                                &truth,
+                                EPSILON,
+                                1e6,
+                                false,
+                                dims.clone(),
                                 &mut rng,
                             ),
                         };
@@ -72,11 +84,7 @@ fn main() {
                             }
                         }
                     }
-                    cells.push(if supported {
-                        pct(stats(&errs).mean)
-                    } else {
-                        "n/s".to_string()
-                    });
+                    cells.push(if supported { pct(stats(&errs).mean) } else { "n/s".to_string() });
                 }
                 let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
                 table.row(&refs);

@@ -3,8 +3,8 @@
 
 use starj_bench::harness::pct;
 use starj_bench::{
-    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
-    MechOutcome, TablePrinter,
+    ls_rel_err, pm_rel_err, r2t_rel_err, root_seed, ssb_sf, stats, trials_count, MechOutcome,
+    TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::{domain_size_queries, generate, SsbConfig};
@@ -18,10 +18,7 @@ fn main() {
     println!("Figure 8: error vs predicate domain sizes (SF={sf}, ε={EPSILON})\n");
 
     let schema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
-    let table = TablePrinter::new(
-        &["domains", "PM err%", "R2T err%", "LS err%"],
-        &[10, 9, 10, 12],
-    );
+    let table = TablePrinter::new(&["domains", "PM err%", "R2T err%", "LS err%"], &[10, 9, 10, 12]);
 
     for (label, q) in domain_size_queries() {
         let truth = starj_bench::mechanisms::truth(&schema, &q);
@@ -35,12 +32,10 @@ fn main() {
                     .derive_index(t);
                 let out = match mech {
                     "PM" => pm_rel_err(&schema, &q, &truth, EPSILON, &mut rng),
-                    "R2T" => {
-                        r2t_rel_err(&schema, &q, &truth, EPSILON, 1e5, dims.clone(), &mut rng)
+                    "R2T" => r2t_rel_err(&schema, &q, &truth, EPSILON, 1e5, dims.clone(), &mut rng),
+                    _ => {
+                        ls_rel_err(&schema, &q, &truth, EPSILON, 1e6, false, dims.clone(), &mut rng)
                     }
-                    _ => ls_rel_err(
-                        &schema, &q, &truth, EPSILON, 1e6, false, dims.clone(), &mut rng,
-                    ),
                 };
                 if let MechOutcome::Ran { rel_err, .. } = out {
                     errs.push(rel_err);

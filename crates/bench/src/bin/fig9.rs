@@ -37,10 +37,7 @@ fn main() {
     println!("Figure 9: PM vs WD on workloads W1/W2 (SF={sf}, {trials} trials)\n");
 
     let schema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
-    let table = TablePrinter::new(
-        &["workload", "eps", "PM err%", "WD err%"],
-        &[8, 5, 9, 9],
-    );
+    let table = TablePrinter::new(&["workload", "eps", "PM err%", "WD err%"], &[8, 5, 9, 9]);
 
     for (name, workload) in [("W1", w1()), ("W2", w2())] {
         let w = adapt(&workload);
@@ -49,12 +46,10 @@ fn main() {
             let mut pm_errs = Vec::new();
             let mut wd_errs = Vec::new();
             for t in 0..trials {
-                let mut r1 = StarRng::from_seed(seed)
-                    .derive(&format!("f9/pm/{name}/{eps}"))
-                    .derive_index(t);
-                let mut r2 = StarRng::from_seed(seed)
-                    .derive(&format!("f9/wd/{name}/{eps}"))
-                    .derive_index(t);
+                let mut r1 =
+                    StarRng::from_seed(seed).derive(&format!("f9/pm/{name}/{eps}")).derive_index(t);
+                let mut r2 =
+                    StarRng::from_seed(seed).derive(&format!("f9/wd/{name}/{eps}")).derive_index(t);
                 let pm = pm_workload_answer(&schema, &w, eps, &PmConfig::default(), &mut r1)
                     .expect("PM workload");
                 let wd = wd_answer(&schema, &w, eps, &WdConfig::default(), &mut r2)

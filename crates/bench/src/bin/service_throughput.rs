@@ -1,0 +1,52 @@
+//! Service throughput: queries/sec through the multi-tenant DP query
+//! service at 1, 4 and 8 concurrent tenants, in both the cache-disabled
+//! ("fresh": every request runs the Predicate Mechanism) and cache-enabled
+//! ("cached": steady-state requests replay stored answers) regimes.
+//!
+//! ```text
+//! SSB_SF=0.05 SERVICE_QUERIES=2000 cargo run --release -p starj-bench --bin service_throughput
+//! ```
+//!
+//! Environment knobs: `SSB_SF` (scale factor, default 0.05),
+//! `SERVICE_QUERIES` (requests per tenant, default 1000), `SEED`.
+
+use starj_bench::harness::env_u64;
+use starj_bench::service::measure_throughput;
+use starj_bench::{root_seed, ssb_sf, TablePrinter};
+use starj_ssb::{generate, SsbConfig};
+use std::sync::Arc;
+
+const TENANT_COUNTS: [usize; 3] = [1, 4, 8];
+const EPSILON: f64 = 0.1;
+
+fn main() {
+    let sf = ssb_sf();
+    let seed = root_seed();
+    let queries_per_tenant = env_u64("SERVICE_QUERIES", 1_000) as usize;
+
+    let schema = Arc::new(generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation"));
+    println!(
+        "Service throughput (SF={sf}, {} fact rows, {queries_per_tenant} queries/tenant, ε={EPSILON}/query)\n",
+        schema.fact().num_rows()
+    );
+
+    let table = TablePrinter::new(
+        &["regime", "tenants", "requests", "wall s", "queries/s", "p50 µs", "p99 µs"],
+        &[8, 8, 9, 8, 10, 8, 9],
+    );
+    for (regime, cache) in [("fresh", false), ("cached", true)] {
+        for &tenants in &TENANT_COUNTS {
+            let s = measure_throughput(&schema, tenants, queries_per_tenant, EPSILON, cache, seed);
+            table.row(&[
+                regime,
+                &tenants.to_string(),
+                &s.requests.to_string(),
+                &format!("{:.2}", s.wall_secs),
+                &format!("{:.0}", s.qps),
+                &s.p50_us.map_or("-".into(), |v| format!("{v:.0}")),
+                &s.p99_us.map_or("-".into(), |v| format!("{v:.0}")),
+            ]);
+        }
+        table.rule();
+    }
+}

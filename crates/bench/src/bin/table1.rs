@@ -7,8 +7,8 @@
 
 use starj_bench::harness::pct;
 use starj_bench::{
-    ls_rel_err, pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats,
-    trials_count, MechOutcome, TablePrinter,
+    ls_rel_err, pm_rel_err, private_dims_for, r2t_rel_err, root_seed, ssb_sf, stats, trials_count,
+    MechOutcome, TablePrinter,
 };
 use starj_noise::StarRng;
 use starj_ssb::{all_queries, generate, SsbConfig};
@@ -76,11 +76,7 @@ fn main() {
                         }
                     }
                 }
-                cells.push(if supported {
-                    pct(stats(&errs).mean)
-                } else {
-                    "n/s".to_string()
-                });
+                cells.push(if supported { pct(stats(&errs).mean) } else { "n/s".to_string() });
             }
             let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
             table.row(&refs);

@@ -7,9 +7,9 @@
 //! ```
 
 use dp_starj::pma::RangePolicy;
+use starj_baselines::{kstar_r2t, kstar_tm, KstarTmConfig, R2tConfig};
 use starj_bench::harness::{pct, secs};
 use starj_bench::{graph_frac, root_seed, stats, trials_count, TablePrinter};
-use starj_baselines::{kstar_r2t, kstar_tm, KstarTmConfig, R2tConfig};
 use starj_graph::{amazon_like, deezer_like, kstar_count, Graph, KStarQuery};
 use starj_noise::StarRng;
 use std::time::Instant;
@@ -42,17 +42,19 @@ fn run_cell(
             .derive_index(t);
         let start = Instant::now();
         let value = match mech {
-            "PM" => dp_starj::pm_kstar(graph, query, eps, RangePolicy::default(), &mut rng)
-                .expect("PM runs")
-                .0,
+            "PM" => {
+                dp_starj::pm_kstar(graph, query, eps, RangePolicy::default(), &mut rng)
+                    .expect("PM runs")
+                    .0
+            }
             "R2T" => {
                 let gs = starj_graph::binomial(u64::from(graph.max_degree()), query.k) as f64;
                 let cfg = R2tConfig::new(gs.max(2.0), vec![]);
                 kstar_r2t(graph, query, eps, &cfg, &mut rng).expect("R2T runs").value
             }
-            _ => kstar_tm(graph, query, eps, &KstarTmConfig::default(), &mut rng)
-                .expect("TM runs")
-                .0,
+            _ => {
+                kstar_tm(graph, query, eps, &KstarTmConfig::default(), &mut rng).expect("TM runs").0
+            }
         };
         times.push(start.elapsed().as_secs_f64());
         errs.push((value - truth).abs() / truth.max(1.0));
@@ -75,7 +77,17 @@ fn main() {
     ];
 
     let table = TablePrinter::new(
-        &["dataset", "query", "mech", "eps=0.1 err%", "time(s)", "eps=0.5 err%", "time(s)", "eps=1 err%", "time(s)"],
+        &[
+            "dataset",
+            "query",
+            "mech",
+            "eps=0.1 err%",
+            "time(s)",
+            "eps=0.5 err%",
+            "time(s)",
+            "eps=1 err%",
+            "time(s)",
+        ],
         &[8, 6, 5, 12, 8, 12, 8, 10, 8],
     );
 
@@ -83,8 +95,7 @@ fn main() {
         for k in [2u32, 3] {
             let query = KStarQuery::full(k, graph.num_nodes());
             for mech in ["PM", "R2T", "TM"] {
-                let mut cells: Vec<String> =
-                    vec![name.to_string(), query.name(), mech.to_string()];
+                let mut cells: Vec<String> = vec![name.to_string(), query.name(), mech.to_string()];
                 for eps in EPSILONS {
                     match run_cell(graph, &query, mech, eps, trials, seed) {
                         Some((err, time)) => {

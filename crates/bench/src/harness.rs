@@ -19,8 +19,7 @@ pub fn stats(values: &[f64]) -> Stats {
     assert!(!values.is_empty(), "stats() needs at least one value");
     let n = values.len() as f64;
     let mean = values.iter().sum::<f64>() / n;
-    let std =
-        (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
+    let std = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite trial values"));
     Stats { mean, median: sorted[sorted.len() / 2], std }

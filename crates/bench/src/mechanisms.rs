@@ -139,13 +139,9 @@ mod tests {
         }
         // R2T: count + sum, not group-by.
         let t = truth(&s, &qc3());
-        assert!(r2t_rel_err(&s, &qc3(), &t, 1.0, 1e5, dims.clone(), &mut rng)
-            .rel_err()
-            .is_some());
+        assert!(r2t_rel_err(&s, &qc3(), &t, 1.0, 1e5, dims.clone(), &mut rng).rel_err().is_some());
         let t = truth(&s, &qs3());
-        assert!(r2t_rel_err(&s, &qs3(), &t, 1.0, 1e5, dims.clone(), &mut rng)
-            .rel_err()
-            .is_some());
+        assert!(r2t_rel_err(&s, &qs3(), &t, 1.0, 1e5, dims.clone(), &mut rng).rel_err().is_some());
         let t = truth(&s, &qg2());
         assert!(matches!(
             r2t_rel_err(&s, &qg2(), &t, 1.0, 1e5, dims.clone(), &mut rng),

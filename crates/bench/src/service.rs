@@ -1,0 +1,138 @@
+//! Service throughput scenario: queries/sec through [`starj_service`] under
+//! concurrent tenants.
+//!
+//! Each tenant thread owns a generous budget and submits star-join queries
+//! drawn round-robin from a pool of distinct ad-hoc COUNT queries (year
+//! ranges × region points over the shared SSB instance). Two regimes:
+//!
+//! * **fresh** — the answer cache is disabled, so every request pays the
+//!   full pipeline: admission, canonicalization, reservation, Predicate
+//!   Mechanism execution, commit. This measures mechanism-bound throughput.
+//! * **cached** — the cache is enabled and the query pool is submitted
+//!   repeatedly, so steady-state requests replay stored answers. This
+//!   measures front-door overhead (admission + canonicalization + lookup).
+
+use starj_engine::{Predicate, StarQuery, StarSchema};
+use starj_noise::PrivacyBudget;
+use starj_service::{Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputSample {
+    /// Concurrent tenant threads.
+    pub tenants: usize,
+    /// Total requests served across all tenants.
+    pub requests: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Requests per second (requests / wall).
+    pub qps: f64,
+    /// Median request latency in µs, from the service's own histogram.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile request latency in µs.
+    pub p99_us: Option<f64>,
+}
+
+/// The distinct ad-hoc query pool: 28 year ranges × 5 regions = 140 queries.
+pub fn query_pool() -> Vec<StarQuery> {
+    let mut pool = Vec::new();
+    for lo in 0u32..7 {
+        for hi in lo..7 {
+            for region in 0u32..5 {
+                pool.push(
+                    StarQuery::count(format!("pool_{lo}_{hi}_{region}"))
+                        .with(Predicate::range("Date", "year", lo, hi))
+                        .with(Predicate::point("Customer", "region", region)),
+                );
+            }
+        }
+    }
+    pool
+}
+
+/// Runs `queries_per_tenant` requests from each of `tenants` concurrent
+/// threads against a fresh service over `schema`, returning the measured
+/// throughput. `cache` toggles answer replay.
+pub fn measure_throughput(
+    schema: &Arc<StarSchema>,
+    tenants: usize,
+    queries_per_tenant: usize,
+    epsilon: f64,
+    cache: bool,
+    seed: u64,
+) -> ThroughputSample {
+    let config = ServiceConfig { seed, cache_answers: cache, ..ServiceConfig::default() };
+    let service = Arc::new(Service::new(Arc::clone(schema), config));
+    // Budget sized so the accountant admits the whole run: throughput here
+    // measures the serving pipeline, not refusal latency. The `max(1)` keeps
+    // the allotment constructible for a degenerate zero-query run.
+    let allotment = PrivacyBudget::pure(epsilon * (queries_per_tenant.max(1) as f64) * 2.0)
+        .expect("valid benchmark allotment");
+    for t in 0..tenants {
+        service
+            .register_tenant(&format!("bench-{t}"), allotment)
+            .expect("fresh service has no duplicate tenants");
+    }
+    let pool = Arc::new(query_pool());
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..tenants)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let tenant = format!("bench-{t}");
+                for i in 0..queries_per_tenant {
+                    let q = &pool[(t + i) % pool.len()];
+                    service
+                        .pm_answer(&tenant, q, epsilon)
+                        .expect("benchmark requests are well-formed and funded");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("benchmark tenant thread panicked");
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let metrics = service.metrics();
+    let requests = metrics.queries_served;
+    ThroughputSample {
+        tenants,
+        requests,
+        wall_secs,
+        qps: requests as f64 / wall_secs,
+        p50_us: metrics.p50_latency_us,
+        p99_us: metrics.p99_latency_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starj_ssb::{generate, SsbConfig};
+
+    #[test]
+    fn pool_queries_are_distinct() {
+        let pool = query_pool();
+        let mut canon: Vec<_> = pool.iter().map(starj_engine::canonicalize).collect();
+        let before = canon.len();
+        canon.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        canon.dedup();
+        assert_eq!(canon.len(), before, "pool must contain no canonical duplicates");
+        assert_eq!(before, 140);
+    }
+
+    #[test]
+    fn throughput_measures_all_requests() {
+        let schema = Arc::new(generate(&SsbConfig::at_scale(0.002, 7)).unwrap());
+        let sample = measure_throughput(&schema, 2, 30, 0.05, true, 7);
+        assert_eq!(sample.tenants, 2);
+        assert_eq!(sample.requests, 60);
+        assert!(sample.qps > 0.0);
+        assert!(sample.wall_secs > 0.0);
+    }
+}

@@ -81,8 +81,7 @@ pub fn delete_joint(
     for (dim, key) in deletions {
         // Shift this key down by the number of earlier deletions in the same
         // dimension with a smaller original key.
-        let shift =
-            applied.iter().filter(|(d, k)| d == dim && *k < *key).count() as u32;
+        let shift = applied.iter().filter(|(d, k)| d == dim && *k < *key).count() as u32;
         if applied.iter().any(|(d, k)| d == dim && *k == *key) {
             return Err(CoreError::Invalid(format!(
                 "duplicate deletion of key {key} in dimension `{dim}`"
@@ -113,12 +112,7 @@ fn filter_table(table: &Table, keep: impl Fn(usize) -> bool) -> Result<Table, Co
 }
 
 fn filtered<T: Copy>(values: &[T], keep: &impl Fn(usize) -> bool) -> Vec<T> {
-    values
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| keep(*i))
-        .map(|(_, v)| *v)
-        .collect()
+    values.iter().enumerate().filter(|(i, _)| keep(*i)).map(|(_, v)| *v).collect()
 }
 
 /// Rewrites the primary-key column to `0..rows` after a deletion.
@@ -127,13 +121,7 @@ fn redensify_pk(table: &Table, pk: &str) -> Result<Table, CoreError> {
     let columns = table
         .columns()
         .iter()
-        .map(|c| {
-            if c.name() == pk {
-                Column::key(pk, (0..rows).collect())
-            } else {
-                c.clone()
-            }
-        })
+        .map(|c| if c.name() == pk { Column::key(pk, (0..rows).collect()) } else { c.clone() })
         .collect();
     Table::new(table.name(), columns).map_err(Into::into)
 }
@@ -231,11 +219,8 @@ mod tests {
     #[test]
     fn joint_deletion_applies_all_cascades() {
         let s = schema();
-        let neighbor = delete_joint(
-            &s,
-            &[("Customer".to_string(), 1), ("Supplier".to_string(), 0)],
-        )
-        .unwrap();
+        let neighbor =
+            delete_joint(&s, &[("Customer".to_string(), 1), ("Supplier".to_string(), 0)]).unwrap();
         assert_eq!(
             neighbor.dim("Customer").unwrap().table.num_rows(),
             s.dim("Customer").unwrap().table.num_rows() - 1
@@ -249,17 +234,15 @@ mod tests {
     #[test]
     fn joint_deletion_same_dim_twice_shifts_keys() {
         let s = schema();
-        let n = delete_joint(&s, &[("Customer".to_string(), 1), ("Customer".to_string(), 3)])
-            .unwrap();
+        let n =
+            delete_joint(&s, &[("Customer".to_string(), 1), ("Customer".to_string(), 3)]).unwrap();
         assert_eq!(
             n.dim("Customer").unwrap().table.num_rows(),
             s.dim("Customer").unwrap().table.num_rows() - 2
         );
-        assert!(delete_joint(
-            &s,
-            &[("Customer".to_string(), 1), ("Customer".to_string(), 1)]
-        )
-        .is_err());
+        assert!(
+            delete_joint(&s, &[("Customer".to_string(), 1), ("Customer".to_string(), 1)]).is_err()
+        );
     }
 
     #[test]

@@ -68,9 +68,7 @@ pub(crate) fn resolve_domain<'a>(
     if let Some((_, sub)) = schema.subdim(&predicate.table) {
         return sub.table.domain(&predicate.attr).map_err(Into::into);
     }
-    Err(CoreError::Engine(starj_engine::EngineError::UnknownTable(
-        predicate.table.clone(),
-    )))
+    Err(CoreError::Engine(starj_engine::EngineError::UnknownTable(predicate.table.clone())))
 }
 
 /// Produces the noisy query of Phase 2 without executing it.
@@ -98,11 +96,8 @@ pub fn perturb_query(
                 .predicates
                 .iter()
                 .map(|p| {
-                    let on_same_table = query
-                        .predicates
-                        .iter()
-                        .filter(|q| q.table == p.table)
-                        .count();
+                    let on_same_table =
+                        query.predicates.iter().filter(|q| q.table == p.table).count();
                     eps_table / on_same_table as f64
                 })
                 .collect()
@@ -115,8 +110,7 @@ pub fn perturb_query(
     let mut noisy = query.clone();
     for (pred, eps) in noisy.predicates.iter_mut().zip(per_pred_budget) {
         let domain = resolve_domain(schema, pred)?;
-        pred.constraint =
-            perturb_constraint(&pred.constraint, domain, eps, config.policy, rng)?;
+        pred.constraint = perturb_constraint(&pred.constraint, domain, eps, config.policy, rng)?;
     }
     Ok(noisy)
 }

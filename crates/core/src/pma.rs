@@ -94,14 +94,7 @@ pub fn perturb_constraint(
     policy: RangePolicy,
     rng: &mut StarRng,
 ) -> Result<Constraint, CoreError> {
-    perturb_constraint_with(
-        constraint,
-        domain,
-        epsilon,
-        policy,
-        NoiseKind::ContinuousLaplace,
-        rng,
-    )
+    perturb_constraint_with(constraint, domain, epsilon, policy, NoiseKind::ContinuousLaplace, rng)
 }
 
 /// Applies PMA to one constraint under budget `epsilon`, choosing the noise
@@ -218,16 +211,19 @@ mod tests {
     fn rejects_bad_inputs() {
         let d = domain(10);
         let mut rng = StarRng::from_seed(1);
-        assert!(perturb_constraint(&Constraint::Point(3), &d, 0.0, RangePolicy::default(), &mut rng)
-            .is_err());
         assert!(perturb_constraint(
-            &Constraint::Point(99),
+            &Constraint::Point(3),
             &d,
-            1.0,
+            0.0,
             RangePolicy::default(),
             &mut rng
         )
-        .is_err(), "constraint must lie in the domain");
+        .is_err());
+        assert!(
+            perturb_constraint(&Constraint::Point(99), &d, 1.0, RangePolicy::default(), &mut rng)
+                .is_err(),
+            "constraint must lie in the domain"
+        );
     }
 
     #[test]
@@ -235,8 +231,14 @@ mod tests {
         let d = domain(5);
         let mut rng = StarRng::from_seed(2);
         for _ in 0..2_000 {
-            match perturb_constraint(&Constraint::Point(2), &d, 0.1, RangePolicy::default(), &mut rng)
-                .unwrap()
+            match perturb_constraint(
+                &Constraint::Point(2),
+                &d,
+                0.1,
+                RangePolicy::default(),
+                &mut rng,
+            )
+            .unwrap()
             {
                 Constraint::Point(v) => assert!(v < 5),
                 other => panic!("point must stay a point, got {other:?}"),
@@ -322,9 +324,14 @@ mod tests {
             let v = size / 2;
             let mut acc = 0.0;
             for _ in 0..2_000 {
-                if let Constraint::Point(p) =
-                    perturb_constraint(&Constraint::Point(v), &d, 1.0, RangePolicy::default(), &mut rng)
-                        .unwrap()
+                if let Constraint::Point(p) = perturb_constraint(
+                    &Constraint::Point(v),
+                    &d,
+                    1.0,
+                    RangePolicy::default(),
+                    &mut rng,
+                )
+                .unwrap()
                 {
                     acc += (f64::from(p) - f64::from(v)).abs();
                 }

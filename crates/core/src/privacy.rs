@@ -106,10 +106,8 @@ mod tests {
         let schema = schema();
         assert!(PrivacySpec::fact_only().validate(&schema).is_ok());
         assert!(PrivacySpec::dims(vec!["Customer".into()]).validate(&schema).is_ok());
-        let mixed = PrivacySpec {
-            fact_private: true,
-            private_dims: vec!["Part".into(), "Date".into()],
-        };
+        let mixed =
+            PrivacySpec { fact_private: true, private_dims: vec!["Part".into(), "Date".into()] };
         assert!(mixed.validate(&schema).is_ok(), "(1,2)-private is legal");
     }
 

@@ -33,11 +33,7 @@ fn validate(n: usize, epsilon: f64, domains: &[u32]) -> Result<(), CoreError> {
 
 /// Theorem 5.6: the loose (multiplicative) variance bound
 /// `(2n²/ε²)^n · Π dom(a_i)²`.
-pub fn loose_variance_bound(
-    n: usize,
-    epsilon: f64,
-    domains: &[u32],
-) -> Result<f64, CoreError> {
+pub fn loose_variance_bound(n: usize, epsilon: f64, domains: &[u32]) -> Result<f64, CoreError> {
     validate(n, epsilon, domains)?;
     let factor = 2.0 * (n as f64).powi(2) / (epsilon * epsilon);
     let product: f64 = domains.iter().map(|&d| f64::from(d) * f64::from(d)).product();
@@ -46,11 +42,7 @@ pub fn loose_variance_bound(
 
 /// Theorem 5.7: the tight (additive) variance bound
 /// `(2n²/ε²) · Σ dom(a_i)²`.
-pub fn tight_variance_bound(
-    n: usize,
-    epsilon: f64,
-    domains: &[u32],
-) -> Result<f64, CoreError> {
+pub fn tight_variance_bound(n: usize, epsilon: f64, domains: &[u32]) -> Result<f64, CoreError> {
     validate(n, epsilon, domains)?;
     let factor = 2.0 * (n as f64).powi(2) / (epsilon * epsilon);
     let sum: f64 = domains.iter().map(|&d| f64::from(d) * f64::from(d)).sum();

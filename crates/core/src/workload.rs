@@ -49,10 +49,7 @@ pub struct PredicateWorkload {
 impl PredicateWorkload {
     /// Builds and validates a workload (every row must constrain every block
     /// within its domain).
-    pub fn new(
-        blocks: Vec<WorkloadBlock>,
-        rows: Vec<Vec<Constraint>>,
-    ) -> Result<Self, CoreError> {
+    pub fn new(blocks: Vec<WorkloadBlock>, rows: Vec<Vec<Constraint>>) -> Result<Self, CoreError> {
         if blocks.is_empty() || rows.is_empty() {
             return Err(CoreError::Invalid("workload needs blocks and rows".into()));
         }
@@ -81,8 +78,7 @@ impl PredicateWorkload {
     /// The `l × m_i` one-hot predicate matrix of block `i`.
     pub fn predicate_matrix(&self, block: usize) -> Result<Mat, CoreError> {
         let m = self.blocks[block].domain;
-        let rows: Vec<Vec<f64>> =
-            self.rows.iter().map(|r| r[block].to_indicator(m)).collect();
+        let rows: Vec<Vec<f64>> = self.rows.iter().map(|r| r[block].to_indicator(m)).collect();
         Mat::from_rows(&rows).map_err(Into::into)
     }
 
@@ -129,8 +125,7 @@ impl PredicateWorkload {
                     Constraint::Range { lo, .. } => *lo == 0,
                     Constraint::Set(_) => false,
                 });
-                if all_prefixes && self.rows.iter().any(|r| !matches!(r[b], Constraint::Point(_)))
-                {
+                if all_prefixes && self.rows.iter().any(|r| !matches!(r[b], Constraint::Point(_))) {
                     return StrategyKind::Prefixes;
                 }
                 let mean_width: f64 = self
@@ -231,13 +226,9 @@ pub fn wd_answer(
             .ranges
             .iter()
             .map(|&(lo, hi)| {
-                let constraint = if lo == hi {
-                    Constraint::Point(lo)
-                } else {
-                    Constraint::Range { lo, hi }
-                };
-                let noisy =
-                    perturb_constraint(&constraint, &domain, eps_row, config.policy, rng)?;
+                let constraint =
+                    if lo == hi { Constraint::Point(lo) } else { Constraint::Range { lo, hi } };
+                let noisy = perturb_constraint(&constraint, &domain, eps_row, config.policy, rng)?;
                 Ok(noisy.to_indicator(block.domain))
             })
             .collect::<Result<_, CoreError>>()?;
@@ -291,11 +282,7 @@ pub fn pm_workload_answer(
 /// Mean relative error of workload answers against the exact answers.
 pub fn workload_relative_error(answers: &[f64], truth: &[f64]) -> f64 {
     debug_assert_eq!(answers.len(), truth.len());
-    let errs: f64 = answers
-        .iter()
-        .zip(truth)
-        .map(|(a, t)| (a - t).abs() / t.abs().max(1.0))
-        .sum();
+    let errs: f64 = answers.iter().zip(truth).map(|(a, t)| (a - t).abs() / t.abs().max(1.0)).sum();
     errs / truth.len().max(1) as f64
 }
 
@@ -312,11 +299,7 @@ mod tests {
     fn adapt(w: &starj_ssb::Workload) -> PredicateWorkload {
         let blocks = BLOCKS
             .iter()
-            .map(|(t, a, d)| WorkloadBlock {
-                table: (*t).into(),
-                attr: (*a).into(),
-                domain: *d,
-            })
+            .map(|(t, a, d)| WorkloadBlock { table: (*t).into(), attr: (*a).into(), domain: *d })
             .collect();
         let rows = w
             .queries
@@ -375,8 +358,7 @@ mod tests {
         let w = adapt(&starj_ssb::w2());
         let truth = w.true_answers(&s).unwrap();
         let mut rng = StarRng::from_seed(2);
-        let ans =
-            pm_workload_answer(&s, &w, 1e12, &PmConfig::default(), &mut rng).unwrap();
+        let ans = pm_workload_answer(&s, &w, 1e12, &PmConfig::default(), &mut rng).unwrap();
         for (a, t) in ans.iter().zip(&truth) {
             assert!((a - t).abs() <= t.abs() * 1e-6 + 1e-6);
         }

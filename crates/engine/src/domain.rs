@@ -42,11 +42,7 @@ impl Domain {
                 name.into()
             )));
         }
-        Ok(Domain {
-            name: name.into(),
-            size: labels.len() as u32,
-            labels: Some(Arc::new(labels)),
-        })
+        Ok(Domain { name: name.into(), size: labels.len() as u32, labels: Some(Arc::new(labels)) })
     }
 
     /// Domain name.
@@ -66,11 +62,7 @@ impl Domain {
 
     /// The code of a label, if this domain is labelled and contains it.
     pub fn code_of(&self, label: &str) -> Option<u32> {
-        self.labels
-            .as_ref()?
-            .iter()
-            .position(|l| l == label)
-            .map(|p| p as u32)
+        self.labels.as_ref()?.iter().position(|l| l == label).map(|p| p as u32)
     }
 
     /// The label of a code, if labelled and in range.

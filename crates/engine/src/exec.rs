@@ -33,11 +33,8 @@ pub fn execute(schema: &StarSchema, query: &StarQuery) -> Result<QueryResult, En
     }
 
     // Per-dimension fk arrays, fetched once.
-    let fks: Vec<&[u32]> = schema
-        .dims()
-        .iter()
-        .map(|d| schema.fact().key(&d.fk))
-        .collect::<Result<_, _>>()?;
+    let fks: Vec<&[u32]> =
+        schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
 
     let weight = RowWeight::resolve(schema, &query.agg)?;
     let fact_rows = schema.fact().num_rows();
@@ -94,11 +91,8 @@ pub fn execute_weighted(
         }
     }
 
-    let fks: Vec<&[u32]> = schema
-        .dims()
-        .iter()
-        .map(|d| schema.fact().key(&d.fk))
-        .collect::<Result<_, _>>()?;
+    let fks: Vec<&[u32]> =
+        schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
     let weight = RowWeight::resolve(schema, agg)?;
 
     let mut total = 0.0;
@@ -134,8 +128,7 @@ pub(crate) fn dimension_bitmaps(
             let codes = dim.table.codes(&pred.attr)?;
             let domain = dim.table.domain(&pred.attr)?;
             pred.constraint.validate(domain)?;
-            let bitmap =
-                bitmaps[di].get_or_insert_with(|| vec![true; dim.table.num_rows()]);
+            let bitmap = bitmaps[di].get_or_insert_with(|| vec![true; dim.table.num_rows()]);
             for (slot, &code) in bitmap.iter_mut().zip(codes) {
                 *slot = *slot && pred.constraint.matches(code);
             }
@@ -150,8 +143,7 @@ pub(crate) fn dimension_bitmaps(
                 sub_codes.iter().map(|&c| pred.constraint.matches(c)).collect();
             let link = parent.table.key(&sub.fk_in_dim)?;
             let di = schema.dim_index(parent.table.name())?;
-            let bitmap =
-                bitmaps[di].get_or_insert_with(|| vec![true; parent.table.num_rows()]);
+            let bitmap = bitmaps[di].get_or_insert_with(|| vec![true; parent.table.num_rows()]);
             for (slot, &sk) in bitmap.iter_mut().zip(link) {
                 *slot = *slot && sub_pass[sk as usize];
             }
@@ -394,10 +386,7 @@ mod tests {
         .unwrap();
         let fact = Table::new(
             "F",
-            vec![
-                Column::key("fk_a", vec![0, 1, 2, 2]),
-                Column::measure("qty", vec![1, 1, 1, 1]),
-            ],
+            vec![Column::key("fk_a", vec![0, 1, 2, 2]), Column::measure("qty", vec![1, 1, 1, 1])],
         )
         .unwrap();
         let dim = Dimension::new(a, "pk", "fk_a").with_subdim(SubDimension {

@@ -50,6 +50,7 @@
 //! assert_eq!(execute(&schema, &q).unwrap().scalar().unwrap(), 35.0);
 //! ```
 
+pub mod canon;
 pub mod column;
 pub mod domain;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod sql;
 pub mod stats;
 pub mod table;
 
+pub use canon::{canonicalize, CanonicalQuery};
 pub use column::{Column, ColumnData};
 pub use domain::Domain;
 pub use error::EngineError;

@@ -11,7 +11,10 @@ use crate::domain::Domain;
 use crate::error::EngineError;
 
 /// A single-attribute constraint.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash`/`Ord` make constraints usable as cache-key components and give
+/// canonicalization ([`crate::canon`]) a total order to sort by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Constraint {
     /// `a = v`.
     Point(u32),
@@ -99,7 +102,10 @@ impl Constraint {
 
 /// A predicate bound to a table and attribute. `table` may name either a
 /// dimension or (for snowflake queries) a sub-dimension table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash`/`Ord` make predicates usable as cache-key components and give
+/// canonicalization ([`crate::canon`]) a total order to sort by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Predicate {
     /// Table the attribute lives in.
     pub table: String,
@@ -145,11 +151,7 @@ pub struct WeightedPredicate {
 impl WeightedPredicate {
     /// Builds a weighted predicate; the weight vector length must equal the
     /// attribute's domain size (checked at execution).
-    pub fn new(
-        table: impl Into<String>,
-        attr: impl Into<String>,
-        weights: Vec<f64>,
-    ) -> Self {
+    pub fn new(table: impl Into<String>, attr: impl Into<String>, weights: Vec<f64>) -> Self {
         WeightedPredicate { table: table.into(), attr: attr.into(), weights }
     }
 

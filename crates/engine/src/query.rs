@@ -8,7 +8,7 @@ use crate::predicate::Predicate;
 use std::collections::BTreeMap;
 
 /// The aggregate function over the fact table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Agg {
     /// `COUNT(*)` — every joined tuple weighs 1.
     Count,
@@ -26,7 +26,7 @@ impl Agg {
 }
 
 /// A grouping attribute `table.attr` (e.g. `Date.year`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroupAttr {
     /// Dimension table name.
     pub table: String,
@@ -42,7 +42,12 @@ impl GroupAttr {
 }
 
 /// A star-join query: aggregate + predicate conjunction + optional grouping.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` cover every field **including the label `name`**, so two
+/// semantically identical queries with different labels compare unequal.
+/// Callers that want label-free, order-insensitive identity (e.g. answer
+/// caches) should key on [`crate::canon::CanonicalQuery`] instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StarQuery {
     /// Query label (e.g. `Qc2`), used in reports.
     pub name: String,
@@ -71,11 +76,7 @@ impl StarQuery {
     }
 
     /// A SUM(a − b) query with no predicates yet.
-    pub fn sum_diff(
-        name: impl Into<String>,
-        a: impl Into<String>,
-        b: impl Into<String>,
-    ) -> Self {
+    pub fn sum_diff(name: impl Into<String>, a: impl Into<String>, b: impl Into<String>) -> Self {
         StarQuery {
             name: name.into(),
             agg: Agg::SumDiff(a.into(), b.into()),
@@ -130,9 +131,7 @@ impl QueryResult {
     pub fn scalar(&self) -> Result<f64, crate::error::EngineError> {
         match self {
             QueryResult::Scalar(v) => Ok(*v),
-            QueryResult::Groups(_) => {
-                Err(crate::error::EngineError::WrongResultShape("scalar"))
-            }
+            QueryResult::Groups(_) => Err(crate::error::EngineError::WrongResultShape("scalar")),
         }
     }
 
@@ -140,9 +139,7 @@ impl QueryResult {
     pub fn groups(&self) -> Result<&BTreeMap<Vec<u32>, f64>, crate::error::EngineError> {
         match self {
             QueryResult::Groups(g) => Ok(g),
-            QueryResult::Scalar(_) => {
-                Err(crate::error::EngineError::WrongResultShape("groups"))
-            }
+            QueryResult::Scalar(_) => Err(crate::error::EngineError::WrongResultShape("groups")),
         }
     }
 
@@ -248,7 +245,7 @@ mod tests {
         let mut est = BTreeMap::new();
         est.insert(vec![0u32], 12.0); // +2
         est.insert(vec![2u32], 3.0); // spurious group: +3
-        // missing group [1]: +10
+                                     // missing group [1]: +10
         let err = QueryResult::Groups(est).relative_error(&QueryResult::Groups(truth));
         assert!((err - 15.0 / 20.0).abs() < 1e-12, "got {err}");
     }

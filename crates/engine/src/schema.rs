@@ -175,8 +175,7 @@ mod tests {
 
     fn fact_table(fks: Vec<(&str, Vec<u32>)>) -> Table {
         let rows = fks[0].1.len();
-        let mut cols: Vec<Column> =
-            fks.into_iter().map(|(n, v)| Column::key(n, v)).collect();
+        let mut cols: Vec<Column> = fks.into_iter().map(|(n, v)| Column::key(n, v)).collect();
         cols.push(Column::measure("qty", vec![1; rows]));
         Table::new("Fact", cols).unwrap()
     }
@@ -202,8 +201,7 @@ mod tests {
     #[test]
     fn dangling_fk_rejected() {
         let fact = fact_table(vec![("fk_a", vec![0, 9])]);
-        let err =
-            StarSchema::new(fact, vec![Dimension::new(dim_table("A", 3), "pk", "fk_a")]);
+        let err = StarSchema::new(fact, vec![Dimension::new(dim_table("A", 3), "pk", "fk_a")]);
         assert!(matches!(err, Err(EngineError::ForeignKeyOutOfRange { .. })));
     }
 
@@ -212,10 +210,7 @@ mod tests {
         let d = Domain::numeric("attr", 4).unwrap();
         let table = Table::new(
             "A",
-            vec![
-                Column::key("pk", vec![5, 6]),
-                Column::attr("attr", d, vec![0, 1]),
-            ],
+            vec![Column::key("pk", vec![5, 6]), Column::attr("attr", d, vec![0, 1])],
         )
         .unwrap();
         let fact = fact_table(vec![("fk_a", vec![0, 1])]);

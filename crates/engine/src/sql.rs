@@ -108,11 +108,10 @@ pub fn to_sql(schema: &StarSchema, query: &StarQuery) -> String {
 
 fn render_predicate(schema: &StarSchema, p: &Predicate) -> String {
     let label = |code: u32| -> String {
-        let domain = schema
-            .dim(&p.table)
-            .ok()
-            .and_then(|d| d.table.domain(&p.attr).ok())
-            .or_else(|| schema.subdim(&p.table).and_then(|(_, s)| s.table.domain(&p.attr).ok()));
+        let domain =
+            schema.dim(&p.table).ok().and_then(|d| d.table.domain(&p.attr).ok()).or_else(|| {
+                schema.subdim(&p.table).and_then(|(_, s)| s.table.domain(&p.attr).ok())
+            });
         match domain.and_then(|d| d.label_of(code)) {
             Some(l) => format!("'{l}'"),
             None => code.to_string(),
@@ -144,10 +143,7 @@ mod tests {
         let region = Domain::categorical("region", vec!["NORTH", "SOUTH"]).unwrap();
         let cust = Table::new(
             "Customer",
-            vec![
-                Column::key("pk", vec![0, 1]),
-                Column::attr("region", region, vec![0, 1]),
-            ],
+            vec![Column::key("pk", vec![0, 1]), Column::attr("region", region, vec![0, 1])],
         )
         .unwrap();
         let year = Domain::numeric("year", 7).unwrap();
@@ -168,10 +164,7 @@ mod tests {
         .unwrap();
         StarSchema::new(
             fact,
-            vec![
-                Dimension::new(cust, "pk", "custkey"),
-                Dimension::new(date, "dk", "orderdate"),
-            ],
+            vec![Dimension::new(cust, "pk", "custkey"), Dimension::new(date, "dk", "orderdate")],
         )
         .unwrap()
     }
@@ -235,11 +228,9 @@ mod tests {
             vec![Column::key("nk", vec![0]), Column::attr("gdp", nd, vec![2])],
         )
         .unwrap();
-        let fact = Table::new(
-            "F",
-            vec![Column::key("ck", vec![0, 1]), Column::measure("m", vec![1, 2])],
-        )
-        .unwrap();
+        let fact =
+            Table::new("F", vec![Column::key("ck", vec![0, 1]), Column::measure("m", vec![1, 2])])
+                .unwrap();
         let dim = Dimension::new(cust, "pk", "ck").with_subdim(SubDimension {
             table: nation,
             pk: "nk".into(),

@@ -70,17 +70,12 @@ pub fn contributions(
             "contributions() needs at least one private dimension".into(),
         ));
     }
-    let priv_idx: Vec<usize> = private_dims
-        .iter()
-        .map(|d| schema.dim_index(d))
-        .collect::<Result<_, _>>()?;
+    let priv_idx: Vec<usize> =
+        private_dims.iter().map(|d| schema.dim_index(d)).collect::<Result<_, _>>()?;
 
     let bitmaps = dimension_bitmaps(schema, &query.predicates)?;
-    let fks: Vec<&[u32]> = schema
-        .dims()
-        .iter()
-        .map(|d| schema.fact().key(&d.fk))
-        .collect::<Result<_, _>>()?;
+    let fks: Vec<&[u32]> =
+        schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
 
     enum W<'a> {
         Ones,

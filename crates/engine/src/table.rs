@@ -66,13 +66,9 @@ impl Table {
 
     /// Looks up a column by name.
     pub fn column(&self, column: &str) -> Result<&Column, EngineError> {
-        self.by_name
-            .get(column)
-            .map(|&i| &self.columns[i])
-            .ok_or_else(|| EngineError::UnknownColumn {
-                table: self.name.clone(),
-                column: column.to_string(),
-            })
+        self.by_name.get(column).map(|&i| &self.columns[i]).ok_or_else(|| {
+            EngineError::UnknownColumn { table: self.name.clone(), column: column.to_string() }
+        })
     }
 
     /// Key values of a key column.
@@ -154,15 +150,10 @@ mod tests {
     #[test]
     fn validation_rejects_bad_tables() {
         assert!(Table::new("empty", vec![]).is_err());
-        let err = Table::new(
-            "ragged",
-            vec![Column::key("a", vec![0]), Column::key("b", vec![0, 1])],
-        );
+        let err =
+            Table::new("ragged", vec![Column::key("a", vec![0]), Column::key("b", vec![0, 1])]);
         assert!(matches!(err, Err(EngineError::LengthMismatch { .. })));
-        let err = Table::new(
-            "dup",
-            vec![Column::key("a", vec![0]), Column::key("a", vec![1])],
-        );
+        let err = Table::new("dup", vec![Column::key("a", vec![0]), Column::key("a", vec![1])]);
         assert!(matches!(err, Err(EngineError::DuplicateColumn(_))));
         let d = Domain::numeric("x", 2).unwrap();
         let err = Table::new("bad_code", vec![Column::attr("x", d, vec![0, 5])]);

@@ -143,16 +143,10 @@ mod tests {
 
     #[test]
     fn heavier_exponent_means_heavier_hubs() {
-        let flat = powerlaw_graph(
-            &GraphSpec { nodes: 2_000, edges: 10_000, exponent: 0.2 },
-            3,
-        )
-        .unwrap();
-        let heavy = powerlaw_graph(
-            &GraphSpec { nodes: 2_000, edges: 10_000, exponent: 0.9 },
-            3,
-        )
-        .unwrap();
+        let flat =
+            powerlaw_graph(&GraphSpec { nodes: 2_000, edges: 10_000, exponent: 0.2 }, 3).unwrap();
+        let heavy =
+            powerlaw_graph(&GraphSpec { nodes: 2_000, edges: 10_000, exponent: 0.9 }, 3).unwrap();
         assert!(
             heavy.max_degree() > flat.max_degree() * 2,
             "heavy {} vs flat {}",

@@ -211,11 +211,9 @@ mod tests {
 
     #[test]
     fn truncation_never_increases_degrees() {
-        let g = Graph::from_edges(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (5, 6), (6, 7)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (5, 6), (6, 7)])
+                .unwrap();
         let t = g.truncate_degrees(2);
         for v in 0..8u32 {
             assert!(t.degree(v) <= g.degree(v));

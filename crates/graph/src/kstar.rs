@@ -81,10 +81,7 @@ pub fn truncated_kstar_count(graph: &Graph, query: &KStarQuery, theta: u32) -> u
 /// [`kstar_count`] on small graphs: explicitly enumerates unordered neighbor
 /// pairs/triples around each admissible center.
 pub fn kstar_count_naive(graph: &Graph, query: &KStarQuery) -> u128 {
-    assert!(
-        query.k == 2 || query.k == 3,
-        "naive enumeration is implemented for k ∈ {{2, 3}} only"
-    );
+    assert!(query.k == 2 || query.k == 3, "naive enumeration is implemented for k ∈ {{2, 3}} only");
     if query.lo > query.hi {
         return 0;
     }
@@ -185,11 +182,8 @@ mod tests {
 
     #[test]
     fn truncated_count_is_monotone_in_theta() {
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2)])
+            .unwrap();
         let q = KStarQuery::full(2, 7);
         let full = kstar_count(&g, &q);
         let mut prev = 0u128;

@@ -122,15 +122,12 @@ impl Mat {
                 right: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Mat {
-        let mut out =
-            Mat { rows: self.cols, cols: self.rows, data: vec![0.0; self.data.len()] };
+        let mut out = Mat { rows: self.cols, cols: self.rows, data: vec![0.0; self.data.len()] };
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out[(j, i)] = self[(i, j)];
@@ -168,11 +165,7 @@ impl Mat {
 
     /// Scalar multiple.
     pub fn scale(&self, s: f64) -> Mat {
-        Mat {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|v| v * s).collect(),
-        }
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v * s).collect() }
     }
 
     /// Largest absolute entry.

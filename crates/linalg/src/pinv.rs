@@ -84,12 +84,7 @@ mod tests {
 
     #[test]
     fn pinv_tall_full_column_rank() {
-        let a = Mat::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ])
-        .unwrap();
+        let a = Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let ap = pinv(&a).unwrap();
         assert_eq!(ap.rows(), 2);
         assert_eq!(ap.cols(), 3);

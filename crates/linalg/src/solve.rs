@@ -98,12 +98,8 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Mat::from_rows(&[
-            vec![4.0, 7.0, 2.0],
-            vec![3.0, 5.0, 1.0],
-            vec![8.0, 1.0, 6.0],
-        ])
-        .unwrap();
+        let a = Mat::from_rows(&[vec![4.0, 7.0, 2.0], vec![3.0, 5.0, 1.0], vec![8.0, 1.0, 6.0]])
+            .unwrap();
         let inv = invert(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.approx_eq(&Mat::identity(3).unwrap(), 1e-9), "got\n{prod}");

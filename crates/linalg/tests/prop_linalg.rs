@@ -4,11 +4,8 @@ use proptest::prelude::*;
 use starj_linalg::{build_strategy, invert, pinv, Mat, StrategyKind};
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(
-        proptest::collection::vec(-5.0f64..5.0, cols),
-        rows,
-    )
-    .prop_map(|rows| Mat::from_rows(&rows).expect("well-formed"))
+    proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, cols), rows)
+        .prop_map(|rows| Mat::from_rows(&rows).expect("well-formed"))
 }
 
 proptest! {

@@ -53,10 +53,7 @@ impl PrivacyBudget {
         if k == 0 {
             return Err(NoiseError::InvalidParam { name: "k", value: 0.0 });
         }
-        let part = PrivacyBudget {
-            epsilon: self.epsilon / k as f64,
-            delta: self.delta / k as f64,
-        };
+        let part = PrivacyBudget { epsilon: self.epsilon / k as f64, delta: self.delta / k as f64 };
         Ok(vec![part; k])
     }
 
@@ -89,6 +86,39 @@ impl PrivacyBudget {
         PrivacyBudget::approx(epsilon, delta.min(1.0 - f64::EPSILON))
     }
 
+    /// Pairwise sequential composition: the cost of running `self` and then
+    /// `other` on the same data. Convenience over
+    /// [`PrivacyBudget::compose_sequential`] for running accumulators
+    /// (e.g. a service's per-tenant spend ledger).
+    pub fn compose_with(&self, other: &PrivacyBudget) -> Result<PrivacyBudget, NoiseError> {
+        PrivacyBudget::compose_sequential(&[*self, *other])
+    }
+
+    /// The single admission rule shared by every budget check in the
+    /// workspace: does charging `cost` on top of an already-spent
+    /// `(spent_epsilon, spent_delta)` stay within `cap`?
+    ///
+    /// Both components use a small **relative** tolerance, absorbing the
+    /// float drift of summing many charges while keeping zero caps exact:
+    /// a pure ε-DP cap (`δ = 0`) admits only `δ = 0` costs, so approximate
+    /// mechanisms can never sneak past a pure allotment.
+    pub fn admits(
+        cap: &PrivacyBudget,
+        spent_epsilon: f64,
+        spent_delta: f64,
+        cost: &PrivacyBudget,
+    ) -> bool {
+        let tol = 1e-9;
+        spent_epsilon + cost.epsilon <= cap.epsilon * (1.0 + tol)
+            && spent_delta + cost.delta <= cap.delta * (1.0 + tol)
+    }
+
+    /// True iff spending `self` from scratch fits inside `cap` — the
+    /// zero-spent special case of [`PrivacyBudget::admits`].
+    pub fn fits_within(&self, cap: &PrivacyBudget) -> bool {
+        PrivacyBudget::admits(cap, 0.0, 0.0, self)
+    }
+
     /// Parallel composition: mechanisms run on *disjoint* partitions of the
     /// data cost only the maximum of their budgets.
     pub fn compose_parallel(parts: &[PrivacyBudget]) -> Result<PrivacyBudget, NoiseError> {
@@ -118,12 +148,9 @@ impl BudgetLedger {
     }
 
     /// Attempts to charge `cost` against the remaining budget; errors if the
-    /// charge would exceed the total.
+    /// charge would exceed the total (per [`PrivacyBudget::admits`]).
     pub fn charge(&mut self, cost: PrivacyBudget) -> Result<(), NoiseError> {
-        let tol = 1e-9;
-        if self.spent_epsilon + cost.epsilon > self.total.epsilon * (1.0 + tol)
-            || self.spent_delta + cost.delta > self.total.delta + tol
-        {
+        if !self.can_charge(&cost) {
             return Err(NoiseError::InvalidEpsilon(cost.epsilon));
         }
         self.spent_epsilon += cost.epsilon;
@@ -131,14 +158,43 @@ impl BudgetLedger {
         Ok(())
     }
 
+    /// True iff `cost` would fit without exceeding the total — the
+    /// non-mutating admission test [`BudgetLedger::charge`] uses.
+    pub fn can_charge(&self, cost: &PrivacyBudget) -> bool {
+        PrivacyBudget::admits(&self.total, self.spent_epsilon, self.spent_delta, cost)
+    }
+
+    /// Returns a previously charged `cost` to the ledger — the rollback half
+    /// of reserve/commit/rollback accounting. Clamped at zero so a spurious
+    /// refund can never manufacture budget.
+    pub fn refund(&mut self, cost: PrivacyBudget) {
+        self.spent_epsilon = (self.spent_epsilon - cost.epsilon).max(0.0);
+        self.spent_delta = (self.spent_delta - cost.delta).max(0.0);
+    }
+
+    /// The total budget this ledger was opened with.
+    pub fn total(&self) -> PrivacyBudget {
+        self.total
+    }
+
     /// ε spent so far.
     pub fn spent_epsilon(&self) -> f64 {
         self.spent_epsilon
     }
 
+    /// δ spent so far.
+    pub fn spent_delta(&self) -> f64 {
+        self.spent_delta
+    }
+
     /// ε still available.
     pub fn remaining_epsilon(&self) -> f64 {
         (self.total.epsilon - self.spent_epsilon).max(0.0)
+    }
+
+    /// δ still available.
+    pub fn remaining_delta(&self) -> f64 {
+        (self.total.delta - self.spent_delta).max(0.0)
     }
 }
 
@@ -193,6 +249,81 @@ mod tests {
         let b = PrivacyBudget::pure(0.7).unwrap();
         let c = PrivacyBudget::compose_parallel(&[a, b]).unwrap();
         assert!((c.epsilon() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_with_accumulates() {
+        let a = PrivacyBudget::approx(0.3, 1e-7).unwrap();
+        let b = PrivacyBudget::approx(0.2, 2e-7).unwrap();
+        let c = a.compose_with(&b).unwrap();
+        assert!((c.epsilon() - 0.5).abs() < 1e-12);
+        assert!((c.delta() - 3e-7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fits_within_honors_both_components() {
+        let cap = PrivacyBudget::approx(1.0, 1e-6).unwrap();
+        assert!(PrivacyBudget::approx(1.0, 1e-6).unwrap().fits_within(&cap));
+        assert!(PrivacyBudget::pure(0.5).unwrap().fits_within(&cap));
+        assert!(!PrivacyBudget::pure(1.1).unwrap().fits_within(&cap));
+        assert!(!PrivacyBudget::approx(0.5, 1e-5).unwrap().fits_within(&cap));
+    }
+
+    #[test]
+    fn pure_cap_admits_no_delta_at_all() {
+        // A δ = 0 allotment is a *pure ε-DP* guarantee: even a 1e-9 δ cost
+        // must be refused, not absorbed by tolerance.
+        let cap = PrivacyBudget::pure(1.0).unwrap();
+        let tiny_delta = PrivacyBudget::approx(0.1, 1e-9).unwrap();
+        assert!(!tiny_delta.fits_within(&cap));
+        let mut ledger = BudgetLedger::new(cap);
+        assert!(!ledger.can_charge(&tiny_delta));
+        assert!(ledger.charge(tiny_delta).is_err());
+        // Pure costs still flow normally.
+        assert!(ledger.charge(PrivacyBudget::pure(0.1).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn relative_delta_tolerance_absorbs_summation_drift() {
+        // Ten 1e-7 charges sum to the 1e-6 cap despite float drift…
+        let cap = PrivacyBudget::approx(10.0, 1e-6).unwrap();
+        let mut ledger = BudgetLedger::new(cap);
+        let step = PrivacyBudget::approx(0.1, 1e-7).unwrap();
+        for _ in 0..10 {
+            assert!(ledger.charge(step).is_ok());
+        }
+        // …and the eleventh is refused.
+        assert!(ledger.charge(step).is_err());
+    }
+
+    #[test]
+    fn ledger_refund_restores_capacity() {
+        let total = PrivacyBudget::pure(1.0).unwrap();
+        let mut ledger = BudgetLedger::new(total);
+        let step = PrivacyBudget::pure(0.6).unwrap();
+        assert!(ledger.charge(step).is_ok());
+        assert!(!ledger.can_charge(&step), "second 0.6 must not fit in 1.0");
+        ledger.refund(step);
+        assert!(ledger.can_charge(&step));
+        assert!(ledger.charge(step).is_ok());
+        // Refunding more than was spent clamps at zero instead of minting ε.
+        ledger.refund(PrivacyBudget::pure(5.0).unwrap());
+        assert_eq!(ledger.spent_epsilon(), 0.0);
+        assert!((ledger.remaining_epsilon() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_tracks_delta() {
+        let total = PrivacyBudget::approx(1.0, 1e-6).unwrap();
+        let mut ledger = BudgetLedger::new(total);
+        let cost = PrivacyBudget::approx(0.1, 4e-7).unwrap();
+        assert!(ledger.charge(cost).is_ok());
+        assert!(ledger.charge(cost).is_ok());
+        // ε would still fit, but δ (8e-7 spent of 1e-6) cannot absorb 4e-7.
+        assert!(ledger.charge(cost).is_err());
+        assert!((ledger.spent_delta() - 8e-7).abs() < 1e-15);
+        assert!((ledger.remaining_delta() - 2e-7).abs() < 1e-15);
+        assert_eq!(ledger.total(), total);
     }
 
     #[test]

@@ -50,11 +50,8 @@ impl GeneralCauchy {
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(NoiseError::InvalidEpsilon(epsilon));
         }
-        let s = if smooth == 0.0 {
-            f64::MIN_POSITIVE
-        } else {
-            2.0 * (gamma + 1.0) * smooth / epsilon
-        };
+        let s =
+            if smooth == 0.0 { f64::MIN_POSITIVE } else { 2.0 * (gamma + 1.0) * smooth / epsilon };
         GeneralCauchy::new(s, gamma)
     }
 
@@ -179,10 +176,7 @@ mod tests {
         let expected = d.variance().unwrap();
         // γ=4 has heavy-ish tails, so the variance estimator converges slowly;
         // use a generous window.
-        assert!(
-            (var - expected).abs() / expected < 0.25,
-            "variance {var} vs expected {expected}"
-        );
+        assert!((var - expected).abs() / expected < 0.25, "variance {var} vs expected {expected}");
     }
 
     #[test]
@@ -197,10 +191,7 @@ mod tests {
         };
         let m1 = median_abs(1.0, &mut rng);
         let m5 = median_abs(5.0, &mut rng);
-        assert!(
-            (m5 / m1 - 5.0).abs() < 0.5,
-            "median |x| should scale linearly: {m1} vs {m5}"
-        );
+        assert!((m5 / m1 - 5.0).abs() < 0.5, "median |x| should scale linearly: {m1} vs {m5}");
     }
 
     #[test]

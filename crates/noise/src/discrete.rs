@@ -124,13 +124,9 @@ mod tests {
         let d = DiscreteLaplace::new(2.0).unwrap();
         let mut rng = StarRng::from_seed(3);
         let n = 300_000;
-        let var: f64 =
-            (0..n).map(|_| (d.sample(&mut rng) as f64).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = (0..n).map(|_| (d.sample(&mut rng) as f64).powi(2)).sum::<f64>() / n as f64;
         let expected = d.variance();
-        assert!(
-            (var - expected).abs() / expected < 0.05,
-            "variance {var} vs theory {expected}"
-        );
+        assert!((var - expected).abs() / expected < 0.05, "variance {var} vs theory {expected}");
     }
 
     #[test]

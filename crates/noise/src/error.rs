@@ -32,7 +32,10 @@ impl fmt::Display for NoiseError {
             NoiseError::InvalidEpsilon(e) => write!(f, "invalid privacy budget epsilon: {e}"),
             NoiseError::InvalidDelta(d) => write!(f, "invalid privacy parameter delta: {d}"),
             NoiseError::InvalidSensitivity(s) => write!(f, "invalid sensitivity: {s}"),
-            NoiseError::InvalidWeights => write!(f, "weights must be non-empty, finite, non-negative and sum to a positive value"),
+            NoiseError::InvalidWeights => write!(
+                f,
+                "weights must be non-empty, finite, non-negative and sum to a positive value"
+            ),
             NoiseError::InvalidParam { name, value } => {
                 write!(f, "parameter `{name}` out of range: {value}")
             }

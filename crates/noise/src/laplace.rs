@@ -143,11 +143,7 @@ mod tests {
         let samples: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
         for &q in &[-2.0, -1.0, 0.0, 1.0, 2.0] {
             let emp = samples.iter().filter(|&&x| x <= q).count() as f64 / n as f64;
-            assert!(
-                (emp - l.cdf(q)).abs() < 0.01,
-                "empirical CDF at {q}: {emp} vs {}",
-                l.cdf(q)
-            );
+            assert!((emp - l.cdf(q)).abs() < 0.01, "empirical CDF at {q}: {emp} vs {}", l.cdf(q));
         }
     }
 }

@@ -46,7 +46,7 @@ pub mod rng;
 pub mod samplers;
 pub mod smooth;
 
-pub use budget::PrivacyBudget;
+pub use budget::{BudgetLedger, PrivacyBudget};
 pub use cauchy::GeneralCauchy;
 pub use discrete::DiscreteLaplace;
 pub use error::NoiseError;

@@ -303,10 +303,7 @@ mod tests {
     fn mixture_is_bimodal() {
         let gm = GaussianMixture::new(&[(1.0, -10.0, 0.5), (1.0, 10.0, 0.5)]).unwrap();
         let mut rng = StarRng::from_seed(6);
-        let near_zero = (0..50_000)
-            .map(|_| gm.sample(&mut rng))
-            .filter(|x| x.abs() < 5.0)
-            .count();
+        let near_zero = (0..50_000).map(|_| gm.sample(&mut rng)).filter(|x| x.abs() < 5.0).count();
         assert_eq!(near_zero, 0, "no mass should fall between the two modes");
     }
 

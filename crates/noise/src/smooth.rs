@@ -40,12 +40,7 @@ pub fn beta_laplace(epsilon: f64, delta: f64) -> Result<f64, NoiseError> {
 /// `cap`. The maximizer of `e^{-βt}(ls + slope·t)` is `t* = 1/β − ls/slope`;
 /// the saturated branch `e^{-βt}·cap` is maximized at the first `t` reaching
 /// the cap. All three candidates (0, t*, t_cap) are evaluated.
-pub fn smooth_bound_linear(
-    ls: f64,
-    slope: f64,
-    cap: f64,
-    beta: f64,
-) -> Result<f64, NoiseError> {
+pub fn smooth_bound_linear(ls: f64, slope: f64, cap: f64, beta: f64) -> Result<f64, NoiseError> {
     if !(ls.is_finite() && ls >= 0.0) {
         return Err(NoiseError::InvalidSensitivity(ls));
     }
@@ -164,12 +159,8 @@ mod tests {
         let beta = 0.07;
         let (ls, slope, cap) = (2.0_f64, 1.0_f64, 1e6_f64);
         let closed = smooth_bound_linear(ls, slope, cap, beta).unwrap();
-        let table =
-            smooth_bound_table(|t| (ls + slope * t as f64).min(cap), beta, 10_000).unwrap();
-        assert!(
-            (closed - table).abs() / closed < 1e-2,
-            "closed {closed} vs table {table}"
-        );
+        let table = smooth_bound_table(|t| (ls + slope * t as f64).min(cap), beta, 10_000).unwrap();
+        assert!((closed - table).abs() / closed < 1e-2, "closed {closed} vs table {table}");
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Thread-safe per-tenant `(ε, δ)` budget accounting.
+//!
+//! Every tenant owns a [`starj_noise::BudgetLedger`] guarded by its own
+//! mutex, so contention is per-tenant: threads serving different tenants
+//! never serialize on each other. Spending follows a strict
+//! **reserve → commit / rollback** protocol:
+//!
+//! 1. [`BudgetAccountant::reserve`] atomically checks
+//!    `spent + in-flight + cost ≤ allotment` and, on success, adds `cost` to
+//!    the tenant's in-flight total. A failed check returns the typed
+//!    [`ServiceError::BudgetExhausted`] and changes nothing.
+//! 2. [`Reservation::commit`] moves the cost from in-flight to spent —
+//!    the query was answered, the budget is gone for good.
+//! 3. [`Reservation::rollback`] (or simply dropping the reservation, e.g.
+//!    when the mechanism errors and the `?` operator unwinds the request)
+//!    returns the cost to the tenant. **A failed query never spends.**
+//!
+//! Because the admission check counts in-flight reservations, the invariant
+//! `committed + in-flight ≤ allotment` holds at every instant, under any
+//! thread interleaving — N threads hammering one tenant can never over-spend
+//! it, which the cross-crate stress test (`tests/service_concurrency.rs`)
+//! exercises with 8+ threads.
+
+use crate::error::ServiceError;
+use starj_noise::{BudgetLedger, PrivacyBudget};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+#[derive(Debug)]
+struct TenantState {
+    ledger: BudgetLedger,
+    in_flight_epsilon: f64,
+    in_flight_delta: f64,
+}
+
+impl TenantState {
+    /// In-flight reservations count as spent for admission, and the rule
+    /// itself is [`PrivacyBudget::admits`] — the same one
+    /// [`BudgetLedger::charge`] enforces, so a reservation that was admitted
+    /// can always be committed.
+    fn admits(&self, cost: &PrivacyBudget) -> bool {
+        PrivacyBudget::admits(
+            &self.ledger.total(),
+            self.ledger.spent_epsilon() + self.in_flight_epsilon,
+            self.ledger.spent_delta() + self.in_flight_delta,
+            cost,
+        )
+    }
+}
+
+/// A committed-or-refunded hold on a tenant's budget. Obtained from
+/// [`BudgetAccountant::reserve`]; dropping it without committing refunds the
+/// tenant automatically (RAII), so early returns and `?`-propagation in a
+/// request handler can never leak spent budget.
+#[derive(Debug)]
+pub struct Reservation {
+    tenant: Arc<Mutex<TenantState>>,
+    cost: PrivacyBudget,
+    settled: bool,
+}
+
+impl Reservation {
+    /// The cost this reservation holds.
+    pub fn cost(&self) -> PrivacyBudget {
+        self.cost
+    }
+
+    /// Converts the hold into committed spending. The query's answer may now
+    /// be released to the caller.
+    pub fn commit(mut self) -> Result<(), ServiceError> {
+        let mut state = lock(&self.tenant);
+        state.in_flight_epsilon = (state.in_flight_epsilon - self.cost.epsilon()).max(0.0);
+        state.in_flight_delta = (state.in_flight_delta - self.cost.delta()).max(0.0);
+        self.settled = true;
+        // Cannot fail: `reserve` admitted spent + in-flight + cost under the
+        // same tolerance the ledger charges with.
+        state.ledger.charge(self.cost).map_err(ServiceError::InvalidBudget)
+    }
+
+    /// Returns the hold to the tenant. Equivalent to dropping the
+    /// reservation, but explicit at call sites that want to document it.
+    pub fn rollback(mut self) {
+        self.release();
+    }
+
+    fn release(&mut self) {
+        if !self.settled {
+            let mut state = lock(&self.tenant);
+            state.in_flight_epsilon = (state.in_flight_epsilon - self.cost.epsilon()).max(0.0);
+            state.in_flight_delta = (state.in_flight_delta - self.cost.delta()).max(0.0);
+            self.settled = true;
+        }
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Snapshot of one tenant's accounting state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantUsage {
+    /// The registered allotment.
+    pub allotment: PrivacyBudget,
+    /// ε committed by answered queries.
+    pub spent_epsilon: f64,
+    /// δ committed by answered queries.
+    pub spent_delta: f64,
+    /// ε currently held by in-flight reservations.
+    pub in_flight_epsilon: f64,
+    /// ε still unreserved: `allotment − spent − in-flight`.
+    pub remaining_epsilon: f64,
+}
+
+/// The multi-tenant budget ledger. All methods take `&self` and are safe to
+/// call from any number of threads.
+#[derive(Debug, Default)]
+pub struct BudgetAccountant {
+    tenants: RwLock<HashMap<String, Arc<Mutex<TenantState>>>>,
+}
+
+impl BudgetAccountant {
+    /// An accountant with no tenants.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tenant with its lifetime `(ε, δ)` allotment. Errors if
+    /// the tenant already exists — an allotment is a policy decision, not
+    /// something a repeat registration should silently replace.
+    pub fn register(&self, tenant: &str, allotment: PrivacyBudget) -> Result<(), ServiceError> {
+        let mut map = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(tenant) {
+            return Err(ServiceError::DuplicateTenant(tenant.to_string()));
+        }
+        map.insert(
+            tenant.to_string(),
+            Arc::new(Mutex::new(TenantState {
+                ledger: BudgetLedger::new(allotment),
+                in_flight_epsilon: 0.0,
+                in_flight_delta: 0.0,
+            })),
+        );
+        Ok(())
+    }
+
+    /// Atomically reserves `cost` against the tenant's remaining budget.
+    /// Refuses with [`ServiceError::BudgetExhausted`] when
+    /// `spent + in-flight + cost` would exceed the allotment.
+    pub fn reserve(&self, tenant: &str, cost: PrivacyBudget) -> Result<Reservation, ServiceError> {
+        let state_arc = self.tenant_arc(tenant)?;
+        let mut state = lock(&state_arc);
+        if !state.admits(&cost) {
+            let remaining = (state.ledger.remaining_epsilon() - state.in_flight_epsilon).max(0.0);
+            return Err(ServiceError::BudgetExhausted {
+                tenant: tenant.to_string(),
+                requested_epsilon: cost.epsilon(),
+                remaining_epsilon: remaining,
+            });
+        }
+        state.in_flight_epsilon += cost.epsilon();
+        state.in_flight_delta += cost.delta();
+        drop(state);
+        Ok(Reservation { tenant: state_arc, cost, settled: false })
+    }
+
+    /// The tenant's current usage snapshot.
+    pub fn usage(&self, tenant: &str) -> Result<TenantUsage, ServiceError> {
+        let state_arc = self.tenant_arc(tenant)?;
+        let state = lock(&state_arc);
+        Ok(TenantUsage {
+            allotment: state.ledger.total(),
+            spent_epsilon: state.ledger.spent_epsilon(),
+            spent_delta: state.ledger.spent_delta(),
+            in_flight_epsilon: state.in_flight_epsilon,
+            remaining_epsilon: (state.ledger.remaining_epsilon() - state.in_flight_epsilon)
+                .max(0.0),
+        })
+    }
+
+    /// Registered tenant ids, sorted for deterministic reporting.
+    pub fn tenants(&self) -> Vec<String> {
+        let map = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        let mut names: Vec<String> = map.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn tenant_arc(&self, tenant: &str) -> Result<Arc<Mutex<TenantState>>, ServiceError> {
+        let map = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        map.get(tenant).cloned().ok_or_else(|| ServiceError::UnknownTenant(tenant.to_string()))
+    }
+}
+
+/// Locks a tenant mutex, recovering from poisoning: budget bookkeeping must
+/// stay queryable even if some serving thread panicked mid-request.
+fn lock(state: &Arc<Mutex<TenantState>>) -> MutexGuard<'_, TenantState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(e: f64) -> PrivacyBudget {
+        PrivacyBudget::pure(e).unwrap()
+    }
+
+    #[test]
+    fn reserve_commit_spends() {
+        let acc = BudgetAccountant::new();
+        acc.register("t", eps(1.0)).unwrap();
+        let r = acc.reserve("t", eps(0.4)).unwrap();
+        assert!((acc.usage("t").unwrap().in_flight_epsilon - 0.4).abs() < 1e-12);
+        r.commit().unwrap();
+        let u = acc.usage("t").unwrap();
+        assert!((u.spent_epsilon - 0.4).abs() < 1e-12);
+        assert_eq!(u.in_flight_epsilon, 0.0);
+        assert!((u.remaining_epsilon - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rollback_and_drop_both_refund() {
+        let acc = BudgetAccountant::new();
+        acc.register("t", eps(1.0)).unwrap();
+        acc.reserve("t", eps(0.7)).unwrap().rollback();
+        assert!((acc.usage("t").unwrap().remaining_epsilon - 1.0).abs() < 1e-12);
+        {
+            let _r = acc.reserve("t", eps(0.7)).unwrap();
+            // Dropped without commit — e.g. `?` unwound a failing request.
+        }
+        assert!((acc.usage("t").unwrap().remaining_epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(acc.usage("t").unwrap().spent_epsilon, 0.0);
+    }
+
+    #[test]
+    fn in_flight_reservations_block_overcommit() {
+        let acc = BudgetAccountant::new();
+        acc.register("t", eps(1.0)).unwrap();
+        let hold = acc.reserve("t", eps(0.8)).unwrap();
+        // Nothing committed yet, but only 0.2 is admissible now.
+        let refused = acc.reserve("t", eps(0.5));
+        match refused {
+            Err(ServiceError::BudgetExhausted { remaining_epsilon, .. }) => {
+                assert!((remaining_epsilon - 0.2).abs() < 1e-9);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        let small = acc.reserve("t", eps(0.2)).unwrap();
+        hold.commit().unwrap();
+        small.commit().unwrap();
+        let u = acc.usage("t").unwrap();
+        assert!((u.spent_epsilon - 1.0).abs() < 1e-9);
+        assert!(u.remaining_epsilon < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_tenant_gets_typed_refusal() {
+        let acc = BudgetAccountant::new();
+        acc.register("t", eps(0.5)).unwrap();
+        acc.reserve("t", eps(0.5)).unwrap().commit().unwrap();
+        let err = acc.reserve("t", eps(0.01)).unwrap_err();
+        assert!(matches!(err, ServiceError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let acc = BudgetAccountant::new();
+        acc.register("a", eps(0.1)).unwrap();
+        acc.register("b", eps(5.0)).unwrap();
+        acc.reserve("a", eps(0.1)).unwrap().commit().unwrap();
+        // Tenant a is drained; b is untouched.
+        assert!(acc.reserve("a", eps(0.1)).is_err());
+        assert!(acc.reserve("b", eps(1.0)).is_ok());
+        assert_eq!(acc.tenants(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_tenants_are_typed() {
+        let acc = BudgetAccountant::new();
+        assert!(matches!(acc.reserve("ghost", eps(0.1)), Err(ServiceError::UnknownTenant(_))));
+        acc.register("t", eps(1.0)).unwrap();
+        assert!(matches!(acc.register("t", eps(1.0)), Err(ServiceError::DuplicateTenant(_))));
+    }
+
+    #[test]
+    fn pure_tenant_refuses_any_delta_cost() {
+        // A tenant registered with δ = 0 holds a pure ε-DP guarantee; an
+        // approximate-DP query must not erode it by a tolerance's worth.
+        let acc = BudgetAccountant::new();
+        acc.register("t", eps(1.0)).unwrap();
+        let err = acc.reserve("t", PrivacyBudget::approx(0.1, 1e-9).unwrap()).unwrap_err();
+        assert!(matches!(err, ServiceError::BudgetExhausted { .. }));
+        assert!(acc.reserve("t", eps(0.1)).is_ok(), "pure costs still admitted");
+    }
+
+    #[test]
+    fn delta_component_is_enforced() {
+        let acc = BudgetAccountant::new();
+        acc.register("t", PrivacyBudget::approx(10.0, 1e-6).unwrap()).unwrap();
+        let cost = PrivacyBudget::approx(0.1, 6e-7).unwrap();
+        acc.reserve("t", cost).unwrap().commit().unwrap();
+        // ε easily fits; δ does not.
+        let err = acc.reserve("t", cost).unwrap_err();
+        assert!(matches!(err, ServiceError::BudgetExhausted { .. }));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the serving subsystem.
+
+use dp_starj::CoreError;
+use starj_engine::EngineError;
+use starj_noise::NoiseError;
+use std::fmt;
+
+/// Errors a [`crate::Service`] can return to a caller.
+///
+/// The variants are ordered by where in the request pipeline they arise:
+/// admission ([`ServiceError::InvalidQuery`], [`ServiceError::InvalidBudget`],
+/// [`ServiceError::NoGraph`]), accounting ([`ServiceError::UnknownTenant`],
+/// [`ServiceError::BudgetExhausted`]), then execution
+/// ([`ServiceError::Mechanism`]). Only execution errors spend-and-refund; the
+/// earlier stages fail before any budget is reserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The tenant's `(ε, δ)` allotment cannot absorb the requested query
+    /// budget. The request was refused **before** any spending: retrying
+    /// with a smaller ε may succeed, retrying with the same ε never will.
+    BudgetExhausted {
+        /// The refused tenant.
+        tenant: String,
+        /// ε the query asked for.
+        requested_epsilon: f64,
+        /// ε the tenant still has (reservations in flight already deducted).
+        remaining_epsilon: f64,
+    },
+    /// The tenant was never registered with the accountant.
+    UnknownTenant(String),
+    /// A tenant with this id is already registered.
+    DuplicateTenant(String),
+    /// The query failed schema admission (unknown table/column, constraint
+    /// outside its domain, non-measure aggregate target, …). Rejected before
+    /// any budget was reserved.
+    InvalidQuery(EngineError),
+    /// The requested privacy parameters are malformed (ε ≤ 0, δ ∉ [0, 1)).
+    InvalidBudget(NoiseError),
+    /// A k-star query was submitted to a service built without a graph.
+    NoGraph,
+    /// The underlying DP mechanism failed after admission; the reservation
+    /// was rolled back, so the failed query spent nothing.
+    Mechanism(CoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BudgetExhausted { tenant, requested_epsilon, remaining_epsilon } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` budget exhausted: requested ε = {requested_epsilon}, \
+                     remaining ε = {remaining_epsilon}"
+                )
+            }
+            ServiceError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            ServiceError::DuplicateTenant(t) => write!(f, "tenant `{t}` already registered"),
+            ServiceError::InvalidQuery(e) => write!(f, "query rejected at admission: {e}"),
+            ServiceError::InvalidBudget(e) => write!(f, "invalid privacy budget: {e}"),
+            ServiceError::NoGraph => {
+                write!(f, "k-star queries need a service built with a graph")
+            }
+            ServiceError::Mechanism(e) => write!(f, "mechanism failure (budget refunded): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::InvalidQuery(e)
+    }
+}
+
+impl From<NoiseError> for ServiceError {
+    fn from(e: NoiseError) -> Self {
+        ServiceError::InvalidBudget(e)
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Mechanism(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_tenant_and_amounts() {
+        let e = ServiceError::BudgetExhausted {
+            tenant: "acme".into(),
+            requested_epsilon: 0.5,
+            remaining_epsilon: 0.25,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("acme") && msg.contains("0.5") && msg.contains("0.25"));
+    }
+
+    #[test]
+    fn conversions_pick_the_right_stage() {
+        let e: ServiceError = EngineError::UnknownTable("Nope".into()).into();
+        assert!(matches!(e, ServiceError::InvalidQuery(_)));
+        let e: ServiceError = NoiseError::InvalidEpsilon(-1.0).into();
+        assert!(matches!(e, ServiceError::InvalidBudget(_)));
+        let e: ServiceError = CoreError::Invalid("boom".into()).into();
+        assert!(matches!(e, ServiceError::Mechanism(_)));
+    }
+}

@@ -1,0 +1,73 @@
+//! **starj-service** — the serving subsystem that turns the DP-starJ
+//! libraries into a system.
+//!
+//! The mechanism crates (`dp-starj`, `starj-engine`, `starj-noise`) answer
+//! *one query for one caller*. A real DP deployment (cf. Chorus, Johnson et
+//! al.; DProvSQL) needs a front door: something that admits queries, tracks
+//! who has spent how much privacy budget, refuses queries that would
+//! overdraw it, and reuses answers so repeated questions do not re-spend ε.
+//! This crate is that front door:
+//!
+//! * [`Service`] — owns an `Arc<StarSchema>` (and optionally a graph) and
+//!   answers Predicate-Mechanism, Workload-Decomposition, and k-star
+//!   requests from any number of threads concurrently;
+//! * [`BudgetAccountant`] — a thread-safe per-tenant `(ε, δ)` ledger with
+//!   sequential composition and atomic **reserve → commit / rollback**
+//!   semantics: a failed query always refunds its reservation, and a tenant
+//!   whose allotment is spent gets a typed
+//!   [`ServiceError::BudgetExhausted`] refusal;
+//! * [`AnswerCache`] — replays an identical repeat query's stored noisy
+//!   answer at zero additional budget, keyed by the deterministic
+//!   query-normalization pass in [`starj_engine::canon`] (sorted predicates,
+//!   collapsed ranges, label-free);
+//! * [`crate::admission`] — schema validation that rejects malformed queries
+//!   before any budget is reserved;
+//! * [`ServiceMetrics`] — queries served, cache hits, budget refusals, and
+//!   p50/p99 latency, all lock-free on the serving path.
+//!
+//! # Quick start
+//!
+//! ```
+//! use starj_engine::{Column, Dimension, Domain, Predicate, StarQuery, StarSchema, Table};
+//! use starj_noise::PrivacyBudget;
+//! use starj_service::{Service, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! // A toy schema: one dimension, six fact rows.
+//! let domain = Domain::numeric("color", 4).unwrap();
+//! let dim = Table::new("D", vec![
+//!     Column::key("pk", vec![0, 1, 2, 3]),
+//!     Column::attr("color", domain, vec![0, 1, 2, 3]),
+//! ]).unwrap();
+//! let fact = Table::new("F", vec![
+//!     Column::key("fk", vec![0, 0, 1, 2, 3, 3]),
+//!     Column::measure("qty", vec![1, 2, 3, 4, 5, 6]),
+//! ]).unwrap();
+//! let schema = StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap();
+//!
+//! let service = Service::new(Arc::new(schema), ServiceConfig::default());
+//! service.register_tenant("alice", PrivacyBudget::pure(1.0).unwrap()).unwrap();
+//!
+//! let q = StarQuery::count("demo").with(Predicate::range("D", "color", 1, 2));
+//! let first = service.pm_answer("alice", &q, 0.5).unwrap();
+//! assert!(!first.cached);
+//!
+//! // The identical query replays from the cache: same answer, zero budget.
+//! let replay = service.pm_answer("alice", &q, 0.5).unwrap();
+//! assert!(replay.cached);
+//! assert_eq!(replay.result, first.result);
+//! assert!((service.tenant_usage("alice").unwrap().spent_epsilon - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod accountant;
+pub mod admission;
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod service;
+
+pub use accountant::{BudgetAccountant, Reservation, TenantUsage};
+pub use cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
+pub use error::ServiceError;
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
+pub use service::{KStarAnswer, Service, ServiceAnswer, ServiceConfig, WorkloadAnswer};

@@ -1,0 +1,179 @@
+//! Lock-free service metrics: request counters and a latency histogram with
+//! p50/p99 extraction.
+//!
+//! Counters are plain relaxed atomics — they are monotonic tallies, not
+//! synchronization points. Latency uses a fixed 64-bucket power-of-two
+//! histogram over nanoseconds: recording is one atomic increment, and
+//! quantiles are read by scanning 64 buckets, so the histogram never
+//! allocates and never takes a lock on the serving path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Power-of-two latency histogram. Bucket `i` covers `[2^(i−1), 2^i)` ns
+/// (bucket 0 covers `[0, 1)` ns).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, resolved to the upper
+    /// edge of the containing bucket (≤ 2× the true value, which is plenty
+    /// for dashboard-grade p50/p99). `None` until something was recorded.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper_ns = if idx == 0 { 1.0 } else { (idx as f64).exp2() };
+                return Some(upper_ns / 1_000.0);
+            }
+        }
+        None
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Counters and latency for one [`crate::Service`].
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Successfully answered requests (fresh, cached, and free).
+    pub queries_served: AtomicU64,
+    /// Answers replayed from the cache (a subset of `queries_served`).
+    pub cache_hits: AtomicU64,
+    /// Unsatisfiable-query short-circuits answered exactly at zero cost
+    /// (a subset of `queries_served`).
+    pub free_answers: AtomicU64,
+    /// Requests refused because the tenant's budget could not absorb them.
+    pub budget_refusals: AtomicU64,
+    /// Requests rejected at admission (malformed against the schema).
+    pub admission_rejections: AtomicU64,
+    /// Requests that failed in the mechanism after admission (refunded).
+    pub mechanism_failures: AtomicU64,
+    /// End-to-end request latency (successful requests only).
+    pub latency: LatencyHistogram,
+}
+
+/// A point-in-time copy of the metrics, cheap to print or ship elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// See [`ServiceMetrics::queries_served`].
+    pub queries_served: u64,
+    /// See [`ServiceMetrics::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`ServiceMetrics::free_answers`].
+    pub free_answers: u64,
+    /// See [`ServiceMetrics::budget_refusals`].
+    pub budget_refusals: u64,
+    /// See [`ServiceMetrics::admission_rejections`].
+    pub admission_rejections: u64,
+    /// See [`ServiceMetrics::mechanism_failures`].
+    pub mechanism_failures: u64,
+    /// Median latency in µs (None before the first served query).
+    pub p50_latency_us: Option<f64>,
+    /// 99th-percentile latency in µs.
+    pub p99_latency_us: Option<f64>,
+}
+
+impl ServiceMetrics {
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot (individual counters are exact;
+    /// cross-counter skew is bounded by in-flight requests).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            free_answers: self.free_answers.load(Ordering::Relaxed),
+            budget_refusals: self.budget_refusals.load(Ordering::Relaxed),
+            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
+            mechanism_failures: self.mechanism_failures.load(Ordering::Relaxed),
+            p50_latency_us: self.latency.quantile_us(0.50),
+            p99_latency_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // 10_000 ns → bucket upper 16_384 ns
+        }
+        h.record(Duration::from_millis(10)); // the single slow outlier
+        let p50 = h.quantile_us(0.5).unwrap();
+        assert!((10.0..=20.0).contains(&p50), "p50 {p50} should bracket 10 µs");
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!(p99 <= 20.0, "p99 {p99} still inside the fast cluster (99/100)");
+        let p100 = h.quantile_us(1.0).unwrap();
+        assert!(p100 >= 10_000.0, "max {p100} must see the 10 ms outlier");
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn ordering_is_monotone_in_q() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 10, 100, 1_000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p10 = h.quantile_us(0.1).unwrap();
+        let p90 = h.quantile_us(0.9).unwrap();
+        assert!(p10 <= p90);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::inc(&m.queries_served);
+        ServiceMetrics::inc(&m.queries_served);
+        ServiceMetrics::inc(&m.cache_hits);
+        ServiceMetrics::inc(&m.budget_refusals);
+        m.latency.record(Duration::from_micros(5));
+        let s = m.snapshot();
+        assert_eq!(s.queries_served, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.budget_refusals, 1);
+        assert_eq!(s.admission_rejections, 0);
+        assert!(s.p50_latency_us.is_some());
+    }
+}

@@ -1,0 +1,421 @@
+//! The service front door: concurrent, multi-tenant DP query answering.
+//!
+//! Every request runs the same pipeline:
+//!
+//! 1. **admission** — the request is validated against the schema; malformed
+//!    queries are rejected before any budget moves ([`crate::admission`]);
+//! 2. **normalization** — the query is canonicalized
+//!    ([`starj_engine::canon`]); provably unsatisfiable queries are answered
+//!    exactly (empty result) at zero cost, since that fact depends only on
+//!    the query text, never on the data;
+//! 3. **cache** — an identical prior release (same tenant, mechanism, ε,
+//!    canonical request) replays for free;
+//! 4. **reserve** — the tenant's accountant atomically holds the `(ε, δ)`
+//!    cost, refusing with [`ServiceError::BudgetExhausted`] when the
+//!    allotment cannot absorb it;
+//! 5. **execute** — the DP mechanism runs; an error rolls the reservation
+//!    back via RAII so a failed query spends nothing;
+//! 6. **commit + release** — the cost is committed, the answer cached and
+//!    returned, metrics updated.
+//!
+//! The service is fully `Sync`: all mutable state (ledgers, cache, metrics,
+//! the RNG request counter) sits behind per-component synchronization, so
+//! one `Arc<Service>` serves any number of threads. Randomness is derived
+//! per request from the root seed and a monotone counter, keeping runs
+//! reproducible for a fixed seed and arrival order while decorrelating
+//! concurrent requests.
+
+use crate::accountant::{BudgetAccountant, TenantUsage};
+use crate::admission::{validate_query, validate_workload};
+use crate::cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
+use crate::error::ServiceError;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use dp_starj::pm::PmConfig;
+use dp_starj::workload::WdConfig;
+use dp_starj::{pm_answer, pm_kstar, wd_answer, PredicateWorkload};
+use starj_engine::{canonicalize, QueryResult, StarQuery, StarSchema};
+use starj_graph::{Graph, KStarQuery};
+use starj_noise::{PrivacyBudget, StarRng};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Predicate Mechanism configuration.
+    pub pm: PmConfig,
+    /// Workload Decomposition configuration.
+    pub wd: WdConfig,
+    /// Root seed; request RNGs derive from it by arrival index.
+    pub seed: u64,
+    /// Set false to disable answer replay (every request pays).
+    pub cache_answers: bool,
+    /// Maximum cached answers before FIFO eviction (bounds service memory).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pm: PmConfig::default(),
+            wd: WdConfig::default(),
+            seed: 2023,
+            cache_answers: true,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// A served star-join answer.
+#[derive(Debug, Clone)]
+pub struct ServiceAnswer {
+    /// The label of the query as submitted.
+    pub name: String,
+    /// The (noisy) result.
+    pub result: QueryResult,
+    /// The perturbed query PM actually executed — `None` for free answers
+    /// to unsatisfiable queries.
+    pub noisy_query: Option<StarQuery>,
+    /// True iff replayed from the cache.
+    pub cached: bool,
+    /// What this call charged the tenant: `None` for cache hits and free
+    /// answers, `Some(cost)` when fresh budget was committed.
+    pub cost: Option<PrivacyBudget>,
+}
+
+/// A served workload answer (one value per workload query).
+#[derive(Debug, Clone)]
+pub struct WorkloadAnswer {
+    /// Noisy answers in workload order.
+    pub answers: Vec<f64>,
+    /// True iff replayed from the cache.
+    pub cached: bool,
+    /// What this call charged the tenant (`None` for cache hits).
+    pub cost: Option<PrivacyBudget>,
+}
+
+/// A served k-star answer.
+#[derive(Debug, Clone)]
+pub struct KStarAnswer {
+    /// The noisy k-star count.
+    pub count: f64,
+    /// The perturbed range actually counted.
+    pub noisy_query: KStarQuery,
+    /// True iff replayed from the cache.
+    pub cached: bool,
+    /// What this call charged the tenant (`None` for cache hits).
+    pub cost: Option<PrivacyBudget>,
+}
+
+/// A concurrent, multi-tenant DP star-join query service over one schema
+/// instance (and optionally one graph, for k-star queries).
+#[derive(Debug)]
+pub struct Service {
+    schema: Arc<StarSchema>,
+    graph: Option<Arc<Graph>>,
+    config: ServiceConfig,
+    accountant: BudgetAccountant,
+    cache: AnswerCache,
+    metrics: ServiceMetrics,
+    request_counter: AtomicU64,
+}
+
+impl Service {
+    /// A service over `schema` with the given configuration and no tenants.
+    pub fn new(schema: Arc<StarSchema>, config: ServiceConfig) -> Self {
+        let cache = AnswerCache::with_capacity(config.cache_capacity);
+        Service {
+            schema,
+            graph: None,
+            config,
+            accountant: BudgetAccountant::new(),
+            cache,
+            metrics: ServiceMetrics::default(),
+            request_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a graph so the service can answer k-star queries.
+    pub fn with_graph(mut self, graph: Arc<Graph>) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The schema this service answers over.
+    pub fn schema(&self) -> &Arc<StarSchema> {
+        &self.schema
+    }
+
+    /// Registers a tenant with its lifetime `(ε, δ)` allotment.
+    pub fn register_tenant(
+        &self,
+        tenant: &str,
+        allotment: PrivacyBudget,
+    ) -> Result<(), ServiceError> {
+        self.accountant.register(tenant, allotment)
+    }
+
+    /// The tenant's current budget usage.
+    pub fn tenant_usage(&self, tenant: &str) -> Result<TenantUsage, ServiceError> {
+        self.accountant.usage(tenant)
+    }
+
+    /// Point-in-time service metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of answers currently cached.
+    pub fn cached_answers(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Answers a star-join query with the Predicate Mechanism under ε-DP,
+    /// charged to `tenant`.
+    pub fn pm_answer(
+        &self,
+        tenant: &str,
+        query: &StarQuery,
+        epsilon: f64,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        let start = Instant::now();
+        let cost = self.admit_cost(epsilon)?;
+        self.admit(|| validate_query(&self.schema, query))?;
+
+        let canon = canonicalize(query);
+        if canon.unsatisfiable {
+            // Unsatisfiable on every instance — the exact empty answer is
+            // data-independent, hence free.
+            let result = if canon.group_by.is_empty() {
+                QueryResult::Scalar(0.0)
+            } else {
+                QueryResult::Groups(BTreeMap::new())
+            };
+            ServiceMetrics::inc(&self.metrics.free_answers);
+            return Ok(self.serve_pm(start, query, result, None, false, None));
+        }
+
+        let key = RequestKey::Single(canon.clone());
+        if let Some(hit) = self.cache_get(tenant, Mechanism::Pm, epsilon, &key) {
+            return Ok(self.serve_pm(start, query, hit.result, hit.noisy_query, true, None));
+        }
+
+        let reservation = self.reserve(tenant, cost)?;
+        let mut rng = self.request_rng();
+        // The canonical form is what executes: presentation-equivalent
+        // queries must spend identically, not just cache identically.
+        let executable = canon.to_query(&query.name);
+        let answer = match pm_answer(&self.schema, &executable, epsilon, &self.config.pm, &mut rng)
+        {
+            Ok(a) => a,
+            Err(e) => {
+                // Reservation drops here → automatic refund.
+                ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                return Err(e.into());
+            }
+        };
+        reservation.commit()?;
+
+        if self.config.cache_answers {
+            self.cache.insert(
+                tenant,
+                Mechanism::Pm,
+                epsilon,
+                key,
+                CachedAnswer {
+                    result: answer.result.clone(),
+                    workload_answers: Vec::new(),
+                    noisy_query: Some(answer.noisy_query.clone()),
+                    noisy_kstar: None,
+                    original_cost: cost,
+                },
+            );
+        }
+        Ok(self.serve_pm(start, query, answer.result, Some(answer.noisy_query), false, Some(cost)))
+    }
+
+    /// Answers a counting-query workload with Workload Decomposition under
+    /// ε-DP, charged to `tenant`.
+    pub fn wd_answer(
+        &self,
+        tenant: &str,
+        workload: &PredicateWorkload,
+        epsilon: f64,
+    ) -> Result<WorkloadAnswer, ServiceError> {
+        let start = Instant::now();
+        let cost = self.admit_cost(epsilon)?;
+        self.admit(|| validate_workload(&self.schema, workload))?;
+
+        let key =
+            RequestKey::Workload(workload.to_star_queries().iter().map(canonicalize).collect());
+        if let Some(hit) = self.cache_get(tenant, Mechanism::Wd, epsilon, &key) {
+            self.served(start);
+            return Ok(WorkloadAnswer { answers: hit.workload_answers, cached: true, cost: None });
+        }
+
+        let reservation = self.reserve(tenant, cost)?;
+        let mut rng = self.request_rng();
+        let answers = match wd_answer(&self.schema, workload, epsilon, &self.config.wd, &mut rng) {
+            Ok(a) => a,
+            Err(e) => {
+                ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                return Err(e.into());
+            }
+        };
+        reservation.commit()?;
+
+        if self.config.cache_answers {
+            self.cache.insert(
+                tenant,
+                Mechanism::Wd,
+                epsilon,
+                key,
+                CachedAnswer {
+                    result: QueryResult::Scalar(0.0),
+                    workload_answers: answers.clone(),
+                    noisy_query: None,
+                    noisy_kstar: None,
+                    original_cost: cost,
+                },
+            );
+        }
+        self.served(start);
+        Ok(WorkloadAnswer { answers, cached: false, cost: Some(cost) })
+    }
+
+    /// Answers a k-star counting query with PM under ε-DP, charged to
+    /// `tenant`. Requires a service built [`Service::with_graph`].
+    pub fn kstar_answer(
+        &self,
+        tenant: &str,
+        query: &KStarQuery,
+        epsilon: f64,
+    ) -> Result<KStarAnswer, ServiceError> {
+        let start = Instant::now();
+        let cost = self.admit_cost(epsilon)?;
+        let graph = self.graph.as_ref().ok_or(ServiceError::NoGraph)?;
+        self.admit(|| {
+            if query.lo > query.hi || query.hi >= graph.num_nodes() {
+                Err(ServiceError::InvalidQuery(starj_engine::EngineError::InvalidConstraint(
+                    format!(
+                        "k-star range [{}, {}] invalid for a {}-node graph",
+                        query.lo,
+                        query.hi,
+                        graph.num_nodes()
+                    ),
+                )))
+            } else {
+                Ok(())
+            }
+        })?;
+
+        let key = RequestKey::KStar(query.k, query.lo, query.hi);
+        if let Some(hit) = self.cache_get(tenant, Mechanism::KStar, epsilon, &key) {
+            self.served(start);
+            let (k, lo, hi) = hit.noisy_kstar.unwrap_or((query.k, query.lo, query.hi));
+            return Ok(KStarAnswer {
+                count: hit.result.scalar().map_err(ServiceError::InvalidQuery)?,
+                noisy_query: KStarQuery { k, lo, hi },
+                cached: true,
+                cost: None,
+            });
+        }
+
+        let reservation = self.reserve(tenant, cost)?;
+        let mut rng = self.request_rng();
+        let (count, noisy_query) =
+            match pm_kstar(graph, query, epsilon, self.config.pm.policy, &mut rng) {
+                Ok(a) => a,
+                Err(e) => {
+                    ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                    return Err(e.into());
+                }
+            };
+        reservation.commit()?;
+
+        if self.config.cache_answers {
+            self.cache.insert(
+                tenant,
+                Mechanism::KStar,
+                epsilon,
+                key,
+                CachedAnswer {
+                    result: QueryResult::Scalar(count),
+                    workload_answers: Vec::new(),
+                    noisy_query: None,
+                    noisy_kstar: Some((noisy_query.k, noisy_query.lo, noisy_query.hi)),
+                    original_cost: cost,
+                },
+            );
+        }
+        self.served(start);
+        Ok(KStarAnswer { count, noisy_query, cached: false, cost: Some(cost) })
+    }
+
+    // ---- pipeline helpers -------------------------------------------------
+
+    fn admit_cost(&self, epsilon: f64) -> Result<PrivacyBudget, ServiceError> {
+        PrivacyBudget::pure(epsilon).map_err(|e| {
+            ServiceMetrics::inc(&self.metrics.admission_rejections);
+            ServiceError::InvalidBudget(e)
+        })
+    }
+
+    fn admit(&self, check: impl FnOnce() -> Result<(), ServiceError>) -> Result<(), ServiceError> {
+        check().inspect_err(|_| {
+            ServiceMetrics::inc(&self.metrics.admission_rejections);
+        })
+    }
+
+    fn reserve(
+        &self,
+        tenant: &str,
+        cost: PrivacyBudget,
+    ) -> Result<crate::accountant::Reservation, ServiceError> {
+        self.accountant.reserve(tenant, cost).inspect_err(|e| {
+            if matches!(e, ServiceError::BudgetExhausted { .. }) {
+                ServiceMetrics::inc(&self.metrics.budget_refusals);
+            }
+        })
+    }
+
+    fn cache_get(
+        &self,
+        tenant: &str,
+        mechanism: Mechanism,
+        epsilon: f64,
+        key: &RequestKey,
+    ) -> Option<CachedAnswer> {
+        if !self.config.cache_answers {
+            return None;
+        }
+        let hit = self.cache.get(tenant, mechanism, epsilon, key)?;
+        ServiceMetrics::inc(&self.metrics.cache_hits);
+        Some(hit)
+    }
+
+    fn serve_pm(
+        &self,
+        start: Instant,
+        query: &StarQuery,
+        result: QueryResult,
+        noisy_query: Option<StarQuery>,
+        cached: bool,
+        cost: Option<PrivacyBudget>,
+    ) -> ServiceAnswer {
+        self.served(start);
+        ServiceAnswer { name: query.name.clone(), result, noisy_query, cached, cost }
+    }
+
+    fn served(&self, start: Instant) {
+        ServiceMetrics::inc(&self.metrics.queries_served);
+        self.metrics.latency.record(start.elapsed());
+    }
+
+    fn request_rng(&self) -> StarRng {
+        let index = self.request_counter.fetch_add(1, Ordering::Relaxed);
+        StarRng::from_seed(self.config.seed).derive_index(index)
+    }
+}

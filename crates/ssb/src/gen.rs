@@ -109,12 +109,7 @@ pub struct SsbConfig {
 
 impl Default for SsbConfig {
     fn default() -> Self {
-        SsbConfig {
-            scale: 0.01,
-            seed: 42,
-            distribution: FactDistribution::Uniform,
-            hot: None,
-        }
+        SsbConfig { scale: 0.01, seed: 42, distribution: FactDistribution::Uniform, hot: None }
     }
 }
 
@@ -156,8 +151,7 @@ impl SsbConfig {
 pub const DATE_ROWS: usize = 2_556;
 
 const DAYS_PER_YEAR: [u32; 7] = [366, 365, 365, 365, 366, 365, 365];
-const MONTH_CUM_DAYS: [u32; 13] =
-    [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 366];
+const MONTH_CUM_DAYS: [u32; 13] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 366];
 
 /// Generates a full SSB star schema instance.
 pub fn generate(config: &SsbConfig) -> Result<StarSchema, EngineError> {

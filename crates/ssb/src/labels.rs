@@ -11,15 +11,35 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 /// 25 nations, five per region, in code order (`nation = region·5 + i`).
 pub const NATIONS: [&str; 25] = [
     // AFRICA
-    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "ALGERIA",
+    "ETHIOPIA",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
     // AMERICA
-    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "PERU",
+    "UNITED STATES",
     // ASIA
-    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+    "CHINA",
+    "INDIA",
+    "INDONESIA",
+    "JAPAN",
+    "VIETNAM",
     // EUROPE
-    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    "FRANCE",
+    "GERMANY",
+    "ROMANIA",
+    "RUSSIA",
+    "UNITED KINGDOM",
     // MIDDLE EAST
-    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+    "EGYPT",
+    "IRAN",
+    "IRAQ",
+    "JORDAN",
+    "SAUDI ARABIA",
 ];
 
 /// The five part manufacturers, in code order.

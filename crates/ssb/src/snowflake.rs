@@ -9,8 +9,7 @@
 use crate::gen::{self, SsbConfig};
 use crate::labels;
 use starj_engine::{
-    Column, Dimension, Domain, EngineError, Predicate, StarQuery, StarSchema, SubDimension,
-    Table,
+    Column, Dimension, Domain, EngineError, Predicate, StarQuery, StarSchema, SubDimension, Table,
 };
 
 /// Builds the snowflake instance: the regular SSB schema whose `Date`
@@ -102,13 +101,11 @@ mod tests {
         .unwrap()
         .scalar()
         .unwrap();
-        let via_star = execute(
-            &s,
-            &StarQuery::count("flat").with(Predicate::range("Date", "month", 0, 6)),
-        )
-        .unwrap()
-        .scalar()
-        .unwrap();
+        let via_star =
+            execute(&s, &StarQuery::count("flat").with(Predicate::range("Date", "month", 0, 6)))
+                .unwrap()
+                .scalar()
+                .unwrap();
         assert_eq!(via_snowflake, via_star);
         assert!(via_snowflake > 0.0, "first-half-of-year rows must exist");
     }

@@ -135,8 +135,7 @@ pub fn w1() -> Workload {
 /// `W2`: 7 cumulative queries — year prefixes `[0, i]` with varying region
 /// points. Matches the 7×17 matrix in the paper.
 pub fn w2() -> Workload {
-    let regions: [(u32, u32); 7] =
-        [(2, 0), (2, 0), (0, 0), (2, 1), (3, 2), (4, 0), (2, 1)];
+    let regions: [(u32, u32); 7] = [(2, 0), (2, 0), (0, 0), (2, 1), (3, 2), (4, 0), (2, 1)];
     let queries = (0..7u32)
         .map(|i| WorkloadQuery {
             year: range(0, i),
@@ -162,7 +161,10 @@ mod tests {
         // Row 7 (paper row 8): year range [2,3], cust 1, supp 1.
         assert_eq!(m.row(7), &[0., 0., 1., 1., 0., 0., 0., 0., 1., 0., 0., 0., 0., 1., 0., 0., 0.]);
         // Row 10 (paper row 11): year range [5,6], cust 4, supp 1.
-        assert_eq!(m.row(10), &[0., 0., 0., 0., 0., 1., 1., 0., 0., 0., 0., 1., 0., 1., 0., 0., 0.]);
+        assert_eq!(
+            m.row(10),
+            &[0., 0., 0., 0., 0., 1., 1., 0., 0., 0., 0., 1., 0., 1., 0., 0., 0.]
+        );
     }
 
     #[test]

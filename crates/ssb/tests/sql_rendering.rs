@@ -61,12 +61,9 @@ fn sum_and_group_queries_render_aggregates() {
 
 #[test]
 fn snowflake_query_renders_month_join() {
-    let snow = starj_ssb::generate_snowflake(&SsbConfig {
-        scale: 0.001,
-        seed: 2,
-        ..Default::default()
-    })
-    .unwrap();
+    let snow =
+        starj_ssb::generate_snowflake(&SsbConfig { scale: 0.001, seed: 2, ..Default::default() })
+            .unwrap();
     let sql = to_sql(&snow, &starj_ssb::qtc());
     assert!(sql.contains("Date.mk = Month.mk"), "snowflake two-hop join: {sql}");
     assert!(sql.contains("Month.monthnum BETWEEN 0 AND 5"), "{sql}");

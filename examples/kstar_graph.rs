@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r2t.chosen_tau
         );
 
-        let (tm, theta, _) = kstar_tm(&graph, &query, epsilon, &KstarTmConfig::default(), &mut rng)?;
+        let (tm, theta, _) =
+            kstar_tm(&graph, &query, epsilon, &KstarTmConfig::default(), &mut rng)?;
         println!(
             "  TM : {tm:>16.0}  rel err {:>6.2}%  (degree truncation θ = {theta})",
             (tm - truth).abs() / truth * 100.0

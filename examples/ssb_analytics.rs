@@ -35,12 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{:<6} {e:>14.0} {n:>14.0} {err:>10.2}", query.name);
             }
             (QueryResult::Groups(e), QueryResult::Groups(n)) => {
-                println!(
-                    "{:<6} {:>10} grps {:>10} grps {err:>10.2}",
-                    query.name,
-                    e.len(),
-                    n.len()
-                );
+                println!("{:<6} {:>10} grps {:>10} grps {err:>10.2}", query.name, e.len(), n.len());
             }
             _ => unreachable!("shapes always agree"),
         }

@@ -14,16 +14,11 @@ use dp_starj_repro::noise::StarRng;
 /// A schema with an empty fact table (0 rows) and one 2-row dimension.
 fn empty_fact_schema() -> StarSchema {
     let d = Domain::numeric("x", 3).unwrap();
-    let dim = Table::new(
-        "D",
-        vec![Column::key("pk", vec![0, 1]), Column::attr("x", d, vec![0, 2])],
-    )
-    .unwrap();
-    let fact = Table::new(
-        "F",
-        vec![Column::key("fk", vec![]), Column::measure("m", vec![])],
-    )
-    .unwrap();
+    let dim =
+        Table::new("D", vec![Column::key("pk", vec![0, 1]), Column::attr("x", d, vec![0, 2])])
+            .unwrap();
+    let fact =
+        Table::new("F", vec![Column::key("fk", vec![]), Column::measure("m", vec![])]).unwrap();
     StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap()
 }
 
@@ -67,14 +62,8 @@ fn single_value_domain_pma_is_identity() {
     let d = Domain::numeric("only", 1).unwrap();
     let mut rng = StarRng::from_seed(3);
     for _ in 0..100 {
-        match perturb_constraint(
-            &Constraint::Point(0),
-            &d,
-            0.01,
-            RangePolicy::default(),
-            &mut rng,
-        )
-        .unwrap()
+        match perturb_constraint(&Constraint::Point(0), &d, 0.01, RangePolicy::default(), &mut rng)
+            .unwrap()
         {
             Constraint::Point(v) => assert_eq!(v, 0),
             other => panic!("got {other:?}"),
@@ -108,8 +97,8 @@ fn edgeless_graph_has_zero_stars_and_mechanisms_cope() {
     let q = KStarQuery::full(2, 10);
     assert_eq!(kstar_count(&g, &q), 0);
     let mut rng = StarRng::from_seed(5);
-    let (pm, _) = dp_starj_repro::core::pm_kstar(&g, &q, 1.0, RangePolicy::default(), &mut rng)
-        .unwrap();
+    let (pm, _) =
+        dp_starj_repro::core::pm_kstar(&g, &q, 1.0, RangePolicy::default(), &mut rng).unwrap();
     assert_eq!(pm, 0.0, "no stars anywhere, noisy range or not");
     let cfg = R2tConfig::new(4.0, vec![]);
     let r2t = kstar_r2t(&g, &q, 1.0, &cfg, &mut rng).unwrap();
@@ -158,8 +147,7 @@ fn very_small_epsilon_still_terminates_quickly() {
 #[test]
 fn group_by_on_empty_result_is_empty_map() {
     let s = empty_fact_schema();
-    let q = StarQuery::count("q")
-        .group_by(dp_starj_repro::engine::GroupAttr::new("D", "x"));
+    let q = StarQuery::count("q").group_by(dp_starj_repro::engine::GroupAttr::new("D", "x"));
     let res = execute(&s, &q).unwrap();
     assert!(res.groups().unwrap().is_empty());
     // Positional error of empty vs empty is 0.
@@ -171,11 +159,9 @@ fn fk_fanout_entirely_on_one_entity() {
     // All fact rows reference a single dimension tuple — the worst case for
     // output perturbation, routine for PM.
     let d = Domain::numeric("x", 3).unwrap();
-    let dim = Table::new(
-        "D",
-        vec![Column::key("pk", vec![0, 1]), Column::attr("x", d, vec![0, 1])],
-    )
-    .unwrap();
+    let dim =
+        Table::new("D", vec![Column::key("pk", vec![0, 1]), Column::attr("x", d, vec![0, 1])])
+            .unwrap();
     let fact = Table::new(
         "F",
         vec![Column::key("fk", vec![0; 1000]), Column::measure("m", vec![1; 1000])],
@@ -183,13 +169,11 @@ fn fk_fanout_entirely_on_one_entity() {
     .unwrap();
     let s = StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap();
     let q = StarQuery::count("q").with(Predicate::point("D", "x", 0));
-    let contrib =
-        dp_starj_repro::engine::contributions(&s, &q, &["D".to_string()]).unwrap();
+    let contrib = dp_starj_repro::engine::contributions(&s, &q, &["D".to_string()]).unwrap();
     assert_eq!(contrib.max(), 1000.0);
     assert_eq!(contrib.num_entities(), 1);
     // Deleting that entity zeroes the answer — verified through the
     // neighboring-instance constructor.
-    let neighbor =
-        dp_starj_repro::core::neighbors::delete_dim_tuple_cascade(&s, "D", 0).unwrap();
+    let neighbor = dp_starj_repro::core::neighbors::delete_dim_tuple_cascade(&s, "D", 0).unwrap();
     assert_eq!(execute(&neighbor, &q).unwrap().scalar().unwrap(), 0.0);
 }

@@ -7,10 +7,7 @@ use dp_starj_repro::graph::{amazon_like, deezer_like, kstar_count, Graph, KStarQ
 use dp_starj_repro::noise::StarRng;
 
 fn graphs() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("deezer", deezer_like(0.01, 3).unwrap()),
-        ("amazon", amazon_like(0.005, 4).unwrap()),
-    ]
+    vec![("deezer", deezer_like(0.01, 3).unwrap()), ("amazon", amazon_like(0.005, 4).unwrap())]
 }
 
 #[test]
@@ -58,10 +55,7 @@ fn pm_is_fastest_mechanism() {
     let tm_t = time(&mut || {
         kstar_tm(&g, &q, 1.0, &KstarTmConfig::default(), &mut rng2).unwrap();
     });
-    assert!(
-        pm_t < tm_t * 2.0,
-        "PM ({pm_t:.4}s) should not be slower than TM ({tm_t:.4}s)"
-    );
+    assert!(pm_t < tm_t * 2.0, "PM ({pm_t:.4}s) should not be slower than TM ({tm_t:.4}s)");
 }
 
 #[test]
@@ -96,8 +90,7 @@ fn tm_beats_nothing_at_tiny_epsilon_but_r2t_works_at_large() {
         let mut errs: Vec<f64> = (0..30)
             .map(|t| {
                 let mut rng = StarRng::from_seed(12).derive_index(t);
-                let (v, _, _) =
-                    kstar_tm(&g, &q, eps, &KstarTmConfig::default(), &mut rng).unwrap();
+                let (v, _, _) = kstar_tm(&g, &q, eps, &KstarTmConfig::default(), &mut rng).unwrap();
                 (v - truth).abs() / truth
             })
             .collect();

@@ -63,18 +63,11 @@ fn pm_mean_answer_tracks_truth_on_broad_count() {
     let mean: f64 = (0..n)
         .map(|t| {
             let mut rng = StarRng::from_seed(4).derive_index(t);
-            pm_answer(&s, &q, 1.0, &PmConfig::default(), &mut rng)
-                .unwrap()
-                .result
-                .scalar()
-                .unwrap()
+            pm_answer(&s, &q, 1.0, &PmConfig::default(), &mut rng).unwrap().result.scalar().unwrap()
         })
         .sum::<f64>()
         / n as f64;
-    assert!(
-        (mean - truth).abs() / truth < 0.25,
-        "mean PM answer {mean} strays from truth {truth}"
-    );
+    assert!((mean - truth).abs() / truth < 0.25, "mean PM answer {mean} strays from truth {truth}");
 }
 
 #[test]
@@ -83,11 +76,7 @@ fn mechanisms_are_deterministic_under_seed() {
     let q = dp_starj_repro::ssb::qc3();
     let run_pm = || {
         let mut rng = StarRng::from_seed(77);
-        pm_answer(&s, &q, 0.5, &PmConfig::default(), &mut rng)
-            .unwrap()
-            .result
-            .scalar()
-            .unwrap()
+        pm_answer(&s, &q, 0.5, &PmConfig::default(), &mut rng).unwrap().result.scalar().unwrap()
     };
     assert_eq!(run_pm(), run_pm());
     let cfg = R2tConfig::new(1e5, vec!["Customer".into()]);

@@ -72,10 +72,7 @@ fn wd_beats_pm_on_both_workloads_statistically() {
             wd_total += workload_relative_error(&wd, &truth);
             pm_total += workload_relative_error(&pm, &truth);
         }
-        assert!(
-            wd_total < pm_total,
-            "{name}: WD ({wd_total:.2}) must beat PM ({pm_total:.2})"
-        );
+        assert!(wd_total < pm_total, "{name}: WD ({wd_total:.2}) must beat PM ({pm_total:.2})");
     }
 }
 

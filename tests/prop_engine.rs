@@ -2,8 +2,8 @@
 //! must agree with a brute-force nested-loop join on arbitrary instances.
 
 use dp_starj_repro::engine::{
-    execute, execute_weighted, Agg, Column, Constraint, Dimension, Domain, GroupAttr,
-    Predicate, StarQuery, StarSchema, Table, WeightedPredicate,
+    execute, execute_weighted, Agg, Column, Constraint, Dimension, Domain, GroupAttr, Predicate,
+    StarQuery, StarSchema, Table, WeightedPredicate,
 };
 use proptest::prelude::*;
 
@@ -66,10 +66,7 @@ fn build(instance: &Instance) -> StarSchema {
 fn constraint_strategy(domain: u32) -> impl Strategy<Value = Constraint> {
     prop_oneof![
         (0..domain).prop_map(Constraint::Point),
-        (0..domain, 0..domain).prop_map(|(a, b)| Constraint::Range {
-            lo: a.min(b),
-            hi: a.max(b)
-        }),
+        (0..domain, 0..domain).prop_map(|(a, b)| Constraint::Range { lo: a.min(b), hi: a.max(b) }),
     ]
 }
 

@@ -4,12 +4,7 @@ use dp_starj_repro::graph::{binomial, kstar_count, Graph, KStarQuery};
 use proptest::prelude::*;
 
 fn edges_strategy() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
-    (2u32..30).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..80),
-        )
-    })
+    (2u32..30).prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..80)))
 }
 
 proptest! {

@@ -153,16 +153,12 @@ fn neighboring_instances_preserve_schema_invariants() {
     // Deterministic (non-proptest) structural check across many deletions.
     use dp_starj_repro::core::neighbors::delete_dim_tuple_cascade;
     use dp_starj_repro::ssb::{generate, SsbConfig};
-    let schema =
-        generate(&SsbConfig { scale: 0.001, seed: 55, ..Default::default() }).unwrap();
+    let schema = generate(&SsbConfig { scale: 0.001, seed: 55, ..Default::default() }).unwrap();
     let customers = schema.dim("Customer").unwrap().table.num_rows() as u32;
     for key in (0..customers).step_by(7) {
         // StarSchema::new inside the constructor re-validates FKs and dense
         // PKs — success is the invariant.
         let neighbor = delete_dim_tuple_cascade(&schema, "Customer", key).unwrap();
-        assert_eq!(
-            neighbor.dim("Customer").unwrap().table.num_rows() as u32,
-            customers - 1
-        );
+        assert_eq!(neighbor.dim("Customer").unwrap().table.num_rows() as u32, customers - 1);
     }
 }

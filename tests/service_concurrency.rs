@@ -1,0 +1,230 @@
+//! Cross-crate tests for the serving subsystem's two core guarantees:
+//!
+//! 1. **No over-spend under contention** — N threads hammering one tenant's
+//!    `(ε, δ)` allotment can never drive committed spending past it, and
+//!    every refusal is the typed `BudgetExhausted` error.
+//! 2. **Cache hits are free** — an identical repeat query replays the stored
+//!    noisy answer bit-for-bit while consuming zero additional budget.
+
+use dp_starj_repro::engine::{Column, Dimension, Domain, Predicate, StarQuery, StarSchema, Table};
+use dp_starj_repro::noise::PrivacyBudget;
+use dp_starj_repro::service::{Service, ServiceConfig, ServiceError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A schema with a wide attribute domain so tests can mint many *distinct*
+/// queries (distinct queries cannot hit the cache, so each must pay).
+fn wide_schema() -> StarSchema {
+    const DOMAIN: u32 = 512;
+    let domain = Domain::numeric("bucket", DOMAIN).unwrap();
+    let n_dim = DOMAIN as usize;
+    let dim = Table::new(
+        "D",
+        vec![
+            Column::key("pk", (0..DOMAIN).collect()),
+            Column::attr("bucket", domain, (0..DOMAIN).collect()),
+        ],
+    )
+    .unwrap();
+    let n_fact = 2_000usize;
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("fk", (0..n_fact).map(|i| (i % n_dim) as u32).collect()),
+            Column::measure("qty", (0..n_fact).map(|i| (i % 7) as i64).collect()),
+        ],
+    )
+    .unwrap();
+    StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap()
+}
+
+fn query_for(i: u32) -> StarQuery {
+    StarQuery::count(format!("q{i}")).with(Predicate::point("D", "bucket", i % 512))
+}
+
+#[test]
+fn contended_tenant_never_overspends() {
+    const THREADS: u32 = 8;
+    const ATTEMPTS_PER_THREAD: u32 = 40;
+    const EPS_PER_QUERY: f64 = 0.05;
+    const ALLOTMENT: f64 = 1.0;
+    // Demand (8 × 40 × 0.05 = 16 ε) far exceeds supply (1 ε): exactly
+    // ⌊1.0 / 0.05⌋ = 20 queries can ever be admitted.
+
+    let service = Arc::new(Service::new(Arc::new(wide_schema()), ServiceConfig::default()));
+    service.register_tenant("shared", PrivacyBudget::pure(ALLOTMENT).unwrap()).unwrap();
+
+    let successes = Arc::new(AtomicU64::new(0));
+    let refusals = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let successes = Arc::clone(&successes);
+            let refusals = Arc::clone(&refusals);
+            thread::spawn(move || {
+                for i in 0..ATTEMPTS_PER_THREAD {
+                    // Distinct predicate per attempt → no cache assists.
+                    let q = query_for(t * ATTEMPTS_PER_THREAD + i);
+                    match service.pm_answer("shared", &q, EPS_PER_QUERY) {
+                        Ok(answer) => {
+                            assert!(!answer.cached, "distinct queries cannot hit the cache");
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServiceError::BudgetExhausted {
+                            tenant, requested_epsilon, ..
+                        }) => {
+                            assert_eq!(tenant, "shared");
+                            assert_eq!(requested_epsilon, EPS_PER_QUERY);
+                            refusals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error under contention: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("serving thread panicked");
+    }
+
+    let ok = successes.load(Ordering::Relaxed);
+    let refused = refusals.load(Ordering::Relaxed);
+    assert_eq!(ok + refused, u64::from(THREADS * ATTEMPTS_PER_THREAD));
+
+    let usage = service.tenant_usage("shared").unwrap();
+    assert!(
+        usage.spent_epsilon <= ALLOTMENT + 1e-9,
+        "over-spend: {} > {ALLOTMENT}",
+        usage.spent_epsilon
+    );
+    assert!(
+        (usage.spent_epsilon - ok as f64 * EPS_PER_QUERY).abs() < 1e-9,
+        "spend must equal successes × per-query ε"
+    );
+    assert_eq!(usage.in_flight_epsilon, 0.0, "no reservation may leak");
+    // The budget admits exactly 20 queries; concurrency must not change that.
+    assert_eq!(ok, (ALLOTMENT / EPS_PER_QUERY).round() as u64);
+    assert!(refused > 0, "demand exceeded supply, someone must be refused");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.queries_served, ok);
+    assert_eq!(metrics.budget_refusals, refused);
+    assert_eq!(metrics.cache_hits, 0);
+}
+
+#[test]
+fn cache_hit_spends_zero_budget() {
+    let service = Service::new(Arc::new(wide_schema()), ServiceConfig::default());
+    service.register_tenant("alice", PrivacyBudget::pure(1.0).unwrap()).unwrap();
+
+    let q = StarQuery::count("repeat").with(Predicate::range("D", "bucket", 10, 20));
+    let first = service.pm_answer("alice", &q, 0.3).unwrap();
+    assert!(!first.cached);
+    assert!(first.cost.is_some());
+    let spent_after_first = service.tenant_usage("alice").unwrap().spent_epsilon;
+    assert!((spent_after_first - 0.3).abs() < 1e-12);
+
+    // Same query, different label and predicate presentation: canonical hit.
+    let same = StarQuery::count("relabeled").with(Predicate::range("D", "bucket", 10, 20));
+    let replay = service.pm_answer("alice", &same, 0.3).unwrap();
+    assert!(replay.cached, "identical query must replay from the cache");
+    assert!(replay.cost.is_none(), "a replay charges nothing");
+    assert_eq!(replay.result, first.result, "replay returns the stored noisy answer");
+    assert_eq!(replay.noisy_query, first.noisy_query);
+
+    let spent_after_replay = service.tenant_usage("alice").unwrap().spent_epsilon;
+    assert_eq!(
+        spent_after_first, spent_after_replay,
+        "a cache hit must consume zero additional budget"
+    );
+    assert_eq!(service.metrics().cache_hits, 1);
+
+    // A different ε is a different release: it must pay again.
+    let other_eps = service.pm_answer("alice", &q, 0.2).unwrap();
+    assert!(!other_eps.cached);
+    assert!((service.tenant_usage("alice").unwrap().spent_epsilon - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn concurrent_repeat_queries_converge_to_one_spend_per_distinct_query() {
+    // 4 tenants × 4 threads each replaying the same 5 queries over and over:
+    // each tenant ends up having paid for at most 5 distinct releases.
+    const TENANTS: usize = 4;
+    const EPS: f64 = 0.01;
+    let service = Arc::new(Service::new(Arc::new(wide_schema()), ServiceConfig::default()));
+    for t in 0..TENANTS {
+        service.register_tenant(&format!("t{t}"), PrivacyBudget::pure(10.0).unwrap()).unwrap();
+    }
+
+    let handles: Vec<_> = (0..TENANTS * 4)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let tenant = format!("t{}", i % TENANTS);
+            thread::spawn(move || {
+                for round in 0..50 {
+                    let q = query_for((round % 5) as u32);
+                    service.pm_answer(&tenant, &q, EPS).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("serving thread panicked");
+    }
+
+    for t in 0..TENANTS {
+        let usage = service.tenant_usage(&format!("t{t}")).unwrap();
+        // Racing first requests may each pay before the winner lands in the
+        // cache, so the bound is "at most one spend per racing thread per
+        // distinct query", and after the race every repeat is free.
+        assert!(
+            usage.spent_epsilon <= 4.0 * 5.0 * EPS + 1e-9,
+            "tenant t{t} spent {} — repeats must not keep paying",
+            usage.spent_epsilon
+        );
+        assert!(usage.spent_epsilon >= 5.0 * EPS - 1e-9, "5 distinct queries must be paid");
+    }
+    let m = service.metrics();
+    assert_eq!(m.queries_served, (TENANTS * 4 * 50) as u64);
+    assert!(m.cache_hits >= (TENANTS * 4 * 45) as u64, "most requests replay");
+}
+
+#[test]
+fn unsatisfiable_queries_are_answered_exactly_and_free() {
+    let service = Service::new(Arc::new(wide_schema()), ServiceConfig::default());
+    service.register_tenant("t", PrivacyBudget::pure(0.5).unwrap()).unwrap();
+    let contradiction = StarQuery::count("impossible")
+        .with(Predicate::point("D", "bucket", 1))
+        .with(Predicate::point("D", "bucket", 2));
+    let ans = service.pm_answer("t", &contradiction, 0.4).unwrap();
+    assert_eq!(ans.result.scalar().unwrap(), 0.0);
+    assert!(ans.cost.is_none());
+    assert_eq!(service.tenant_usage("t").unwrap().spent_epsilon, 0.0);
+    assert_eq!(service.metrics().free_answers, 1);
+}
+
+#[test]
+fn admission_rejects_before_any_budget_moves() {
+    let service = Service::new(Arc::new(wide_schema()), ServiceConfig::default());
+    service.register_tenant("t", PrivacyBudget::pure(1.0).unwrap()).unwrap();
+
+    let unknown_table = StarQuery::count("bad").with(Predicate::point("Nope", "x", 0));
+    assert!(matches!(
+        service.pm_answer("t", &unknown_table, 0.5),
+        Err(ServiceError::InvalidQuery(_))
+    ));
+    let out_of_domain = StarQuery::count("bad").with(Predicate::point("D", "bucket", 99_999));
+    assert!(matches!(
+        service.pm_answer("t", &out_of_domain, 0.5),
+        Err(ServiceError::InvalidQuery(_))
+    ));
+    let bad_eps = query_for(0);
+    assert!(matches!(service.pm_answer("t", &bad_eps, -1.0), Err(ServiceError::InvalidBudget(_))));
+
+    let usage = service.tenant_usage("t").unwrap();
+    assert_eq!(usage.spent_epsilon, 0.0);
+    assert_eq!(usage.in_flight_epsilon, 0.0);
+    assert_eq!(service.metrics().admission_rejections, 3);
+    assert_eq!(service.metrics().queries_served, 0);
+}
