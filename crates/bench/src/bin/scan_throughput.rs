@@ -1,0 +1,227 @@
+//! Scan-kernel throughput: the same `l`-query workload answered four ways —
+//!
+//! 1. **row-at-a-time** — the legacy executor (`exec::reference`), one scan
+//!    per query over `Vec<bool>` bitmaps;
+//! 2. **bitset** — the vectorized chunked kernel, still one scan per query;
+//! 3. **fused** — `execute_batch`, all `l` queries in ONE fact scan;
+//! 4. **parallel** — the fused scan sharded across threads.
+//!
+//! Plus the weighted (WD-shaped) form: `l` reconstructed predicate rows
+//! answered by `execute_weighted_batch` in one scan vs `l` reference scans.
+//!
+//! Every regime's answers are checked against the reference executor; any
+//! divergence exits non-zero, which is what the CI bench-smoke step gates
+//! on. Results are written to `BENCH_scan.json`.
+//!
+//! ```text
+//! SSB_SF=0.05 SCAN_QUERIES=16 SCAN_THREADS=4 \
+//!   cargo run --release -p starj-bench --bin scan_throughput
+//! ```
+
+use starj_bench::harness::{env_u64, timed, Json};
+use starj_bench::{query_pool, root_seed, ssb_sf, TablePrinter};
+use starj_engine::exec::reference;
+use starj_engine::{
+    execute, execute_batch, execute_batch_with, execute_weighted_batch, fact_scan_count, Agg,
+    QueryResult, ScanOptions, StarQuery, StarSchema, WeightedPredicate, WeightedQuery,
+};
+use starj_ssb::{generate, SsbConfig, BLOCKS};
+
+struct Regime {
+    name: &'static str,
+    wall_secs: f64,
+    scans: u64,
+    ok: bool,
+}
+
+fn run_regime(
+    name: &'static str,
+    oracle: &[QueryResult],
+    f: impl Fn() -> Vec<QueryResult>,
+) -> Regime {
+    // Warm-up run, then timed run; BOTH are equivalence-checked (a
+    // thread-count-dependent bug could diverge on either).
+    let warm = f();
+    let scans_before = fact_scan_count();
+    let (got, wall_secs) = timed(&f);
+    let ok = warm == oracle && got == oracle;
+    Regime { name, wall_secs, scans: fact_scan_count() - scans_before, ok }
+}
+
+/// WD-shaped weighted rows: one indicator row per query over the year
+/// block, the shape `X·Â` reconstruction produces (here exact indicators so
+/// the reference comparison is deterministic).
+fn weighted_workload(l: usize) -> Vec<WeightedQuery> {
+    let (_, _, year_domain) = BLOCKS[0];
+    (0..l)
+        .map(|i| {
+            let hi = (i % year_domain as usize) as u32;
+            let weights: Vec<f64> =
+                (0..year_domain).map(|y| if y <= hi { 1.0 } else { 0.0 }).collect();
+            WeightedQuery {
+                predicates: vec![WeightedPredicate::new("Date", "year", weights)],
+                agg: Agg::Count,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let sf = ssb_sf();
+    let seed = root_seed();
+    let l = env_u64("SCAN_QUERIES", 16) as usize;
+    let threads = env_u64("SCAN_THREADS", 4) as usize;
+
+    let schema: StarSchema = generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation");
+    let fact_rows = schema.fact().num_rows();
+    let pool = query_pool();
+    let queries: Vec<StarQuery> = (0..l).map(|i| pool[i % pool.len()].clone()).collect();
+
+    println!("Scan kernels (SF={sf}, {fact_rows} fact rows, l={l} queries, {threads} threads)\n");
+
+    // The oracle: legacy row-at-a-time answers.
+    let oracle: Vec<QueryResult> =
+        queries.iter().map(|q| reference::execute(&schema, q).expect("reference")).collect();
+
+    let mut regimes = vec![
+        run_regime("row-at-a-time", &oracle, || {
+            queries.iter().map(|q| reference::execute(&schema, q).unwrap()).collect()
+        }),
+        run_regime("bitset", &oracle, || {
+            queries.iter().map(|q| execute(&schema, q).unwrap()).collect()
+        }),
+        run_regime("fused-batch", &oracle, || execute_batch(&schema, &queries).unwrap()),
+        run_regime("fused-parallel", &oracle, || {
+            execute_batch_with(&schema, &queries, ScanOptions::parallel(threads)).unwrap()
+        }),
+    ];
+    // The reference executor predates the scan counter; it pays one scan
+    // per query by construction.
+    regimes[0].scans = l as u64;
+
+    // Weighted (WD answering) form: l reference scans vs one fused scan.
+    let witems = weighted_workload(l);
+    let woracle: Vec<f64> = witems
+        .iter()
+        .map(|w| reference::execute_weighted(&schema, &w.predicates, &w.agg).unwrap())
+        .collect();
+    let scans_before = fact_scan_count();
+    let (wfused, wd_fused_secs) = timed(|| execute_weighted_batch(&schema, &witems).unwrap());
+    let wd_fused_scans = fact_scan_count() - scans_before;
+    let weighted_ok = wfused == woracle;
+    let (_, wd_ref_secs) = timed(|| {
+        witems
+            .iter()
+            .map(|w| reference::execute_weighted(&schema, &w.predicates, &w.agg).unwrap())
+            .collect::<Vec<f64>>()
+    });
+
+    let table = TablePrinter::new(
+        &["regime", "scans", "wall s", "queries/s", "Mrows/s", "check"],
+        &[15, 6, 10, 11, 9, 6],
+    );
+    let qps = |wall: f64| l as f64 / wall.max(1e-12);
+    let mrps = |wall: f64| l as f64 * fact_rows as f64 / wall.max(1e-12) / 1e6;
+    for r in &regimes {
+        table.row(&[
+            r.name,
+            &r.scans.to_string(),
+            &format!("{:.4}", r.wall_secs),
+            &format!("{:.0}", qps(r.wall_secs)),
+            &format!("{:.1}", mrps(r.wall_secs)),
+            if r.ok { "ok" } else { "FAIL" },
+        ]);
+    }
+    table.rule();
+    table.row(&[
+        "wd-per-query",
+        &l.to_string(),
+        &format!("{wd_ref_secs:.4}"),
+        &format!("{:.0}", qps(wd_ref_secs)),
+        &format!("{:.1}", mrps(wd_ref_secs)),
+        "ok",
+    ]);
+    table.row(&[
+        "wd-fused",
+        &wd_fused_scans.to_string(),
+        &format!("{wd_fused_secs:.4}"),
+        &format!("{:.0}", qps(wd_fused_secs)),
+        &format!("{:.1}", mrps(wd_fused_secs)),
+        if weighted_ok { "ok" } else { "FAIL" },
+    ]);
+
+    let speedup = regimes[0].wall_secs / regimes[2].wall_secs.max(1e-12);
+    let wd_speedup = wd_ref_secs / wd_fused_secs.max(1e-12);
+    println!(
+        "\nfused-batch vs row-at-a-time: {speedup:.1}×; WD fused vs per-query: {wd_speedup:.1}×"
+    );
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("scan_throughput".into())),
+        ("scale_factor", Json::Num(sf)),
+        ("fact_rows", Json::Num(fact_rows as f64)),
+        ("workload_queries", Json::Num(l as f64)),
+        ("threads", Json::Num(threads as f64)),
+        (
+            "regimes",
+            Json::Arr(
+                regimes
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.into())),
+                            ("fact_scans", Json::Num(r.scans as f64)),
+                            ("wall_secs", Json::Num(r.wall_secs)),
+                            ("queries_per_sec", Json::Num(qps(r.wall_secs))),
+                            ("rows_per_sec", Json::Num(1e6 * mrps(r.wall_secs))),
+                        ])
+                    })
+                    .chain([
+                        Json::obj(vec![
+                            ("name", Json::Str("wd-per-query".into())),
+                            ("fact_scans", Json::Num(l as f64)),
+                            ("wall_secs", Json::Num(wd_ref_secs)),
+                            ("queries_per_sec", Json::Num(qps(wd_ref_secs))),
+                            ("rows_per_sec", Json::Num(1e6 * mrps(wd_ref_secs))),
+                        ]),
+                        Json::obj(vec![
+                            ("name", Json::Str("wd-fused".into())),
+                            ("fact_scans", Json::Num(wd_fused_scans as f64)),
+                            ("wall_secs", Json::Num(wd_fused_secs)),
+                            ("queries_per_sec", Json::Num(qps(wd_fused_secs))),
+                            ("rows_per_sec", Json::Num(1e6 * mrps(wd_fused_secs))),
+                        ]),
+                    ])
+                    .collect(),
+            ),
+        ),
+        ("fused_speedup_vs_row_at_a_time", Json::Num(speedup)),
+        ("wd_fused_speedup_vs_per_query", Json::Num(wd_speedup)),
+    ]);
+    json.write("BENCH_scan.json").expect("write BENCH_scan.json");
+    println!("wrote BENCH_scan.json");
+
+    // Equivalence self-check: CI gates on this, not on machine-dependent
+    // speedups.
+    let mut failed = false;
+    for r in &regimes {
+        if !r.ok {
+            eprintln!("EQUIVALENCE FAILURE: regime `{}` diverged from the reference", r.name);
+            failed = true;
+        }
+    }
+    if !weighted_ok {
+        eprintln!("EQUIVALENCE FAILURE: fused weighted batch diverged from the reference");
+        failed = true;
+    }
+    if regimes[2].scans != 1 || wd_fused_scans != 1 {
+        eprintln!(
+            "FUSION FAILURE: fused regimes took {} / {wd_fused_scans} scans, expected 1",
+            regimes[2].scans
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,7 @@
 //! Environment knobs: `SSB_SF` (scale factor, default 0.05),
 //! `SERVICE_QUERIES` (requests per tenant, default 1000), `SEED`.
 
-use starj_bench::harness::env_u64;
+use starj_bench::harness::{env_u64, Json};
 use starj_bench::service::measure_throughput;
 use starj_bench::{root_seed, ssb_sf, TablePrinter};
 use starj_ssb::{generate, SsbConfig};
@@ -34,6 +34,7 @@ fn main() {
         &["regime", "tenants", "requests", "wall s", "queries/s", "p50 µs", "p99 µs"],
         &[8, 8, 9, 8, 10, 8, 9],
     );
+    let mut samples: Vec<Json> = Vec::new();
     for (regime, cache) in [("fresh", false), ("cached", true)] {
         for &tenants in &TENANT_COUNTS {
             let s = measure_throughput(&schema, tenants, queries_per_tenant, EPSILON, cache, seed);
@@ -46,7 +47,33 @@ fn main() {
                 &s.p50_us.map_or("-".into(), |v| format!("{v:.0}")),
                 &s.p99_us.map_or("-".into(), |v| format!("{v:.0}")),
             ]);
+            // Cache hits scan zero fact rows, so a scan-throughput figure
+            // would be fabricated for the cached regime — emit null there.
+            let rows_per_sec =
+                if cache { f64::NAN } else { s.qps * schema.fact().num_rows() as f64 };
+            samples.push(Json::obj(vec![
+                ("regime", Json::Str(regime.into())),
+                ("tenants", Json::Num(tenants as f64)),
+                ("requests", Json::Num(s.requests as f64)),
+                ("wall_secs", Json::Num(s.wall_secs)),
+                ("queries_per_sec", Json::Num(s.qps)),
+                ("rows_per_sec", Json::Num(rows_per_sec)),
+                ("p50_us", Json::Num(s.p50_us.unwrap_or(f64::NAN))),
+                ("p99_us", Json::Num(s.p99_us.unwrap_or(f64::NAN))),
+            ]));
         }
         table.rule();
     }
+
+    Json::obj(vec![
+        ("bench", Json::Str("service_throughput".into())),
+        ("scale_factor", Json::Num(sf)),
+        ("fact_rows", Json::Num(schema.fact().num_rows() as f64)),
+        ("queries_per_tenant", Json::Num(queries_per_tenant as f64)),
+        ("epsilon", Json::Num(EPSILON)),
+        ("samples", Json::Arr(samples)),
+    ])
+    .write("BENCH_service.json")
+    .expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
 }

@@ -74,6 +74,73 @@ impl TablePrinter {
     }
 }
 
+/// Minimal JSON value for machine-readable bench output (`BENCH_*.json`):
+/// hand-rolled because the workspace is offline (no serde), and bench
+/// records are flat numbers/strings/arrays anyway.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float (serialized with full precision; NaN/∞ become `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Convenience object constructor.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes to a JSON string.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Num(v) if v.is_finite() => {
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            }
+            Json::Num(_) => "null".into(),
+            Json::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '\\' => out.push_str("\\\\"),
+                        '"' => out.push_str("\\\""),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+            Json::Obj(pairs) => {
+                let body: Vec<String> =
+                    pairs.iter().map(|(k, v)| format!("\"{k}\": {}", v.render())).collect();
+                format!("{{{}}}", body.join(", "))
+            }
+            Json::Arr(items) => {
+                let body: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", body.join(", "))
+            }
+        }
+    }
+
+    /// Writes the pretty-enough single-line serialization to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render() + "\n")
+    }
+}
+
 /// Formats a relative error as a percentage with two decimals (paper style).
 pub fn pct(rel_err: f64) -> String {
     format!("{:.2}", rel_err * 100.0)

@@ -16,7 +16,8 @@
 //! | `fig10`  | Figure 10  | error on snowflake queries Qtc/Qts |
 //! | `fig11`  | Figure 11  | error under Gaussian-mixture data |
 //! | `ablations` | DESIGN.md §7 | PMA policy / budget-split / strategy / R2T-grid ablations |
-//! | `service_throughput` | — (systems) | queries/sec of the multi-tenant DP service at 1/4/8 tenants |
+//! | `service_throughput` | — (systems) | queries/sec of the multi-tenant DP service at 1/4/8 tenants; writes `BENCH_service.json` |
+//! | `scan_throughput` | — (systems) | row-at-a-time vs bitset vs fused-batch vs parallel scan kernels, with an equivalence self-check; writes `BENCH_scan.json` |
 //!
 //! Environment knobs (all optional): `SSB_SF` (scale factor, default 0.05),
 //! `TRIALS` (independent runs per cell, default 10), `GRAPH_FRAC` (graph
@@ -27,7 +28,7 @@ pub mod mechanisms;
 pub mod scenarios;
 pub mod service;
 
-pub use harness::{env_f64, env_u64, stats, Stats, TablePrinter};
+pub use harness::{env_f64, env_u64, stats, Json, Stats, TablePrinter};
 pub use mechanisms::{ls_rel_err, pm_rel_err, r2t_rel_err, MechOutcome};
 pub use scenarios::{graph_frac, private_dims_for, root_seed, ssb_sf, trials_count};
 pub use service::{measure_throughput, query_pool, ThroughputSample};

@@ -18,7 +18,9 @@
 
 use crate::error::CoreError;
 use crate::pma::{perturb_constraint, RangePolicy};
-use starj_engine::{execute, Domain, Predicate, QueryResult, StarQuery, StarSchema};
+use starj_engine::{
+    execute_with, Domain, Predicate, QueryResult, ScanOptions, StarQuery, StarSchema,
+};
 use starj_noise::StarRng;
 
 /// How the query budget is split across predicates.
@@ -38,11 +40,17 @@ pub struct PmConfig {
     pub policy: RangePolicy,
     /// Budget split rule.
     pub split: BudgetSplit,
+    /// Scan options for the answering pass (thread count).
+    pub scan: ScanOptions,
 }
 
 impl Default for PmConfig {
     fn default() -> Self {
-        PmConfig { policy: RangePolicy::default(), split: BudgetSplit::PerTable }
+        PmConfig {
+            policy: RangePolicy::default(),
+            split: BudgetSplit::PerTable,
+            scan: ScanOptions::default(),
+        }
     }
 }
 
@@ -125,7 +133,7 @@ pub fn pm_answer(
     rng: &mut StarRng,
 ) -> Result<PmAnswer, CoreError> {
     let noisy_query = perturb_query(schema, query, epsilon, config, rng)?;
-    let result = execute(schema, &noisy_query)?;
+    let result = execute_with(schema, &noisy_query, config.scan)?;
     Ok(PmAnswer { result, noisy_query })
 }
 
@@ -185,7 +193,7 @@ mod tests {
     #[test]
     fn answer_error_shrinks_with_epsilon() {
         let s = schema();
-        let truth = execute(&s, &qc1()).unwrap().scalar().unwrap();
+        let truth = starj_engine::execute(&s, &qc1()).unwrap().scalar().unwrap();
         let mean_err = |eps: f64| {
             let mut acc = 0.0;
             let n = 60;

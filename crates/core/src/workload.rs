@@ -21,7 +21,8 @@ use crate::error::CoreError;
 use crate::pm::{perturb_query, PmConfig};
 use crate::pma::{perturb_constraint, RangePolicy};
 use starj_engine::{
-    execute_weighted, Agg, Constraint, Predicate, StarQuery, StarSchema, WeightedPredicate,
+    execute_batch_with, execute_weighted_batch_with, Agg, Constraint, Predicate, ScanOptions,
+    StarQuery, StarSchema, WeightedPredicate, WeightedQuery,
 };
 use starj_linalg::{build_strategy, pinv, Mat, StrategyKind};
 use starj_noise::StarRng;
@@ -170,6 +171,8 @@ pub struct WdConfig {
     pub policy: RangePolicy,
     /// Budget accounting rule (default: the paper's).
     pub accounting: WdAccounting,
+    /// Scan options for the fused answering pass (thread count).
+    pub scan: ScanOptions,
 }
 
 impl Default for WdConfig {
@@ -178,6 +181,7 @@ impl Default for WdConfig {
             strategies: None,
             policy: RangePolicy::default(),
             accounting: WdAccounting::PaperLiteral,
+            scan: ScanOptions::default(),
         }
     }
 }
@@ -236,28 +240,35 @@ pub fn wd_answer(
         noisy_blocks.push(x_i.matmul(&a_hat)?);
     }
 
-    // Answer each query with its reconstructed weighted predicates.
-    let mut answers = Vec::with_capacity(workload.len());
-    for qi in 0..workload.len() {
-        let preds: Vec<WeightedPredicate> = workload
-            .blocks
-            .iter()
-            .enumerate()
-            .map(|(bi, b)| {
-                WeightedPredicate::new(
-                    b.table.clone(),
-                    b.attr.clone(),
-                    noisy_blocks[bi].row(qi).to_vec(),
-                )
-            })
-            .collect();
-        answers.push(execute_weighted(schema, &preds, &Agg::Count)?);
-    }
-    Ok(answers)
+    // Answer every query's reconstructed weighted predicates through ONE
+    // fused fact scan instead of `l` separate scans — the noisy blocks are
+    // already fixed, so answering is a pure (non-private) batch evaluation.
+    let batch: Vec<WeightedQuery> = (0..workload.len())
+        .map(|qi| {
+            let predicates: Vec<WeightedPredicate> = workload
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(bi, b)| {
+                    WeightedPredicate::new(
+                        b.table.clone(),
+                        b.attr.clone(),
+                        noisy_blocks[bi].row(qi).to_vec(),
+                    )
+                })
+                .collect();
+            WeightedQuery { predicates, agg: Agg::Count }
+        })
+        .collect();
+    execute_weighted_batch_with(schema, &batch, config.scan).map_err(Into::into)
 }
 
-/// The PM-per-query workload baseline: each query is answered independently
-/// by Algorithm 3 under sequential composition (`ε/l` per query).
+/// The PM-per-query workload baseline: each query is perturbed
+/// independently by Algorithm 3 under sequential composition (`ε/l` per
+/// query) — the DP semantics and per-query RNG draw order are exactly the
+/// legacy per-query loop's — but all `l` noisy queries are then *answered*
+/// in one fused fact scan (answering a fixed noisy query is post-processing
+/// and spends no budget, so fusing it is privacy-free).
 pub fn pm_workload_answer(
     schema: &StarSchema,
     workload: &PredicateWorkload,
@@ -269,13 +280,17 @@ pub fn pm_workload_answer(
         return Err(CoreError::Invalid(format!("epsilon must be positive, got {epsilon}")));
     }
     let eps_query = epsilon / workload.len() as f64;
-    workload
+    // Phase 1: perturb every query, consuming RNG draws in workload order
+    // (identical to the draw sequence of the per-query loop this replaces).
+    let noisy: Vec<StarQuery> = workload
         .to_star_queries()
         .iter()
-        .map(|q| {
-            let noisy = perturb_query(schema, q, eps_query, config, rng)?;
-            Ok(starj_engine::execute(schema, &noisy)?.scalar()?)
-        })
+        .map(|q| perturb_query(schema, q, eps_query, config, rng))
+        .collect::<Result<_, _>>()?;
+    // Phase 2: one fused scan answers all noisy queries.
+    execute_batch_with(schema, &noisy, config.scan)?
+        .into_iter()
+        .map(|r| r.scalar().map_err(Into::into))
         .collect()
 }
 

@@ -65,6 +65,9 @@ pub enum EngineError {
         /// Expected domain size.
         expected: u32,
     },
+    /// Two tables in one schema (fact, dimensions, sub-dimensions) share a
+    /// name, making predicate and group-by resolution ambiguous.
+    DuplicateTable(String),
     /// The result was a group map but a scalar was requested, or vice versa.
     WrongResultShape(&'static str),
     /// Schema-level invariant violation with a free-form message.
@@ -100,6 +103,9 @@ impl fmt::Display for EngineError {
                 f,
                 "weight vector for `{attr}` has length {got}, domain expects {expected}"
             ),
+            EngineError::DuplicateTable(t) => {
+                write!(f, "table name `{t}` appears more than once in the schema")
+            }
             EngineError::WrongResultShape(expected) => {
                 write!(f, "query result does not have the expected shape: {expected}")
             }

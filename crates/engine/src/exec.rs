@@ -1,65 +1,66 @@
-//! Star-join execution: bitmap semi-join over dense foreign keys.
+//! Star-join execution over compiled scan plans.
 //!
-//! Execution proceeds in two phases, the classical star-join plan:
+//! Execution separates **planning** from **scanning** ([`crate::plan`]):
 //!
-//! 1. **Dimension phase.** For every table carrying predicates, evaluate the
-//!    conjunction on the (small) dimension table, producing a `Vec<bool>`
-//!    indexed by primary key. Snowflake predicates are folded into their
-//!    parent dimension's bitmap through the dim→sub foreign key.
-//! 2. **Fact phase.** One scan of the fact table; a row qualifies iff every
-//!    referenced bitmap admits its foreign key. Qualifying rows contribute
-//!    `1` (COUNT) or a measure value (SUM) to the scalar or to their group.
+//! 1. **Plan.** Foreign-key arrays, per-dimension packed pass bitsets
+//!    (snowflake predicates folded into their parents), weight tables,
+//!    group lookups and row-weight accessors are resolved once into a
+//!    [`ScanPlan`].
+//! 2. **Scan.** One chunked, columnar pass over the fact table answers
+//!    *every* query in the plan — the fused multi-query kernel that lets a
+//!    workload of `l` queries cost a single scan, optionally sharded
+//!    across threads ([`ScanOptions::threads`]).
 //!
-//! The weighted variant replaces bitmaps with `Vec<f64>` weight tables and
-//! multiplies — the real-valued `Φ·W` semantics of paper Eq. 11.
+//! [`execute`] and [`execute_weighted`] remain the single-query entry
+//! points (now thin wrappers over one-query plans); [`execute_batch`] and
+//! [`execute_weighted_batch`] are the fused forms. The legacy row-at-a-time
+//! executor survives verbatim in [`reference`] as the semantic oracle for
+//! equivalence tests and the baseline for scan benchmarks.
 
 use crate::error::EngineError;
-use crate::predicate::{Predicate, WeightedPredicate};
+use crate::plan::{ScanOptions, ScanPlan, WeightedQuery};
+use crate::predicate::WeightedPredicate;
 use crate::query::{Agg, QueryResult, StarQuery};
 use crate::schema::StarSchema;
-use std::collections::BTreeMap;
 
 /// Executes a star-join query, returning a scalar or group map.
 pub fn execute(schema: &StarSchema, query: &StarQuery) -> Result<QueryResult, EngineError> {
-    // Phase 1: per-dimension pass bitmaps.
-    let bitmaps = dimension_bitmaps(schema, &query.predicates)?;
+    execute_with(schema, query, ScanOptions::default())
+}
 
-    // Group-by lookups: per group attribute, (dim index, codes indexed by pk).
-    let mut group_lookups: Vec<(usize, &[u32])> = Vec::with_capacity(query.group_by.len());
-    for g in &query.group_by {
-        let di = schema.dim_index(&g.table)?;
-        let codes = schema.dims()[di].table.codes(&g.attr)?;
-        group_lookups.push((di, codes));
+/// [`execute`] with explicit scan options (thread count).
+pub fn execute_with(
+    schema: &StarSchema,
+    query: &StarQuery,
+    options: ScanOptions,
+) -> Result<QueryResult, EngineError> {
+    let mut plan = ScanPlan::new(schema)?;
+    plan.add_query(query)?;
+    Ok(plan.execute(options).pop().expect("one planned query yields one result"))
+}
+
+/// Answers a batch of star-join queries in **one** fused scan of the fact
+/// table, returning results in input order. Equivalent to mapping
+/// [`execute`] but pays the fact scan once instead of `queries.len()`
+/// times.
+pub fn execute_batch(
+    schema: &StarSchema,
+    queries: &[StarQuery],
+) -> Result<Vec<QueryResult>, EngineError> {
+    execute_batch_with(schema, queries, ScanOptions::default())
+}
+
+/// [`execute_batch`] with explicit scan options (thread count).
+pub fn execute_batch_with(
+    schema: &StarSchema,
+    queries: &[StarQuery],
+    options: ScanOptions,
+) -> Result<Vec<QueryResult>, EngineError> {
+    let mut plan = ScanPlan::new(schema)?;
+    for q in queries {
+        plan.add_query(q)?;
     }
-
-    // Per-dimension fk arrays, fetched once.
-    let fks: Vec<&[u32]> =
-        schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
-
-    let weight = RowWeight::resolve(schema, &query.agg)?;
-    let fact_rows = schema.fact().num_rows();
-
-    if query.group_by.is_empty() {
-        let mut total = 0.0;
-        for row in 0..fact_rows {
-            if row_passes(&bitmaps, &fks, row) {
-                total += weight.at(row);
-            }
-        }
-        Ok(QueryResult::Scalar(total))
-    } else {
-        let mut groups: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
-        let mut key = vec![0u32; group_lookups.len()];
-        for row in 0..fact_rows {
-            if row_passes(&bitmaps, &fks, row) {
-                for (slot, (di, codes)) in key.iter_mut().zip(&group_lookups) {
-                    *slot = codes[fks[*di][row] as usize];
-                }
-                *groups.entry(key.clone()).or_insert(0.0) += weight.at(row);
-            }
-        }
-        Ok(QueryResult::Groups(groups))
-    }
+    Ok(plan.execute(options))
 }
 
 /// Executes the weighted (real-valued predicate) form: the result is
@@ -70,123 +71,187 @@ pub fn execute_weighted(
     predicates: &[WeightedPredicate],
     agg: &Agg,
 ) -> Result<f64, EngineError> {
-    // Per-dimension weight tables indexed by pk (product over multiple
-    // weighted predicates on the same dimension).
-    let mut tables: Vec<Option<Vec<f64>>> = vec![None; schema.num_dims()];
-    for wp in predicates {
-        let di = schema.dim_index(&wp.table)?;
-        let dim = &schema.dims()[di];
-        let codes = dim.table.codes(&wp.attr)?;
-        let domain = dim.table.domain(&wp.attr)?;
-        if wp.weights.len() != domain.size() as usize {
-            return Err(EngineError::WeightLengthMismatch {
-                attr: wp.attr.clone(),
-                got: wp.weights.len(),
-                expected: domain.size(),
-            });
-        }
-        let table = tables[di].get_or_insert_with(|| vec![1.0; dim.table.num_rows()]);
-        for (slot, &code) in table.iter_mut().zip(codes) {
-            *slot *= wp.weights[code as usize];
-        }
+    let mut plan = ScanPlan::new(schema)?;
+    plan.add_weighted(predicates, agg)?;
+    plan.execute(ScanOptions::default())
+        .pop()
+        .expect("one planned query yields one result")
+        .scalar()
+}
+
+/// Answers a batch of weighted queries in **one** fused scan of the fact
+/// table, returning scalars in input order — how Workload Decomposition
+/// answers all `l` reconstructed workload rows with a single scan.
+pub fn execute_weighted_batch(
+    schema: &StarSchema,
+    queries: &[WeightedQuery],
+) -> Result<Vec<f64>, EngineError> {
+    execute_weighted_batch_with(schema, queries, ScanOptions::default())
+}
+
+/// [`execute_weighted_batch`] with explicit scan options (thread count).
+pub fn execute_weighted_batch_with(
+    schema: &StarSchema,
+    queries: &[WeightedQuery],
+    options: ScanOptions,
+) -> Result<Vec<f64>, EngineError> {
+    let mut plan = ScanPlan::new(schema)?;
+    for q in queries {
+        plan.add_weighted(&q.predicates, &q.agg)?;
     }
+    plan.execute(options).into_iter().map(|r| r.scalar()).collect()
+}
 
-    let fks: Vec<&[u32]> =
-        schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
-    let weight = RowWeight::resolve(schema, agg)?;
+pub mod reference {
+    //! The original row-at-a-time executor over `Vec<bool>` bitmaps, kept
+    //! verbatim as the semantic oracle: equivalence property tests pin the
+    //! vectorized kernels to it, and `scan_throughput` benches against it.
 
-    let mut total = 0.0;
-    for row in 0..schema.fact().num_rows() {
-        let mut w = weight.at(row);
-        if w == 0.0 {
-            continue;
+    use super::*;
+    use crate::plan::RowWeight;
+    use crate::predicate::Predicate;
+    use std::collections::BTreeMap;
+
+    /// Row-at-a-time [`super::execute`]: per-dimension `Vec<bool>` bitmaps,
+    /// then one closure-dispatched scan of the fact table.
+    pub fn execute(schema: &StarSchema, query: &StarQuery) -> Result<QueryResult, EngineError> {
+        // Phase 1: per-dimension pass bitmaps.
+        let bitmaps = dimension_bitmaps(schema, &query.predicates)?;
+
+        // Group-by lookups: per group attribute, (dim index, codes by pk).
+        let mut group_lookups: Vec<(usize, &[u32])> = Vec::with_capacity(query.group_by.len());
+        for g in &query.group_by {
+            let di = schema.dim_index(&g.table)?;
+            let codes = schema.dims()[di].table.codes(&g.attr)?;
+            group_lookups.push((di, codes));
         }
-        for (di, table) in tables.iter().enumerate() {
-            if let Some(t) = table {
-                w *= t[fks[di][row] as usize];
-                if w == 0.0 {
-                    break;
+
+        // Per-dimension fk arrays, fetched once.
+        let fks: Vec<&[u32]> =
+            schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
+
+        let weight = RowWeight::resolve(schema, &query.agg)?;
+        let fact_rows = schema.fact().num_rows();
+
+        if query.group_by.is_empty() {
+            let mut total = 0.0;
+            for row in 0..fact_rows {
+                if row_passes(&bitmaps, &fks, row) {
+                    total += weight.at(row);
                 }
             }
+            Ok(QueryResult::Scalar(total))
+        } else {
+            let mut groups: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+            let mut key = vec![0u32; group_lookups.len()];
+            for row in 0..fact_rows {
+                if row_passes(&bitmaps, &fks, row) {
+                    for (slot, (di, codes)) in key.iter_mut().zip(&group_lookups) {
+                        *slot = codes[fks[*di][row] as usize];
+                    }
+                    *groups.entry(key.clone()).or_insert(0.0) += weight.at(row);
+                }
+            }
+            Ok(QueryResult::Groups(groups))
         }
-        total += w;
     }
-    Ok(total)
-}
 
-/// Builds per-dimension pass bitmaps for a predicate conjunction; `None`
-/// means "no predicate on this dimension" (all rows pass).
-pub(crate) fn dimension_bitmaps(
-    schema: &StarSchema,
-    predicates: &[Predicate],
-) -> Result<Vec<Option<Vec<bool>>>, EngineError> {
-    let mut bitmaps: Vec<Option<Vec<bool>>> = vec![None; schema.num_dims()];
-    for pred in predicates {
-        // Star predicate: directly on a dimension.
-        if let Ok(di) = schema.dim_index(&pred.table) {
+    /// Row-at-a-time [`super::execute_weighted`].
+    pub fn execute_weighted(
+        schema: &StarSchema,
+        predicates: &[WeightedPredicate],
+        agg: &Agg,
+    ) -> Result<f64, EngineError> {
+        // Per-dimension weight tables indexed by pk (product over multiple
+        // weighted predicates on the same dimension).
+        let mut tables: Vec<Option<Vec<f64>>> = vec![None; schema.num_dims()];
+        for wp in predicates {
+            let di = schema.dim_index(&wp.table)?;
             let dim = &schema.dims()[di];
-            let codes = dim.table.codes(&pred.attr)?;
-            let domain = dim.table.domain(&pred.attr)?;
-            pred.constraint.validate(domain)?;
-            let bitmap = bitmaps[di].get_or_insert_with(|| vec![true; dim.table.num_rows()]);
-            for (slot, &code) in bitmap.iter_mut().zip(codes) {
-                *slot = *slot && pred.constraint.matches(code);
+            let codes = dim.table.codes(&wp.attr)?;
+            let domain = dim.table.domain(&wp.attr)?;
+            if wp.weights.len() != domain.size() as usize {
+                return Err(EngineError::WeightLengthMismatch {
+                    attr: wp.attr.clone(),
+                    got: wp.weights.len(),
+                    expected: domain.size(),
+                });
             }
-            continue;
-        }
-        // Snowflake predicate: on a sub-dimension, folded into the parent.
-        if let Some((parent, sub)) = schema.subdim(&pred.table) {
-            let sub_codes = sub.table.codes(&pred.attr)?;
-            let domain = sub.table.domain(&pred.attr)?;
-            pred.constraint.validate(domain)?;
-            let sub_pass: Vec<bool> =
-                sub_codes.iter().map(|&c| pred.constraint.matches(c)).collect();
-            let link = parent.table.key(&sub.fk_in_dim)?;
-            let di = schema.dim_index(parent.table.name())?;
-            let bitmap = bitmaps[di].get_or_insert_with(|| vec![true; parent.table.num_rows()]);
-            for (slot, &sk) in bitmap.iter_mut().zip(link) {
-                *slot = *slot && sub_pass[sk as usize];
+            let table = tables[di].get_or_insert_with(|| vec![1.0; dim.table.num_rows()]);
+            for (slot, &code) in table.iter_mut().zip(codes) {
+                *slot *= wp.weights[code as usize];
             }
-            continue;
         }
-        return Err(EngineError::UnknownTable(pred.table.clone()));
+
+        let fks: Vec<&[u32]> =
+            schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
+        let weight = RowWeight::resolve(schema, agg)?;
+
+        let mut total = 0.0;
+        for row in 0..schema.fact().num_rows() {
+            let mut w = weight.at(row);
+            if w == 0.0 {
+                continue;
+            }
+            for (di, table) in tables.iter().enumerate() {
+                if let Some(t) = table {
+                    w *= t[fks[di][row] as usize];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+            }
+            total += w;
+        }
+        Ok(total)
     }
-    Ok(bitmaps)
-}
 
-#[inline]
-fn row_passes(bitmaps: &[Option<Vec<bool>>], fks: &[&[u32]], row: usize) -> bool {
-    bitmaps.iter().enumerate().all(|(di, b)| match b {
-        Some(bits) => bits[fks[di][row] as usize],
-        None => true,
-    })
-}
-
-/// Row-weight accessor for an aggregate.
-enum RowWeight<'a> {
-    Ones,
-    Measure(&'a [i64]),
-    Diff(&'a [i64], &'a [i64]),
-}
-
-impl<'a> RowWeight<'a> {
-    fn resolve(schema: &'a StarSchema, agg: &Agg) -> Result<Self, EngineError> {
-        Ok(match agg {
-            Agg::Count => RowWeight::Ones,
-            Agg::Sum(m) => RowWeight::Measure(schema.fact().measure(m)?),
-            Agg::SumDiff(a, b) => {
-                RowWeight::Diff(schema.fact().measure(a)?, schema.fact().measure(b)?)
+    /// Builds per-dimension pass bitmaps for a predicate conjunction;
+    /// `None` means "no predicate on this dimension" (all rows pass).
+    pub(crate) fn dimension_bitmaps(
+        schema: &StarSchema,
+        predicates: &[Predicate],
+    ) -> Result<Vec<Option<Vec<bool>>>, EngineError> {
+        let mut bitmaps: Vec<Option<Vec<bool>>> = vec![None; schema.num_dims()];
+        for pred in predicates {
+            // Star predicate: directly on a dimension.
+            if let Ok(di) = schema.dim_index(&pred.table) {
+                let dim = &schema.dims()[di];
+                let codes = dim.table.codes(&pred.attr)?;
+                let domain = dim.table.domain(&pred.attr)?;
+                pred.constraint.validate(domain)?;
+                let bitmap = bitmaps[di].get_or_insert_with(|| vec![true; dim.table.num_rows()]);
+                for (slot, &code) in bitmap.iter_mut().zip(codes) {
+                    *slot = *slot && pred.constraint.matches(code);
+                }
+                continue;
             }
-        })
+            // Snowflake predicate: on a sub-dimension, folded into the parent.
+            if let Some((parent, sub)) = schema.subdim(&pred.table) {
+                let sub_codes = sub.table.codes(&pred.attr)?;
+                let domain = sub.table.domain(&pred.attr)?;
+                pred.constraint.validate(domain)?;
+                let sub_pass: Vec<bool> =
+                    sub_codes.iter().map(|&c| pred.constraint.matches(c)).collect();
+                let link = parent.table.key(&sub.fk_in_dim)?;
+                let di = schema.dim_index(parent.table.name())?;
+                let bitmap = bitmaps[di].get_or_insert_with(|| vec![true; parent.table.num_rows()]);
+                for (slot, &sk) in bitmap.iter_mut().zip(link) {
+                    *slot = *slot && sub_pass[sk as usize];
+                }
+                continue;
+            }
+            return Err(EngineError::UnknownTable(pred.table.clone()));
+        }
+        Ok(bitmaps)
     }
 
     #[inline]
-    fn at(&self, row: usize) -> f64 {
-        match self {
-            RowWeight::Ones => 1.0,
-            RowWeight::Measure(m) => m[row] as f64,
-            RowWeight::Diff(a, b) => (a[row] - b[row]) as f64,
-        }
+    fn row_passes(bitmaps: &[Option<Vec<bool>>], fks: &[&[u32]], row: usize) -> bool {
+        bitmaps.iter().enumerate().all(|(di, b)| match b {
+            Some(bits) => bits[fks[di][row] as usize],
+            None => true,
+        })
     }
 }
 
@@ -403,5 +468,52 @@ mod tests {
             .with(Predicate::point("S", "sattr", 0))
             .with(Predicate::range("A", "attr", 2, 2));
         assert_eq!(execute(&schema, &q).unwrap().scalar().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn batch_matches_singles_and_reference() {
+        let s = schema();
+        let queries = vec![
+            StarQuery::count("q0").with(Predicate::point("A", "attr", 1)),
+            StarQuery::sum("q1", "qty").with(Predicate::point("B", "attr", 1)),
+            StarQuery::count("q2")
+                .with(Predicate::range("A", "attr", 0, 1))
+                .group_by(GroupAttr::new("B", "attr")),
+            StarQuery::count("q3"),
+        ];
+        let batch = execute_batch(&s, &queries).unwrap();
+        let parallel = execute_batch_with(&s, &queries, ScanOptions::parallel(3)).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let oracle = reference::execute(&s, q).unwrap();
+            assert_eq!(batch[i], oracle, "batch[{i}]");
+            assert_eq!(parallel[i], oracle, "parallel[{i}]");
+        }
+    }
+
+    #[test]
+    fn weighted_batch_matches_reference() {
+        let s = schema();
+        let items = vec![
+            WeightedQuery::count(vec![WeightedPredicate::new("A", "attr", vec![1.0, 0.5, 0.0])]),
+            WeightedQuery {
+                predicates: vec![WeightedPredicate::new("B", "attr", vec![0.25, 2.0])],
+                agg: Agg::Sum("qty".into()),
+            },
+        ];
+        let batch = execute_weighted_batch(&s, &items).unwrap();
+        for (i, item) in items.iter().enumerate() {
+            let oracle = reference::execute_weighted(&s, &item.predicates, &item.agg).unwrap();
+            assert_eq!(batch[i], oracle, "weighted batch[{i}] must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn batch_error_reports_offending_query() {
+        let s = schema();
+        let queries = vec![
+            StarQuery::count("ok"),
+            StarQuery::count("bad").with(Predicate::point("Z", "a", 0)),
+        ];
+        assert!(matches!(execute_batch(&s, &queries), Err(EngineError::UnknownTable(_))));
     }
 }

@@ -50,11 +50,13 @@
 //! assert_eq!(execute(&schema, &q).unwrap().scalar().unwrap(), 35.0);
 //! ```
 
+pub mod bitset;
 pub mod canon;
 pub mod column;
 pub mod domain;
 pub mod error;
 pub mod exec;
+pub mod plan;
 pub mod predicate;
 pub mod query;
 pub mod schema;
@@ -62,11 +64,16 @@ pub mod sql;
 pub mod stats;
 pub mod table;
 
+pub use bitset::BitSet;
 pub use canon::{canonicalize, CanonicalQuery};
 pub use column::{Column, ColumnData};
 pub use domain::Domain;
 pub use error::EngineError;
-pub use exec::{execute, execute_weighted};
+pub use exec::{
+    execute, execute_batch, execute_batch_with, execute_weighted, execute_weighted_batch,
+    execute_weighted_batch_with, execute_with,
+};
+pub use plan::{fact_scan_count, ScanOptions, ScanPlan, WeightedQuery, DENSE_GROUP_CAP};
 pub use predicate::{Constraint, Predicate, WeightedPredicate};
 pub use query::{Agg, GroupAttr, QueryResult, StarQuery};
 pub use schema::{Dimension, StarSchema, SubDimension};

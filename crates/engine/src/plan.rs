@@ -1,0 +1,953 @@
+//! Compiled scan plans: planning separated from execution.
+//!
+//! The legacy executor resolved foreign keys, predicate bitmaps, group
+//! lookups and measure accessors *inside* the scan, then dispatched a
+//! per-row closure over `Option<Vec<bool>>` bitmaps and cloned a `Vec<u32>`
+//! group key per qualifying row. [`ScanPlan`] does all of that resolution
+//! exactly once, ahead of time, and compiles a batch of queries into flat
+//! per-query programs the fact-phase kernel can run without any name
+//! lookups, `Option` tests, or allocations on the hot path:
+//!
+//! * **Packed dimension masks.** Binary predicates become per-dimension
+//!   [`BitSet`]s (snowflake predicates folded into their parent, as before).
+//! * **Fused multi-query scans.** A plan holds any number of queries —
+//!   binary and real-valued weighted predicates mixed — and answers all of
+//!   them in **one** pass over the fact table with per-query accumulators.
+//! * **Chunked columnar inner loops.** The fact table is processed in
+//!   4096-row chunks; per chunk, each binary query's qualifying rows are
+//!   computed as 64 packed `u64` mask words (gather + AND per filtered
+//!   dimension), then drained with popcount / trailing-zeros iteration
+//!   instead of a per-row branch chain.
+//! * **Histogram-factored weighted batches.** Pure weighted queries (the
+//!   `Q = Φ·W` form of paper Eq. 11) share one joint attribute-code
+//!   histogram `W`: the single scan accumulates, per aggregate kind, the
+//!   total row weight of every combination of the batch's weighted
+//!   attribute codes, and each query then reduces to a `space`-length dot
+//!   product `Φ_q · W` — answering `l` reconstructed WD rows costs one scan
+//!   plus `O(l · space)` flops instead of `l` scans. Falls back to a
+//!   per-row loop when the joint code space exceeds [`DENSE_GROUP_CAP`] or
+//!   a weighted query also carries binary filters.
+//! * **Dense group accumulation.** When the cross-product of group-by
+//!   domains is small (≤ [`DENSE_GROUP_CAP`]), groups accumulate into a
+//!   flat `Vec<f64>` indexed by the row-major flattening of the group codes
+//!   — no `BTreeMap` lookups or key clones per row. Larger group spaces
+//!   fall back to the map.
+//! * **Parallel sharding.** [`ScanOptions::threads`] > 1 splits the fact
+//!   table into contiguous row shards executed under `std::thread::scope`
+//!   (std-only, no rayon), each with its own partial accumulators, merged
+//!   in shard order so results are deterministic for a fixed thread count.
+//!
+//! Binary-query accumulation order within a shard is identical to the
+//! legacy row-at-a-time executor ([`crate::exec::reference`]), so results
+//! are bit-identical to it; weighted results are reassociated by the
+//! histogram factoring but remain bit-identical whenever the arithmetic is
+//! exact (integer measures, dyadic weights), which the equivalence property
+//! tests in `tests/prop_scan_kernel.rs` pin down.
+
+use crate::bitset::BitSet;
+use crate::error::EngineError;
+use crate::predicate::{Predicate, WeightedPredicate};
+use crate::query::{Agg, QueryResult, StarQuery};
+use crate::schema::StarSchema;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rows per scan chunk (64 mask words of 64 rows).
+const CHUNK_ROWS: usize = 4096;
+const CHUNK_WORDS: usize = CHUNK_ROWS / 64;
+
+/// Largest dense accumulator (group-by cross-product or weighted joint code
+/// space) answered through flat vectors; larger spaces fall back to sparse
+/// maps / per-row loops.
+pub const DENSE_GROUP_CAP: usize = 1 << 16;
+
+/// Counts completed fact-table scans process-wide (one per
+/// [`ScanPlan::execute`] call, regardless of how many queries it fused or
+/// how many threads sharded it). Benchmarks and the service use deltas of
+/// this counter to *prove* fusion — e.g. that an `l`-query workload really
+/// cost one scan.
+static FACT_SCANS: AtomicU64 = AtomicU64::new(0);
+
+/// Total fact-table scans completed by this process so far.
+pub fn fact_scan_count() -> u64 {
+    FACT_SCANS.load(Ordering::Relaxed)
+}
+
+/// Execution options for a compiled scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Worker threads for the fact scan. `1` (the default) runs on the
+    /// calling thread; `n > 1` shards the fact table into `n` contiguous
+    /// row ranges merged in deterministic shard order.
+    pub threads: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions { threads: 1 }
+    }
+}
+
+impl ScanOptions {
+    /// Options scanning with `threads` workers (clamped to ≥ 1).
+    pub fn parallel(threads: usize) -> Self {
+        ScanOptions { threads: threads.max(1) }
+    }
+}
+
+/// A weighted query for batch execution: real-valued per-domain weights
+/// (paper Eq. 11) and an aggregate, evaluated as
+/// `Σ_rows Π_dims w_dim(attr(fk)) · w(row)`.
+#[derive(Debug, Clone)]
+pub struct WeightedQuery {
+    /// The weighted predicates (dimensions without one contribute factor 1).
+    pub predicates: Vec<WeightedPredicate>,
+    /// Row-weight aggregate.
+    pub agg: Agg,
+}
+
+impl WeightedQuery {
+    /// A weighted COUNT query.
+    pub fn count(predicates: Vec<WeightedPredicate>) -> Self {
+        WeightedQuery { predicates, agg: Agg::Count }
+    }
+}
+
+/// Row-weight accessor for an aggregate, resolved once at plan time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RowWeight<'a> {
+    Ones,
+    Measure(&'a [i64]),
+    Diff(&'a [i64], &'a [i64]),
+}
+
+impl<'a> RowWeight<'a> {
+    pub(crate) fn resolve(schema: &'a StarSchema, agg: &Agg) -> Result<Self, EngineError> {
+        Ok(match agg {
+            Agg::Count => RowWeight::Ones,
+            Agg::Sum(m) => RowWeight::Measure(schema.fact().measure(m)?),
+            Agg::SumDiff(a, b) => {
+                RowWeight::Diff(schema.fact().measure(a)?, schema.fact().measure(b)?)
+            }
+        })
+    }
+
+    #[inline]
+    pub(crate) fn at(&self, row: usize) -> f64 {
+        match self {
+            RowWeight::Ones => 1.0,
+            RowWeight::Measure(m) => m[row] as f64,
+            RowWeight::Diff(a, b) => (a[row] - b[row]) as f64,
+        }
+    }
+
+    fn is_ones(&self) -> bool {
+        matches!(self, RowWeight::Ones)
+    }
+
+    /// Identity key for deduplicating aggregate kinds across a batch
+    /// (variant + backing-slice addresses).
+    fn key(&self) -> (u8, usize, usize) {
+        match self {
+            RowWeight::Ones => (0, 0, 0),
+            RowWeight::Measure(m) => (1, m.as_ptr() as usize, 0),
+            RowWeight::Diff(a, b) => (2, a.as_ptr() as usize, b.as_ptr() as usize),
+        }
+    }
+}
+
+/// One weighted axis: a `(dimension, attribute)` pair with the per-code
+/// weight vector (same-attribute predicates already multiplied together).
+#[derive(Debug, Clone)]
+struct WeightAxis<'a> {
+    dim: usize,
+    /// Attribute codes indexed by the dimension's pk.
+    codes: &'a [u32],
+    /// Attribute domain size.
+    domain: usize,
+    /// One weight per attribute code.
+    weights: Vec<f64>,
+}
+
+/// Group-by program: per-attribute code lookups plus the dense flattening
+/// geometry when the group space fits [`DENSE_GROUP_CAP`].
+#[derive(Debug, Clone)]
+struct GroupPlan<'a> {
+    /// Per group attribute: (dimension index, codes indexed by pk).
+    lookups: Vec<(usize, &'a [u32])>,
+    /// Domain size of each group attribute.
+    sizes: Vec<u32>,
+    /// Product of `sizes` when ≤ [`DENSE_GROUP_CAP`]; `None` → sparse maps.
+    dense_space: Option<usize>,
+}
+
+impl<'a> GroupPlan<'a> {
+    fn resolve(
+        schema: &'a StarSchema,
+        group_by: &[crate::query::GroupAttr],
+    ) -> Result<Self, EngineError> {
+        let mut lookups = Vec::with_capacity(group_by.len());
+        let mut sizes = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            let di = schema.dim_index(&g.table)?;
+            let dim = &schema.dims()[di];
+            lookups.push((di, dim.table.codes(&g.attr)?));
+            sizes.push(dim.table.domain(&g.attr)?.size());
+        }
+        let mut space = 1usize;
+        let mut dense = true;
+        for &s in &sizes {
+            match space.checked_mul(s as usize) {
+                Some(p) if p <= DENSE_GROUP_CAP => space = p,
+                _ => {
+                    dense = false;
+                    break;
+                }
+            }
+        }
+        Ok(GroupPlan { lookups, sizes, dense_space: dense.then_some(space) })
+    }
+
+    /// Row-major flat index of a fact row's group key.
+    #[inline]
+    fn flat_index(&self, fks: &[&[u32]], row: usize) -> usize {
+        let mut flat = 0usize;
+        for ((di, codes), &size) in self.lookups.iter().zip(&self.sizes) {
+            flat = flat * size as usize + codes[fks[*di][row] as usize] as usize;
+        }
+        flat
+    }
+
+    /// The group key of a fact row (sparse path).
+    #[inline]
+    fn key(&self, fks: &[&[u32]], row: usize) -> Vec<u32> {
+        self.lookups.iter().map(|(di, codes)| codes[fks[*di][row] as usize]).collect()
+    }
+
+    /// Decodes a flat index back into the group key.
+    fn decode(&self, mut flat: usize) -> Vec<u32> {
+        let mut key = vec![0u32; self.sizes.len()];
+        for (slot, &size) in key.iter_mut().zip(&self.sizes).rev() {
+            *slot = (flat % size as usize) as u32;
+            flat /= size as usize;
+        }
+        key
+    }
+}
+
+/// One compiled query inside a plan: packed binary filters, weighted axes,
+/// row-weight accessor, and the group program.
+#[derive(Debug, Clone)]
+struct PlannedQuery<'a> {
+    /// Binary filters as (dimension index, packed pass mask), ascending by
+    /// dimension index.
+    filters: Vec<(usize, BitSet)>,
+    /// Weighted axes in first-appearance order (the multiply order of the
+    /// fallback row loop).
+    weights: Vec<WeightAxis<'a>>,
+    row_weight: RowWeight<'a>,
+    grouping: Option<GroupPlan<'a>>,
+}
+
+impl PlannedQuery<'_> {
+    /// True iff the chunk kernel can answer this query with popcounts alone.
+    fn is_pure_count(&self) -> bool {
+        self.weights.is_empty() && self.row_weight.is_ones() && self.grouping.is_none()
+    }
+
+    /// True iff the query is answerable from a joint code histogram: pure
+    /// weighted, scalar, no binary filters.
+    fn is_hist_eligible(&self) -> bool {
+        !self.weights.is_empty() && self.filters.is_empty() && self.grouping.is_none()
+    }
+}
+
+/// The shared histogram program of a batch's hist-eligible weighted
+/// queries: the ordered union of their weighted axes, the flattened joint
+/// code space, and the deduplicated aggregate kinds.
+#[derive(Debug)]
+struct HistPlan<'a> {
+    /// Ordered union of (dim, codes, domain) axes; identity is the codes
+    /// slice address (one column → one axis).
+    axes: Vec<(usize, &'a [u32], usize)>,
+    space: usize,
+    /// Deduplicated row-weight kinds; one histogram each.
+    kinds: Vec<RowWeight<'a>>,
+    /// For each plan query: `Some(kind index)` iff answered via histogram.
+    assignment: Vec<Option<usize>>,
+}
+
+impl<'a> HistPlan<'a> {
+    /// Builds the histogram program, or `None` when no query qualifies.
+    /// Greedy per query: a query whose axes would push the joint code space
+    /// past [`DENSE_GROUP_CAP`] is left to the row-loop fallback without
+    /// disabling the fast path for queries that fit.
+    fn build(queries: &[PlannedQuery<'a>]) -> Option<Self> {
+        let mut axes: Vec<(usize, &[u32], usize)> = Vec::new();
+        let mut kinds: Vec<RowWeight> = Vec::new();
+        let mut assignment: Vec<Option<usize>> = vec![None; queries.len()];
+        let mut space = 1usize;
+        let mut any = false;
+        'queries: for (qi, q) in queries.iter().enumerate() {
+            if !q.is_hist_eligible() {
+                continue;
+            }
+            // Tentatively admit the query's new axes; roll back if its
+            // footprint overflows the cap.
+            let mut new_axes: Vec<(usize, &'a [u32], usize)> = Vec::new();
+            let mut new_space = space;
+            for axis in &q.weights {
+                let id = axis.codes.as_ptr();
+                let known = axes.iter().chain(&new_axes).any(|(_, c, _)| c.as_ptr() == id);
+                if !known {
+                    new_space = match new_space.checked_mul(axis.domain) {
+                        Some(p) if p <= DENSE_GROUP_CAP => p,
+                        _ => continue 'queries, // fallback row loop for this query
+                    };
+                    new_axes.push((axis.dim, axis.codes, axis.domain));
+                }
+            }
+            axes.extend(new_axes);
+            space = new_space;
+            let key = q.row_weight.key();
+            let kind = match kinds.iter().position(|k| k.key() == key) {
+                Some(i) => i,
+                None => {
+                    kinds.push(q.row_weight);
+                    kinds.len() - 1
+                }
+            };
+            assignment[qi] = Some(kind);
+            any = true;
+        }
+        any.then_some(HistPlan { axes, space, kinds, assignment })
+    }
+
+    /// The flat joint code of a fact row.
+    #[inline]
+    fn flat_index(&self, fks: &[&[u32]], row: usize) -> usize {
+        let mut flat = 0usize;
+        for (dim, codes, domain) in &self.axes {
+            flat = flat * domain + codes[fks[*dim][row] as usize] as usize;
+        }
+        flat
+    }
+
+    /// The query's flattened weight tensor `Φ_q` over the joint code space:
+    /// the outer product of its axis weight vectors, axes it does not
+    /// constrain contributing factor 1.
+    fn weight_tensor(&self, q: &PlannedQuery) -> Vec<f64> {
+        let mut tensor = vec![1.0f64];
+        for (_, codes, domain) in &self.axes {
+            let axis_weights =
+                q.weights.iter().find(|a| std::ptr::eq(a.codes, *codes)).map(|a| &a.weights);
+            let mut next = Vec::with_capacity(tensor.len() * domain);
+            for &t in &tensor {
+                match axis_weights {
+                    Some(w) => next.extend(w.iter().map(|&wc| t * wc)),
+                    None => next.extend(std::iter::repeat_n(t, *domain)),
+                }
+            }
+            tensor = next;
+        }
+        tensor
+    }
+}
+
+/// Per-query partial accumulator (also the per-shard partial in parallel
+/// scans). `Hist` queries accumulate into the shared histograms instead.
+#[derive(Debug)]
+enum Acc {
+    Scalar(f64),
+    Dense {
+        sums: Vec<f64>,
+        touched: BitSet,
+    },
+    Sparse(BTreeMap<Vec<u32>, f64>),
+    /// Answered from the shared histogram at finalization.
+    Hist,
+}
+
+impl Acc {
+    fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::Scalar(a), Acc::Scalar(b)) => *a += b,
+            (Acc::Dense { sums, touched }, Acc::Dense { sums: bs, touched: bt }) => {
+                for i in bt.iter_ones() {
+                    sums[i] += bs[i];
+                    touched.set(i, true);
+                }
+            }
+            (Acc::Sparse(a), Acc::Sparse(b)) => {
+                for (k, v) in b {
+                    *a.entry(k).or_insert(0.0) += v;
+                }
+            }
+            (Acc::Hist, Acc::Hist) => {}
+            _ => unreachable!("shard accumulators share one shape per query"),
+        }
+    }
+}
+
+/// All mutable state of one scan pass (one per shard in parallel mode).
+#[derive(Debug)]
+struct ScanState {
+    accs: Vec<Acc>,
+    /// One histogram per aggregate kind of the [`HistPlan`].
+    hists: Vec<Vec<f64>>,
+}
+
+impl ScanState {
+    fn merge(&mut self, other: ScanState) {
+        for (acc, partial) in self.accs.iter_mut().zip(other.accs) {
+            acc.merge(partial);
+        }
+        for (hist, partial) in self.hists.iter_mut().zip(other.hists) {
+            for (slot, v) in hist.iter_mut().zip(partial) {
+                *slot += v;
+            }
+        }
+    }
+}
+
+/// A compiled, executable scan over one schema: resolved foreign-key
+/// arrays plus any number of compiled queries, answered together in a
+/// single fused fact scan by [`ScanPlan::execute`].
+#[derive(Debug, Clone)]
+pub struct ScanPlan<'a> {
+    schema: &'a StarSchema,
+    /// Per-dimension fact foreign-key arrays, resolved once.
+    fks: Vec<&'a [u32]>,
+    fact_rows: usize,
+    queries: Vec<PlannedQuery<'a>>,
+}
+
+impl<'a> ScanPlan<'a> {
+    /// An empty plan over `schema` (resolves the foreign-key arrays).
+    pub fn new(schema: &'a StarSchema) -> Result<Self, EngineError> {
+        let fks: Vec<&[u32]> =
+            schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
+        Ok(ScanPlan { schema, fact_rows: schema.fact().num_rows(), fks, queries: Vec::new() })
+    }
+
+    /// Compiles a binary-predicate star query into the plan.
+    pub fn add_query(&mut self, query: &StarQuery) -> Result<(), EngineError> {
+        let bitsets = dimension_bitsets(self.schema, &query.predicates)?;
+        let filters: Vec<(usize, BitSet)> =
+            bitsets.into_iter().enumerate().filter_map(|(di, b)| Some((di, b?))).collect();
+        let grouping = if query.group_by.is_empty() {
+            None
+        } else {
+            Some(GroupPlan::resolve(self.schema, &query.group_by)?)
+        };
+        self.queries.push(PlannedQuery {
+            filters,
+            weights: Vec::new(),
+            row_weight: RowWeight::resolve(self.schema, &query.agg)?,
+            grouping,
+        });
+        Ok(())
+    }
+
+    /// Compiles a weighted query (real-valued predicates, scalar result)
+    /// into the plan. Predicates on the same `(table, attr)` multiply into
+    /// one axis.
+    pub fn add_weighted(
+        &mut self,
+        predicates: &[WeightedPredicate],
+        agg: &Agg,
+    ) -> Result<(), EngineError> {
+        let mut weights: Vec<WeightAxis<'a>> = Vec::new();
+        for wp in predicates {
+            let di = self.schema.dim_index(&wp.table)?;
+            let dim = &self.schema.dims()[di];
+            let codes = dim.table.codes(&wp.attr)?;
+            let domain = dim.table.domain(&wp.attr)?;
+            if wp.weights.len() != domain.size() as usize {
+                return Err(EngineError::WeightLengthMismatch {
+                    attr: wp.attr.clone(),
+                    got: wp.weights.len(),
+                    expected: domain.size(),
+                });
+            }
+            match weights.iter_mut().find(|a| std::ptr::eq(a.codes, codes)) {
+                Some(axis) => {
+                    for (slot, w) in axis.weights.iter_mut().zip(&wp.weights) {
+                        *slot *= w;
+                    }
+                }
+                None => weights.push(WeightAxis {
+                    dim: di,
+                    codes,
+                    domain: domain.size() as usize,
+                    weights: wp.weights.clone(),
+                }),
+            }
+        }
+        // Ascending dimension order, stable within a dimension — the
+        // reference executor's per-dimension multiply order.
+        weights.sort_by_key(|a| a.dim);
+        self.queries.push(PlannedQuery {
+            filters: Vec::new(),
+            weights,
+            row_weight: RowWeight::resolve(self.schema, agg)?,
+            grouping: None,
+        });
+        Ok(())
+    }
+
+    /// Number of compiled queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Executes every compiled query in **one** scan of the fact table,
+    /// returning results in compile order. With `options.threads > 1` the
+    /// scan shards across that many scoped threads; partials merge in shard
+    /// order, so results are deterministic for a fixed thread count.
+    pub fn execute(&self, options: ScanOptions) -> Vec<QueryResult> {
+        let hist_plan = HistPlan::build(&self.queries);
+        let mut state = self.fresh_state(hist_plan.as_ref());
+        let threads = options.threads.max(1);
+        // One shard must cover at least one chunk to be worth a thread.
+        let shards = threads.min(self.fact_rows.div_ceil(CHUNK_ROWS)).max(1);
+        if shards == 1 {
+            self.scan_range(&mut state, hist_plan.as_ref(), 0, self.fact_rows);
+        } else {
+            // Chunk-aligned contiguous shards, merged in shard order.
+            let chunks = self.fact_rows.div_ceil(CHUNK_ROWS);
+            let chunks_per_shard = chunks.div_ceil(shards);
+            let bounds: Vec<(usize, usize)> = (0..shards)
+                .map(|s| {
+                    let lo = (s * chunks_per_shard * CHUNK_ROWS).min(self.fact_rows);
+                    let hi = ((s + 1) * chunks_per_shard * CHUNK_ROWS).min(self.fact_rows);
+                    (lo, hi)
+                })
+                .filter(|(lo, hi)| lo < hi)
+                .collect();
+            let hp = hist_plan.as_ref();
+            let partials: Vec<ScanState> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        scope.spawn(move || {
+                            let mut shard = self.fresh_state(hp);
+                            self.scan_range(&mut shard, hp, lo, hi);
+                            shard
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scan shard panicked")).collect()
+            });
+            for partial in partials {
+                state.merge(partial);
+            }
+        }
+        FACT_SCANS.fetch_add(1, Ordering::Relaxed);
+        self.finalize(state, hist_plan.as_ref())
+    }
+
+    fn fresh_state(&self, hist_plan: Option<&HistPlan>) -> ScanState {
+        let accs = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                if hist_plan.is_some_and(|hp| hp.assignment[qi].is_some()) {
+                    return Acc::Hist;
+                }
+                match &q.grouping {
+                    None => Acc::Scalar(0.0),
+                    Some(g) => match g.dense_space {
+                        Some(space) => {
+                            Acc::Dense { sums: vec![0.0; space], touched: BitSet::zeros(space) }
+                        }
+                        None => Acc::Sparse(BTreeMap::new()),
+                    },
+                }
+            })
+            .collect();
+        let hists = hist_plan
+            .map(|hp| hp.kinds.iter().map(|_| vec![0.0; hp.space]).collect())
+            .unwrap_or_default();
+        ScanState { accs, hists }
+    }
+
+    fn finalize(&self, state: ScanState, hist_plan: Option<&HistPlan>) -> Vec<QueryResult> {
+        self.queries
+            .iter()
+            .enumerate()
+            .zip(state.accs)
+            .map(|((qi, q), acc)| match acc {
+                Acc::Scalar(v) => QueryResult::Scalar(v),
+                Acc::Sparse(m) => QueryResult::Groups(m),
+                Acc::Dense { sums, touched } => {
+                    let plan = q.grouping.as_ref().expect("dense acc implies grouping");
+                    QueryResult::Groups(
+                        touched.iter_ones().map(|flat| (plan.decode(flat), sums[flat])).collect(),
+                    )
+                }
+                Acc::Hist => {
+                    let hp = hist_plan.expect("hist acc implies hist plan");
+                    let kind = hp.assignment[qi].expect("hist acc implies assignment");
+                    let tensor = hp.weight_tensor(q);
+                    let hist = &state.hists[kind];
+                    // Φ_q · W, in ascending flat-code order.
+                    let dot: f64 = tensor.iter().zip(hist).map(|(p, w)| p * w).sum();
+                    QueryResult::Scalar(dot)
+                }
+            })
+            .collect()
+    }
+
+    /// Scans fact rows `[lo, hi)` accumulating every query — the fused
+    /// chunked kernel.
+    fn scan_range(
+        &self,
+        state: &mut ScanState,
+        hist_plan: Option<&HistPlan>,
+        lo: usize,
+        hi: usize,
+    ) {
+        let mut mask = [0u64; CHUNK_WORDS];
+        let mut chunk_start = lo;
+        while chunk_start < hi {
+            let chunk_end = (chunk_start + CHUNK_ROWS).min(hi);
+            let len = chunk_end - chunk_start;
+            let words = len.div_ceil(64);
+            for (q, acc) in self.queries.iter().zip(state.accs.iter_mut()) {
+                match acc {
+                    Acc::Hist => {} // accumulated via the shared histograms
+                    acc if q.weights.is_empty() => {
+                        self.chunk_mask(q, chunk_start, len, &mut mask[..words]);
+                        self.drain_binary(q, acc, chunk_start, &mask[..words]);
+                    }
+                    acc => self.scan_weighted_rows(q, acc, chunk_start, chunk_end),
+                }
+            }
+            if let Some(hp) = hist_plan {
+                // One flat-code computation per row feeds every histogram.
+                for row in chunk_start..chunk_end {
+                    let flat = hp.flat_index(&self.fks, row);
+                    for (kind, hist) in hp.kinds.iter().zip(state.hists.iter_mut()) {
+                        hist[flat] += kind.at(row);
+                    }
+                }
+            }
+            chunk_start = chunk_end;
+        }
+    }
+
+    /// Builds the chunk's qualifying-row mask for one binary query:
+    /// all-ones, then gather + AND per filtered dimension.
+    fn chunk_mask(&self, q: &PlannedQuery, chunk_start: usize, len: usize, mask: &mut [u64]) {
+        mask.fill(u64::MAX);
+        let tail = len & 63;
+        if tail != 0 {
+            mask[len >> 6] = (1u64 << tail) - 1;
+        }
+        for (di, bits) in &q.filters {
+            let fk = &self.fks[*di][chunk_start..chunk_start + len];
+            for (wi, word) in mask.iter_mut().enumerate() {
+                if *word == 0 {
+                    continue;
+                }
+                let base = wi << 6;
+                let upper = (base + 64).min(len);
+                let mut gathered = 0u64;
+                for (bit, &k) in fk[base..upper].iter().enumerate() {
+                    gathered |= bits.get_bit(k as usize) << bit;
+                }
+                *word &= gathered;
+            }
+        }
+    }
+
+    /// Drains a chunk mask into the query's accumulator.
+    fn drain_binary(&self, q: &PlannedQuery, acc: &mut Acc, chunk_start: usize, mask: &[u64]) {
+        if q.is_pure_count() {
+            let hits: u64 = mask.iter().map(|w| u64::from(w.count_ones())).sum();
+            if let Acc::Scalar(total) = acc {
+                *total += hits as f64;
+            }
+            return;
+        }
+        for (wi, &word) in mask.iter().enumerate() {
+            let mut w = word;
+            let base = chunk_start + (wi << 6);
+            while w != 0 {
+                let row = base + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let value = q.row_weight.at(row);
+                match (&mut *acc, &q.grouping) {
+                    (Acc::Scalar(total), _) => *total += value,
+                    (Acc::Dense { sums, touched }, Some(g)) => {
+                        let flat = g.flat_index(&self.fks, row);
+                        sums[flat] += value;
+                        touched.set(flat, true);
+                    }
+                    (Acc::Sparse(map), Some(g)) => {
+                        *map.entry(g.key(&self.fks, row)).or_insert(0.0) += value;
+                    }
+                    _ => unreachable!("grouped accumulator without group plan"),
+                }
+            }
+        }
+    }
+
+    /// Fallback row loop for weighted queries that can't use the histogram
+    /// (binary filters attached, or the joint code space is too large):
+    /// multiplies axis weights in dimension order with the same early-exit
+    /// sequence as the reference executor.
+    fn scan_weighted_rows(&self, q: &PlannedQuery, acc: &mut Acc, lo: usize, hi: usize) {
+        let Acc::Scalar(total) = acc else {
+            unreachable!("weighted queries are scalar");
+        };
+        'rows: for row in lo..hi {
+            for (di, bits) in &q.filters {
+                if !bits.get(self.fks[*di][row] as usize) {
+                    continue 'rows;
+                }
+            }
+            let mut w = q.row_weight.at(row);
+            if w == 0.0 {
+                continue;
+            }
+            for axis in &q.weights {
+                w *= axis.weights[axis.codes[self.fks[axis.dim][row] as usize] as usize];
+                if w == 0.0 {
+                    break;
+                }
+            }
+            *total += w;
+        }
+    }
+}
+
+/// Builds per-dimension pass bitsets for a predicate conjunction; `None`
+/// means "no predicate on this dimension" (all rows pass). Snowflake
+/// predicates are folded into their parent dimension through the dim→sub
+/// link, exactly like the reference executor.
+pub(crate) fn dimension_bitsets(
+    schema: &StarSchema,
+    predicates: &[Predicate],
+) -> Result<Vec<Option<BitSet>>, EngineError> {
+    let mut bitsets: Vec<Option<BitSet>> = vec![None; schema.num_dims()];
+    for pred in predicates {
+        // Star predicate: directly on a dimension.
+        if let Ok(di) = schema.dim_index(&pred.table) {
+            let dim = &schema.dims()[di];
+            let codes = dim.table.codes(&pred.attr)?;
+            let domain = dim.table.domain(&pred.attr)?;
+            pred.constraint.validate(domain)?;
+            let bits = bitsets[di].get_or_insert_with(|| BitSet::ones(dim.table.num_rows()));
+            bits.retain(|i| pred.constraint.matches(codes[i]));
+            continue;
+        }
+        // Snowflake predicate: on a sub-dimension, folded into the parent.
+        if let Some((parent, sub)) = schema.subdim(&pred.table) {
+            let sub_codes = sub.table.codes(&pred.attr)?;
+            let domain = sub.table.domain(&pred.attr)?;
+            pred.constraint.validate(domain)?;
+            let sub_pass =
+                BitSet::from_fn(sub_codes.len(), |i| pred.constraint.matches(sub_codes[i]));
+            let link = parent.table.key(&sub.fk_in_dim)?;
+            let di = schema.dim_index(parent.table.name())?;
+            let bits = bitsets[di].get_or_insert_with(|| BitSet::ones(parent.table.num_rows()));
+            bits.retain(|i| sub_pass.get(link[i] as usize));
+            continue;
+        }
+        return Err(EngineError::UnknownTable(pred.table.clone()));
+    }
+    Ok(bitsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::domain::Domain;
+    use crate::query::GroupAttr;
+    use crate::schema::Dimension;
+    use crate::table::Table;
+
+    fn schema() -> StarSchema {
+        let da = Domain::numeric("attr", 3).unwrap();
+        let db = Domain::numeric("attr", 2).unwrap();
+        let a = Table::new(
+            "A",
+            vec![Column::key("pk", vec![0, 1, 2]), Column::attr("attr", da, vec![0, 1, 2])],
+        )
+        .unwrap();
+        let b = Table::new(
+            "B",
+            vec![Column::key("pk", vec![0, 1]), Column::attr("attr", db, vec![0, 1])],
+        )
+        .unwrap();
+        let fact = Table::new(
+            "F",
+            vec![
+                Column::key("fk_a", vec![0, 0, 1, 1, 2, 2]),
+                Column::key("fk_b", vec![0, 1, 0, 1, 0, 1]),
+                Column::measure("qty", vec![1, 2, 3, 4, 5, 6]),
+            ],
+        )
+        .unwrap();
+        StarSchema::new(
+            fact,
+            vec![Dimension::new(a, "pk", "fk_a"), Dimension::new(b, "pk", "fk_b")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fused_plan_answers_mixed_batch_in_one_scan() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        plan.add_query(&StarQuery::count("c").with(Predicate::point("A", "attr", 1))).unwrap();
+        plan.add_query(&StarQuery::sum("s", "qty").with(Predicate::point("B", "attr", 1))).unwrap();
+        plan.add_weighted(&[WeightedPredicate::new("A", "attr", vec![0.5, 0.0, 0.0])], &Agg::Count)
+            .unwrap();
+        assert_eq!(plan.num_queries(), 3);
+        let before = fact_scan_count();
+        let results = plan.execute(ScanOptions::default());
+        assert_eq!(fact_scan_count() - before, 1, "three queries, one scan");
+        assert_eq!(results[0].scalar().unwrap(), 2.0);
+        assert_eq!(results[1].scalar().unwrap(), 12.0);
+        assert!((results[2].scalar().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        plan.add_query(
+            &StarQuery::sum("g", "qty")
+                .with(Predicate::range("A", "attr", 0, 1))
+                .group_by(GroupAttr::new("B", "attr")),
+        )
+        .unwrap();
+        plan.add_weighted(
+            &[
+                WeightedPredicate::new("A", "attr", vec![1.0, 0.5, 0.25]),
+                WeightedPredicate::new("B", "attr", vec![2.0, 0.75]),
+            ],
+            &Agg::Sum("qty".into()),
+        )
+        .unwrap();
+        let seq = plan.execute(ScanOptions::default());
+        let par = plan.execute(ScanOptions::parallel(4));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn histogram_path_answers_weighted_batches() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        // Mixed aggregate kinds over the same axes → two histograms.
+        plan.add_weighted(&[WeightedPredicate::new("A", "attr", vec![1.0, 0.5, 0.0])], &Agg::Count)
+            .unwrap();
+        plan.add_weighted(
+            &[
+                WeightedPredicate::new("A", "attr", vec![0.0, 1.0, 1.0]),
+                WeightedPredicate::new("B", "attr", vec![1.0, 0.25]),
+            ],
+            &Agg::Sum("qty".into()),
+        )
+        .unwrap();
+        let hp = HistPlan::build(&plan.queries).expect("both queries eligible");
+        assert_eq!(hp.axes.len(), 2, "A.attr and B.attr axes");
+        assert_eq!(hp.space, 6);
+        assert_eq!(hp.kinds.len(), 2, "Count and Sum histograms");
+        let results = plan.execute(ScanOptions::default());
+        // Query 0: rows with fk_a=0 weigh 1, fk_a=1 weigh 0.5 → 2 + 1 = 3.
+        assert_eq!(results[0].scalar().unwrap(), 3.0);
+        // Query 1: Σ qty·wA(a)·wB(b): rows 2..6:
+        //   row2 (1,0): 3·1·1=3; row3 (1,1): 4·1·0.25=1; row4 (2,0): 5;
+        //   row5 (2,1): 6·0.25=1.5 → 10.5.
+        assert_eq!(results[1].scalar().unwrap(), 10.5);
+    }
+
+    #[test]
+    fn wide_axis_falls_back_per_query_not_per_batch() {
+        // One dimension with a domain past DENSE_GROUP_CAP: the query on it
+        // must fall back to the row loop, while the small-axis query keeps
+        // the histogram path.
+        let wide_domain = (DENSE_GROUP_CAP + 1) as u32;
+        let dwide = Domain::numeric("w", wide_domain).unwrap();
+        let dsmall = Domain::numeric("s", 3).unwrap();
+        let wide = Table::new(
+            "W",
+            vec![Column::key("pk", vec![0, 1]), Column::attr("w", dwide, vec![0, wide_domain - 1])],
+        )
+        .unwrap();
+        let small = Table::new(
+            "S",
+            vec![Column::key("pk", vec![0, 1, 2]), Column::attr("s", dsmall, vec![0, 1, 2])],
+        )
+        .unwrap();
+        let fact = Table::new(
+            "F",
+            vec![Column::key("fw", vec![0, 1, 1, 0]), Column::key("fs", vec![0, 1, 2, 2])],
+        )
+        .unwrap();
+        let s = StarSchema::new(
+            fact,
+            vec![Dimension::new(wide, "pk", "fw"), Dimension::new(small, "pk", "fs")],
+        )
+        .unwrap();
+
+        let mut wide_weights = vec![0.0; wide_domain as usize];
+        wide_weights[0] = 1.0;
+        wide_weights[wide_domain as usize - 1] = 0.5;
+        let mut plan = ScanPlan::new(&s).unwrap();
+        plan.add_weighted(&[WeightedPredicate::new("S", "s", vec![1.0, 0.5, 2.0])], &Agg::Count)
+            .unwrap();
+        plan.add_weighted(&[WeightedPredicate::new("W", "w", wide_weights)], &Agg::Count).unwrap();
+
+        let hp = HistPlan::build(&plan.queries).expect("small-axis query still eligible");
+        assert_eq!(hp.assignment[0], Some(0), "small query keeps the histogram path");
+        assert_eq!(hp.assignment[1], None, "wide query falls back to the row loop");
+        assert_eq!(hp.space, 3);
+
+        let results = plan.execute(ScanOptions::default());
+        // Query 0: rows hit s-codes 0, 1, 2, 2 → 1 + 0.5 + 2 + 2 = 5.5.
+        assert_eq!(results[0].scalar().unwrap(), 5.5);
+        // Query 1: rows hit w-codes 0, max, max, 0 → 1 + 0.5 + 0.5 + 1 = 3.
+        assert_eq!(results[1].scalar().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn same_attr_predicates_multiply_into_one_axis() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        plan.add_weighted(
+            &[
+                WeightedPredicate::new("A", "attr", vec![1.0, 2.0, 4.0]),
+                WeightedPredicate::new("A", "attr", vec![0.5, 0.5, 0.5]),
+            ],
+            &Agg::Count,
+        )
+        .unwrap();
+        assert_eq!(plan.queries[0].weights.len(), 1, "merged into one axis");
+        let results = plan.execute(ScanOptions::default());
+        // Per-code weights 0.5, 1.0, 2.0 over fanout 2 each → 2·3.5 = 7.
+        assert_eq!(results[0].scalar().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn dense_group_space_detection() {
+        let s = schema();
+        let g = GroupPlan::resolve(&s, &[GroupAttr::new("A", "attr"), GroupAttr::new("B", "attr")])
+            .unwrap();
+        assert_eq!(g.dense_space, Some(6));
+        assert_eq!(g.decode(5), vec![2, 1], "row-major decode of the last cell");
+        assert_eq!(g.decode(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn scan_options_clamp() {
+        assert_eq!(ScanOptions::parallel(0).threads, 1);
+        assert_eq!(ScanOptions::default().threads, 1);
+    }
+}

@@ -53,15 +53,33 @@ pub struct StarSchema {
 impl StarSchema {
     /// Builds and validates a schema:
     ///
+    /// * table names (fact, dimensions, sub-dimensions) are pairwise
+    ///   distinct, so predicate and group-by resolution is unambiguous;
     /// * each dimension's `pk` is a dense key (`pk[i] == i`);
     /// * each fact `fk` is a key column whose values index dimension rows;
     /// * each sub-dimension's `fk_in_dim` exists in its parent and references
     ///   rows of the sub-table, whose `pk` is also dense.
+    ///
+    /// Construction-time validation is what lets the scan kernels index
+    /// dimension bitsets by raw foreign-key value without bounds checks
+    /// failing: a schema that would make `execute` read out of bounds is
+    /// rejected here with a typed error instead of panicking mid-scan.
     pub fn new(fact: Table, dims: Vec<Dimension>) -> Result<Self, EngineError> {
         if dims.is_empty() {
             return Err(EngineError::InvalidSchema(
                 "a star schema needs at least one dimension".into(),
             ));
+        }
+        let mut names = vec![fact.name()];
+        for dim in &dims {
+            for name in
+                std::iter::once(dim.table.name()).chain(dim.subdims.iter().map(|s| s.table.name()))
+            {
+                if names.contains(&name) {
+                    return Err(EngineError::DuplicateTable(name.to_string()));
+                }
+                names.push(name);
+            }
         }
         for dim in &dims {
             check_dense_pk(&dim.table, &dim.pk)?;
@@ -222,6 +240,54 @@ mod tests {
     fn no_dimensions_rejected() {
         let fact = fact_table(vec![("fk_a", vec![0])]);
         assert!(StarSchema::new(fact, vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_dimension_names_rejected() {
+        let fact = fact_table(vec![("fk_a", vec![0, 1]), ("fk_b", vec![0, 1])]);
+        let err = StarSchema::new(
+            fact,
+            vec![
+                Dimension::new(dim_table("A", 2), "pk", "fk_a"),
+                Dimension::new(dim_table("A", 2), "pk", "fk_b"),
+            ],
+        );
+        assert!(matches!(err, Err(EngineError::DuplicateTable(t)) if t == "A"));
+    }
+
+    #[test]
+    fn subdim_name_colliding_with_dimension_rejected() {
+        // Sub-table named like another dimension would make predicate
+        // resolution ambiguous.
+        let sub = dim_table("B", 2);
+        let d = Domain::numeric("attr", 4).unwrap();
+        let a = Table::new(
+            "A",
+            vec![
+                Column::key("pk", vec![0, 1]),
+                Column::attr("attr", d, vec![0, 1]),
+                Column::key("sk", vec![0, 1]),
+            ],
+        )
+        .unwrap();
+        let fact = fact_table(vec![("fk_a", vec![0, 1]), ("fk_b", vec![0, 1])]);
+        let dim_a = Dimension::new(a, "pk", "fk_a").with_subdim(SubDimension {
+            table: sub,
+            pk: "pk".into(),
+            fk_in_dim: "sk".into(),
+        });
+        let dim_b = Dimension::new(dim_table("B", 2), "pk", "fk_b");
+        assert!(matches!(
+            StarSchema::new(fact, vec![dim_a, dim_b]),
+            Err(EngineError::DuplicateTable(t)) if t == "B"
+        ));
+    }
+
+    #[test]
+    fn fact_name_colliding_with_dimension_rejected() {
+        let fact = fact_table(vec![("fk_a", vec![0, 1])]);
+        let err = StarSchema::new(fact, vec![Dimension::new(dim_table("Fact", 2), "pk", "fk_a")]);
+        assert!(matches!(err, Err(EngineError::DuplicateTable(_))));
     }
 
     #[test]

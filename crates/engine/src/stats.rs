@@ -16,8 +16,8 @@
 //! changes the query answer.
 
 use crate::error::EngineError;
-use crate::exec::dimension_bitmaps;
-use crate::query::{Agg, StarQuery};
+use crate::plan::{dimension_bitsets, RowWeight};
+use crate::query::StarQuery;
 use crate::schema::StarSchema;
 use std::collections::HashMap;
 
@@ -73,37 +73,29 @@ pub fn contributions(
     let priv_idx: Vec<usize> =
         private_dims.iter().map(|d| schema.dim_index(d)).collect::<Result<_, _>>()?;
 
-    let bitmaps = dimension_bitmaps(schema, &query.predicates)?;
+    // Sparse (dim index, packed pass mask) filters, as in the scan plans.
+    let filters: Vec<(usize, crate::bitset::BitSet)> =
+        dimension_bitsets(schema, &query.predicates)?
+            .into_iter()
+            .enumerate()
+            .filter_map(|(di, b)| Some((di, b?)))
+            .collect();
     let fks: Vec<&[u32]> =
         schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
-
-    enum W<'a> {
-        Ones,
-        M(&'a [i64]),
-        D(&'a [i64], &'a [i64]),
-    }
-    let weight = match &query.agg {
-        Agg::Count => W::Ones,
-        Agg::Sum(m) => W::M(schema.fact().measure(m)?),
-        Agg::SumDiff(a, b) => W::D(schema.fact().measure(a)?, schema.fact().measure(b)?),
-    };
+    let weight = RowWeight::resolve(schema, &query.agg)?;
 
     let mut per_entity: HashMap<Vec<u32>, f64> = HashMap::new();
     let mut total = 0.0;
     let mut key = vec![0u32; priv_idx.len()];
-    for row in 0..schema.fact().num_rows() {
-        let passes = bitmaps.iter().enumerate().all(|(di, b)| match b {
-            Some(bits) => bits[fks[di][row] as usize],
-            None => true,
-        });
-        if !passes {
-            continue;
+    // (`row` indexes several parallel fk columns, not one iterable slice.)
+    #[allow(clippy::needless_range_loop)]
+    'rows: for row in 0..schema.fact().num_rows() {
+        for (di, bits) in &filters {
+            if !bits.get(fks[*di][row] as usize) {
+                continue 'rows;
+            }
         }
-        let w = match &weight {
-            W::Ones => 1.0,
-            W::M(m) => m[row] as f64,
-            W::D(a, b) => (a[row] - b[row]) as f64,
-        };
+        let w = weight.at(row);
         for (slot, &di) in key.iter_mut().zip(&priv_idx) {
             *slot = fks[di][row];
         }

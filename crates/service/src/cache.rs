@@ -33,6 +33,8 @@ use std::sync::RwLock;
 pub enum Mechanism {
     /// Predicate Mechanism (Algorithms 1 & 3).
     Pm,
+    /// PM over a query batch answered in one fused fact scan.
+    PmBatch,
     /// Workload Decomposition (Algorithm 4).
     Wd,
     /// PM for k-star counting on graphs.
@@ -67,6 +69,10 @@ pub struct CachedAnswer {
     pub workload_answers: Vec<f64>,
     /// The noisy query PM executed, for auditability.
     pub noisy_query: Option<StarQuery>,
+    /// Per-member results and noisy queries of a fused PM batch
+    /// ([`Mechanism::PmBatch`]); a `None` noisy query marks a member that
+    /// was answered exactly for free (unsatisfiable). Empty otherwise.
+    pub batch: Vec<(QueryResult, Option<StarQuery>)>,
     /// The noisy `(k, lo, hi)` range a k-star answer counted; `None`
     /// otherwise.
     pub noisy_kstar: Option<(u32, u32, u32)>,
@@ -189,6 +195,7 @@ mod tests {
             result: QueryResult::Scalar(v),
             workload_answers: Vec::new(),
             noisy_query: None,
+            batch: Vec::new(),
             noisy_kstar: None,
             original_cost: PrivacyBudget::pure(0.5).unwrap(),
         }

@@ -70,4 +70,6 @@ pub use accountant::{BudgetAccountant, Reservation, TenantUsage};
 pub use cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 pub use error::ServiceError;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
-pub use service::{KStarAnswer, Service, ServiceAnswer, ServiceConfig, WorkloadAnswer};
+pub use service::{
+    BatchAnswer, KStarAnswer, Service, ServiceAnswer, ServiceConfig, WorkloadAnswer,
+};

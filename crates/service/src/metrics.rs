@@ -76,6 +76,11 @@ pub struct ServiceMetrics {
     pub admission_rejections: AtomicU64,
     /// Requests that failed in the mechanism after admission (refunded).
     pub mechanism_failures: AtomicU64,
+    /// Fused multi-query fact scans executed (batch + workload requests).
+    pub fused_scans: AtomicU64,
+    /// Fact scans *saved* by fusion: for each fused scan answering `l`
+    /// queries, `l − 1` scans the per-query path would have paid.
+    pub fused_queries_saved: AtomicU64,
     /// End-to-end request latency (successful requests only).
     pub latency: LatencyHistogram,
 }
@@ -95,6 +100,10 @@ pub struct MetricsSnapshot {
     pub admission_rejections: u64,
     /// See [`ServiceMetrics::mechanism_failures`].
     pub mechanism_failures: u64,
+    /// See [`ServiceMetrics::fused_scans`].
+    pub fused_scans: u64,
+    /// See [`ServiceMetrics::fused_queries_saved`].
+    pub fused_queries_saved: u64,
     /// Median latency in µs (None before the first served query).
     pub p50_latency_us: Option<f64>,
     /// 99th-percentile latency in µs.
@@ -107,6 +116,11 @@ impl ServiceMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bumps a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot (individual counters are exact;
     /// cross-counter skew is bounded by in-flight requests).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -117,6 +131,8 @@ impl ServiceMetrics {
             budget_refusals: self.budget_refusals.load(Ordering::Relaxed),
             admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
             mechanism_failures: self.mechanism_failures.load(Ordering::Relaxed),
+            fused_scans: self.fused_scans.load(Ordering::Relaxed),
+            fused_queries_saved: self.fused_queries_saved.load(Ordering::Relaxed),
             p50_latency_us: self.latency.quantile_us(0.50),
             p99_latency_us: self.latency.quantile_us(0.99),
         }

@@ -33,7 +33,9 @@ use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use dp_starj::pm::PmConfig;
 use dp_starj::workload::WdConfig;
 use dp_starj::{pm_answer, pm_kstar, wd_answer, PredicateWorkload};
-use starj_engine::{canonicalize, QueryResult, StarQuery, StarSchema};
+use starj_engine::{
+    canonicalize, execute_batch_with, QueryResult, ScanOptions, StarQuery, StarSchema,
+};
 use starj_graph::{Graph, KStarQuery};
 use starj_noise::{PrivacyBudget, StarRng};
 use std::collections::BTreeMap;
@@ -54,6 +56,11 @@ pub struct ServiceConfig {
     pub cache_answers: bool,
     /// Maximum cached answers before FIFO eviction (bounds service memory).
     pub cache_capacity: usize,
+    /// Fact-scan worker threads for mechanism execution (1 = scan on the
+    /// request thread). Values > 1 are propagated into the PM/WD scan
+    /// options at service construction; at the default of 1, explicitly
+    /// configured `pm.scan` / `wd.scan` options are left untouched.
+    pub scan_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +71,7 @@ impl Default for ServiceConfig {
             seed: 2023,
             cache_answers: true,
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            scan_threads: 1,
         }
     }
 }
@@ -82,6 +90,21 @@ pub struct ServiceAnswer {
     pub cached: bool,
     /// What this call charged the tenant: `None` for cache hits and free
     /// answers, `Some(cost)` when fresh budget was committed.
+    pub cost: Option<PrivacyBudget>,
+}
+
+/// A served fused-batch answer: per-member answers plus the batch-level
+/// charge (the whole batch reserves, executes in one fact scan, and
+/// commits as a unit).
+#[derive(Debug, Clone)]
+pub struct BatchAnswer {
+    /// Per-query answers in submission order. Member `cost` fields are
+    /// `None` — the batch-level [`BatchAnswer::cost`] is the charge.
+    pub answers: Vec<ServiceAnswer>,
+    /// True iff the whole batch replayed from the cache.
+    pub cached: bool,
+    /// What this call charged the tenant (`None` for cache hits and
+    /// all-free batches).
     pub cost: Option<PrivacyBudget>,
 }
 
@@ -124,7 +147,14 @@ pub struct Service {
 
 impl Service {
     /// A service over `schema` with the given configuration and no tenants.
-    pub fn new(schema: Arc<StarSchema>, config: ServiceConfig) -> Self {
+    pub fn new(schema: Arc<StarSchema>, mut config: ServiceConfig) -> Self {
+        // `scan_threads > 1` propagates into the mechanism configs; at the
+        // default of 1 any explicitly-set `pm.scan` / `wd.scan` is honored.
+        if config.scan_threads > 1 {
+            let scan = ScanOptions::parallel(config.scan_threads);
+            config.pm.scan = scan;
+            config.wd.scan = scan;
+        }
         let cache = AnswerCache::with_capacity(config.cache_capacity);
         Service {
             schema,
@@ -228,12 +258,156 @@ impl Service {
                     result: answer.result.clone(),
                     workload_answers: Vec::new(),
                     noisy_query: Some(answer.noisy_query.clone()),
+                    batch: Vec::new(),
                     noisy_kstar: None,
                     original_cost: cost,
                 },
             );
         }
         Ok(self.serve_pm(start, query, answer.result, Some(answer.noisy_query), false, Some(cost)))
+    }
+
+    /// Answers a batch of star-join queries with the Predicate Mechanism in
+    /// **one fused fact scan**, charged to `tenant` as a unit.
+    ///
+    /// The total budget `epsilon` splits evenly across the satisfiable
+    /// members (sequential composition, as in the PM-per-query workload
+    /// baseline); provably unsatisfiable members are answered exactly for
+    /// free and do not dilute the split. Perturbation stays per-query —
+    /// each member draws its own noise exactly as [`Service::pm_answer`]
+    /// would — only the *answering* scan is shared, which is privacy-free
+    /// post-processing of the already-noisy queries.
+    pub fn pm_batch_answer(
+        &self,
+        tenant: &str,
+        queries: &[StarQuery],
+        epsilon: f64,
+    ) -> Result<BatchAnswer, ServiceError> {
+        let start = Instant::now();
+        let cost = self.admit_cost(epsilon)?;
+        if queries.is_empty() {
+            return Ok(BatchAnswer { answers: Vec::new(), cached: false, cost: None });
+        }
+        for q in queries {
+            self.admit(|| validate_query(&self.schema, q))?;
+        }
+
+        let canons: Vec<_> = queries.iter().map(canonicalize).collect();
+        let key = RequestKey::Workload(canons.clone());
+        if let Some(hit) = self.cache_get(tenant, Mechanism::PmBatch, epsilon, &key) {
+            self.served(start);
+            let answers = queries
+                .iter()
+                .zip(hit.batch)
+                .map(|(q, (result, noisy_query))| ServiceAnswer {
+                    name: q.name.clone(),
+                    result,
+                    noisy_query,
+                    cached: true,
+                    cost: None,
+                })
+                .collect();
+            return Ok(BatchAnswer { answers, cached: true, cost: None });
+        }
+
+        // Free members (unsatisfiable on every instance) answer exactly and
+        // are excluded from the budget split.
+        let satisfiable: Vec<usize> =
+            (0..queries.len()).filter(|&i| !canons[i].unsatisfiable).collect();
+        let mut batch: Vec<(QueryResult, Option<StarQuery>)> = canons
+            .iter()
+            .map(|c| {
+                let empty = if c.group_by.is_empty() {
+                    QueryResult::Scalar(0.0)
+                } else {
+                    QueryResult::Groups(BTreeMap::new())
+                };
+                (empty, None)
+            })
+            .collect();
+
+        let charged = if satisfiable.is_empty() {
+            ServiceMetrics::add(&self.metrics.free_answers, queries.len() as u64);
+            None
+        } else {
+            let reservation = self.reserve(tenant, cost)?;
+            let mut rng = self.request_rng();
+            let eps_each = epsilon / satisfiable.len() as f64;
+            // Phase 1: per-member perturbation (the private step).
+            let noisy: Vec<StarQuery> = match satisfiable
+                .iter()
+                .map(|&i| {
+                    dp_starj::pm::perturb_query(
+                        &self.schema,
+                        &canons[i].to_query(&queries[i].name),
+                        eps_each,
+                        &self.config.pm,
+                        &mut rng,
+                    )
+                })
+                .collect::<Result<_, _>>()
+            {
+                Ok(n) => n,
+                Err(e) => {
+                    ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                    return Err(e.into());
+                }
+            };
+            // Phase 2: one fused scan answers every noisy member.
+            let results = match execute_batch_with(&self.schema, &noisy, self.config.pm.scan) {
+                Ok(r) => r,
+                Err(e) => {
+                    ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                    return Err(ServiceError::InvalidQuery(e));
+                }
+            };
+            reservation.commit()?;
+            // Metrics only after the batch actually commits — a refused or
+            // failed request must not count its free members as served.
+            ServiceMetrics::add(
+                &self.metrics.free_answers,
+                (queries.len() - satisfiable.len()) as u64,
+            );
+            ServiceMetrics::inc(&self.metrics.fused_scans);
+            ServiceMetrics::add(&self.metrics.fused_queries_saved, satisfiable.len() as u64 - 1);
+            for ((&i, result), noisy_query) in satisfiable.iter().zip(results).zip(noisy) {
+                batch[i] = (result, Some(noisy_query));
+            }
+            Some(cost)
+        };
+
+        // All-free batches are not cached (consistent with `pm_answer`'s
+        // free path): recomputing them costs no budget, and caching one
+        // would record an `original_cost` that was never charged.
+        if self.config.cache_answers && charged.is_some() {
+            self.cache.insert(
+                tenant,
+                Mechanism::PmBatch,
+                epsilon,
+                key,
+                CachedAnswer {
+                    result: QueryResult::Scalar(0.0),
+                    workload_answers: Vec::new(),
+                    noisy_query: None,
+                    batch: batch.clone(),
+                    noisy_kstar: None,
+                    original_cost: cost,
+                },
+            );
+        }
+        self.served(start);
+        let answers = queries
+            .iter()
+            .zip(batch)
+            .map(|(q, (result, noisy_query))| ServiceAnswer {
+                name: q.name.clone(),
+                result,
+                noisy_query,
+                cached: false,
+                cost: None,
+            })
+            .collect();
+        Ok(BatchAnswer { answers, cached: false, cost: charged })
     }
 
     /// Answers a counting-query workload with Workload Decomposition under
@@ -265,6 +439,12 @@ impl Service {
             }
         };
         reservation.commit()?;
+        // WD answers all `l` reconstructed rows through one fused scan.
+        ServiceMetrics::inc(&self.metrics.fused_scans);
+        ServiceMetrics::add(
+            &self.metrics.fused_queries_saved,
+            workload.len().saturating_sub(1) as u64,
+        );
 
         if self.config.cache_answers {
             self.cache.insert(
@@ -276,6 +456,7 @@ impl Service {
                     result: QueryResult::Scalar(0.0),
                     workload_answers: answers.clone(),
                     noisy_query: None,
+                    batch: Vec::new(),
                     noisy_kstar: None,
                     original_cost: cost,
                 },
@@ -345,6 +526,7 @@ impl Service {
                     result: QueryResult::Scalar(count),
                     workload_answers: Vec::new(),
                     noisy_query: None,
+                    batch: Vec::new(),
                     noisy_kstar: Some((noisy_query.k, noisy_query.lo, noisy_query.hi)),
                     original_cost: cost,
                 },
@@ -417,5 +599,185 @@ impl Service {
     fn request_rng(&self) -> StarRng {
         let index = self.request_counter.fetch_add(1, Ordering::Relaxed);
         StarRng::from_seed(self.config.seed).derive_index(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starj_engine::{Column, Dimension, Domain, Predicate, Table};
+
+    fn toy_schema() -> Arc<StarSchema> {
+        let color = Domain::numeric("color", 4).unwrap();
+        let dim = Table::new(
+            "D",
+            vec![
+                Column::key("pk", vec![0, 1, 2, 3]),
+                Column::attr("color", color, vec![0, 1, 2, 3]),
+            ],
+        )
+        .unwrap();
+        let fact = Table::new(
+            "F",
+            vec![
+                Column::key("fk", vec![0, 0, 1, 2, 3, 3]),
+                Column::measure("qty", vec![1, 2, 3, 4, 5, 6]),
+            ],
+        )
+        .unwrap();
+        Arc::new(StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap())
+    }
+
+    fn batch_queries() -> Vec<StarQuery> {
+        (0..4u32)
+            .map(|v| StarQuery::count(format!("b{v}")).with(Predicate::point("D", "color", v)))
+            .collect()
+    }
+
+    #[test]
+    fn batch_charges_once_and_fuses_the_scan() {
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+        let queries = batch_queries();
+
+        let scans_before = starj_engine::fact_scan_count();
+        let answer = service.pm_batch_answer("t", &queries, 1.0).unwrap();
+        assert_eq!(starj_engine::fact_scan_count() - scans_before, 1, "4 queries, 1 scan");
+        assert_eq!(answer.answers.len(), 4);
+        assert!(!answer.cached);
+        let cost = answer.cost.expect("fresh batch pays");
+        assert!((cost.epsilon() - 1.0).abs() < 1e-12, "one ε charge for the whole batch");
+        assert!((service.tenant_usage("t").unwrap().spent_epsilon - 1.0).abs() < 1e-12);
+        for a in &answer.answers {
+            assert!(a.noisy_query.is_some(), "every member was perturbed");
+            assert!(a.result.scalar().unwrap() >= 0.0);
+        }
+        let m = service.metrics();
+        assert_eq!(m.fused_scans, 1);
+        assert_eq!(m.fused_queries_saved, 3);
+    }
+
+    #[test]
+    fn batch_replays_from_cache_for_free() {
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+        let queries = batch_queries();
+        let first = service.pm_batch_answer("t", &queries, 1.0).unwrap();
+        let replay = service.pm_batch_answer("t", &queries, 1.0).unwrap();
+        assert!(replay.cached);
+        assert!(replay.cost.is_none());
+        for (a, b) in first.answers.iter().zip(&replay.answers) {
+            assert_eq!(a.result, b.result, "replayed answers are byte-identical");
+            assert_eq!(a.noisy_query, b.noisy_query);
+        }
+        assert!((service.tenant_usage("t").unwrap().spent_epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(service.metrics().cache_hits, 1);
+    }
+
+    #[test]
+    fn unsatisfiable_members_are_free_and_do_not_dilute_the_split() {
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+        // Two contradictory predicates on one attribute: unsatisfiable.
+        let dead = StarQuery::count("dead")
+            .with(Predicate::point("D", "color", 0))
+            .with(Predicate::point("D", "color", 3));
+        let live = StarQuery::count("live").with(Predicate::range("D", "color", 0, 3));
+        let answer = service.pm_batch_answer("t", &[dead.clone(), live], 1.0).unwrap();
+        assert_eq!(answer.answers[0].result.scalar().unwrap(), 0.0);
+        assert!(answer.answers[0].noisy_query.is_none(), "free member never executed");
+        assert!(answer.answers[1].noisy_query.is_some());
+        assert_eq!(service.metrics().free_answers, 1);
+
+        // An all-unsatisfiable batch is entirely free and is NOT cached
+        // (there is no paid release to replay).
+        let cached_before = service.cached_answers();
+        let free = service.pm_batch_answer("t", &[dead], 1.0).unwrap();
+        assert!(free.cost.is_none());
+        assert_eq!(service.cached_answers(), cached_before, "free batches are not cached");
+        assert!((service.tenant_usage("t").unwrap().spent_epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_a_free_no_op_but_still_validates_epsilon() {
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(1.0).unwrap()).unwrap();
+        let answer = service.pm_batch_answer("t", &[], 0.5).unwrap();
+        assert!(answer.answers.is_empty());
+        assert!(answer.cost.is_none());
+        assert_eq!(service.tenant_usage("t").unwrap().spent_epsilon, 0.0);
+        // A malformed budget is refused even with nothing to answer, like
+        // every other endpoint.
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                service.pm_batch_answer("t", &[], bad),
+                Err(ServiceError::InvalidBudget(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn explicit_mechanism_scan_options_survive_default_scan_threads() {
+        let mut config = ServiceConfig::default();
+        config.pm.scan = ScanOptions::parallel(8);
+        let service = Service::new(toy_schema(), config);
+        assert_eq!(service.config.pm.scan.threads, 8, "scan_threads=1 must not clobber pm.scan");
+        let threaded = ServiceConfig { scan_threads: 4, ..ServiceConfig::default() };
+        let service = Service::new(toy_schema(), threaded);
+        assert_eq!(service.config.pm.scan.threads, 4);
+        assert_eq!(service.config.wd.scan.threads, 4);
+    }
+
+    #[test]
+    fn refused_batch_counts_no_free_answers() {
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(0.1).unwrap()).unwrap();
+        let dead = StarQuery::count("dead")
+            .with(Predicate::point("D", "color", 0))
+            .with(Predicate::point("D", "color", 3));
+        let live = StarQuery::count("live").with(Predicate::point("D", "color", 1));
+        // ε = 1.0 exceeds the 0.1 allotment: the whole batch is refused and
+        // its unsatisfiable member must not be recorded as served.
+        assert!(matches!(
+            service.pm_batch_answer("t", &[dead, live], 1.0),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+        let m = service.metrics();
+        assert_eq!(m.free_answers, 0);
+        assert_eq!(m.fused_scans, 0);
+        assert_eq!(m.budget_refusals, 1);
+    }
+
+    #[test]
+    fn batch_admission_rejects_malformed_members_before_any_charge() {
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(1.0).unwrap()).unwrap();
+        let queries = vec![
+            StarQuery::count("ok").with(Predicate::point("D", "color", 1)),
+            StarQuery::count("bad").with(Predicate::point("Ghost", "color", 1)),
+        ];
+        assert!(service.pm_batch_answer("t", &queries, 0.5).is_err());
+        assert_eq!(service.tenant_usage("t").unwrap().spent_epsilon, 0.0, "nothing charged");
+        assert_eq!(service.metrics().admission_rejections, 1);
+    }
+
+    #[test]
+    fn scan_threads_knob_propagates_and_answers_match() {
+        let queries = batch_queries();
+        let run = |threads: usize| {
+            let config = ServiceConfig { scan_threads: threads, ..ServiceConfig::default() };
+            let service = Service::new(toy_schema(), config);
+            service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+            service
+                .pm_batch_answer("t", &queries, 1.0)
+                .unwrap()
+                .answers
+                .iter()
+                .map(|a| a.result.scalar().unwrap())
+                .collect::<Vec<f64>>()
+        };
+        // Same seed and arrival order ⇒ identical noise; the thread count
+        // must not change any answer.
+        assert_eq!(run(1), run(4));
     }
 }

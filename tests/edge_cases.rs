@@ -6,7 +6,8 @@ use dp_starj_repro::baselines::{kstar_r2t, LsMechanism, R2tConfig};
 use dp_starj_repro::core::pm::{pm_answer, PmConfig};
 use dp_starj_repro::core::pma::{perturb_constraint, RangePolicy};
 use dp_starj_repro::engine::{
-    execute, Column, Constraint, Dimension, Domain, Predicate, StarQuery, StarSchema, Table,
+    execute, Column, Constraint, Dimension, Domain, EngineError, Predicate, StarQuery, StarSchema,
+    SubDimension, Table,
 };
 use dp_starj_repro::graph::{kstar_count, Graph, KStarQuery};
 use dp_starj_repro::noise::StarRng;
@@ -152,6 +153,98 @@ fn group_by_on_empty_result_is_empty_map() {
     assert!(res.groups().unwrap().is_empty());
     // Positional error of empty vs empty is 0.
     assert_eq!(res.positional_relative_error(&res.clone()), 0.0);
+}
+
+#[test]
+fn malformed_schemas_are_rejected_with_typed_errors_not_panics() {
+    // Every shape of referential breakage the scan kernels would otherwise
+    // hit as an out-of-bounds read must be refused at construction.
+    let d = Domain::numeric("x", 3).unwrap();
+    let dim = |name: &str| {
+        Table::new(
+            name,
+            vec![Column::key("pk", vec![0, 1]), Column::attr("x", d.clone(), vec![0, 2])],
+        )
+        .unwrap()
+    };
+
+    // Fact fk referencing a row past the dimension.
+    let fact =
+        Table::new("F", vec![Column::key("fk", vec![0, 5]), Column::measure("m", vec![1, 1])])
+            .unwrap();
+    assert!(matches!(
+        StarSchema::new(fact, vec![Dimension::new(dim("D"), "pk", "fk")]),
+        Err(EngineError::ForeignKeyOutOfRange { value: 5, referenced_rows: 2, .. })
+    ));
+
+    // Snowflake sub-link in the dimension referencing past the sub-table.
+    let sub = dim("S");
+    let parent = Table::new(
+        "P",
+        vec![
+            Column::key("pk", vec![0, 1]),
+            Column::attr("x", d.clone(), vec![0, 1]),
+            Column::key("sk", vec![0, 9]),
+        ],
+    )
+    .unwrap();
+    let fact =
+        Table::new("F", vec![Column::key("fk", vec![0, 1]), Column::measure("m", vec![1, 1])])
+            .unwrap();
+    let dimension = Dimension::new(parent, "pk", "fk").with_subdim(SubDimension {
+        table: sub,
+        pk: "pk".into(),
+        fk_in_dim: "sk".into(),
+    });
+    assert!(matches!(
+        StarSchema::new(fact, vec![dimension]),
+        Err(EngineError::ForeignKeyOutOfRange { value: 9, referenced_rows: 2, .. })
+    ));
+
+    // Duplicate table names would make predicate resolution ambiguous.
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("fk_a", vec![0, 1]),
+            Column::key("fk_b", vec![0, 1]),
+            Column::measure("m", vec![1, 1]),
+        ],
+    )
+    .unwrap();
+    assert!(matches!(
+        StarSchema::new(
+            fact,
+            vec![Dimension::new(dim("D"), "pk", "fk_a"), Dimension::new(dim("D"), "pk", "fk_b")]
+        ),
+        Err(EngineError::DuplicateTable(t)) if t == "D"
+    ));
+}
+
+#[test]
+fn boundary_foreign_keys_admit_and_execute_without_panicking() {
+    // fk values exactly at rows−1 are the boundary the validation guards;
+    // a validated schema must then scan cleanly through every kernel.
+    let d = Domain::numeric("x", 3).unwrap();
+    let dim = Table::new(
+        "D",
+        vec![Column::key("pk", vec![0, 1, 2]), Column::attr("x", d, vec![0, 1, 2])],
+    )
+    .unwrap();
+    let fact = Table::new(
+        "F",
+        vec![Column::key("fk", vec![2, 2, 0]), Column::measure("m", vec![7, 8, 9])],
+    )
+    .unwrap();
+    let s = StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap();
+    let q = StarQuery::count("q").with(Predicate::point("D", "x", 2));
+    assert_eq!(execute(&s, &q).unwrap().scalar().unwrap(), 2.0);
+    let batch = dp_starj_repro::engine::execute_batch_with(
+        &s,
+        &[q],
+        dp_starj_repro::engine::ScanOptions::parallel(2),
+    )
+    .unwrap();
+    assert_eq!(batch[0].scalar().unwrap(), 2.0);
 }
 
 #[test]

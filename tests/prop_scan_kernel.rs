@@ -1,0 +1,308 @@
+//! Kernel-equivalence property tests: the vectorized scan kernels
+//! ([`execute_batch`], the parallel sharded scan, and the fused weighted
+//! batch) must produce **bit-identical** results to the legacy row-at-a-time
+//! executor preserved in `starj_engine::exec::reference`, on random schemas,
+//! queries, group-bys and weighted predicates — including the snowflake
+//! fold.
+//!
+//! Bit-identity (not approximate equality) is achievable because the fused
+//! kernel accumulates each query in the same row order as the reference,
+//! and the test instances keep every intermediate value exactly
+//! representable (integer measures, dyadic weights), so even the parallel
+//! shard merge reproduces the same floating-point values.
+
+use dp_starj_repro::engine::exec::reference;
+use dp_starj_repro::engine::{
+    execute_batch, execute_batch_with, execute_weighted_batch, execute_weighted_batch_with, Agg,
+    Column, Constraint, Dimension, Domain, GroupAttr, Predicate, ScanOptions, StarQuery,
+    StarSchema, SubDimension, Table, WeightedPredicate, WeightedQuery,
+};
+use proptest::prelude::*;
+
+const DOM_A: u32 = 5;
+const DOM_B: u32 = 3;
+const DOM_S: u32 = 4;
+
+/// A random snowflake instance: dimension A (attribute `x`, snowflake
+/// sub-table S via link `sk`), dimension B (attribute `y`), and a fact
+/// table with a measure.
+#[derive(Debug, Clone)]
+struct Instance {
+    dim_a_attrs: Vec<u32>,   // domain DOM_A
+    dim_a_links: Vec<usize>, // into sub-table S
+    sub_attrs: Vec<u32>,     // domain DOM_S
+    dim_b_attrs: Vec<u32>,   // domain DOM_B
+    fact: Vec<(usize, usize, i64)>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1usize..9, 1usize..6, 1usize..5).prop_flat_map(|(na, nb, ns)| {
+        (
+            proptest::collection::vec(0u32..DOM_A, na),
+            proptest::collection::vec(0usize..ns, na),
+            proptest::collection::vec(0u32..DOM_S, ns),
+            proptest::collection::vec(0u32..DOM_B, nb),
+            proptest::collection::vec((0usize..na, 0usize..nb, -50i64..50), 0..60),
+        )
+            .prop_map(|(dim_a_attrs, dim_a_links, sub_attrs, dim_b_attrs, fact)| {
+                Instance { dim_a_attrs, dim_a_links, sub_attrs, dim_b_attrs, fact }
+            })
+    })
+}
+
+fn build(instance: &Instance) -> StarSchema {
+    let da = Domain::numeric("x", DOM_A).unwrap();
+    let db = Domain::numeric("y", DOM_B).unwrap();
+    let ds = Domain::numeric("s", DOM_S).unwrap();
+    let sub = Table::new(
+        "S",
+        vec![
+            Column::key("pk", (0..instance.sub_attrs.len() as u32).collect()),
+            Column::attr("s", ds, instance.sub_attrs.clone()),
+        ],
+    )
+    .unwrap();
+    let a = Table::new(
+        "A",
+        vec![
+            Column::key("pk", (0..instance.dim_a_attrs.len() as u32).collect()),
+            Column::attr("x", da, instance.dim_a_attrs.clone()),
+            Column::key("sk", instance.dim_a_links.iter().map(|&v| v as u32).collect()),
+        ],
+    )
+    .unwrap();
+    let b = Table::new(
+        "B",
+        vec![
+            Column::key("pk", (0..instance.dim_b_attrs.len() as u32).collect()),
+            Column::attr("y", db, instance.dim_b_attrs.clone()),
+        ],
+    )
+    .unwrap();
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("fa", instance.fact.iter().map(|r| r.0 as u32).collect()),
+            Column::key("fb", instance.fact.iter().map(|r| r.1 as u32).collect()),
+            Column::measure("m", instance.fact.iter().map(|r| r.2).collect()),
+        ],
+    )
+    .unwrap();
+    let dim_a = Dimension::new(a, "pk", "fa").with_subdim(SubDimension {
+        table: sub,
+        pk: "pk".into(),
+        fk_in_dim: "sk".into(),
+    });
+    StarSchema::new(fact, vec![dim_a, Dimension::new(b, "pk", "fb")]).unwrap()
+}
+
+fn constraint_strategy(domain: u32) -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        (0..domain).prop_map(Constraint::Point),
+        (0..domain, 0..domain).prop_map(|(a, b)| Constraint::Range { lo: a.min(b), hi: a.max(b) }),
+        proptest::collection::vec(0..domain, 1..4).prop_map(Constraint::Set),
+    ]
+}
+
+/// A random star query touching any subset of {A.x, B.y, S.s} with a random
+/// aggregate and optional group-by — snowflake predicates included.
+fn query_strategy() -> impl Strategy<Value = StarQuery> {
+    (
+        proptest::collection::vec(constraint_strategy(DOM_A), 0..3),
+        proptest::collection::vec(constraint_strategy(DOM_B), 0..2),
+        proptest::collection::vec(constraint_strategy(DOM_S), 0..2),
+        0u32..3,
+        0u32..4,
+    )
+        .prop_map(|(on_a, on_b, on_s, agg_kind, group_kind)| {
+            let mut q = match agg_kind {
+                0 => StarQuery::count("q"),
+                1 => StarQuery::sum("q", "m"),
+                _ => StarQuery::sum_diff("q", "m", "m"),
+            };
+            for c in on_a {
+                q = q.with(Predicate { table: "A".into(), attr: "x".into(), constraint: c });
+            }
+            for c in on_b {
+                q = q.with(Predicate { table: "B".into(), attr: "y".into(), constraint: c });
+            }
+            for c in on_s {
+                q = q.with(Predicate { table: "S".into(), attr: "s".into(), constraint: c });
+            }
+            match group_kind {
+                1 => q = q.group_by(GroupAttr::new("A", "x")),
+                2 => q = q.group_by(GroupAttr::new("B", "y")),
+                3 => {
+                    q = q.group_by(GroupAttr::new("A", "x")).group_by(GroupAttr::new("B", "y"));
+                }
+                _ => {}
+            }
+            q
+        })
+}
+
+/// Dyadic weights (multiples of 1/4): products and sums of these with the
+/// integer measures stay exactly representable, so every accumulation order
+/// yields bit-identical `f64`s.
+fn weighted_strategy() -> impl Strategy<Value = WeightedQuery> {
+    (
+        proptest::collection::vec(0u32..9, DOM_A as usize),
+        proptest::collection::vec(0u32..9, DOM_B as usize),
+        0u32..2,
+        0u32..2,
+    )
+        .prop_map(|(wa, wb, use_b, agg_kind)| {
+            let use_b = use_b == 1;
+            let quarter = |v: Vec<u32>| v.into_iter().map(|x| f64::from(x) / 4.0).collect();
+            let mut predicates = vec![WeightedPredicate::new("A", "x", quarter(wa))];
+            if use_b {
+                predicates.push(WeightedPredicate::new("B", "y", quarter(wb)));
+            }
+            let agg = if agg_kind == 0 { Agg::Count } else { Agg::Sum("m".into()) };
+            WeightedQuery { predicates, agg }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fused_batch_is_bit_identical_to_reference(
+        inst in instance_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..7),
+    ) {
+        let schema = build(&inst);
+        let batch = execute_batch(&schema, &queries).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let oracle = reference::execute(&schema, q).unwrap();
+            prop_assert_eq!(&batch[i], &oracle, "batch member {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_reference(
+        inst in instance_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+        threads in 2usize..5,
+    ) {
+        let schema = build(&inst);
+        let batch =
+            execute_batch_with(&schema, &queries, ScanOptions::parallel(threads)).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let oracle = reference::execute(&schema, q).unwrap();
+            prop_assert_eq!(&batch[i], &oracle, "parallel member {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn weighted_batch_is_bit_identical_to_reference(
+        inst in instance_strategy(),
+        items in proptest::collection::vec(weighted_strategy(), 1..6),
+        threads in 1usize..4,
+    ) {
+        let schema = build(&inst);
+        let fused = execute_weighted_batch(&schema, &items).unwrap();
+        let sharded =
+            execute_weighted_batch_with(&schema, &items, ScanOptions::parallel(threads)).unwrap();
+        for (i, item) in items.iter().enumerate() {
+            let oracle =
+                reference::execute_weighted(&schema, &item.predicates, &item.agg).unwrap();
+            prop_assert_eq!(fused[i], oracle, "weighted member {} diverged", i);
+            prop_assert_eq!(sharded[i], oracle, "sharded weighted member {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn single_query_wrappers_agree_with_reference(
+        inst in instance_strategy(),
+        q in query_strategy(),
+    ) {
+        let schema = build(&inst);
+        let new = dp_starj_repro::engine::execute(&schema, &q).unwrap();
+        let oracle = reference::execute(&schema, &q).unwrap();
+        prop_assert_eq!(new, oracle);
+    }
+}
+
+/// Group spaces past `DENSE_GROUP_CAP` must fall back to the sparse map and
+/// still match the reference (deterministic, not property-based: the big
+/// domains make random generation wasteful).
+#[test]
+fn sparse_group_fallback_matches_reference() {
+    let big = 1u32 << 9; // 512³ = 2^27 ≫ DENSE_GROUP_CAP
+    let mk_dim = |name: &str| {
+        let d = Domain::numeric("x", big).unwrap();
+        Table::new(
+            name,
+            vec![
+                Column::key("pk", (0..4).collect()),
+                Column::attr("x", d, vec![0, 1, big - 2, big - 1]),
+            ],
+        )
+        .unwrap()
+    };
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("f1", vec![0, 1, 2, 3, 3, 0]),
+            Column::key("f2", vec![3, 2, 1, 0, 3, 0]),
+            Column::key("f3", vec![1, 1, 2, 2, 0, 3]),
+            Column::measure("m", vec![5, -3, 11, 2, 2, 9]),
+        ],
+    )
+    .unwrap();
+    let schema = StarSchema::new(
+        fact,
+        vec![
+            Dimension::new(mk_dim("D1"), "pk", "f1"),
+            Dimension::new(mk_dim("D2"), "pk", "f2"),
+            Dimension::new(mk_dim("D3"), "pk", "f3"),
+        ],
+    )
+    .unwrap();
+    let q = StarQuery::sum("wide", "m")
+        .group_by(GroupAttr::new("D1", "x"))
+        .group_by(GroupAttr::new("D2", "x"))
+        .group_by(GroupAttr::new("D3", "x"));
+    let oracle = reference::execute(&schema, &q).unwrap();
+    assert_eq!(execute_batch(&schema, std::slice::from_ref(&q)).unwrap()[0], oracle);
+    assert_eq!(
+        execute_batch_with(&schema, std::slice::from_ref(&q), ScanOptions::parallel(3)).unwrap()[0],
+        oracle
+    );
+}
+
+/// Chunk-boundary coverage: fact tables straddling the 4096-row chunk and
+/// 64-row word boundaries, against the reference.
+#[test]
+fn chunk_boundary_sizes_match_reference() {
+    for rows in [63usize, 64, 65, 4095, 4096, 4097, 8192 + 17] {
+        let d = Domain::numeric("x", 4).unwrap();
+        let dim = Table::new(
+            "D",
+            vec![Column::key("pk", vec![0, 1, 2, 3]), Column::attr("x", d, vec![0, 1, 2, 3])],
+        )
+        .unwrap();
+        let fact = Table::new(
+            "F",
+            vec![
+                Column::key("fk", (0..rows).map(|i| (i % 4) as u32).collect()),
+                Column::measure("m", (0..rows).map(|i| (i % 13) as i64 - 6).collect()),
+            ],
+        )
+        .unwrap();
+        let schema = StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap();
+        let queries = vec![
+            StarQuery::count("c").with(Predicate::range("D", "x", 1, 2)),
+            StarQuery::sum("s", "m").with(Predicate::point("D", "x", 3)),
+            StarQuery::count("g").group_by(GroupAttr::new("D", "x")),
+        ];
+        let batch = execute_batch(&schema, &queries).unwrap();
+        let parallel = execute_batch_with(&schema, &queries, ScanOptions::parallel(3)).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let oracle = reference::execute(&schema, q).unwrap();
+            assert_eq!(batch[i], oracle, "rows={rows} query {i}");
+            assert_eq!(parallel[i], oracle, "rows={rows} query {i} (parallel)");
+        }
+    }
+}
