@@ -18,16 +18,21 @@
 //! | `ablations` | DESIGN.md §7 | PMA policy / budget-split / strategy / R2T-grid ablations |
 //! | `service_throughput` | — (systems) | queries/sec of the multi-tenant DP service at 1/4/8 tenants; writes `BENCH_service.json` |
 //! | `scan_throughput` | — (systems) | row-at-a-time vs bitset vs fused-batch vs parallel scan kernels, with an equivalence self-check; writes `BENCH_scan.json` |
+//! | `coalesce_throughput` | — (systems) | sequential vs group-commit-coalesced single-query qps at 1/4/8/16 clients, cold vs warm W cache, with equivalence + regression self-gates; writes `BENCH_coalesce.json` |
 //!
 //! Environment knobs (all optional): `SSB_SF` (scale factor, default 0.05),
 //! `TRIALS` (independent runs per cell, default 10), `GRAPH_FRAC` (graph
 //! scale for Table 2, default 0.05), `SEED` (root seed, default 2023).
 
+pub mod coalesce;
 pub mod harness;
 pub mod mechanisms;
 pub mod scenarios;
 pub mod service;
 
+pub use coalesce::{
+    dashboard_workload, measure_coalesce, measure_wd_wcache, CoalesceSample, WCacheSample,
+};
 pub use harness::{env_f64, env_u64, stats, Json, Stats, TablePrinter};
 pub use mechanisms::{ls_rel_err, pm_rel_err, r2t_rel_err, MechOutcome};
 pub use scenarios::{graph_frac, private_dims_for, root_seed, ssb_sf, trials_count};

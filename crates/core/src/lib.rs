@@ -62,4 +62,7 @@ pub use kstar::pm_kstar;
 pub use pm::{pm_answer, PmAnswer, PmConfig};
 pub use pma::{perturb_constraint, perturb_constraint_with, NoiseKind, RangePolicy};
 pub use privacy::PrivacySpec;
-pub use workload::{pm_workload_answer, wd_answer, PredicateWorkload, WdConfig};
+pub use workload::{
+    pm_workload_answer, wd_answer, wd_answer_with_histogram, wd_reconstruct, workload_axes,
+    workload_histogram, PredicateWorkload, WdConfig,
+};

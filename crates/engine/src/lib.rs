@@ -73,7 +73,9 @@ pub use exec::{
     execute, execute_batch, execute_batch_with, execute_weighted, execute_weighted_batch,
     execute_weighted_batch_with, execute_with,
 };
-pub use plan::{fact_scan_count, ScanOptions, ScanPlan, WeightedQuery, DENSE_GROUP_CAP};
+pub use plan::{
+    fact_scan_count, ScanOptions, ScanPlan, WeightHistogram, WeightedQuery, DENSE_GROUP_CAP,
+};
 pub use predicate::{Constraint, Predicate, WeightedPredicate};
 pub use query::{Agg, GroupAttr, QueryResult, StarQuery};
 pub use schema::{Dimension, StarSchema, SubDimension};

@@ -508,23 +508,10 @@ impl<'a> ScanPlan<'a> {
     pub fn execute(&self, options: ScanOptions) -> Vec<QueryResult> {
         let hist_plan = HistPlan::build(&self.queries);
         let mut state = self.fresh_state(hist_plan.as_ref());
-        let threads = options.threads.max(1);
-        // One shard must cover at least one chunk to be worth a thread.
-        let shards = threads.min(self.fact_rows.div_ceil(CHUNK_ROWS)).max(1);
-        if shards == 1 {
+        let bounds = shard_bounds(self.fact_rows, options.threads);
+        if bounds.len() == 1 {
             self.scan_range(&mut state, hist_plan.as_ref(), 0, self.fact_rows);
         } else {
-            // Chunk-aligned contiguous shards, merged in shard order.
-            let chunks = self.fact_rows.div_ceil(CHUNK_ROWS);
-            let chunks_per_shard = chunks.div_ceil(shards);
-            let bounds: Vec<(usize, usize)> = (0..shards)
-                .map(|s| {
-                    let lo = (s * chunks_per_shard * CHUNK_ROWS).min(self.fact_rows);
-                    let hi = ((s + 1) * chunks_per_shard * CHUNK_ROWS).min(self.fact_rows);
-                    (lo, hi)
-                })
-                .filter(|(lo, hi)| lo < hi)
-                .collect();
             let hp = hist_plan.as_ref();
             let partials: Vec<ScanState> = std::thread::scope(|scope| {
                 let handles: Vec<_> = bounds
@@ -721,6 +708,254 @@ impl<'a> ScanPlan<'a> {
             }
             *total += w;
         }
+    }
+}
+
+/// Chunk-aligned contiguous shard bounds for a parallel fact scan: one
+/// shard per thread, but never more shards than chunks (a shard must cover
+/// at least one chunk to be worth a thread). Used by both
+/// [`ScanPlan::execute`] and [`WeightHistogram::build`] so a histogram
+/// built standalone merges partials at exactly the same row boundaries as
+/// the fused scan, keeping the two bit-identical.
+fn shard_bounds(fact_rows: usize, threads: usize) -> Vec<(usize, usize)> {
+    let shards = threads.max(1).min(fact_rows.div_ceil(CHUNK_ROWS)).max(1);
+    if shards == 1 {
+        return vec![(0, fact_rows)];
+    }
+    let chunks = fact_rows.div_ceil(CHUNK_ROWS);
+    let chunks_per_shard = chunks.div_ceil(shards);
+    (0..shards)
+        .map(|s| {
+            let lo = (s * chunks_per_shard * CHUNK_ROWS).min(fact_rows);
+            let hi = ((s + 1) * chunks_per_shard * CHUNK_ROWS).min(fact_rows);
+            (lo, hi)
+        })
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// A reusable joint attribute-code histogram `W` — the build half of the
+/// paper's `Q = Φ·W` factoring (Eq. 11), split out of the fused scan so a
+/// service can build `W` once per (axis set, aggregate, data version) and
+/// answer every later weighted query as a scan-free dot product.
+///
+/// Unlike the per-batch `HistPlan` (which borrows the schema), a
+/// `WeightHistogram` is fully owned: it keeps the normalized axis list
+/// (deduplicated, ascending dimension order — the same order
+/// [`ScanPlan::add_weighted`] sorts a query's axes into), the joint code
+/// space, the aggregate kind, and the `space`-length histogram itself.
+/// [`WeightHistogram::answer`] reproduces `HistPlan`'s weight-tensor and
+/// dot-product arithmetic operation-for-operation, so for any weighted
+/// query over a subset of the axes it returns **bit-identical** `f64`s to
+/// [`ScanPlan::execute`]'s histogram path on the same data.
+#[derive(Debug, Clone)]
+pub struct WeightHistogram {
+    /// Normalized `(table, attr, domain)` axes, ascending dimension order.
+    axes: Vec<(String, String, usize)>,
+    space: usize,
+    agg: Agg,
+    hist: Vec<f64>,
+}
+
+/// Normalized weighted-axis names: deduplicated `(table, attr)` pairs in
+/// ascending dimension order — the shape cache layers key on.
+pub type AxisNames = Vec<(String, String)>;
+
+/// Axes resolved against a schema: dimension index, pk-indexed codes,
+/// domain size, and the owned names.
+struct ResolvedAxis<'a> {
+    dim: usize,
+    codes: &'a [u32],
+    domain: usize,
+    table: String,
+    attr: String,
+}
+
+fn resolve_axes<'a>(
+    schema: &'a StarSchema,
+    axes: &[(String, String)],
+) -> Result<Vec<ResolvedAxis<'a>>, EngineError> {
+    let mut resolved: Vec<ResolvedAxis<'a>> = Vec::with_capacity(axes.len());
+    for (table, attr) in axes {
+        let dim = schema.dim_index(table)?;
+        let codes = schema.dims()[dim].table.codes(attr)?;
+        let domain = schema.dims()[dim].table.domain(attr)?.size() as usize;
+        // One column → one axis, exactly like `add_weighted`'s merge.
+        if !resolved.iter().any(|a| std::ptr::eq(a.codes, codes)) {
+            resolved.push(ResolvedAxis {
+                dim,
+                codes,
+                domain,
+                table: table.clone(),
+                attr: attr.clone(),
+            });
+        }
+    }
+    // Stable sort: ascending dimension, first-appearance order within one.
+    resolved.sort_by_key(|a| a.dim);
+    Ok(resolved)
+}
+
+impl WeightHistogram {
+    /// Normalizes an axis list against `schema` without scanning anything:
+    /// returns the deduplicated `(table, attr)` names in ascending dimension
+    /// order plus `Some(joint code space)` when it fits [`DENSE_GROUP_CAP`]
+    /// (`None` means a histogram over these axes would be refused by
+    /// [`WeightHistogram::build`], so callers should fall back to a fused
+    /// scan). Cache layers key on this normalized form.
+    pub fn plan_axes(
+        schema: &StarSchema,
+        axes: &[(String, String)],
+    ) -> Result<(AxisNames, Option<usize>), EngineError> {
+        let resolved = resolve_axes(schema, axes)?;
+        let mut space = Some(1usize);
+        for a in &resolved {
+            space = space.and_then(|s| s.checked_mul(a.domain)).filter(|&s| s <= DENSE_GROUP_CAP);
+        }
+        Ok((resolved.into_iter().map(|a| (a.table, a.attr)).collect(), space))
+    }
+
+    /// Builds the histogram in **one** scan of the fact table (counted in
+    /// [`fact_scan_count`]): `hist[flat(row)] += agg(row)` over every fact
+    /// row, sharded across `options.threads` with the same shard bounds and
+    /// shard-order merge as [`ScanPlan::execute`]. Errors if the joint code
+    /// space exceeds [`DENSE_GROUP_CAP`] or the axis list is empty.
+    pub fn build(
+        schema: &StarSchema,
+        axes: &[(String, String)],
+        agg: &Agg,
+        options: ScanOptions,
+    ) -> Result<Self, EngineError> {
+        let resolved = resolve_axes(schema, axes)?;
+        if resolved.is_empty() {
+            return Err(EngineError::InvalidConstraint(
+                "a weight histogram needs at least one axis".into(),
+            ));
+        }
+        let mut space = 1usize;
+        for a in &resolved {
+            space =
+                space.checked_mul(a.domain).filter(|&s| s <= DENSE_GROUP_CAP).ok_or_else(|| {
+                    EngineError::InvalidConstraint(format!(
+                        "joint code space of {} axes exceeds the dense cap {DENSE_GROUP_CAP}",
+                        resolved.len()
+                    ))
+                })?;
+        }
+        let kind = RowWeight::resolve(schema, agg)?;
+        let fks: Vec<&[u32]> = resolved
+            .iter()
+            .map(|a| schema.fact().key(&schema.dims()[a.dim].fk))
+            .collect::<Result<_, _>>()?;
+        let fact_rows = schema.fact().num_rows();
+
+        let scan = |lo: usize, hi: usize| -> Vec<f64> {
+            let mut hist = vec![0.0f64; space];
+            for row in lo..hi {
+                let mut flat = 0usize;
+                for (fk, axis) in fks.iter().zip(&resolved) {
+                    flat = flat * axis.domain + axis.codes[fk[row] as usize] as usize;
+                }
+                hist[flat] += kind.at(row);
+            }
+            hist
+        };
+        let bounds = shard_bounds(fact_rows, options.threads);
+        let hist = if bounds.len() == 1 {
+            scan(0, fact_rows)
+        } else {
+            let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    bounds.iter().map(|&(lo, hi)| scope.spawn(move || scan(lo, hi))).collect();
+                handles.into_iter().map(|h| h.join().expect("histogram shard panicked")).collect()
+            });
+            let mut merged = vec![0.0f64; space];
+            for partial in partials {
+                for (slot, v) in merged.iter_mut().zip(partial) {
+                    *slot += v;
+                }
+            }
+            merged
+        };
+        FACT_SCANS.fetch_add(1, Ordering::Relaxed);
+        Ok(WeightHistogram {
+            axes: resolved.into_iter().map(|a| (a.table, a.attr, a.domain)).collect(),
+            space,
+            agg: agg.clone(),
+            hist,
+        })
+    }
+
+    /// The normalized `(table, attr)` axes this histogram covers.
+    pub fn axes(&self) -> Vec<(String, String)> {
+        self.axes.iter().map(|(t, a, _)| (t.clone(), a.clone())).collect()
+    }
+
+    /// The joint code space (= histogram length).
+    pub fn space(&self) -> usize {
+        self.space
+    }
+
+    /// The aggregate the histogram accumulates.
+    pub fn agg(&self) -> &Agg {
+        &self.agg
+    }
+
+    /// Answers one weighted query as the dot product `Φ_q · W` — no fact
+    /// scan. Same-axis predicates multiply into one weight vector and axes
+    /// the query does not constrain contribute factor 1, mirroring the fused
+    /// scan's arithmetic exactly. Errors when the aggregate differs from the
+    /// histogram's, a predicate names an uncovered axis, or a weight vector
+    /// has the wrong length.
+    pub fn answer(&self, predicates: &[WeightedPredicate], agg: &Agg) -> Result<f64, EngineError> {
+        if *agg != self.agg {
+            return Err(EngineError::InvalidConstraint(format!(
+                "histogram accumulates {:?}, query aggregates {:?}",
+                self.agg, agg
+            )));
+        }
+        let mut per_axis: Vec<Option<Vec<f64>>> = vec![None; self.axes.len()];
+        for wp in predicates {
+            let slot =
+                self.axes.iter().position(|(t, a, _)| *t == wp.table && *a == wp.attr).ok_or_else(
+                    || {
+                        EngineError::InvalidConstraint(format!(
+                            "axis `{}.{}` is not covered by this histogram",
+                            wp.table, wp.attr
+                        ))
+                    },
+                )?;
+            let domain = self.axes[slot].2;
+            if wp.weights.len() != domain {
+                return Err(EngineError::WeightLengthMismatch {
+                    attr: wp.attr.clone(),
+                    got: wp.weights.len(),
+                    expected: domain as u32,
+                });
+            }
+            match &mut per_axis[slot] {
+                Some(weights) => {
+                    for (slot, w) in weights.iter_mut().zip(&wp.weights) {
+                        *slot *= w;
+                    }
+                }
+                None => per_axis[slot] = Some(wp.weights.clone()),
+            }
+        }
+        // The outer product Φ_q over the joint code space, then Φ_q · W —
+        // the same loops as `HistPlan::weight_tensor` / finalization.
+        let mut tensor = vec![1.0f64];
+        for ((_, _, domain), weights) in self.axes.iter().zip(&per_axis) {
+            let mut next = Vec::with_capacity(tensor.len() * domain);
+            for &t in &tensor {
+                match weights {
+                    Some(w) => next.extend(w.iter().map(|&wc| t * wc)),
+                    None => next.extend(std::iter::repeat_n(t, *domain)),
+                }
+            }
+            tensor = next;
+        }
+        Ok(tensor.iter().zip(&self.hist).map(|(p, w)| p * w).sum())
     }
 }
 
@@ -949,5 +1184,112 @@ mod tests {
     fn scan_options_clamp() {
         assert_eq!(ScanOptions::parallel(0).threads, 1);
         assert_eq!(ScanOptions::default().threads, 1);
+    }
+
+    #[test]
+    fn weight_histogram_matches_fused_scan_bit_for_bit() {
+        let s = schema();
+        // Arbitrary (non-dyadic) weights: bit-identity must come from doing
+        // the same float ops in the same order, not from exact arithmetic.
+        let batch = vec![
+            WeightedQuery::count(vec![WeightedPredicate::new("A", "attr", vec![0.3, 1.7, 0.0])]),
+            WeightedQuery {
+                predicates: vec![
+                    WeightedPredicate::new("A", "attr", vec![1.0, 0.1, 2.3]),
+                    WeightedPredicate::new("B", "attr", vec![0.9, 1.1]),
+                ],
+                agg: Agg::Sum("qty".into()),
+            },
+        ];
+        let axes =
+            vec![("A".to_string(), "attr".to_string()), ("B".to_string(), "attr".to_string())];
+        for threads in [1usize, 3] {
+            let options = ScanOptions::parallel(threads);
+            let fused = crate::exec::execute_weighted_batch_with(&s, &batch, options).unwrap();
+            let count_hist = WeightHistogram::build(&s, &axes, &Agg::Count, options).unwrap();
+            let sum_hist =
+                WeightHistogram::build(&s, &axes, &Agg::Sum("qty".into()), options).unwrap();
+            assert_eq!(
+                count_hist.answer(&batch[0].predicates, &batch[0].agg).unwrap().to_bits(),
+                fused[0].to_bits(),
+                "count dot product diverged at threads={threads}"
+            );
+            assert_eq!(
+                sum_hist.answer(&batch[1].predicates, &batch[1].agg).unwrap().to_bits(),
+                fused[1].to_bits(),
+                "sum dot product diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_histogram_normalizes_axes_and_probes_eligibility() {
+        let s = schema();
+        // Duplicates collapse and axes sort into ascending dimension order
+        // regardless of the caller's order.
+        let messy = vec![
+            ("B".to_string(), "attr".to_string()),
+            ("A".to_string(), "attr".to_string()),
+            ("B".to_string(), "attr".to_string()),
+        ];
+        let (axes, space) = WeightHistogram::plan_axes(&s, &messy).unwrap();
+        assert_eq!(
+            axes,
+            vec![("A".to_string(), "attr".to_string()), ("B".to_string(), "attr".to_string())]
+        );
+        assert_eq!(space, Some(6));
+        let hist = WeightHistogram::build(&s, &messy, &Agg::Count, ScanOptions::default()).unwrap();
+        assert_eq!(hist.axes(), axes);
+        assert_eq!(hist.space(), 6);
+        // Same-axis predicates multiply into one weight vector: weights
+        // 1·0.5, 2·0.5, 4·0.5 over fanout 2 each → 2 · 3.5 = 7.
+        let merged = hist
+            .answer(
+                &[
+                    WeightedPredicate::new("A", "attr", vec![1.0, 2.0, 4.0]),
+                    WeightedPredicate::new("A", "attr", vec![0.5, 0.5, 0.5]),
+                ],
+                &Agg::Count,
+            )
+            .unwrap();
+        assert_eq!(merged, 7.0);
+    }
+
+    #[test]
+    fn weight_histogram_rejects_mismatches() {
+        let s = schema();
+        let axes = vec![("A".to_string(), "attr".to_string())];
+        let hist = WeightHistogram::build(&s, &axes, &Agg::Count, ScanOptions::default()).unwrap();
+        // Wrong aggregate.
+        assert!(hist
+            .answer(&[WeightedPredicate::new("A", "attr", vec![1.0; 3])], &Agg::Sum("qty".into()))
+            .is_err());
+        // Uncovered axis.
+        assert!(hist
+            .answer(&[WeightedPredicate::new("B", "attr", vec![1.0; 2])], &Agg::Count)
+            .is_err());
+        // Wrong weight length.
+        assert!(hist
+            .answer(&[WeightedPredicate::new("A", "attr", vec![1.0; 5])], &Agg::Count)
+            .is_err());
+        // Empty axis list refuses to build; oversized joint spaces refuse too.
+        assert!(WeightHistogram::build(&s, &[], &Agg::Count, ScanOptions::default()).is_err());
+        // Unknown table errors cleanly.
+        assert!(WeightHistogram::plan_axes(&s, &[("Ghost".into(), "attr".into())]).is_err());
+    }
+
+    #[test]
+    fn weight_histogram_counts_one_fact_scan() {
+        let s = schema();
+        let axes = vec![("A".to_string(), "attr".to_string())];
+        let before = fact_scan_count();
+        let hist = WeightHistogram::build(&s, &axes, &Agg::Count, ScanOptions::default()).unwrap();
+        assert_eq!(fact_scan_count() - before, 1, "building W costs exactly one scan");
+        let before = fact_scan_count();
+        for _ in 0..4 {
+            hist.answer(&[WeightedPredicate::new("A", "attr", vec![1.0, 0.5, 0.25])], &Agg::Count)
+                .unwrap();
+        }
+        assert_eq!(fact_scan_count() - before, 0, "answering from W is scan-free");
     }
 }

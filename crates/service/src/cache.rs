@@ -8,7 +8,8 @@
 //! predicate constants, so the stored answer is an ordinary exact evaluation
 //! of a noisy query and can be replayed verbatim.
 //!
-//! The key is `(tenant, mechanism, ε-bits, canonical request)`:
+//! The key is `(tenant, mechanism, ε-bits, data version, canonical
+//! request)`:
 //!
 //! * **tenant** — answers are never shared across tenants. Each tenant's
 //!   noisy answer was financed by that tenant's ledger; sharing would let
@@ -19,6 +20,11 @@
 //! * **ε-bits** — the same query at a different ε is a different release
 //!   (different noise scale); bit-exact `f64` comparison keeps the key
 //!   `Eq`/`Hash`-sound.
+//! * **data version** — an answer computed on one schema instance must
+//!   never replay after [`crate::Service::refresh_schema`] swaps the data.
+//!   Keying on the version (rather than relying on `clear()` alone) also
+//!   makes late inserts from requests that were in flight *during* a
+//!   refresh harmless: they land under the old version and are unreachable.
 //! * **canonical request** — queries are normalized through
 //!   [`starj_engine::canon`], so predicate order, `[v, v]` vs. point, and
 //!   label differences all hit the same entry.
@@ -57,6 +63,7 @@ struct CacheKey {
     tenant: String,
     mechanism: Mechanism,
     epsilon_bits: u64,
+    version: u64,
     request: RequestKey,
 }
 
@@ -119,18 +126,21 @@ impl AnswerCache {
         AnswerCache { inner: RwLock::new(CacheInner::default()), capacity }
     }
 
-    /// Looks an answer up; `None` is a miss.
+    /// Looks an answer up; `None` is a miss. `version` is the data version
+    /// the caller is answering against.
     pub fn get(
         &self,
         tenant: &str,
         mechanism: Mechanism,
         epsilon: f64,
+        version: u64,
         request: &RequestKey,
     ) -> Option<CachedAnswer> {
         let key = CacheKey {
             tenant: tenant.to_string(),
             mechanism,
             epsilon_bits: epsilon.to_bits(),
+            version,
             request: request.clone(),
         };
         self.inner.read().unwrap_or_else(|e| e.into_inner()).map.get(&key).cloned()
@@ -143,6 +153,7 @@ impl AnswerCache {
         tenant: &str,
         mechanism: Mechanism,
         epsilon: f64,
+        version: u64,
         request: RequestKey,
         answer: CachedAnswer,
     ) {
@@ -150,6 +161,7 @@ impl AnswerCache {
             tenant: tenant.to_string(),
             mechanism,
             epsilon_bits: epsilon.to_bits(),
+            version,
             request,
         };
         let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
@@ -206,12 +218,12 @@ mod tests {
         let cache = AnswerCache::new();
         let q = StarQuery::count("q").with(Predicate::point("A", "x", 1));
         let key = canon(&q);
-        cache.insert("alice", Mechanism::Pm, 0.5, key.clone(), answer(42.0));
+        cache.insert("alice", Mechanism::Pm, 0.5, 0, key.clone(), answer(42.0));
 
-        assert!(cache.get("alice", Mechanism::Pm, 0.5, &key).is_some());
-        assert!(cache.get("bob", Mechanism::Pm, 0.5, &key).is_none(), "tenant isolation");
-        assert!(cache.get("alice", Mechanism::Wd, 0.5, &key).is_none(), "mechanism");
-        assert!(cache.get("alice", Mechanism::Pm, 0.25, &key).is_none(), "epsilon");
+        assert!(cache.get("alice", Mechanism::Pm, 0.5, 0, &key).is_some());
+        assert!(cache.get("bob", Mechanism::Pm, 0.5, 0, &key).is_none(), "tenant isolation");
+        assert!(cache.get("alice", Mechanism::Wd, 0.5, 0, &key).is_none(), "mechanism");
+        assert!(cache.get("alice", Mechanism::Pm, 0.25, 0, &key).is_none(), "epsilon");
     }
 
     #[test]
@@ -223,8 +235,8 @@ mod tests {
         let b = StarQuery::count("second")
             .with(Predicate::point("A", "x", 3))
             .with(Predicate::point("B", "y", 2));
-        cache.insert("t", Mechanism::Pm, 1.0, canon(&a), answer(7.0));
-        let hit = cache.get("t", Mechanism::Pm, 1.0, &canon(&b)).expect("canonical hit");
+        cache.insert("t", Mechanism::Pm, 1.0, 0, canon(&a), answer(7.0));
+        let hit = cache.get("t", Mechanism::Pm, 1.0, 0, &canon(&b)).expect("canonical hit");
         assert_eq!(hit.result, QueryResult::Scalar(7.0));
         assert_eq!(cache.len(), 1);
     }
@@ -234,19 +246,19 @@ mod tests {
         let cache = AnswerCache::with_capacity(2);
         for i in 0..3u32 {
             let q = StarQuery::count("q").with(Predicate::point("A", "x", i));
-            cache.insert("t", Mechanism::Pm, 1.0, canon(&q), answer(f64::from(i)));
+            cache.insert("t", Mechanism::Pm, 1.0, 0, canon(&q), answer(f64::from(i)));
         }
         assert_eq!(cache.len(), 2, "capacity must hold");
         let oldest = StarQuery::count("q").with(Predicate::point("A", "x", 0));
         assert!(
-            cache.get("t", Mechanism::Pm, 1.0, &canon(&oldest)).is_none(),
+            cache.get("t", Mechanism::Pm, 1.0, 0, &canon(&oldest)).is_none(),
             "oldest entry is evicted first"
         );
         let newest = StarQuery::count("q").with(Predicate::point("A", "x", 2));
-        assert!(cache.get("t", Mechanism::Pm, 1.0, &canon(&newest)).is_some());
+        assert!(cache.get("t", Mechanism::Pm, 1.0, 0, &canon(&newest)).is_some());
         // Re-inserting an existing key must not duplicate its order slot.
         let mid = StarQuery::count("q").with(Predicate::point("A", "x", 1));
-        cache.insert("t", Mechanism::Pm, 1.0, canon(&mid), answer(9.0));
+        cache.insert("t", Mechanism::Pm, 1.0, 0, canon(&mid), answer(9.0));
         assert_eq!(cache.len(), 2);
     }
 
@@ -254,15 +266,30 @@ mod tests {
     fn zero_capacity_disables_retention() {
         let cache = AnswerCache::with_capacity(0);
         let q = StarQuery::count("q").with(Predicate::point("A", "x", 1));
-        cache.insert("t", Mechanism::Pm, 1.0, canon(&q), answer(1.0));
+        cache.insert("t", Mechanism::Pm, 1.0, 0, canon(&q), answer(1.0));
         assert!(cache.is_empty());
-        assert!(cache.get("t", Mechanism::Pm, 1.0, &canon(&q)).is_none());
+        assert!(cache.get("t", Mechanism::Pm, 1.0, 0, &canon(&q)).is_none());
+    }
+
+    #[test]
+    fn versions_are_isolated() {
+        let cache = AnswerCache::new();
+        let q = StarQuery::count("q").with(Predicate::point("A", "x", 1));
+        cache.insert("t", Mechanism::Pm, 1.0, 0, canon(&q), answer(1.0));
+        assert!(cache.get("t", Mechanism::Pm, 1.0, 0, &canon(&q)).is_some());
+        assert!(
+            cache.get("t", Mechanism::Pm, 1.0, 1, &canon(&q)).is_none(),
+            "a pre-refresh answer must not replay against refreshed data"
+        );
+        // A late insert under the old version stays unreachable at the new.
+        cache.insert("t", Mechanism::Pm, 1.0, 0, canon(&q), answer(2.0));
+        assert!(cache.get("t", Mechanism::Pm, 1.0, 1, &canon(&q)).is_none());
     }
 
     #[test]
     fn clear_empties() {
         let cache = AnswerCache::new();
-        cache.insert("t", Mechanism::KStar, 1.0, RequestKey::KStar(2, 0, 9), answer(1.0));
+        cache.insert("t", Mechanism::KStar, 1.0, 0, RequestKey::KStar(2, 0, 9), answer(1.0));
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());

@@ -1,0 +1,381 @@
+//! The group-commit scan coalescer: a queued front door that fuses
+//! concurrent single-query traffic into shared fact scans.
+//!
+//! PR 2 gave the engine fused multi-query scans, but only *explicit*
+//! batches used them — N tenants concurrently asking one question each
+//! still paid N scans. The coalescer closes that gap with the group-commit
+//! idiom (as in write-ahead logging): incoming `pm_answer`/`wd_answer`
+//! calls park in a bounded queue, and a small worker pool drains it — after
+//! [`crate::ServiceConfig::coalesce_window`] elapses or
+//! [`crate::ServiceConfig::max_batch`] requests pile up — partitions the
+//! drained requests by compatibility, and answers each partition through
+//! **one** fused scan, waking every caller with its own answer.
+//!
+//! # Why coalescing is invisible to DP semantics
+//!
+//! Everything privacy-relevant happens at **submit time, on the caller's
+//! thread, in arrival order**: admission, canonicalization (free
+//! unsatisfiable answers), cache lookup, the atomic budget reservation, the
+//! per-request RNG derivation, and the *perturbation itself* (PM's noisy
+//! query / WD's reconstructed weighted rows). What parks in the queue is
+//! already a fixed, noisy artifact; the worker merely *evaluates* it, and
+//! evaluating a fixed noisy query is post-processing — it spends nothing
+//! and can be fused, reordered, or histogram-factored freely. Hence:
+//!
+//! * **answers** are bit-identical to the sequential path (the fused kernel
+//!   accumulates each query exactly as a solo scan would);
+//! * **budget ledgers** end in exactly the same state (reserve at submit,
+//!   commit at wake, identical amounts — no double-charge, no free ride);
+//! * **RNG draw order** is unchanged (derived per request from the arrival
+//!   counter before anything parks).
+//!
+//! `tests/prop_coalesce.rs` pins all three down property-style.
+//!
+//! # Partitioning
+//!
+//! A drained batch splits by compatibility, preserving arrival order within
+//! each partition:
+//!
+//! * **PM requests** fuse per data version into one
+//!   [`ScanPlan::execute_batch`](starj_engine::ScanPlan) scan — binary
+//!   queries of any aggregate/grouping mix safely, because per-query
+//!   accumulation is independent.
+//! * **WD requests** group by `(data version, normalized axis set)`. A
+//!   partition whose joint code space fits the dense cap answers through
+//!   the shared [`WeightHistogram`](starj_engine::WeightHistogram) — built
+//!   once (one scan) and cached in [`crate::wcache`], so warm traffic is
+//!   scan-free. Oversized axis sets fall back to one fused
+//!   `execute_weighted_batch` scan whose per-query row loops keep answers
+//!   independent of batch composition.
+
+use crate::error::ServiceError;
+use crate::metrics::ServiceMetrics;
+use crate::service::{PmWork, ServiceAnswer, ServiceCore, WdWork};
+use dp_starj::CoreError;
+use starj_engine::{execute_batch_with, plan::AxisNames, StarQuery};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One parked request.
+#[derive(Debug)]
+pub(crate) enum Job {
+    Pm(PmJob),
+    Wd(WdJob),
+}
+
+#[derive(Debug)]
+pub(crate) struct PmJob {
+    pub work: PmWork,
+    pub slot: SlotHandle<ServiceAnswer>,
+}
+
+#[derive(Debug)]
+pub(crate) struct WdJob {
+    pub work: WdWork,
+    pub slot: SlotHandle<crate::service::WorkloadAnswer>,
+}
+
+// ---- pending answers ------------------------------------------------------
+
+#[derive(Debug)]
+struct Slot<T> {
+    value: Mutex<Option<Result<T, ServiceError>>>,
+    ready: Condvar,
+}
+
+/// The waiting half of a parked request: blocks until a coalescer worker
+/// fills in the answer. Returned by [`crate::Service::pm_submit`] /
+/// [`crate::Service::wd_submit`] inside [`Submitted::Queued`].
+#[derive(Debug)]
+pub struct Pending<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// The filling half, carried by the parked job. Dropping it unfilled (a
+/// worker panicking mid-batch, a job discarded on shutdown) fills a typed
+/// error instead, so a caller blocked in [`Pending::wait`] can never be
+/// stranded.
+#[derive(Debug)]
+pub(crate) struct SlotHandle<T> {
+    slot: Arc<Slot<T>>,
+    filled: bool,
+}
+
+pub(crate) fn pending_pair<T>() -> (Pending<T>, SlotHandle<T>) {
+    let slot = Arc::new(Slot { value: Mutex::new(None), ready: Condvar::new() });
+    (Pending { slot: Arc::clone(&slot) }, SlotHandle { slot, filled: false })
+}
+
+impl<T> Pending<T> {
+    /// Blocks until the request is answered (or failed) by a worker.
+    pub fn wait(self) -> Result<T, ServiceError> {
+        let mut value = self.slot.value.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = value.take() {
+                return result;
+            }
+            value = self.slot.ready.wait(value).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> SlotHandle<T> {
+    pub(crate) fn fill(mut self, result: Result<T, ServiceError>) {
+        self.set(result);
+    }
+
+    fn set(&mut self, result: Result<T, ServiceError>) {
+        self.filled = true;
+        *self.slot.value.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl<T> Drop for SlotHandle<T> {
+    fn drop(&mut self) {
+        if !self.filled {
+            self.set(Err(ServiceError::Mechanism(CoreError::Invalid(
+                "coalescer worker failed before answering this request; \
+                 the budget reservation was refunded"
+                    .into(),
+            ))));
+        }
+    }
+}
+
+/// The outcome of a submit: answered on the spot (free, cached, or the
+/// coalescer is disabled) or parked for a group-commit drain.
+#[derive(Debug)]
+pub enum Submitted<T> {
+    /// Answered synchronously at submit time.
+    Ready(T),
+    /// Parked; [`Pending::wait`] blocks for the worker.
+    Queued(Pending<T>),
+}
+
+impl<T> Submitted<T> {
+    /// The answer, blocking if it is still queued.
+    pub fn wait(self) -> Result<T, ServiceError> {
+        match self {
+            Submitted::Ready(v) => Ok(v),
+            Submitted::Queued(p) => p.wait(),
+        }
+    }
+
+    /// True iff the request parked in the coalescer queue.
+    pub fn is_queued(&self) -> bool {
+        matches!(self, Submitted::Queued(_))
+    }
+}
+
+// ---- the queue and worker pool --------------------------------------------
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers wait here for arrivals (and shutdown).
+    arrived: Condvar,
+    /// Submitters wait here for queue space (bounded queue backpressure).
+    drained: Condvar,
+    window: Duration,
+    max_batch: usize,
+    capacity: usize,
+}
+
+/// The queue plus its worker pool. Owned by [`crate::Service`]; dropping it
+/// drains every remaining request and joins the workers, so no caller is
+/// ever left waiting on an unfilled slot.
+#[derive(Debug)]
+pub(crate) struct Coalescer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Coalescer {
+    pub(crate) fn start(core: Arc<ServiceCore>) -> Self {
+        let config = &core.config;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::default()),
+            arrived: Condvar::new(),
+            drained: Condvar::new(),
+            window: config.coalesce_window,
+            max_batch: config.max_batch.max(1),
+            capacity: config.coalesce_queue.max(1),
+        });
+        let workers = (0..config.coalesce_workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("starj-coalesce-{i}"))
+                    .spawn(move || worker_loop(&core, &shared))
+                    .expect("spawn coalescer worker")
+            })
+            .collect();
+        Coalescer { shared, workers }
+    }
+
+    /// Parks a job, blocking while the bounded queue is full.
+    pub(crate) fn enqueue(&self, job: Job) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.queue.len() >= self.shared.capacity && !state.shutdown {
+            state = self.shared.drained.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.arrived.notify_all();
+    }
+}
+
+impl Drop for Coalescer {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).shutdown = true;
+        self.shared.arrived.notify_all();
+        self.shared.drained.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One worker: wait for arrivals, give the group-commit window a chance to
+/// fill the batch, drain up to `max_batch`, answer, repeat. The drain loop
+/// re-checks queue state after every wakeup, so a request arriving during a
+/// drain (or a spurious wakeup) can never be lost — degenerate
+/// `window = 0` / `max_batch = 1` configs reduce to a plain work queue.
+fn worker_loop(core: &Arc<ServiceCore>, shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !state.queue.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.arrived.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            if !shared.window.is_zero() {
+                // Group-commit window: hold the drain briefly so concurrent
+                // traffic can pile into one fused scan.
+                let deadline = Instant::now() + shared.window;
+                while state.queue.len() < shared.max_batch && !state.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .arrived
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = state.queue.len().min(shared.max_batch);
+            state.queue.drain(..take).collect()
+        };
+        shared.drained.notify_all();
+        // A panic while answering must not kill the worker: the batch's
+        // jobs drop inside the unwind — refunding each reservation (RAII)
+        // and error-filling each slot (SlotHandle::drop) — and the worker
+        // lives on to serve the next drain. (Unwind safety: all shared
+        // state is poison-recovering locks, atomics, or immutable data.)
+        let run = std::panic::AssertUnwindSafe(|| process_batch(core, batch));
+        let _ = std::panic::catch_unwind(run);
+    }
+}
+
+/// Answers one drained batch: partition by compatibility (arrival order
+/// preserved within each partition), one fused scan per partition.
+pub(crate) fn process_batch(core: &ServiceCore, jobs: Vec<Job>) {
+    if jobs.is_empty() {
+        return;
+    }
+    ServiceMetrics::add(&core.metrics.coalesced_requests, jobs.len() as u64);
+    ServiceMetrics::inc(&core.metrics.coalesced_batches);
+
+    let mut pm_parts: Vec<(u64, Vec<PmJob>)> = Vec::new();
+    let mut wd_parts: Vec<((u64, AxisNames), Vec<WdJob>)> = Vec::new();
+    for job in jobs {
+        match job {
+            Job::Pm(j) => {
+                let version = j.work.version;
+                match pm_parts.iter_mut().find(|(v, _)| *v == version) {
+                    Some((_, part)) => part.push(j),
+                    None => pm_parts.push((version, vec![j])),
+                }
+            }
+            Job::Wd(j) => {
+                let key = (j.work.version, j.work.axes.clone());
+                match wd_parts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, part)) => part.push(j),
+                    None => wd_parts.push((key, vec![j])),
+                }
+            }
+        }
+    }
+    for (_, part) in pm_parts {
+        answer_pm_partition(core, part);
+    }
+    for ((_, axes), part) in wd_parts {
+        answer_wd_partition(core, &axes, part);
+    }
+}
+
+/// One fused binary scan answers every PM job of a partition.
+fn answer_pm_partition(core: &ServiceCore, jobs: Vec<PmJob>) {
+    let schema = Arc::clone(&jobs[0].work.schema);
+    let noisy: Vec<StarQuery> = jobs.iter().map(|j| j.work.noisy.clone()).collect();
+    match execute_batch_with(&schema, &noisy, core.config.pm.scan) {
+        Ok(results) => {
+            if jobs.len() > 1 {
+                ServiceMetrics::inc(&core.metrics.fused_scans);
+                ServiceMetrics::add(&core.metrics.fused_queries_saved, jobs.len() as u64 - 1);
+            }
+            for (job, result) in jobs.into_iter().zip(results) {
+                job.slot.fill(core.pm_finish(job.work, result));
+            }
+        }
+        Err(e) => {
+            // Reservations drop with the jobs → every member refunds.
+            ServiceMetrics::add(&core.metrics.mechanism_failures, jobs.len() as u64);
+            for job in jobs {
+                job.slot.fill(Err(ServiceError::Mechanism(CoreError::Engine(e.clone()))));
+            }
+        }
+    }
+}
+
+/// One shared W histogram (or one fused weighted scan) answers every WD job
+/// of an axis-compatible partition.
+fn answer_wd_partition(core: &ServiceCore, axes: &[(String, String)], jobs: Vec<WdJob>) {
+    let schema = Arc::clone(&jobs[0].work.schema);
+    let version = jobs[0].work.version;
+    let batches: Vec<&[starj_engine::WeightedQuery]> =
+        jobs.iter().map(|j| j.work.rows.as_slice()).collect();
+    match core.wd_partition_answers(&schema, version, axes, jobs[0].work.space, &batches) {
+        Ok(answer_sets) => {
+            for (job, answers) in jobs.into_iter().zip(answer_sets) {
+                job.slot.fill(core.wd_finish(job.work, answers));
+            }
+        }
+        Err(e) => {
+            ServiceMetrics::add(&core.metrics.mechanism_failures, jobs.len() as u64);
+            for job in jobs {
+                job.slot.fill(Err(e.clone()));
+            }
+        }
+    }
+}

@@ -22,8 +22,19 @@
 //!   collapsed ranges, label-free);
 //! * [`crate::admission`] — schema validation that rejects malformed queries
 //!   before any budget is reserved;
-//! * [`ServiceMetrics`] — queries served, cache hits, budget refusals, and
-//!   p50/p99 latency, all lock-free on the serving path.
+//! * [`crate::coalesce`] — the **group-commit scan coalescer**: with
+//!   [`service::ServiceConfig::coalesce`] on, concurrent `pm_answer` /
+//!   `wd_answer` traffic parks in a bounded queue and a worker pool answers
+//!   each drained, compatibility-partitioned batch in **one fused fact
+//!   scan** — provably answer- and budget-equivalent to the sequential
+//!   path, because everything privacy-relevant happens at submit time;
+//! * [`WeightHistogramCache`] — reusable `Q = Φ·W` joint-code histograms
+//!   keyed on (axis set, aggregate, data version), making repeat workload
+//!   traffic scan-free; invalidated by [`Service::refresh_schema`]'s data
+//!   version bump, as is the answer cache;
+//! * [`ServiceMetrics`] — queries served, cache hits, budget refusals,
+//!   coalesced requests/batches, W-cache hits, and p50/p99 latency, all
+//!   lock-free on the serving path.
 //!
 //! # Quick start
 //!
@@ -62,14 +73,18 @@
 pub mod accountant;
 pub mod admission;
 pub mod cache;
+pub mod coalesce;
 pub mod error;
 pub mod metrics;
 pub mod service;
+pub mod wcache;
 
 pub use accountant::{BudgetAccountant, Reservation, TenantUsage};
 pub use cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
+pub use coalesce::{Pending, Submitted};
 pub use error::ServiceError;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use service::{
     BatchAnswer, KStarAnswer, Service, ServiceAnswer, ServiceConfig, WorkloadAnswer,
 };
+pub use wcache::WeightHistogramCache;

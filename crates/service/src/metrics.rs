@@ -79,8 +79,18 @@ pub struct ServiceMetrics {
     /// Fused multi-query fact scans executed (batch + workload requests).
     pub fused_scans: AtomicU64,
     /// Fact scans *saved* by fusion: for each fused scan answering `l`
-    /// queries, `l − 1` scans the per-query path would have paid.
+    /// queries, `l − 1` scans the per-query path would have paid. Counts
+    /// explicit batches, workload requests, coalesced partitions, and
+    /// W-histogram reuse alike.
     pub fused_queries_saved: AtomicU64,
+    /// Requests that parked in the coalescer queue and were answered by a
+    /// group-commit drain (free answers and cache hits never park).
+    pub coalesced_requests: AtomicU64,
+    /// Queue drains the coalescer workers performed (a batch may hold one
+    /// request; `coalesced_requests / coalesced_batches` is the mean batch).
+    pub coalesced_batches: AtomicU64,
+    /// Workload requests answered scan-free from a cached W histogram.
+    pub w_cache_hits: AtomicU64,
     /// End-to-end request latency (successful requests only).
     pub latency: LatencyHistogram,
 }
@@ -104,6 +114,12 @@ pub struct MetricsSnapshot {
     pub fused_scans: u64,
     /// See [`ServiceMetrics::fused_queries_saved`].
     pub fused_queries_saved: u64,
+    /// See [`ServiceMetrics::coalesced_requests`].
+    pub coalesced_requests: u64,
+    /// See [`ServiceMetrics::coalesced_batches`].
+    pub coalesced_batches: u64,
+    /// See [`ServiceMetrics::w_cache_hits`].
+    pub w_cache_hits: u64,
     /// Median latency in µs (None before the first served query).
     pub p50_latency_us: Option<f64>,
     /// 99th-percentile latency in µs.
@@ -133,6 +149,9 @@ impl ServiceMetrics {
             mechanism_failures: self.mechanism_failures.load(Ordering::Relaxed),
             fused_scans: self.fused_scans.load(Ordering::Relaxed),
             fused_queries_saved: self.fused_queries_saved.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            w_cache_hits: self.w_cache_hits.load(Ordering::Relaxed),
             p50_latency_us: self.latency.quantile_us(0.50),
             p99_latency_us: self.latency.quantile_us(0.99),
         }

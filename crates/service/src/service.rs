@@ -9,39 +9,54 @@
 //!    exactly (empty result) at zero cost, since that fact depends only on
 //!    the query text, never on the data;
 //! 3. **cache** — an identical prior release (same tenant, mechanism, ε,
-//!    canonical request) replays for free;
+//!    data version, canonical request) replays for free;
 //! 4. **reserve** — the tenant's accountant atomically holds the `(ε, δ)`
 //!    cost, refusing with [`ServiceError::BudgetExhausted`] when the
 //!    allotment cannot absorb it;
-//! 5. **execute** — the DP mechanism runs; an error rolls the reservation
-//!    back via RAII so a failed query spends nothing;
-//! 6. **commit + release** — the cost is committed, the answer cached and
-//!    returned, metrics updated.
+//! 5. **perturb** — the request's private randomness is drawn and applied
+//!    (PM's noisy query, WD's reconstructed weighted rows), still on the
+//!    caller's thread in arrival order;
+//! 6. **execute** — the fixed noisy artifact is evaluated against the data.
+//!    With [`ServiceConfig::coalesce`] enabled this step parks in the
+//!    group-commit queue ([`crate::coalesce`]) and shares one fused fact
+//!    scan with whatever concurrent traffic drained alongside it —
+//!    evaluation is post-processing, so fusing it is privacy-free;
+//! 7. **commit + release** — the cost is committed, the answer cached and
+//!    returned, metrics updated. An execution error instead rolls the
+//!    reservation back via RAII, so a failed query spends nothing.
 //!
-//! The service is fully `Sync`: all mutable state (ledgers, cache, metrics,
-//! the RNG request counter) sits behind per-component synchronization, so
-//! one `Arc<Service>` serves any number of threads. Randomness is derived
-//! per request from the root seed and a monotone counter, keeping runs
-//! reproducible for a fixed seed and arrival order while decorrelating
-//! concurrent requests.
+//! The service is fully `Sync`: all mutable state (ledgers, caches, metrics,
+//! the RNG request counter, the swappable schema) sits behind per-component
+//! synchronization, so one `Arc<Service>` serves any number of threads.
+//! Randomness is derived per request from the root seed and a monotone
+//! counter, keeping runs reproducible for a fixed seed and arrival order
+//! while decorrelating concurrent requests.
+//!
+//! [`Service::refresh_schema`] swaps the data for a new instance: the data
+//! version bumps, and both the answer cache and the W-histogram cache key on
+//! that version, so no pre-refresh release or histogram can ever serve a
+//! post-refresh request.
 
 use crate::accountant::{BudgetAccountant, TenantUsage};
 use crate::admission::{validate_query, validate_workload};
 use crate::cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
+use crate::coalesce::{pending_pair, Coalescer, Job, PmJob, Submitted, WdJob};
 use crate::error::ServiceError;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::wcache::{WKey, WeightHistogramCache};
 use dp_starj::pm::PmConfig;
 use dp_starj::workload::WdConfig;
-use dp_starj::{pm_answer, pm_kstar, wd_answer, PredicateWorkload};
+use dp_starj::{pm_kstar, wd_reconstruct, workload_axes, CoreError, PredicateWorkload};
 use starj_engine::{
-    canonicalize, execute_batch_with, QueryResult, ScanOptions, StarQuery, StarSchema,
+    canonicalize, execute_batch_with, execute_weighted_batch_with, execute_with, Agg, QueryResult,
+    ScanOptions, StarQuery, StarSchema, WeightHistogram, WeightedQuery,
 };
 use starj_graph::{Graph, KStarQuery};
 use starj_noise::{PrivacyBudget, StarRng};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 /// Service-wide configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +76,29 @@ pub struct ServiceConfig {
     /// options at service construction; at the default of 1, explicitly
     /// configured `pm.scan` / `wd.scan` options are left untouched.
     pub scan_threads: usize,
+    /// Route `pm_answer` / `wd_answer` through the group-commit coalescer
+    /// ([`crate::coalesce`]): concurrent single-query traffic parks in a
+    /// queue and shares fused fact scans. Off by default — the direct path
+    /// answers on the caller's thread.
+    pub coalesce: bool,
+    /// How long a coalescer worker holds a drain open for more traffic to
+    /// pile in. Zero drains immediately (batching still happens naturally
+    /// while workers are busy scanning, exactly like WAL group commit).
+    pub coalesce_window: Duration,
+    /// Drain at this queue depth even before the window elapses (clamped
+    /// to ≥ 1). Also the largest possible fused batch.
+    pub max_batch: usize,
+    /// Coalescer worker threads (clamped to ≥ 1).
+    pub coalesce_workers: usize,
+    /// Bounded coalescer queue capacity; submitters block (backpressure)
+    /// while it is full.
+    pub coalesce_queue: usize,
+    /// Cache the joint attribute-code W histograms that answer workload
+    /// requests (`Q = Φ·W`), keyed on (axis set, aggregate, data version).
+    /// With a warm cache, repeat workload traffic is scan-free.
+    pub cache_w_histograms: bool,
+    /// Maximum cached W histograms before FIFO eviction.
+    pub w_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +110,13 @@ impl Default for ServiceConfig {
             cache_answers: true,
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
             scan_threads: 1,
+            coalesce: false,
+            coalesce_window: Duration::from_micros(200),
+            max_batch: 64,
+            coalesce_workers: 2,
+            coalesce_queue: 4096,
+            cache_w_histograms: true,
+            w_cache_capacity: crate::wcache::DEFAULT_W_CACHE_CAPACITY,
         }
     }
 }
@@ -132,17 +177,78 @@ pub struct KStarAnswer {
     pub cost: Option<PrivacyBudget>,
 }
 
+/// A PM request that finished its private phase (admitted, reserved,
+/// perturbed) and is ready for the pure-evaluation step — either inline or
+/// parked in the coalescer. Dropping it without finishing refunds the
+/// reservation.
+#[derive(Debug)]
+pub(crate) struct PmWork {
+    pub(crate) tenant: String,
+    pub(crate) name: String,
+    pub(crate) epsilon: f64,
+    pub(crate) cost: PrivacyBudget,
+    pub(crate) key: RequestKey,
+    pub(crate) noisy: StarQuery,
+    pub(crate) reservation: crate::accountant::Reservation,
+    pub(crate) schema: Arc<StarSchema>,
+    pub(crate) version: u64,
+    pub(crate) start: Instant,
+}
+
+/// A WD request past its private phase: the reconstructed real-valued rows
+/// plus the normalized axis set the coalescer partitions on.
+#[derive(Debug)]
+pub(crate) struct WdWork {
+    pub(crate) tenant: String,
+    pub(crate) epsilon: f64,
+    pub(crate) cost: PrivacyBudget,
+    pub(crate) key: RequestKey,
+    pub(crate) rows: Vec<WeightedQuery>,
+    pub(crate) axes: Vec<(String, String)>,
+    /// Joint code space when the axes fit the dense cap (W-cache eligible);
+    /// resolved once at submit so the answering step never recomputes it.
+    pub(crate) space: Option<usize>,
+    pub(crate) reservation: crate::accountant::Reservation,
+    pub(crate) schema: Arc<StarSchema>,
+    pub(crate) version: u64,
+    pub(crate) start: Instant,
+}
+
+/// Submit-phase outcome: answered on the spot, or ready to execute.
+pub(crate) enum PmPhase {
+    Immediate(ServiceAnswer),
+    Execute(PmWork),
+}
+
+pub(crate) enum WdPhase {
+    Immediate(WorkloadAnswer),
+    // Boxed: the work unit carries the reconstructed rows and is much
+    // larger than the immediate answer.
+    Execute(Box<WdWork>),
+}
+
+/// The shared state behind a [`Service`]: everything the request pipeline
+/// touches, shared with the coalescer workers through one `Arc`.
+#[derive(Debug)]
+pub(crate) struct ServiceCore {
+    /// The data instance and its monotone version, swapped atomically by
+    /// [`Service::refresh_schema`].
+    schema: RwLock<(Arc<StarSchema>, u64)>,
+    pub(crate) config: ServiceConfig,
+    pub(crate) accountant: BudgetAccountant,
+    pub(crate) cache: AnswerCache,
+    pub(crate) wcache: WeightHistogramCache,
+    pub(crate) metrics: ServiceMetrics,
+    request_counter: AtomicU64,
+}
+
 /// A concurrent, multi-tenant DP star-join query service over one schema
 /// instance (and optionally one graph, for k-star queries).
 #[derive(Debug)]
 pub struct Service {
-    schema: Arc<StarSchema>,
+    core: Arc<ServiceCore>,
     graph: Option<Arc<Graph>>,
-    config: ServiceConfig,
-    accountant: BudgetAccountant,
-    cache: AnswerCache,
-    metrics: ServiceMetrics,
-    request_counter: AtomicU64,
+    coalescer: Option<Coalescer>,
 }
 
 impl Service {
@@ -156,15 +262,18 @@ impl Service {
             config.wd.scan = scan;
         }
         let cache = AnswerCache::with_capacity(config.cache_capacity);
-        Service {
-            schema,
-            graph: None,
+        let wcache = WeightHistogramCache::with_capacity(config.w_cache_capacity);
+        let core = Arc::new(ServiceCore {
+            schema: RwLock::new((schema, 0)),
             config,
             accountant: BudgetAccountant::new(),
             cache,
+            wcache,
             metrics: ServiceMetrics::default(),
             request_counter: AtomicU64::new(0),
-        }
+        });
+        let coalescer = core.config.coalesce.then(|| Coalescer::start(Arc::clone(&core)));
+        Service { core, graph: None, coalescer }
     }
 
     /// Attaches a graph so the service can answer k-star queries.
@@ -173,9 +282,33 @@ impl Service {
         self
     }
 
-    /// The schema this service answers over.
-    pub fn schema(&self) -> &Arc<StarSchema> {
-        &self.schema
+    /// A snapshot of the schema this service currently answers over.
+    pub fn schema(&self) -> Arc<StarSchema> {
+        self.core.snapshot().0
+    }
+
+    /// The current data version (0 at construction; bumped by every
+    /// [`Service::refresh_schema`]).
+    pub fn data_version(&self) -> u64 {
+        self.core.snapshot().1
+    }
+
+    /// Swaps the served data for a new schema instance and returns the new
+    /// data version. Both the answer cache and the W-histogram cache key on
+    /// the version, so every pre-refresh release and histogram is
+    /// unreachable from this point on (and both caches are cleared eagerly
+    /// to reclaim memory). Budget already spent stays spent — a repeat
+    /// query pays again for a fresh release over the new data.
+    pub fn refresh_schema(&self, schema: Arc<StarSchema>) -> u64 {
+        let version = {
+            let mut guard = self.core.schema.write().unwrap_or_else(|e| e.into_inner());
+            let next = guard.1 + 1;
+            *guard = (schema, next);
+            next
+        };
+        self.core.cache.clear();
+        self.core.wcache.clear();
+        version
     }
 
     /// Registers a tenant with its lifetime `(ε, δ)` allotment.
@@ -184,87 +317,101 @@ impl Service {
         tenant: &str,
         allotment: PrivacyBudget,
     ) -> Result<(), ServiceError> {
-        self.accountant.register(tenant, allotment)
+        self.core.accountant.register(tenant, allotment)
     }
 
     /// The tenant's current budget usage.
     pub fn tenant_usage(&self, tenant: &str) -> Result<TenantUsage, ServiceError> {
-        self.accountant.usage(tenant)
+        self.core.accountant.usage(tenant)
     }
 
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        self.core.metrics.snapshot()
     }
 
     /// Number of answers currently cached.
     pub fn cached_answers(&self) -> usize {
-        self.cache.len()
+        self.core.cache.len()
+    }
+
+    /// Number of W histograms currently cached.
+    pub fn cached_histograms(&self) -> usize {
+        self.core.wcache.len()
     }
 
     /// Answers a star-join query with the Predicate Mechanism under ε-DP,
-    /// charged to `tenant`.
+    /// charged to `tenant`. With coalescing enabled this is
+    /// [`Service::pm_submit`] + wait.
     pub fn pm_answer(
         &self,
         tenant: &str,
         query: &StarQuery,
         epsilon: f64,
     ) -> Result<ServiceAnswer, ServiceError> {
-        let start = Instant::now();
-        let cost = self.admit_cost(epsilon)?;
-        self.admit(|| validate_query(&self.schema, query))?;
+        self.pm_submit(tenant, query, epsilon)?.wait()
+    }
 
-        let canon = canonicalize(query);
-        if canon.unsatisfiable {
-            // Unsatisfiable on every instance — the exact empty answer is
-            // data-independent, hence free.
-            let result = if canon.group_by.is_empty() {
-                QueryResult::Scalar(0.0)
-            } else {
-                QueryResult::Groups(BTreeMap::new())
-            };
-            ServiceMetrics::inc(&self.metrics.free_answers);
-            return Ok(self.serve_pm(start, query, result, None, false, None));
+    /// Submits a PM request without blocking on the scan: free answers,
+    /// cache hits, and every admission/budget refusal resolve immediately;
+    /// otherwise the perturbed query parks in the coalescer queue (its
+    /// budget already reserved, its noise already drawn) and the returned
+    /// handle waits for the group-commit drain. With coalescing disabled
+    /// the request is answered inline and returned as
+    /// [`Submitted::Ready`].
+    pub fn pm_submit(
+        &self,
+        tenant: &str,
+        query: &StarQuery,
+        epsilon: f64,
+    ) -> Result<Submitted<ServiceAnswer>, ServiceError> {
+        match &self.coalescer {
+            None => self.core.pm_direct(tenant, query, epsilon).map(Submitted::Ready),
+            Some(coalescer) => match self.core.pm_phase1(tenant, query, epsilon)? {
+                PmPhase::Immediate(answer) => Ok(Submitted::Ready(answer)),
+                PmPhase::Execute(work) => {
+                    let (pending, slot) = pending_pair();
+                    coalescer.enqueue(Job::Pm(PmJob { work, slot }));
+                    Ok(Submitted::Queued(pending))
+                }
+            },
         }
+    }
 
-        let key = RequestKey::Single(canon.clone());
-        if let Some(hit) = self.cache_get(tenant, Mechanism::Pm, epsilon, &key) {
-            return Ok(self.serve_pm(start, query, hit.result, hit.noisy_query, true, None));
+    /// Answers a counting-query workload with Workload Decomposition under
+    /// ε-DP, charged to `tenant`. With coalescing enabled this is
+    /// [`Service::wd_submit`] + wait.
+    pub fn wd_answer(
+        &self,
+        tenant: &str,
+        workload: &PredicateWorkload,
+        epsilon: f64,
+    ) -> Result<WorkloadAnswer, ServiceError> {
+        self.wd_submit(tenant, workload, epsilon)?.wait()
+    }
+
+    /// Submits a WD request without blocking on the scan; the counterpart
+    /// of [`Service::pm_submit`]. The workload's strategy rows are
+    /// perturbed and reconstructed at submit time; what parks is the fixed
+    /// real-valued row set, which the coalescer answers through a shared
+    /// (possibly cached) W histogram or one fused weighted scan.
+    pub fn wd_submit(
+        &self,
+        tenant: &str,
+        workload: &PredicateWorkload,
+        epsilon: f64,
+    ) -> Result<Submitted<WorkloadAnswer>, ServiceError> {
+        match &self.coalescer {
+            None => self.core.wd_direct(tenant, workload, epsilon).map(Submitted::Ready),
+            Some(coalescer) => match self.core.wd_phase1(tenant, workload, epsilon)? {
+                WdPhase::Immediate(answer) => Ok(Submitted::Ready(answer)),
+                WdPhase::Execute(work) => {
+                    let (pending, slot) = pending_pair();
+                    coalescer.enqueue(Job::Wd(WdJob { work: *work, slot }));
+                    Ok(Submitted::Queued(pending))
+                }
+            },
         }
-
-        let reservation = self.reserve(tenant, cost)?;
-        let mut rng = self.request_rng();
-        // The canonical form is what executes: presentation-equivalent
-        // queries must spend identically, not just cache identically.
-        let executable = canon.to_query(&query.name);
-        let answer = match pm_answer(&self.schema, &executable, epsilon, &self.config.pm, &mut rng)
-        {
-            Ok(a) => a,
-            Err(e) => {
-                // Reservation drops here → automatic refund.
-                ServiceMetrics::inc(&self.metrics.mechanism_failures);
-                return Err(e.into());
-            }
-        };
-        reservation.commit()?;
-
-        if self.config.cache_answers {
-            self.cache.insert(
-                tenant,
-                Mechanism::Pm,
-                epsilon,
-                key,
-                CachedAnswer {
-                    result: answer.result.clone(),
-                    workload_answers: Vec::new(),
-                    noisy_query: Some(answer.noisy_query.clone()),
-                    batch: Vec::new(),
-                    noisy_kstar: None,
-                    original_cost: cost,
-                },
-            );
-        }
-        Ok(self.serve_pm(start, query, answer.result, Some(answer.noisy_query), false, Some(cost)))
     }
 
     /// Answers a batch of star-join queries with the Predicate Mechanism in
@@ -276,26 +423,29 @@ impl Service {
     /// free and do not dilute the split. Perturbation stays per-query —
     /// each member draws its own noise exactly as [`Service::pm_answer`]
     /// would — only the *answering* scan is shared, which is privacy-free
-    /// post-processing of the already-noisy queries.
+    /// post-processing of the already-noisy queries. Explicit batches do
+    /// not pass through the coalescer: they are already fused.
     pub fn pm_batch_answer(
         &self,
         tenant: &str,
         queries: &[StarQuery],
         epsilon: f64,
     ) -> Result<BatchAnswer, ServiceError> {
+        let core = &self.core;
         let start = Instant::now();
-        let cost = self.admit_cost(epsilon)?;
+        let cost = core.admit_cost(epsilon)?;
         if queries.is_empty() {
             return Ok(BatchAnswer { answers: Vec::new(), cached: false, cost: None });
         }
+        let (schema, version) = core.snapshot();
         for q in queries {
-            self.admit(|| validate_query(&self.schema, q))?;
+            core.admit(|| validate_query(&schema, q))?;
         }
 
         let canons: Vec<_> = queries.iter().map(canonicalize).collect();
         let key = RequestKey::Workload(canons.clone());
-        if let Some(hit) = self.cache_get(tenant, Mechanism::PmBatch, epsilon, &key) {
-            self.served(start);
+        if let Some(hit) = core.cache_get(tenant, Mechanism::PmBatch, epsilon, version, &key) {
+            core.served(start);
             let answers = queries
                 .iter()
                 .zip(hit.batch)
@@ -327,21 +477,21 @@ impl Service {
             .collect();
 
         let charged = if satisfiable.is_empty() {
-            ServiceMetrics::add(&self.metrics.free_answers, queries.len() as u64);
+            ServiceMetrics::add(&core.metrics.free_answers, queries.len() as u64);
             None
         } else {
-            let reservation = self.reserve(tenant, cost)?;
-            let mut rng = self.request_rng();
+            let reservation = core.reserve(tenant, cost)?;
+            let mut rng = core.request_rng();
             let eps_each = epsilon / satisfiable.len() as f64;
             // Phase 1: per-member perturbation (the private step).
             let noisy: Vec<StarQuery> = match satisfiable
                 .iter()
                 .map(|&i| {
                     dp_starj::pm::perturb_query(
-                        &self.schema,
+                        &schema,
                         &canons[i].to_query(&queries[i].name),
                         eps_each,
-                        &self.config.pm,
+                        &core.config.pm,
                         &mut rng,
                     )
                 })
@@ -349,15 +499,15 @@ impl Service {
             {
                 Ok(n) => n,
                 Err(e) => {
-                    ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                    ServiceMetrics::inc(&core.metrics.mechanism_failures);
                     return Err(e.into());
                 }
             };
             // Phase 2: one fused scan answers every noisy member.
-            let results = match execute_batch_with(&self.schema, &noisy, self.config.pm.scan) {
+            let results = match execute_batch_with(&schema, &noisy, core.config.pm.scan) {
                 Ok(r) => r,
                 Err(e) => {
-                    ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                    ServiceMetrics::inc(&core.metrics.mechanism_failures);
                     return Err(ServiceError::InvalidQuery(e));
                 }
             };
@@ -365,11 +515,11 @@ impl Service {
             // Metrics only after the batch actually commits — a refused or
             // failed request must not count its free members as served.
             ServiceMetrics::add(
-                &self.metrics.free_answers,
+                &core.metrics.free_answers,
                 (queries.len() - satisfiable.len()) as u64,
             );
-            ServiceMetrics::inc(&self.metrics.fused_scans);
-            ServiceMetrics::add(&self.metrics.fused_queries_saved, satisfiable.len() as u64 - 1);
+            ServiceMetrics::inc(&core.metrics.fused_scans);
+            ServiceMetrics::add(&core.metrics.fused_queries_saved, satisfiable.len() as u64 - 1);
             for ((&i, result), noisy_query) in satisfiable.iter().zip(results).zip(noisy) {
                 batch[i] = (result, Some(noisy_query));
             }
@@ -379,11 +529,12 @@ impl Service {
         // All-free batches are not cached (consistent with `pm_answer`'s
         // free path): recomputing them costs no budget, and caching one
         // would record an `original_cost` that was never charged.
-        if self.config.cache_answers && charged.is_some() {
-            self.cache.insert(
+        if core.config.cache_answers && charged.is_some() {
+            core.cache.insert(
                 tenant,
                 Mechanism::PmBatch,
                 epsilon,
+                version,
                 key,
                 CachedAnswer {
                     result: QueryResult::Scalar(0.0),
@@ -395,7 +546,7 @@ impl Service {
                 },
             );
         }
-        self.served(start);
+        core.served(start);
         let answers = queries
             .iter()
             .zip(batch)
@@ -410,62 +561,6 @@ impl Service {
         Ok(BatchAnswer { answers, cached: false, cost: charged })
     }
 
-    /// Answers a counting-query workload with Workload Decomposition under
-    /// ε-DP, charged to `tenant`.
-    pub fn wd_answer(
-        &self,
-        tenant: &str,
-        workload: &PredicateWorkload,
-        epsilon: f64,
-    ) -> Result<WorkloadAnswer, ServiceError> {
-        let start = Instant::now();
-        let cost = self.admit_cost(epsilon)?;
-        self.admit(|| validate_workload(&self.schema, workload))?;
-
-        let key =
-            RequestKey::Workload(workload.to_star_queries().iter().map(canonicalize).collect());
-        if let Some(hit) = self.cache_get(tenant, Mechanism::Wd, epsilon, &key) {
-            self.served(start);
-            return Ok(WorkloadAnswer { answers: hit.workload_answers, cached: true, cost: None });
-        }
-
-        let reservation = self.reserve(tenant, cost)?;
-        let mut rng = self.request_rng();
-        let answers = match wd_answer(&self.schema, workload, epsilon, &self.config.wd, &mut rng) {
-            Ok(a) => a,
-            Err(e) => {
-                ServiceMetrics::inc(&self.metrics.mechanism_failures);
-                return Err(e.into());
-            }
-        };
-        reservation.commit()?;
-        // WD answers all `l` reconstructed rows through one fused scan.
-        ServiceMetrics::inc(&self.metrics.fused_scans);
-        ServiceMetrics::add(
-            &self.metrics.fused_queries_saved,
-            workload.len().saturating_sub(1) as u64,
-        );
-
-        if self.config.cache_answers {
-            self.cache.insert(
-                tenant,
-                Mechanism::Wd,
-                epsilon,
-                key,
-                CachedAnswer {
-                    result: QueryResult::Scalar(0.0),
-                    workload_answers: answers.clone(),
-                    noisy_query: None,
-                    batch: Vec::new(),
-                    noisy_kstar: None,
-                    original_cost: cost,
-                },
-            );
-        }
-        self.served(start);
-        Ok(WorkloadAnswer { answers, cached: false, cost: Some(cost) })
-    }
-
     /// Answers a k-star counting query with PM under ε-DP, charged to
     /// `tenant`. Requires a service built [`Service::with_graph`].
     pub fn kstar_answer(
@@ -474,10 +569,12 @@ impl Service {
         query: &KStarQuery,
         epsilon: f64,
     ) -> Result<KStarAnswer, ServiceError> {
+        let core = &self.core;
         let start = Instant::now();
-        let cost = self.admit_cost(epsilon)?;
+        let cost = core.admit_cost(epsilon)?;
         let graph = self.graph.as_ref().ok_or(ServiceError::NoGraph)?;
-        self.admit(|| {
+        let version = core.snapshot().1;
+        core.admit(|| {
             if query.lo > query.hi || query.hi >= graph.num_nodes() {
                 Err(ServiceError::InvalidQuery(starj_engine::EngineError::InvalidConstraint(
                     format!(
@@ -493,8 +590,8 @@ impl Service {
         })?;
 
         let key = RequestKey::KStar(query.k, query.lo, query.hi);
-        if let Some(hit) = self.cache_get(tenant, Mechanism::KStar, epsilon, &key) {
-            self.served(start);
+        if let Some(hit) = core.cache_get(tenant, Mechanism::KStar, epsilon, version, &key) {
+            core.served(start);
             let (k, lo, hi) = hit.noisy_kstar.unwrap_or((query.k, query.lo, query.hi));
             return Ok(KStarAnswer {
                 count: hit.result.scalar().map_err(ServiceError::InvalidQuery)?,
@@ -504,23 +601,24 @@ impl Service {
             });
         }
 
-        let reservation = self.reserve(tenant, cost)?;
-        let mut rng = self.request_rng();
+        let reservation = core.reserve(tenant, cost)?;
+        let mut rng = core.request_rng();
         let (count, noisy_query) =
-            match pm_kstar(graph, query, epsilon, self.config.pm.policy, &mut rng) {
+            match pm_kstar(graph, query, epsilon, core.config.pm.policy, &mut rng) {
                 Ok(a) => a,
                 Err(e) => {
-                    ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                    ServiceMetrics::inc(&core.metrics.mechanism_failures);
                     return Err(e.into());
                 }
             };
         reservation.commit()?;
 
-        if self.config.cache_answers {
-            self.cache.insert(
+        if core.config.cache_answers {
+            core.cache.insert(
                 tenant,
                 Mechanism::KStar,
                 epsilon,
+                version,
                 key,
                 CachedAnswer {
                     result: QueryResult::Scalar(count),
@@ -532,8 +630,320 @@ impl Service {
                 },
             );
         }
-        self.served(start);
+        core.served(start);
         Ok(KStarAnswer { count, noisy_query, cached: false, cost: Some(cost) })
+    }
+}
+
+impl ServiceCore {
+    /// The current `(schema, data version)` pair, read atomically.
+    pub(crate) fn snapshot(&self) -> (Arc<StarSchema>, u64) {
+        let guard = self.schema.read().unwrap_or_else(|e| e.into_inner());
+        (Arc::clone(&guard.0), guard.1)
+    }
+
+    // ---- PM pipeline ------------------------------------------------------
+
+    /// The submit phase: everything privacy-relevant, on the caller's
+    /// thread. Returns either an immediate answer (free or cached) or the
+    /// reserved-and-perturbed work unit ready for pure evaluation.
+    pub(crate) fn pm_phase1(
+        &self,
+        tenant: &str,
+        query: &StarQuery,
+        epsilon: f64,
+    ) -> Result<PmPhase, ServiceError> {
+        let start = Instant::now();
+        let cost = self.admit_cost(epsilon)?;
+        let (schema, version) = self.snapshot();
+        self.admit(|| validate_query(&schema, query))?;
+
+        let canon = canonicalize(query);
+        if canon.unsatisfiable {
+            // Unsatisfiable on every instance — the exact empty answer is
+            // data-independent, hence free.
+            let result = if canon.group_by.is_empty() {
+                QueryResult::Scalar(0.0)
+            } else {
+                QueryResult::Groups(BTreeMap::new())
+            };
+            ServiceMetrics::inc(&self.metrics.free_answers);
+            self.served(start);
+            return Ok(PmPhase::Immediate(ServiceAnswer {
+                name: query.name.clone(),
+                result,
+                noisy_query: None,
+                cached: false,
+                cost: None,
+            }));
+        }
+
+        let key = RequestKey::Single(canon.clone());
+        if let Some(hit) = self.cache_get(tenant, Mechanism::Pm, epsilon, version, &key) {
+            self.served(start);
+            return Ok(PmPhase::Immediate(ServiceAnswer {
+                name: query.name.clone(),
+                result: hit.result,
+                noisy_query: hit.noisy_query,
+                cached: true,
+                cost: None,
+            }));
+        }
+
+        let reservation = self.reserve(tenant, cost)?;
+        let mut rng = self.request_rng();
+        // The canonical form is what executes: presentation-equivalent
+        // queries must spend identically, not just cache identically.
+        let executable = canon.to_query(&query.name);
+        let noisy = match dp_starj::pm::perturb_query(
+            &schema,
+            &executable,
+            epsilon,
+            &self.config.pm,
+            &mut rng,
+        ) {
+            Ok(n) => n,
+            Err(e) => {
+                // Reservation drops here → automatic refund.
+                ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                return Err(e.into());
+            }
+        };
+        Ok(PmPhase::Execute(PmWork {
+            tenant: tenant.to_string(),
+            name: query.name.clone(),
+            epsilon,
+            cost,
+            key,
+            noisy,
+            reservation,
+            schema,
+            version,
+            start,
+        }))
+    }
+
+    /// Commit + cache + metrics for an executed PM request.
+    pub(crate) fn pm_finish(
+        &self,
+        work: PmWork,
+        result: QueryResult,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        work.reservation.commit()?;
+        if self.config.cache_answers {
+            self.cache.insert(
+                &work.tenant,
+                Mechanism::Pm,
+                work.epsilon,
+                work.version,
+                work.key,
+                CachedAnswer {
+                    result: result.clone(),
+                    workload_answers: Vec::new(),
+                    noisy_query: Some(work.noisy.clone()),
+                    batch: Vec::new(),
+                    noisy_kstar: None,
+                    original_cost: work.cost,
+                },
+            );
+        }
+        self.served(work.start);
+        Ok(ServiceAnswer {
+            name: work.name,
+            result,
+            noisy_query: Some(work.noisy),
+            cached: false,
+            cost: Some(work.cost),
+        })
+    }
+
+    /// The sequential path: submit phase + inline evaluation.
+    pub(crate) fn pm_direct(
+        &self,
+        tenant: &str,
+        query: &StarQuery,
+        epsilon: f64,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        match self.pm_phase1(tenant, query, epsilon)? {
+            PmPhase::Immediate(answer) => Ok(answer),
+            PmPhase::Execute(work) => {
+                let result = match execute_with(&work.schema, &work.noisy, self.config.pm.scan) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                        return Err(ServiceError::Mechanism(CoreError::Engine(e)));
+                    }
+                };
+                self.pm_finish(work, result)
+            }
+        }
+    }
+
+    // ---- WD pipeline ------------------------------------------------------
+
+    pub(crate) fn wd_phase1(
+        &self,
+        tenant: &str,
+        workload: &PredicateWorkload,
+        epsilon: f64,
+    ) -> Result<WdPhase, ServiceError> {
+        let start = Instant::now();
+        let cost = self.admit_cost(epsilon)?;
+        let (schema, version) = self.snapshot();
+        self.admit(|| validate_workload(&schema, workload))?;
+
+        let key =
+            RequestKey::Workload(workload.to_star_queries().iter().map(canonicalize).collect());
+        if let Some(hit) = self.cache_get(tenant, Mechanism::Wd, epsilon, version, &key) {
+            self.served(start);
+            return Ok(WdPhase::Immediate(WorkloadAnswer {
+                answers: hit.workload_answers,
+                cached: true,
+                cost: None,
+            }));
+        }
+
+        let (axes, space) = WeightHistogram::plan_axes(&schema, &workload_axes(workload))?;
+        let reservation = self.reserve(tenant, cost)?;
+        let mut rng = self.request_rng();
+        let rows = match wd_reconstruct(&schema, workload, epsilon, &self.config.wd, &mut rng) {
+            Ok(rows) => rows,
+            Err(e) => {
+                ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                return Err(e.into());
+            }
+        };
+        Ok(WdPhase::Execute(Box::new(WdWork {
+            tenant: tenant.to_string(),
+            epsilon,
+            cost,
+            key,
+            rows,
+            axes,
+            space,
+            reservation,
+            schema,
+            version,
+            start,
+        })))
+    }
+
+    /// Answers an axis-compatible group of reconstructed row sets — the
+    /// shared evaluation step of the direct path (one set) and a coalesced
+    /// WD partition (many). When the joint code space fits the dense cap,
+    /// the W histogram answers everything: a cached `W` makes the whole
+    /// partition scan-free, a cold one costs a single build scan shared by
+    /// every request. Oversized axis sets fall back to one fused weighted
+    /// scan whose per-query row loops are independent of batch composition,
+    /// keeping answers bit-identical to the sequential path either way.
+    pub(crate) fn wd_partition_answers(
+        &self,
+        schema: &Arc<StarSchema>,
+        version: u64,
+        axes: &[(String, String)],
+        space: Option<usize>,
+        batches: &[&[WeightedQuery]],
+    ) -> Result<Vec<Vec<f64>>, ServiceError> {
+        let total_rows: usize = batches.iter().map(|b| b.len()).sum();
+        let mechanism = |e| ServiceError::Mechanism(CoreError::Engine(e));
+        let space = if self.config.cache_w_histograms { space } else { None };
+        if space.is_some() {
+            let key = WKey { axes: axes.to_vec(), agg: Agg::Count, version };
+            let (histogram, built) = match self.wcache.get(&key) {
+                Some(h) => (h, false),
+                None => {
+                    let h = WeightHistogram::build(schema, axes, &Agg::Count, self.config.wd.scan)
+                        .map_err(mechanism)?;
+                    let h = Arc::new(h);
+                    self.wcache.insert(key, Arc::clone(&h));
+                    (h, true)
+                }
+            };
+            if built {
+                ServiceMetrics::inc(&self.metrics.fused_scans);
+            } else {
+                ServiceMetrics::add(&self.metrics.w_cache_hits, batches.len() as u64);
+            }
+            ServiceMetrics::add(
+                &self.metrics.fused_queries_saved,
+                (total_rows - usize::from(built)) as u64,
+            );
+            batches
+                .iter()
+                .map(|rows| {
+                    rows.iter()
+                        .map(|q| histogram.answer(&q.predicates, &q.agg))
+                        .collect::<Result<Vec<f64>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(mechanism)
+        } else {
+            let all: Vec<WeightedQuery> = batches.iter().flat_map(|b| b.iter().cloned()).collect();
+            let flat = execute_weighted_batch_with(schema, &all, self.config.wd.scan)
+                .map_err(mechanism)?;
+            ServiceMetrics::inc(&self.metrics.fused_scans);
+            ServiceMetrics::add(
+                &self.metrics.fused_queries_saved,
+                total_rows.saturating_sub(1) as u64,
+            );
+            let mut flat = flat.into_iter();
+            Ok(batches.iter().map(|b| flat.by_ref().take(b.len()).collect()).collect())
+        }
+    }
+
+    /// Commit + cache + metrics for an executed WD request.
+    pub(crate) fn wd_finish(
+        &self,
+        work: WdWork,
+        answers: Vec<f64>,
+    ) -> Result<WorkloadAnswer, ServiceError> {
+        work.reservation.commit()?;
+        if self.config.cache_answers {
+            self.cache.insert(
+                &work.tenant,
+                Mechanism::Wd,
+                work.epsilon,
+                work.version,
+                work.key,
+                CachedAnswer {
+                    result: QueryResult::Scalar(0.0),
+                    workload_answers: answers.clone(),
+                    noisy_query: None,
+                    batch: Vec::new(),
+                    noisy_kstar: None,
+                    original_cost: work.cost,
+                },
+            );
+        }
+        self.served(work.start);
+        Ok(WorkloadAnswer { answers, cached: false, cost: Some(work.cost) })
+    }
+
+    pub(crate) fn wd_direct(
+        &self,
+        tenant: &str,
+        workload: &PredicateWorkload,
+        epsilon: f64,
+    ) -> Result<WorkloadAnswer, ServiceError> {
+        match self.wd_phase1(tenant, workload, epsilon)? {
+            WdPhase::Immediate(answer) => Ok(answer),
+            WdPhase::Execute(work) => {
+                let answers = match self.wd_partition_answers(
+                    &work.schema,
+                    work.version,
+                    &work.axes,
+                    work.space,
+                    &[work.rows.as_slice()],
+                ) {
+                    Ok(mut sets) => sets.pop().expect("one batch yields one answer set"),
+                    Err(e) => {
+                        ServiceMetrics::inc(&self.metrics.mechanism_failures);
+                        return Err(e);
+                    }
+                };
+                self.wd_finish(*work, answers)
+            }
+        }
     }
 
     // ---- pipeline helpers -------------------------------------------------
@@ -568,27 +978,15 @@ impl Service {
         tenant: &str,
         mechanism: Mechanism,
         epsilon: f64,
+        version: u64,
         key: &RequestKey,
     ) -> Option<CachedAnswer> {
         if !self.config.cache_answers {
             return None;
         }
-        let hit = self.cache.get(tenant, mechanism, epsilon, key)?;
+        let hit = self.cache.get(tenant, mechanism, epsilon, version, key)?;
         ServiceMetrics::inc(&self.metrics.cache_hits);
         Some(hit)
-    }
-
-    fn serve_pm(
-        &self,
-        start: Instant,
-        query: &StarQuery,
-        result: QueryResult,
-        noisy_query: Option<StarQuery>,
-        cached: bool,
-        cost: Option<PrivacyBudget>,
-    ) -> ServiceAnswer {
-        self.served(start);
-        ServiceAnswer { name: query.name.clone(), result, noisy_query, cached, cost }
     }
 
     fn served(&self, start: Instant) {
@@ -721,11 +1119,14 @@ mod tests {
         let mut config = ServiceConfig::default();
         config.pm.scan = ScanOptions::parallel(8);
         let service = Service::new(toy_schema(), config);
-        assert_eq!(service.config.pm.scan.threads, 8, "scan_threads=1 must not clobber pm.scan");
+        assert_eq!(
+            service.core.config.pm.scan.threads, 8,
+            "scan_threads=1 must not clobber pm.scan"
+        );
         let threaded = ServiceConfig { scan_threads: 4, ..ServiceConfig::default() };
         let service = Service::new(toy_schema(), threaded);
-        assert_eq!(service.config.pm.scan.threads, 4);
-        assert_eq!(service.config.wd.scan.threads, 4);
+        assert_eq!(service.core.config.pm.scan.threads, 4);
+        assert_eq!(service.core.config.wd.scan.threads, 4);
     }
 
     #[test]
@@ -779,5 +1180,64 @@ mod tests {
         // Same seed and arrival order ⇒ identical noise; the thread count
         // must not change any answer.
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn coalesced_submit_parks_paid_requests_and_answers_free_ones_inline() {
+        let config = ServiceConfig {
+            coalesce: true,
+            coalesce_window: Duration::from_micros(100),
+            coalesce_workers: 1,
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(toy_schema(), config);
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+
+        // A paid request parks; its budget is already reserved at submit.
+        let q = StarQuery::count("q").with(Predicate::point("D", "color", 1));
+        let submitted = service.pm_submit("t", &q, 0.5).unwrap();
+        assert!(submitted.is_queued());
+        let answer = submitted.wait().unwrap();
+        assert!(!answer.cached);
+        assert!(answer.noisy_query.is_some());
+        assert!((service.tenant_usage("t").unwrap().spent_epsilon - 0.5).abs() < 1e-12);
+
+        // The identical repeat resolves at submit time from the cache.
+        let replay = service.pm_submit("t", &q, 0.5).unwrap();
+        assert!(!replay.is_queued(), "cache hits never park");
+        assert!(replay.wait().unwrap().cached);
+
+        // Unsatisfiable queries resolve at submit time for free.
+        let dead = StarQuery::count("dead")
+            .with(Predicate::point("D", "color", 0))
+            .with(Predicate::point("D", "color", 3));
+        let free = service.pm_submit("t", &dead, 0.5).unwrap();
+        assert!(!free.is_queued(), "free answers never park");
+        assert!(free.wait().unwrap().cost.is_none());
+
+        let m = service.metrics();
+        assert_eq!(m.coalesced_requests, 1, "only the paid fresh request parked");
+        assert!((service.tenant_usage("t").unwrap().spent_epsilon - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_schema_bumps_version_and_clears_caches() {
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+        let q = StarQuery::count("q").with(Predicate::range("D", "color", 0, 3));
+        service.pm_answer("t", &q, 1.0).unwrap();
+        assert_eq!(service.cached_answers(), 1);
+        assert_eq!(service.data_version(), 0);
+
+        let v = service.refresh_schema(toy_schema());
+        assert_eq!(v, 1);
+        assert_eq!(service.data_version(), 1);
+        assert_eq!(service.cached_answers(), 0, "answer cache cleared");
+        assert_eq!(service.cached_histograms(), 0, "W cache cleared");
+
+        // The repeat query pays again: it is a fresh release over new data.
+        let again = service.pm_answer("t", &q, 1.0).unwrap();
+        assert!(!again.cached);
+        assert!((service.tenant_usage("t").unwrap().spent_epsilon - 2.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,167 @@
+//! The W-histogram cache: reusable joint attribute-code histograms, keyed
+//! on `(axis set, aggregate, data version)`.
+//!
+//! Workload Decomposition answers every reconstructed query as the dot
+//! product `Φ̂·W` (paper Eq. 11), where `W` — the joint histogram of the
+//! workload's attribute codes over the fact table — depends only on the
+//! **data**, never on the queries or their noise. That makes `W` safe to
+//! share across requests, tenants, and mechanisms alike: it is an internal
+//! evaluation artifact, not a release, and everything computed *from* it is
+//! post-processing of already-perturbed queries, so caching it affects no
+//! budget accounting. With a warm cache, repeat workload traffic over the
+//! same axes becomes entirely scan-free.
+//!
+//! The key carries the data version so [`crate::Service::refresh_schema`]
+//! invalidates by construction: after a refresh, lookups carry the new
+//! version and can never see a histogram built on the old data, even if an
+//! in-flight request inserts one late. `clear()` additionally reclaims the
+//! memory eagerly.
+
+use starj_engine::{Agg, WeightHistogram};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
+
+/// Cache key: normalized axes (ascending dimension order, as
+/// [`WeightHistogram::plan_axes`] returns them), aggregate kind, and the
+/// service data version the histogram was built against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WKey {
+    /// Normalized `(table, attr)` axes.
+    pub axes: Vec<(String, String)>,
+    /// The aggregate the histogram accumulates.
+    pub agg: Agg,
+    /// Data version at build time.
+    pub version: u64,
+}
+
+/// Default [`WeightHistogramCache`] capacity (entries). Histograms are
+/// bounded by the engine's dense cap (`2^16` f64s ≈ 512 KiB each), so the
+/// default bounds worst-case retention at ~16 MiB.
+pub const DEFAULT_W_CACHE_CAPACITY: usize = 32;
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<WKey, Arc<WeightHistogram>>,
+    /// Insertion order for FIFO eviction once `capacity` is reached.
+    order: VecDeque<WKey>,
+}
+
+/// Thread-safe, bounded map from axis sets to their built histograms
+/// (FIFO eviction, like the answer cache). Shared via `Arc` so a long dot
+/// product never holds the cache lock.
+#[derive(Debug)]
+pub struct WeightHistogramCache {
+    inner: RwLock<Inner>,
+    capacity: usize,
+}
+
+impl Default for WeightHistogramCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_W_CACHE_CAPACITY)
+    }
+}
+
+impl WeightHistogramCache {
+    /// An empty cache holding at most `capacity` histograms. A capacity of
+    /// 0 disables retention entirely.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WeightHistogramCache { inner: RwLock::new(Inner::default()), capacity }
+    }
+
+    /// Looks a histogram up; `None` is a miss.
+    pub fn get(&self, key: &WKey) -> Option<Arc<WeightHistogram>> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).map.get(key).cloned()
+    }
+
+    /// Stores a histogram, evicting the oldest entries past the capacity.
+    pub fn insert(&self, key: WKey, histogram: Arc<WeightHistogram>) {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key.clone(), histogram).is_none() {
+            inner.order.push_back(key);
+        }
+        while inner.map.len() > self.capacity {
+            let oldest = inner.order.pop_front().expect("order tracks every map entry");
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// Number of stored histograms.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    /// True iff no histograms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every stored histogram (data refresh).
+    pub fn clear(&self) {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starj_engine::{Column, Dimension, Domain, ScanOptions, StarSchema, Table};
+
+    fn schema() -> StarSchema {
+        let d = Domain::numeric("x", 3).unwrap();
+        let dim = Table::new(
+            "D",
+            vec![Column::key("pk", vec![0, 1, 2]), Column::attr("x", d, vec![0, 1, 2])],
+        )
+        .unwrap();
+        let fact = Table::new("F", vec![Column::key("fk", vec![0, 1, 2, 2])]).unwrap();
+        StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap()
+    }
+
+    fn key(version: u64) -> WKey {
+        WKey { axes: vec![("D".into(), "x".into())], agg: Agg::Count, version }
+    }
+
+    fn hist() -> Arc<WeightHistogram> {
+        let s = schema();
+        Arc::new(
+            WeightHistogram::build(
+                &s,
+                &[("D".to_string(), "x".to_string())],
+                &Agg::Count,
+                ScanOptions::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn hit_requires_exact_key() {
+        let cache = WeightHistogramCache::default();
+        cache.insert(key(0), hist());
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.get(&key(1)).is_none(), "version bump must miss");
+        let other = WKey { agg: Agg::Sum("m".into()), ..key(0) };
+        assert!(cache.get(&other).is_none(), "aggregate kind must match");
+    }
+
+    #[test]
+    fn capacity_bounds_fifo_and_clear_empties() {
+        let cache = WeightHistogramCache::with_capacity(2);
+        for v in 0..3 {
+            cache.insert(key(v), hist());
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(0)).is_none(), "oldest evicted first");
+        assert!(cache.get(&key(2)).is_some());
+        // Re-inserting an existing key must not duplicate its order slot.
+        cache.insert(key(1), hist());
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        let zero = WeightHistogramCache::with_capacity(0);
+        zero.insert(key(0), hist());
+        assert!(zero.is_empty(), "zero capacity disables retention");
+    }
+}

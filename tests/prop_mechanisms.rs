@@ -148,6 +148,108 @@ proptest! {
     }
 }
 
+/// Seeded statistical sanity checks for the noise samplers on the serving
+/// path: with fixed seeds these are fully deterministic (flake-free in CI),
+/// and at n = 100 000 draws the empirical moments must sit inside analytic
+/// bounds. The tolerances are generous multiples of the standard error, so
+/// a failure means a genuinely miscalibrated sampler, not an unlucky run.
+mod sampler_statistics {
+    use dp_starj_repro::noise::{DiscreteLaplace, Laplace, StarRng};
+
+    const N: usize = 100_000;
+
+    #[test]
+    fn laplace_empirical_moments_match_analytic() {
+        for (seed, scale) in [(1001u64, 0.5f64), (1002, 1.0), (1003, 4.0)] {
+            let dist = Laplace::new(scale).unwrap();
+            let mut rng = StarRng::from_seed(seed);
+            let samples: Vec<f64> = (0..N).map(|_| dist.sample(&mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / N as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+            // Mean: standard error is √(2b²/n); allow 5σ.
+            let se_mean = (dist.variance() / N as f64).sqrt();
+            assert!(
+                mean.abs() < 5.0 * se_mean,
+                "Laplace(b={scale}) mean {mean} outside 5σ = {}",
+                5.0 * se_mean
+            );
+            // Variance: Var[x²] = 20b⁴ for Laplace, so SE(var) ≈ √(20b⁴/n).
+            let se_var = (20.0 * scale.powi(4) / N as f64).sqrt();
+            assert!(
+                (var - dist.variance()).abs() < 5.0 * se_var,
+                "Laplace(b={scale}) variance {var} vs {} (±{})",
+                dist.variance(),
+                5.0 * se_var
+            );
+        }
+    }
+
+    #[test]
+    fn laplace_empirical_cdf_tracks_analytic() {
+        let dist = Laplace::new(2.0).unwrap();
+        let mut rng = StarRng::from_seed(1004);
+        let samples: Vec<f64> = (0..N).map(|_| dist.sample(&mut rng)).collect();
+        for q in [-4.0, -2.0, -0.5, 0.0, 0.5, 2.0, 4.0] {
+            let emp = samples.iter().filter(|&&x| x <= q).count() as f64 / N as f64;
+            // SE of an empirical CDF point is at most 0.5/√n ≈ 0.0016.
+            assert!(
+                (emp - dist.cdf(q)).abs() < 0.01,
+                "Laplace CDF at {q}: empirical {emp} vs analytic {}",
+                dist.cdf(q)
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_laplace_empirical_moments_match_analytic() {
+        for (seed, scale) in [(2001u64, 0.8f64), (2002, 2.0), (2003, 6.0)] {
+            let dist = DiscreteLaplace::new(scale).unwrap();
+            let mut rng = StarRng::from_seed(seed);
+            let samples: Vec<i64> = (0..N).map(|_| dist.sample(&mut rng)).collect();
+            let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / N as f64;
+            let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / N as f64;
+            let se_mean = (dist.variance() / N as f64).sqrt();
+            assert!(
+                mean.abs() < 5.0 * se_mean,
+                "DiscreteLaplace(s={scale}) mean {mean} outside 5σ"
+            );
+            // Bound the 4th moment loosely by the continuous analogue's
+            // 20b⁴ plus slack for discreteness.
+            let se_var = ((20.0 * scale.powi(4) + 1.0) / N as f64).sqrt();
+            assert!(
+                (var - dist.variance()).abs() < 6.0 * se_var,
+                "DiscreteLaplace(s={scale}) variance {var} vs {} (±{})",
+                dist.variance(),
+                6.0 * se_var
+            );
+            // Sign symmetry: P(X>0) = P(X<0) within 5 standard errors.
+            let pos = samples.iter().filter(|&&x| x > 0).count() as f64 / N as f64;
+            let neg = samples.iter().filter(|&&x| x < 0).count() as f64 / N as f64;
+            assert!((pos - neg).abs() < 5.0 * (0.5 / (N as f64).sqrt()));
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_a_fixed_seed() {
+        // The serving path derives one RNG per request from (seed, arrival
+        // index); identical derivations must replay identical noise.
+        let a: Vec<f64> = {
+            let mut rng = StarRng::from_seed(7).derive_index(3);
+            let d = Laplace::new(1.5).unwrap();
+            (0..64).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StarRng::from_seed(7).derive_index(3);
+            let d = Laplace::new(1.5).unwrap();
+            (0..64).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
 #[test]
 fn neighboring_instances_preserve_schema_invariants() {
     // Deterministic (non-proptest) structural check across many deletions.

@@ -6,24 +6,33 @@
 //! 2. **Cache hits are free** — an identical repeat query replays the stored
 //!    noisy answer bit-for-bit while consuming zero additional budget.
 
-use dp_starj_repro::engine::{Column, Dimension, Domain, Predicate, StarQuery, StarSchema, Table};
+use dp_starj_repro::core::workload::{PredicateWorkload, WorkloadBlock};
+use dp_starj_repro::engine::{
+    Column, Constraint, Dimension, Domain, Predicate, StarQuery, StarSchema, Table,
+};
 use dp_starj_repro::noise::PrivacyBudget;
 use dp_starj_repro::service::{Service, ServiceConfig, ServiceError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 /// A schema with a wide attribute domain so tests can mint many *distinct*
-/// queries (distinct queries cannot hit the cache, so each must pay).
+/// queries (distinct queries cannot hit the cache, so each must pay), plus
+/// a narrow `shade` attribute (domain 8) for workload traffic — WD's
+/// strategy pseudo-inverse is cubic in the domain, so storm tests keep
+/// their workloads on the narrow block.
 fn wide_schema() -> StarSchema {
     const DOMAIN: u32 = 512;
     let domain = Domain::numeric("bucket", DOMAIN).unwrap();
+    let shade = Domain::numeric("shade", 8).unwrap();
     let n_dim = DOMAIN as usize;
     let dim = Table::new(
         "D",
         vec![
             Column::key("pk", (0..DOMAIN).collect()),
             Column::attr("bucket", domain, (0..DOMAIN).collect()),
+            Column::attr("shade", shade, (0..DOMAIN).map(|i| i % 8).collect()),
         ],
     )
     .unwrap();
@@ -202,6 +211,205 @@ fn unsatisfiable_queries_are_answered_exactly_and_free() {
     assert!(ans.cost.is_none());
     assert_eq!(service.tenant_usage("t").unwrap().spent_epsilon, 0.0);
     assert_eq!(service.metrics().free_answers, 1);
+}
+
+/// A tiny two-row workload over the wide schema's narrow `shade` block.
+fn storm_workload(lo: u32, hi: u32) -> PredicateWorkload {
+    let (lo, hi) = ((lo % 8).min(hi % 8), (lo % 8).max(hi % 8));
+    PredicateWorkload::new(
+        vec![WorkloadBlock { table: "D".into(), attr: "shade".into(), domain: 8 }],
+        vec![vec![Constraint::Point(lo)], vec![Constraint::Range { lo, hi }]],
+    )
+    .unwrap()
+}
+
+#[test]
+fn coalesced_storm_fuses_scans_without_overspend_or_lost_requests() {
+    const THREADS: u32 = 16;
+    const REQUESTS_PER_THREAD: u32 = 30;
+    const EPS: f64 = 0.015625; // 2⁻⁶: ledger sums stay exact under any order
+    let config = ServiceConfig {
+        coalesce: true,
+        coalesce_window: Duration::from_millis(2),
+        max_batch: 32,
+        coalesce_workers: 2,
+        cache_answers: false, // every request pays → every request must fuse or scan
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::new(Arc::new(wide_schema()), config));
+    service.register_tenant("storm", PrivacyBudget::pure(1_000.0).unwrap()).unwrap();
+
+    let scans_before = dp_starj_repro::engine::fact_scan_count();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                for i in 0..REQUESTS_PER_THREAD {
+                    let n = t * REQUESTS_PER_THREAD + i;
+                    // Mixed pm/wd traffic: every 5th request is a workload.
+                    if n.is_multiple_of(5) {
+                        let answer = service
+                            .wd_answer("storm", &storm_workload(n, n + 7), EPS)
+                            .expect("storm wd requests are well-formed and funded");
+                        assert_eq!(answer.answers.len(), 2);
+                    } else {
+                        let answer = service
+                            .pm_answer("storm", &query_for(n), EPS)
+                            .expect("storm pm requests are well-formed and funded");
+                        assert!(answer.noisy_query.is_some());
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("storm thread panicked");
+    }
+    let scan_delta = dp_starj_repro::engine::fact_scan_count() - scans_before;
+
+    let total = u64::from(THREADS * REQUESTS_PER_THREAD);
+    let metrics = service.metrics();
+    assert_eq!(metrics.queries_served, total, "no request may be lost");
+    // The whole point of the coalescer: strictly fewer scans than requests.
+    // (fact_scan_count is process-global, so concurrently-running tests in
+    // this binary can only inflate the delta — the margin is generous.)
+    assert!(
+        scan_delta < total,
+        "coalescing must fuse scans: {scan_delta} scans for {total} requests"
+    );
+    assert!(metrics.fused_queries_saved > 0, "fusion must actually engage");
+    assert!(metrics.coalesced_requests > 0 && metrics.coalesced_batches > 0);
+    assert!(
+        metrics.w_cache_hits > 0,
+        "repeat same-axis workload traffic must reuse the W histogram"
+    );
+
+    // Exact spend: every request paid EPS exactly once (dyadic ⇒ exact sum).
+    let usage = service.tenant_usage("storm").unwrap();
+    assert_eq!(
+        usage.spent_epsilon.to_bits(),
+        (total as f64 * EPS).to_bits(),
+        "spend must equal requests × ε: no double-charge, no free ride"
+    );
+    assert_eq!(usage.in_flight_epsilon, 0.0, "no reservation may leak");
+}
+
+#[test]
+fn degenerate_coalescer_configs_lose_no_wakeups() {
+    // window = 0 and max_batch = 1 reduce the coalescer to a plain work
+    // queue; requests arriving while a worker drains must still be picked
+    // up (the classic lost-wakeup hazard).
+    for (window_us, max_batch, workers) in [(0u64, 1usize, 1usize), (0, 64, 2), (500, 1, 2)] {
+        let config = ServiceConfig {
+            coalesce: true,
+            coalesce_window: Duration::from_micros(window_us),
+            max_batch,
+            coalesce_workers: workers,
+            cache_answers: false,
+            ..ServiceConfig::default()
+        };
+        let service = Arc::new(Service::new(Arc::new(wide_schema()), config));
+        service.register_tenant("t", PrivacyBudget::pure(100.0).unwrap()).unwrap();
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                thread::spawn(move || {
+                    for i in 0..20u32 {
+                        service
+                            .pm_answer("t", &query_for(t * 20 + i), 0.0625)
+                            .expect("degenerate configs must still answer everything");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no thread may hang or panic");
+        }
+        let metrics = service.metrics();
+        assert_eq!(
+            metrics.queries_served, 160,
+            "window={window_us}µs max_batch={max_batch}: every request answered"
+        );
+        assert_eq!(metrics.coalesced_requests, 160, "every paid request parked");
+    }
+}
+
+/// `refresh_schema` must invalidate both the answer cache and the
+/// W-histogram cache: a post-refresh repeat query may not return any
+/// stale pre-refresh release or `W`-derived answer.
+#[test]
+fn refresh_schema_invalidates_answer_and_w_caches() {
+    // Two instances with the same shape but very different data: v1 puts
+    // every fact row in bucket 0, v2 spreads them 0..512.
+    let instance = |spread: bool| {
+        const DOMAIN: u32 = 512;
+        let domain = Domain::numeric("bucket", DOMAIN).unwrap();
+        let shade = Domain::numeric("shade", 8).unwrap();
+        let dim = Table::new(
+            "D",
+            vec![
+                Column::key("pk", (0..DOMAIN).collect()),
+                Column::attr("bucket", domain, (0..DOMAIN).collect()),
+                Column::attr("shade", shade, (0..DOMAIN).map(|i| i % 8).collect()),
+            ],
+        )
+        .unwrap();
+        let n_fact = 1_000usize;
+        let fact = Table::new(
+            "F",
+            vec![Column::key(
+                "fk",
+                (0..n_fact).map(|i| if spread { (i % 512) as u32 } else { 0 }).collect(),
+            )],
+        )
+        .unwrap();
+        Arc::new(StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap())
+    };
+
+    // Huge ε ⇒ negligible noise ⇒ answers ≈ exact counts, so a stale cache
+    // is detectable as a plainly wrong count.
+    const EPS: f64 = 1e9;
+    let service = Service::new(instance(false), ServiceConfig::default());
+    service.register_tenant("t", PrivacyBudget::pure(f64::MAX).unwrap()).unwrap();
+
+    let q = StarQuery::count("bucket0").with(Predicate::point("D", "bucket", 0));
+    let w = storm_workload(0, 0);
+
+    let pm_v1 = service.pm_answer("t", &q, EPS).unwrap();
+    assert!((pm_v1.result.scalar().unwrap() - 1_000.0).abs() < 1.0);
+    let wd_v1 = service.wd_answer("t", &w, EPS).unwrap();
+    assert!((wd_v1.answers[0] - 1_000.0).abs() < 1.0);
+    assert!(service.cached_answers() > 0, "answers cached on v1");
+    assert!(service.cached_histograms() > 0, "W cached on v1");
+
+    service.refresh_schema(instance(true));
+
+    // The same requests must re-execute against the new data: not cached,
+    // and the counts reflect the spread-out instance (bucket 0 now holds
+    // 1000/512 ≈ 2 rows, nowhere near 1000).
+    let pm_v2 = service.pm_answer("t", &q, EPS).unwrap();
+    assert!(!pm_v2.cached, "pre-refresh answer must not replay");
+    assert!(
+        pm_v2.result.scalar().unwrap() < 100.0,
+        "stale pre-refresh answer leaked through the answer cache: {:?}",
+        pm_v2.result
+    );
+    // shade 0 drops from 1000 rows to ~1000/8 once the data spreads out.
+    let wd_v2 = service.wd_answer("t", &w, EPS).unwrap();
+    assert!(!wd_v2.cached);
+    assert!(wd_v2.answers[0] < 500.0, "stale pre-refresh W histogram leaked: {}", wd_v2.answers[0]);
+
+    // Same invariants with the coalescer in the path.
+    let coalesced =
+        Service::new(instance(false), ServiceConfig { coalesce: true, ..ServiceConfig::default() });
+    coalesced.register_tenant("t", PrivacyBudget::pure(f64::MAX).unwrap()).unwrap();
+    coalesced.pm_answer("t", &q, EPS).unwrap();
+    coalesced.wd_answer("t", &w, EPS).unwrap();
+    coalesced.refresh_schema(instance(true));
+    let pm = coalesced.pm_answer("t", &q, EPS).unwrap();
+    let wd = coalesced.wd_answer("t", &w, EPS).unwrap();
+    assert!(!pm.cached && pm.result.scalar().unwrap() < 100.0);
+    assert!(!wd.cached && wd.answers[0] < 500.0);
 }
 
 #[test]
