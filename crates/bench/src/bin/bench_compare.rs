@@ -1,0 +1,65 @@
+//! Bench-drift gate: compares two `BENCH_*.json` documents and exits
+//! non-zero when any shared regime's `queries_per_sec` regressed beyond
+//! the noise threshold.
+//!
+//! ```text
+//! cargo run --release -p starj-bench --bin bench_compare -- \
+//!     previous/BENCH_scan.json BENCH_scan.json [threshold_pct]
+//! ```
+//!
+//! The threshold defaults to 15% and can also be set via the
+//! `BENCH_DRIFT_PCT` environment knob. Exit codes: `0` — no regression
+//! (or the documents are not comparable: different bench or workload
+//! parameters, reported as a skip notice so cross-machine or
+//! cross-configuration artifacts never produce false failures); `1` — at
+//! least one shared regime regressed; `2` — usage or parse error.
+
+use starj_bench::drift::{compare, load, noise_frac_from_env, Verdict};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_compare OLD.json NEW.json [threshold_pct]");
+        std::process::exit(2);
+    }
+    let noise_frac = match args.get(3) {
+        Some(pct) => match pct.parse::<f64>() {
+            Ok(p) if p >= 0.0 => p / 100.0,
+            _ => {
+                eprintln!("bad threshold `{}` (expected a percentage)", args[3]);
+                std::process::exit(2);
+            }
+        },
+        None => noise_frac_from_env(),
+    };
+    let (old, new) = match (load(&args[1]), load(&args[2])) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    match compare(&old, &new, noise_frac) {
+        Verdict::Ok(held) => {
+            println!(
+                "no drift beyond {:.0}% in `{}` ({} shared regimes):",
+                100.0 * noise_frac,
+                new.bench,
+                held.len()
+            );
+            for line in held {
+                println!("  {line}");
+            }
+        }
+        Verdict::Skipped(reason) => {
+            println!("comparison skipped: {reason}");
+        }
+        Verdict::Regressed(lines) => {
+            eprintln!("BENCH DRIFT in `{}`:", new.bench);
+            for line in lines {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -49,13 +49,46 @@ pub fn measure_coalesce(
     window: Duration,
     seed: u64,
 ) -> CoalesceSample {
-    let config = ServiceConfig {
+    measure_coalesce_kernel(
+        schema,
+        clients,
+        queries_per_client,
+        epsilon,
+        coalesce,
+        window,
+        seed,
+        false,
+    )
+}
+
+/// [`measure_coalesce`] with the scan-kernel interior selectable:
+/// `legacy_gather` forces the pre-staging scalar gather
+/// ([`starj_engine::ScanOptions::legacy_gather`]) through the service's
+/// mechanism scan options — the A/B that shows the coalescer's fused
+/// batches are the chief beneficiary of the staged SIMD-width kernel.
+/// Answers are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_coalesce_kernel(
+    schema: &Arc<StarSchema>,
+    clients: usize,
+    queries_per_client: usize,
+    epsilon: f64,
+    coalesce: bool,
+    window: Duration,
+    seed: u64,
+    legacy_gather: bool,
+) -> CoalesceSample {
+    let mut config = ServiceConfig {
         seed,
         cache_answers: false,
         coalesce,
         coalesce_window: window,
         ..ServiceConfig::default()
     };
+    if legacy_gather {
+        config.pm.scan = config.pm.scan.with_legacy_gather();
+        config.wd.scan = config.wd.scan.with_legacy_gather();
+    }
     let service = Arc::new(Service::new(Arc::clone(schema), config));
     let allotment = PrivacyBudget::pure(epsilon * (queries_per_client.max(1) as f64) * 2.0)
         .expect("valid benchmark allotment");
@@ -193,6 +226,23 @@ mod tests {
         let seq = measure_coalesce(&schema, 4, 20, 0.05, false, Duration::ZERO, 7);
         assert_eq!(seq.coalesced_requests, 0, "disabled coalescer parks nothing");
         assert_eq!(seq.requests, 80);
+    }
+
+    #[test]
+    fn legacy_kernel_measurement_serves_identically() {
+        let schema = Arc::new(generate(&SsbConfig::at_scale(0.002, 7)).unwrap());
+        let legacy = measure_coalesce_kernel(
+            &schema,
+            2,
+            10,
+            0.05,
+            true,
+            Duration::from_micros(200),
+            7,
+            true,
+        );
+        assert_eq!(legacy.requests, 20, "legacy kernel serves every request");
+        assert_eq!(legacy.coalesced_requests, 20);
     }
 
     #[test]

@@ -17,21 +17,24 @@
 //! | `fig11`  | Figure 11  | error under Gaussian-mixture data |
 //! | `ablations` | DESIGN.md §7 | PMA policy / budget-split / strategy / R2T-grid ablations |
 //! | `service_throughput` | — (systems) | queries/sec of the multi-tenant DP service at 1/4/8 tenants; writes `BENCH_service.json` |
-//! | `scan_throughput` | — (systems) | row-at-a-time vs bitset vs fused-batch vs parallel scan kernels, with an equivalence self-check; writes `BENCH_scan.json` |
-//! | `coalesce_throughput` | — (systems) | sequential vs group-commit-coalesced single-query qps at 1/4/8/16 clients, cold vs warm W cache, with equivalence + regression self-gates; writes `BENCH_coalesce.json` |
+//! | `scan_throughput` | — (systems) | row-at-a-time vs bitset vs fused-batch vs fused-legacy-gather vs parallel scan kernels, median-of-3, with equivalence + fusion-speedup + no-regression self-gates; writes `BENCH_scan.json` |
+//! | `coalesce_throughput` | — (systems) | sequential vs group-commit-coalesced single-query qps at 1/4/8/16 clients, cold vs warm W cache, staged-vs-legacy kernel A/B at 8 clients, with equivalence + regression self-gates; writes `BENCH_coalesce.json` |
+//! | `bench_compare` | — (systems) | drift gate between two `BENCH_*.json` files: non-zero exit when a shared regime's qps regressed beyond the noise threshold (default 15%) |
 //!
 //! Environment knobs (all optional): `SSB_SF` (scale factor, default 0.05),
 //! `TRIALS` (independent runs per cell, default 10), `GRAPH_FRAC` (graph
 //! scale for Table 2, default 0.05), `SEED` (root seed, default 2023).
 
 pub mod coalesce;
+pub mod drift;
 pub mod harness;
 pub mod mechanisms;
 pub mod scenarios;
 pub mod service;
 
 pub use coalesce::{
-    dashboard_workload, measure_coalesce, measure_wd_wcache, CoalesceSample, WCacheSample,
+    dashboard_workload, measure_coalesce, measure_coalesce_kernel, measure_wd_wcache,
+    CoalesceSample, WCacheSample,
 };
 pub use harness::{env_f64, env_u64, stats, Json, Stats, TablePrinter};
 pub use mechanisms::{ls_rel_err, pm_rel_err, r2t_rel_err, MechOutcome};

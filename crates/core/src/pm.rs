@@ -40,7 +40,10 @@ pub struct PmConfig {
     pub policy: RangePolicy,
     /// Budget split rule.
     pub split: BudgetSplit,
-    /// Scan options for the answering pass (thread count).
+    /// Scan options for the answering pass: thread count, plus
+    /// [`ScanOptions::legacy_gather`] to force the pre-staging scalar scan
+    /// interior for kernel A/B runs (answers are bit-identical either way —
+    /// DP semantics never depend on the kernel choice).
     pub scan: ScanOptions,
 }
 

@@ -171,7 +171,9 @@ pub struct WdConfig {
     pub policy: RangePolicy,
     /// Budget accounting rule (default: the paper's).
     pub accounting: WdAccounting,
-    /// Scan options for the fused answering pass (thread count).
+    /// Scan options for the fused answering pass: thread count, plus
+    /// [`ScanOptions::legacy_gather`] to force the pre-staging scalar scan
+    /// interior for kernel A/B runs (answers are bit-identical either way).
     pub scan: ScanOptions,
 }
 

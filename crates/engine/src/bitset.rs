@@ -106,6 +106,14 @@ impl BitSet {
         &self.words
     }
 
+    /// The bits expanded to a byte-per-index `{0, 1}` lookup table — the
+    /// mid-size fast-path representation of the scan kernel: for dimensions
+    /// of at most 2^16 rows the table stays cache-resident and turns the
+    /// per-row probe into a single byte load (no word indexing or shifts).
+    pub fn to_byte_lut(&self) -> Box<[u8]> {
+        (0..self.len).map(|i| self.get_bit(i) as u8).collect()
+    }
+
     /// Indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -180,6 +188,18 @@ mod tests {
         a.and_assign(&b);
         for i in 0..100 {
             assert_eq!(a.get(i), i % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn byte_lut_matches_bits() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let b = BitSet::from_fn(len, |i| i % 3 == 1);
+            let lut = b.to_byte_lut();
+            assert_eq!(lut.len(), len);
+            for i in 0..len {
+                assert_eq!(lut[i], u8::from(b.get(i)), "len={len} bit {i}");
+            }
         }
     }
 

@@ -61,6 +61,7 @@ pub mod predicate;
 pub mod query;
 pub mod schema;
 pub mod sql;
+mod stage;
 pub mod stats;
 pub mod table;
 

@@ -37,24 +37,49 @@
 //!   (std-only, no rayon), each with its own partial accumulators, merged
 //!   in shard order so results are deterministic for a fixed thread count.
 //!
+//! * **SIMD-width chunk interior.** The hot interior is a staging-based
+//!   kernel ([`crate::stage`]): each referenced dimension's fk codes are
+//!   copied into a cache-resident buffer **once per chunk** and shared by
+//!   every fused query (the pre-staging kernel re-read them from main
+//!   memory once per query per chunk); per-dimension pass masks are
+//!   classified at plan time into probe fast paths (≤ 64 dimension rows →
+//!   the whole mask in one register word, ≤ 2^16 rows → a byte-granular
+//!   LUT, larger → the packed bitset) drained by 4-wide unrolled gather
+//!   loops; filters are ordered by estimated selectivity (pass-fraction,
+//!   ties by dimension index) so the `*word == 0` early exit fires as
+//!   early as possible; and the histogram plan stages its joint flat codes
+//!   once per chunk instead of recomputing them per row per kind.
+//!   [`ScanOptions::legacy_gather`] forces the pre-staging scalar interior
+//!   for A/B measurement — both interiors are bit-identical.
+//!
 //! Binary-query accumulation order within a shard is identical to the
 //! legacy row-at-a-time executor ([`crate::exec::reference`]), so results
 //! are bit-identical to it; weighted results are reassociated by the
 //! histogram factoring but remain bit-identical whenever the arithmetic is
 //! exact (integer measures, dyadic weights), which the equivalence property
-//! tests in `tests/prop_scan_kernel.rs` pin down.
+//! tests in `tests/prop_scan_kernel.rs` pin down. The staged interior
+//! preserves that guarantee construction-by-construction: staged codes are
+//! exact copies, mask words are the same AND conjunction (reordering
+//! filters cannot change a bitwise AND), and every drain visits rows in
+//! the same ascending order.
 
 use crate::bitset::BitSet;
 use crate::error::EngineError;
 use crate::predicate::{Predicate, WeightedPredicate};
 use crate::query::{Agg, QueryResult, StarQuery};
 use crate::schema::StarSchema;
+use crate::stage::{
+    gather_word_bytes, gather_word_small, gather_word_wide, ChunkStage, CHUNK_ROWS, CHUNK_WORDS,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Rows per scan chunk (64 mask words of 64 rows).
-const CHUNK_ROWS: usize = 4096;
-const CHUNK_WORDS: usize = CHUNK_ROWS / 64;
+/// Largest dimension row count answered through the single-register-word
+/// probe ([`Probe::Word`]).
+const WORD_PROBE_CAP: usize = 64;
+/// Largest dimension row count answered through the byte-LUT probe
+/// ([`Probe::Bytes`]); larger dimensions gather from the packed bitset.
+const BYTE_PROBE_CAP: usize = 1 << 16;
 
 /// Largest dense accumulator (group-by cross-product or weighted joint code
 /// space) answered through flat vectors; larger spaces fall back to sparse
@@ -80,18 +105,30 @@ pub struct ScanOptions {
     /// calling thread; `n > 1` shards the fact table into `n` contiguous
     /// row ranges merged in deterministic shard order.
     pub threads: usize,
+    /// Force the pre-staging scalar chunk interior (per-query fk re-reads,
+    /// packed-bitset probes, per-row histogram codes) instead of the staged
+    /// SIMD-width kernel. Results are bit-identical either way; this knob
+    /// exists so benchmarks can A/B the gather strategies on live traffic.
+    pub legacy_gather: bool,
 }
 
 impl Default for ScanOptions {
     fn default() -> Self {
-        ScanOptions { threads: 1 }
+        ScanOptions { threads: 1, legacy_gather: false }
     }
 }
 
 impl ScanOptions {
     /// Options scanning with `threads` workers (clamped to ≥ 1).
     pub fn parallel(threads: usize) -> Self {
-        ScanOptions { threads: threads.max(1) }
+        ScanOptions { threads: threads.max(1), ..ScanOptions::default() }
+    }
+
+    /// The same options with the pre-staging scalar gather interior forced
+    /// (the A/B baseline for the staged SIMD-width kernel).
+    pub fn with_legacy_gather(mut self) -> Self {
+        self.legacy_gather = true;
+        self
     }
 }
 
@@ -235,13 +272,104 @@ impl<'a> GroupPlan<'a> {
     }
 }
 
+/// The plan-time probe classification of one dimension pass mask: how the
+/// chunk kernel extracts a fact row's pass bit from its fk code.
+#[derive(Debug, Clone)]
+enum Probe {
+    /// Dimension of ≤ [`WORD_PROBE_CAP`] rows: the whole pass mask lives in
+    /// one register word, so the probe is a branch-free `(word >> code) & 1`.
+    Word(u64),
+    /// Dimension of ≤ [`BYTE_PROBE_CAP`] rows: byte-granular `{0, 1}`
+    /// lookup table, one byte load per probe.
+    Bytes(Box<[u8]>),
+    /// Large dimension: gather from the packed bitset (word index + shift).
+    Wide,
+}
+
+/// One compiled binary filter: the dimension, its packed pass mask, the
+/// probe fast path, and the plan-time pass count (selectivity ordering).
+#[derive(Debug, Clone)]
+struct Filter {
+    dim: usize,
+    /// The packed pass mask over dimension rows — always kept (the legacy
+    /// gather and the `Wide` probe read it; selectivity comes from it).
+    bits: BitSet,
+    probe: Probe,
+    /// Set bits in `bits` at plan time.
+    pass: usize,
+}
+
+impl Filter {
+    fn new(dim: usize, bits: BitSet) -> Self {
+        let pass = bits.count_ones();
+        let probe = if bits.len() <= WORD_PROBE_CAP {
+            Probe::Word(bits.words().first().copied().unwrap_or(0))
+        } else if bits.len() <= BYTE_PROBE_CAP {
+            Probe::Bytes(bits.to_byte_lut())
+        } else {
+            Probe::Wide
+        };
+        Filter { dim, bits, probe, pass }
+    }
+
+    /// Gathers one mask word (≤ 64 fk codes) through the probe fast path.
+    /// The match costs one predicted branch per 64 rows; each arm is a
+    /// monomorphic 4-wide unrolled loop.
+    #[inline]
+    fn gather_word(&self, lane: &[u32]) -> u64 {
+        match &self.probe {
+            Probe::Word(table) => gather_word_small(*table, lane),
+            Probe::Bytes(lut) => gather_word_bytes(lut, lane),
+            Probe::Wide => gather_word_wide(&self.bits, lane),
+        }
+    }
+
+    /// True iff `other` tests the same dimension with the same pass mask —
+    /// the dedup key of the cross-query shared-mask program.
+    fn same_mask(&self, other: &Filter) -> bool {
+        self.dim == other.dim && self.pass == other.pass && self.bits == other.bits
+    }
+}
+
+/// The cross-query mask-sharing program of one fused scan: concurrent
+/// dashboards overlap heavily (the same year range or region predicate
+/// appears in many queries of a batch), so any filter whose `(dimension,
+/// pass mask)` is used by ≥ 2 fused queries is gathered **once per chunk**
+/// into a shared mask cache and ANDed word-wise into each user's mask —
+/// turning `N` identical gather passes into one pass plus `N` register
+/// ANDs. Query-private filters keep the per-query gather with its
+/// `*word == 0` early exit. Pure AND reordering: the resulting mask is
+/// bit-identical for any sharing split.
+#[derive(Debug)]
+struct MaskProgram<'p> {
+    /// Distinct filters used by ≥ 2 mask-building queries, first-use order.
+    shared: Vec<&'p Filter>,
+    /// Per query: indices into `shared`, plus the query-private filters
+    /// (in the query's selectivity order).
+    per_query: Vec<(Vec<usize>, Vec<&'p Filter>)>,
+}
+
+/// Orders filters by estimated selectivity — ascending pass fraction
+/// (`popcount / dimension rows`), ties broken by dimension index — so the
+/// most selective mask is ANDed first and the `*word == 0` early exit in
+/// later filters fires as early as possible. Pure reordering of a bitwise
+/// AND conjunction: the resulting mask is identical for any order.
+fn selectivity_order(filters: &mut [Filter]) {
+    filters.sort_by(|a, b| {
+        // Cross-multiplied fraction compare (exact, no floats).
+        let lhs = a.pass as u128 * b.bits.len() as u128;
+        let rhs = b.pass as u128 * a.bits.len() as u128;
+        lhs.cmp(&rhs).then(a.dim.cmp(&b.dim))
+    });
+}
+
 /// One compiled query inside a plan: packed binary filters, weighted axes,
 /// row-weight accessor, and the group program.
 #[derive(Debug, Clone)]
 struct PlannedQuery<'a> {
-    /// Binary filters as (dimension index, packed pass mask), ascending by
-    /// dimension index.
-    filters: Vec<(usize, BitSet)>,
+    /// Binary filters, ordered by estimated selectivity (most selective
+    /// first — see [`selectivity_order`]).
+    filters: Vec<Filter>,
     /// Weighted axes in first-appearance order (the multiply order of the
     /// fallback row loop).
     weights: Vec<WeightAxis<'a>>,
@@ -433,8 +561,12 @@ impl<'a> ScanPlan<'a> {
     /// Compiles a binary-predicate star query into the plan.
     pub fn add_query(&mut self, query: &StarQuery) -> Result<(), EngineError> {
         let bitsets = dimension_bitsets(self.schema, &query.predicates)?;
-        let filters: Vec<(usize, BitSet)> =
-            bitsets.into_iter().enumerate().filter_map(|(di, b)| Some((di, b?))).collect();
+        let mut filters: Vec<Filter> = bitsets
+            .into_iter()
+            .enumerate()
+            .filter_map(|(di, b)| Some(Filter::new(di, b?)))
+            .collect();
+        selectivity_order(&mut filters);
         let grouping = if query.group_by.is_empty() {
             None
         } else {
@@ -507,19 +639,30 @@ impl<'a> ScanPlan<'a> {
     /// order, so results are deterministic for a fixed thread count.
     pub fn execute(&self, options: ScanOptions) -> Vec<QueryResult> {
         let hist_plan = HistPlan::build(&self.queries);
+        let program = self.mask_program(hist_plan.as_ref());
         let mut state = self.fresh_state(hist_plan.as_ref());
         let bounds = shard_bounds(self.fact_rows, options.threads);
+        let legacy = options.legacy_gather;
+        let program = &program;
+        let scan = |shard: &mut ScanState, hp: Option<&HistPlan>, lo: usize, hi: usize| {
+            if legacy {
+                self.scan_range_legacy(shard, hp, lo, hi);
+            } else {
+                self.scan_range(shard, hp, program, lo, hi);
+            }
+        };
         if bounds.len() == 1 {
-            self.scan_range(&mut state, hist_plan.as_ref(), 0, self.fact_rows);
+            scan(&mut state, hist_plan.as_ref(), 0, self.fact_rows);
         } else {
             let hp = hist_plan.as_ref();
+            let scan = &scan;
             let partials: Vec<ScanState> = std::thread::scope(|scope| {
                 let handles: Vec<_> = bounds
                     .iter()
                     .map(|&(lo, hi)| {
                         scope.spawn(move || {
                             let mut shard = self.fresh_state(hp);
-                            self.scan_range(&mut shard, hp, lo, hi);
+                            scan(&mut shard, hp, lo, hi);
                             shard
                         })
                     })
@@ -532,6 +675,84 @@ impl<'a> ScanPlan<'a> {
         }
         FACT_SCANS.fetch_add(1, Ordering::Relaxed);
         self.finalize(state, hist_plan.as_ref())
+    }
+
+    /// Builds the cross-query mask-sharing program: filters whose
+    /// `(dimension, pass mask)` recurs across ≥ 2 mask-building queries are
+    /// promoted to the shared gather list; the rest stay query-private.
+    fn mask_program(&self, hist_plan: Option<&HistPlan>) -> MaskProgram<'_> {
+        let active: Vec<bool> = (0..self.queries.len())
+            .map(|qi| hist_plan.is_none_or(|hp| hp.assignment[qi].is_none()))
+            .collect();
+        // Distinct filters with their total use counts across the batch.
+        let mut distinct: Vec<(&Filter, usize)> = Vec::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            if !active[qi] {
+                continue;
+            }
+            for f in &q.filters {
+                match distinct.iter_mut().find(|(g, _)| g.same_mask(f)) {
+                    Some((_, uses)) => *uses += 1,
+                    None => distinct.push((f, 1)),
+                }
+            }
+        }
+        let mut shared: Vec<&Filter> = Vec::new();
+        let shared_slot: Vec<Option<usize>> = distinct
+            .iter()
+            .map(|&(f, uses)| {
+                (uses >= 2).then(|| {
+                    shared.push(f);
+                    shared.len() - 1
+                })
+            })
+            .collect();
+        let per_query = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let mut via_cache = Vec::new();
+                let mut private = Vec::new();
+                if active[qi] {
+                    for f in &q.filters {
+                        let di = distinct
+                            .iter()
+                            .position(|(g, _)| g.same_mask(f))
+                            .expect("every active filter was counted");
+                        match shared_slot[di] {
+                            Some(si) => via_cache.push(si),
+                            None => private.push(f),
+                        }
+                    }
+                }
+                (via_cache, private)
+            })
+            .collect();
+        MaskProgram { shared, per_query }
+    }
+
+    /// Which dimensions the staged kernel should copy per chunk: a
+    /// dimension is staged iff ≥ 2 mask gathers (shared-mask gathers,
+    /// query-private filter gathers, histogram axes) read it per chunk — a
+    /// single reader is served straight from the source array, since
+    /// staging it would be a pure copy tax.
+    fn staged_dims(&self, hist_plan: Option<&HistPlan>, program: &MaskProgram) -> Vec<bool> {
+        let mut uses = vec![0usize; self.fks.len()];
+        for f in &program.shared {
+            uses[f.dim] += 1;
+        }
+        for (_, private) in &program.per_query {
+            for f in private {
+                uses[f.dim] += 1;
+            }
+        }
+        if let Some(hp) = hist_plan {
+            for (di, _, _) in &hp.axes {
+                uses[*di] += 1;
+            }
+        }
+        uses.into_iter().map(|u| u >= 2).collect()
     }
 
     fn fresh_state(&self, hist_plan: Option<&HistPlan>) -> ScanState {
@@ -587,9 +808,78 @@ impl<'a> ScanPlan<'a> {
             .collect()
     }
 
-    /// Scans fact rows `[lo, hi)` accumulating every query — the fused
-    /// chunked kernel.
+    /// Scans fact rows `[lo, hi)` accumulating every query — the staged
+    /// SIMD-width chunk kernel. Per chunk: referenced dimensions' fk codes
+    /// are staged once and shared by every query's mask gather; filters
+    /// recurring across queries are gathered once into the shared mask
+    /// cache; the histogram plan's flat codes are staged once and drained
+    /// per kind.
     fn scan_range(
+        &self,
+        state: &mut ScanState,
+        hist_plan: Option<&HistPlan>,
+        program: &MaskProgram,
+        lo: usize,
+        hi: usize,
+    ) {
+        let mut mask = [0u64; CHUNK_WORDS];
+        let mut cache = vec![0u64; program.shared.len() * CHUNK_WORDS];
+        let mut stage = ChunkStage::new(self.staged_dims(hist_plan, program));
+        let mut chunk_start = lo;
+        while chunk_start < hi {
+            let chunk_end = (chunk_start + CHUNK_ROWS).min(hi);
+            let len = chunk_end - chunk_start;
+            let words = len.div_ceil(64);
+            stage.begin(&self.fks, chunk_start, len);
+            // Gather each shared filter once for this chunk.
+            for (fi, f) in program.shared.iter().enumerate() {
+                let fk = stage.dim(&self.fks, f.dim);
+                for (wi, word) in cache[fi * CHUNK_WORDS..][..words].iter_mut().enumerate() {
+                    let base = wi << 6;
+                    let upper = (base + 64).min(len);
+                    *word = f.gather_word(&fk[base..upper]);
+                }
+            }
+            for ((q, acc), masks) in
+                self.queries.iter().zip(state.accs.iter_mut()).zip(&program.per_query)
+            {
+                match acc {
+                    Acc::Hist => {} // accumulated via the shared histograms
+                    Acc::Scalar(total) if q.filters.is_empty() && q.is_pure_count() => {
+                        // Unfiltered pure COUNT: every chunk row qualifies —
+                        // skip the mask build and popcount outright.
+                        *total += len as f64;
+                    }
+                    acc if q.weights.is_empty() => {
+                        self.chunk_mask(masks, &cache, &stage, &mut mask[..words]);
+                        self.drain_binary(q, acc, chunk_start, &mask[..words]);
+                    }
+                    acc => self.scan_weighted_chunk(
+                        q,
+                        masks,
+                        &cache,
+                        acc,
+                        &stage,
+                        chunk_start,
+                        &mut mask[..words],
+                    ),
+                }
+            }
+            if let Some(hp) = hist_plan {
+                // Stage the joint flat codes once; every kind drains flat.
+                let flat = stage.stage_flat(&self.fks, &hp.axes);
+                for (kind, hist) in hp.kinds.iter().zip(state.hists.iter_mut()) {
+                    drain_hist(hist, flat, kind, chunk_start);
+                }
+            }
+            chunk_start = chunk_end;
+        }
+    }
+
+    /// The pre-staging chunk kernel, preserved verbatim for
+    /// [`ScanOptions::legacy_gather`] A/B runs: per-query fk re-reads,
+    /// packed-bitset probes, per-row histogram flat codes.
+    fn scan_range_legacy(
         &self,
         state: &mut ScanState,
         hist_plan: Option<&HistPlan>,
@@ -606,7 +896,7 @@ impl<'a> ScanPlan<'a> {
                 match acc {
                     Acc::Hist => {} // accumulated via the shared histograms
                     acc if q.weights.is_empty() => {
-                        self.chunk_mask(q, chunk_start, len, &mut mask[..words]);
+                        self.chunk_mask_legacy(q, chunk_start, len, &mut mask[..words]);
                         self.drain_binary(q, acc, chunk_start, &mask[..words]);
                     }
                     acc => self.scan_weighted_rows(q, acc, chunk_start, chunk_end),
@@ -626,15 +916,59 @@ impl<'a> ScanPlan<'a> {
     }
 
     /// Builds the chunk's qualifying-row mask for one binary query:
-    /// all-ones, then gather + AND per filtered dimension.
-    fn chunk_mask(&self, q: &PlannedQuery, chunk_start: usize, len: usize, mask: &mut [u64]) {
+    /// all-ones, then (1) word-wise ANDs of the query's shared cached
+    /// masks, then (2) gather + AND per query-private filter (most
+    /// selective first, probe fast paths over the staged fk codes, with
+    /// the `*word == 0` early exit).
+    fn chunk_mask(
+        &self,
+        masks: &(Vec<usize>, Vec<&Filter>),
+        cache: &[u64],
+        stage: &ChunkStage,
+        mask: &mut [u64],
+    ) {
+        let len = stage.len();
         mask.fill(u64::MAX);
         let tail = len & 63;
         if tail != 0 {
             mask[len >> 6] = (1u64 << tail) - 1;
         }
-        for (di, bits) in &q.filters {
-            let fk = &self.fks[*di][chunk_start..chunk_start + len];
+        let (via_cache, private) = masks;
+        for &fi in via_cache {
+            let cached = &cache[fi * CHUNK_WORDS..][..mask.len()];
+            for (word, &c) in mask.iter_mut().zip(cached) {
+                *word &= c;
+            }
+        }
+        for f in private {
+            let fk = stage.dim(&self.fks, f.dim);
+            for (wi, word) in mask.iter_mut().enumerate() {
+                if *word == 0 {
+                    continue;
+                }
+                let base = wi << 6;
+                let upper = (base + 64).min(len);
+                *word &= f.gather_word(&fk[base..upper]);
+            }
+        }
+    }
+
+    /// The pre-staging mask builder ([`ScanOptions::legacy_gather`]):
+    /// re-reads the source fk array and probes the packed bitset scalar-wise.
+    fn chunk_mask_legacy(
+        &self,
+        q: &PlannedQuery,
+        chunk_start: usize,
+        len: usize,
+        mask: &mut [u64],
+    ) {
+        mask.fill(u64::MAX);
+        let tail = len & 63;
+        if tail != 0 {
+            mask[len >> 6] = (1u64 << tail) - 1;
+        }
+        for f in &q.filters {
+            let fk = &self.fks[f.dim][chunk_start..chunk_start + len];
             for (wi, word) in mask.iter_mut().enumerate() {
                 if *word == 0 {
                     continue;
@@ -643,7 +977,7 @@ impl<'a> ScanPlan<'a> {
                 let upper = (base + 64).min(len);
                 let mut gathered = 0u64;
                 for (bit, &k) in fk[base..upper].iter().enumerate() {
-                    gathered |= bits.get_bit(k as usize) << bit;
+                    gathered |= f.bits.get_bit(k as usize) << bit;
                 }
                 *word &= gathered;
             }
@@ -682,17 +1016,70 @@ impl<'a> ScanPlan<'a> {
         }
     }
 
-    /// Fallback row loop for weighted queries that can't use the histogram
-    /// (binary filters attached, or the joint code space is too large):
-    /// multiplies axis weights in dimension order with the same early-exit
-    /// sequence as the reference executor.
+    /// Staged fallback for weighted queries that can't use the histogram
+    /// (the joint code space is too large, or binary filters attached):
+    /// any binary prefilter routes through the shared chunk mask (instead
+    /// of a per-row `continue` chain), then qualifying rows multiply axis
+    /// weights in dimension order with the same early-exit sequence as the
+    /// reference executor. Mask iteration visits rows in ascending order,
+    /// so accumulation order is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_weighted_chunk(
+        &self,
+        q: &PlannedQuery,
+        masks: &(Vec<usize>, Vec<&Filter>),
+        cache: &[u64],
+        acc: &mut Acc,
+        stage: &ChunkStage,
+        chunk_start: usize,
+        mask: &mut [u64],
+    ) {
+        let Acc::Scalar(total) = acc else {
+            unreachable!("weighted queries are scalar");
+        };
+        // Exactly the reference accumulation step: skip zero row weights,
+        // multiply axis weights in dimension order with early exit, add.
+        let mut accumulate = |row: usize| {
+            let mut w = q.row_weight.at(row);
+            if w == 0.0 {
+                return;
+            }
+            for axis in &q.weights {
+                w *= axis.weights[axis.codes[self.fks[axis.dim][row] as usize] as usize];
+                if w == 0.0 {
+                    break;
+                }
+            }
+            *total += w;
+        };
+        if q.filters.is_empty() {
+            for row in chunk_start..chunk_start + stage.len() {
+                accumulate(row);
+            }
+            return;
+        }
+        self.chunk_mask(masks, cache, stage, mask);
+        for (wi, &word) in mask.iter().enumerate() {
+            let mut w = word;
+            let base = chunk_start + (wi << 6);
+            while w != 0 {
+                let row = base + w.trailing_zeros() as usize;
+                w &= w - 1;
+                accumulate(row);
+            }
+        }
+    }
+
+    /// The pre-staging weighted fallback ([`ScanOptions::legacy_gather`]):
+    /// per-row binary prefilter via `continue`, then the same dimension-
+    /// order weight multiply.
     fn scan_weighted_rows(&self, q: &PlannedQuery, acc: &mut Acc, lo: usize, hi: usize) {
         let Acc::Scalar(total) = acc else {
             unreachable!("weighted queries are scalar");
         };
         'rows: for row in lo..hi {
-            for (di, bits) in &q.filters {
-                if !bits.get(self.fks[*di][row] as usize) {
+            for f in &q.filters {
+                if !f.bits.get(self.fks[f.dim][row] as usize) {
                     continue 'rows;
                 }
             }
@@ -707,6 +1094,33 @@ impl<'a> ScanPlan<'a> {
                 }
             }
             *total += w;
+        }
+    }
+}
+
+/// Drains one chunk of staged flat codes into a histogram for one aggregate
+/// kind: a flat, unrollable scatter-add loop with the kind's row-weight
+/// match hoisted out of the row loop. Rows are visited in ascending order,
+/// so accumulation is bit-identical to the per-row form.
+fn drain_hist(hist: &mut [f64], flat: &[u32], kind: &RowWeight, chunk_start: usize) {
+    match kind {
+        RowWeight::Ones => {
+            for &f in flat {
+                hist[f as usize] += 1.0;
+            }
+        }
+        RowWeight::Measure(m) => {
+            let m = &m[chunk_start..chunk_start + flat.len()];
+            for (&f, &v) in flat.iter().zip(m) {
+                hist[f as usize] += v as f64;
+            }
+        }
+        RowWeight::Diff(a, b) => {
+            let a = &a[chunk_start..chunk_start + flat.len()];
+            let b = &b[chunk_start..chunk_start + flat.len()];
+            for ((&f, &x), &y) in flat.iter().zip(a).zip(b) {
+                hist[f as usize] += (x - y) as f64;
+            }
         }
     }
 }
@@ -849,14 +1263,28 @@ impl WeightHistogram {
             .collect::<Result<_, _>>()?;
         let fact_rows = schema.fact().num_rows();
 
+        // Same staged interior as the fused scan's histogram path: flat
+        // codes staged axis-major once per 4096-row chunk, then one flat
+        // drain per chunk. Row order is unchanged (ascending within the
+        // shard), so histograms stay bit-identical to the per-row form.
         let scan = |lo: usize, hi: usize| -> Vec<f64> {
             let mut hist = vec![0.0f64; space];
-            for row in lo..hi {
-                let mut flat = 0usize;
+            let mut flat: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
+            let mut chunk_start = lo;
+            while chunk_start < hi {
+                let chunk_end = (chunk_start + CHUNK_ROWS).min(hi);
+                let len = chunk_end - chunk_start;
+                flat.clear();
+                flat.resize(len, 0);
                 for (fk, axis) in fks.iter().zip(&resolved) {
-                    flat = flat * axis.domain + axis.codes[fk[row] as usize] as usize;
+                    let fk = &fk[chunk_start..chunk_end];
+                    let domain = axis.domain as u32;
+                    for (slot, &k) in flat.iter_mut().zip(fk) {
+                        *slot = *slot * domain + axis.codes[k as usize];
+                    }
                 }
-                hist[flat] += kind.at(row);
+                drain_hist(&mut hist, &flat, &kind, chunk_start);
+                chunk_start = chunk_end;
             }
             hist
         };
@@ -1184,6 +1612,121 @@ mod tests {
     fn scan_options_clamp() {
         assert_eq!(ScanOptions::parallel(0).threads, 1);
         assert_eq!(ScanOptions::default().threads, 1);
+        assert!(!ScanOptions::default().legacy_gather);
+        let legacy = ScanOptions::parallel(3).with_legacy_gather();
+        assert!(legacy.legacy_gather);
+        assert_eq!(legacy.threads, 3);
+    }
+
+    #[test]
+    fn probe_classification_boundaries() {
+        let word = Filter::new(0, BitSet::from_fn(64, |i| i % 2 == 0));
+        assert!(matches!(word.probe, Probe::Word(_)), "64 rows → register word");
+        let bytes = Filter::new(0, BitSet::from_fn(65, |i| i % 2 == 0));
+        assert!(matches!(bytes.probe, Probe::Bytes(_)), "65 rows → byte LUT");
+        let bytes_hi = Filter::new(0, BitSet::from_fn(1 << 16, |i| i == 0));
+        assert!(matches!(bytes_hi.probe, Probe::Bytes(_)), "2^16 rows → byte LUT");
+        let wide = Filter::new(0, BitSet::from_fn((1 << 16) + 1, |i| i == 0));
+        assert!(matches!(wide.probe, Probe::Wide), "2^16 + 1 rows → packed bitset");
+        let empty = Filter::new(0, BitSet::zeros(0));
+        assert!(matches!(empty.probe, Probe::Word(0)), "0-row dimension → empty word");
+    }
+
+    #[test]
+    fn filters_sort_by_pass_fraction_then_dimension() {
+        // dim 0: 3/4 pass; dim 1: 1/4 pass; dim 2: 1/4 pass.
+        let mut filters = vec![
+            Filter::new(0, BitSet::from_fn(4, |i| i != 0)),
+            Filter::new(2, BitSet::from_fn(4, |i| i == 0)),
+            Filter::new(1, BitSet::from_fn(4, |i| i == 3)),
+        ];
+        selectivity_order(&mut filters);
+        let order: Vec<usize> = filters.iter().map(|f| f.dim).collect();
+        assert_eq!(order, vec![1, 2, 0], "most selective first, ties by dim index");
+    }
+
+    #[test]
+    fn no_filter_pure_count_short_circuits_to_len() {
+        // Mixed batch: the unfiltered COUNT short-circuit must not disturb
+        // neighboring queries, and must equal the fact row count exactly.
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        plan.add_query(&StarQuery::count("all")).unwrap();
+        plan.add_query(&StarQuery::count("c").with(Predicate::point("A", "attr", 1))).unwrap();
+        assert!(plan.queries[0].filters.is_empty() && plan.queries[0].is_pure_count());
+        for options in [ScanOptions::default(), ScanOptions::default().with_legacy_gather()] {
+            let results = plan.execute(options);
+            assert_eq!(results[0].scalar().unwrap(), 6.0, "unfiltered count = fact rows");
+            assert_eq!(results[1].scalar().unwrap(), 2.0);
+        }
+    }
+
+    #[test]
+    fn legacy_gather_is_bit_identical_to_staged() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        plan.add_query(&StarQuery::count("c").with(Predicate::point("A", "attr", 1))).unwrap();
+        plan.add_query(
+            &StarQuery::sum("g", "qty")
+                .with(Predicate::range("A", "attr", 0, 1))
+                .group_by(GroupAttr::new("B", "attr")),
+        )
+        .unwrap();
+        plan.add_weighted(&[WeightedPredicate::new("A", "attr", vec![0.3, 1.7, 0.0])], &Agg::Count)
+            .unwrap();
+        let staged = plan.execute(ScanOptions::default());
+        let legacy = plan.execute(ScanOptions::default().with_legacy_gather());
+        assert_eq!(staged, legacy);
+        let staged_par = plan.execute(ScanOptions::parallel(3));
+        let legacy_par = plan.execute(ScanOptions::parallel(3).with_legacy_gather());
+        assert_eq!(staged_par, legacy_par);
+    }
+
+    #[test]
+    fn staged_dims_require_two_uses() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        plan.add_query(&StarQuery::count("c").with(Predicate::point("A", "attr", 1))).unwrap();
+        let program = plan.mask_program(None);
+        assert_eq!(plan.staged_dims(None, &program), vec![false, false], "single use → no staging");
+        plan.add_query(&StarQuery::count("d").with(Predicate::point("A", "attr", 2))).unwrap();
+        let program = plan.mask_program(None);
+        assert_eq!(plan.staged_dims(None, &program), vec![true, false], "two uses of A → staged");
+    }
+
+    #[test]
+    fn recurring_filters_promote_to_the_shared_mask_cache() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        // Two queries share the A.attr=1 mask; the B-side masks differ.
+        plan.add_query(
+            &StarQuery::count("c1")
+                .with(Predicate::point("A", "attr", 1))
+                .with(Predicate::point("B", "attr", 0)),
+        )
+        .unwrap();
+        plan.add_query(
+            &StarQuery::count("c2")
+                .with(Predicate::point("A", "attr", 1))
+                .with(Predicate::point("B", "attr", 1)),
+        )
+        .unwrap();
+        plan.add_query(&StarQuery::count("c3").with(Predicate::point("A", "attr", 2))).unwrap();
+        let program = plan.mask_program(None);
+        assert_eq!(program.shared.len(), 1, "only the recurring A mask is shared");
+        assert_eq!(program.shared[0].dim, 0);
+        assert_eq!(program.per_query[0].0, vec![0]);
+        assert_eq!(program.per_query[0].1.len(), 1, "B mask stays private");
+        assert_eq!(program.per_query[1].0, vec![0]);
+        assert_eq!(program.per_query[2].0, Vec::<usize>::new());
+        assert_eq!(program.per_query[2].1.len(), 1);
+        // And the shared split answers identically to the reference paths.
+        let results = plan.execute(ScanOptions::default());
+        let legacy = plan.execute(ScanOptions::default().with_legacy_gather());
+        assert_eq!(results, legacy);
+        assert_eq!(results[0].scalar().unwrap(), 1.0);
+        assert_eq!(results[1].scalar().unwrap(), 1.0);
+        assert_eq!(results[2].scalar().unwrap(), 2.0);
     }
 
     #[test]

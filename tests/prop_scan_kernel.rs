@@ -272,6 +272,163 @@ fn sparse_group_fallback_matches_reference() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial shapes pinning the staged SIMD-width kernel's fast paths: the
+// probe classification boundaries (≤ 64 rows → register word, ≤ 2^16 →
+// byte LUT, above → packed bitset), chunk/word-straddling fact sizes, and
+// the degenerate all-rows-filtered / none-filtered masks — each proven
+// bit-identical to `exec::reference`, on both the staged and the
+// `legacy_gather` interiors.
+// ---------------------------------------------------------------------------
+
+/// A one-dimension schema with `dim_rows` rows, identity attribute codes
+/// (`x[i] = i`, domain `dim_rows`), and `fact_rows` fact rows with a
+/// deterministic fk spread and signed measure.
+fn boundary_schema(dim_rows: usize, fact_rows: usize) -> StarSchema {
+    let d = Domain::numeric("x", dim_rows as u32).unwrap();
+    let dim = Table::new(
+        "D",
+        vec![
+            Column::key("pk", (0..dim_rows as u32).collect()),
+            Column::attr("x", d, (0..dim_rows as u32).collect()),
+        ],
+    )
+    .unwrap();
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("fk", (0..fact_rows).map(|i| ((i * 7) % dim_rows) as u32).collect()),
+            Column::measure("m", (0..fact_rows).map(|i| (i % 13) as i64 - 6).collect()),
+        ],
+    )
+    .unwrap();
+    StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap()
+}
+
+/// The adversarial query set over [`boundary_schema`]: unfiltered pure
+/// count (the mask-free short circuit), an unsatisfiable conjunction
+/// (all-rows-filtered bitset), a full range (none-filtered bitset), a
+/// selective point, and a grouped range.
+fn boundary_queries(dim_rows: usize) -> Vec<StarQuery> {
+    let top = dim_rows as u32 - 1;
+    vec![
+        StarQuery::count("all"),
+        StarQuery::count("none").with(Predicate::point("D", "x", 0)).with(Predicate::point(
+            "D",
+            "x",
+            top.min(1),
+        )),
+        StarQuery::count("full").with(Predicate::range("D", "x", 0, top)),
+        StarQuery::sum("pt", "m").with(Predicate::point("D", "x", top)),
+        StarQuery::sum("grp", "m")
+            .with(Predicate::range("D", "x", 0, top))
+            .group_by(GroupAttr::new("D", "x")),
+    ]
+}
+
+fn assert_boundary_equivalence(dim_rows: usize, fact_rows: usize) {
+    let schema = boundary_schema(dim_rows, fact_rows);
+    let queries = boundary_queries(dim_rows);
+    let staged = execute_batch(&schema, &queries).unwrap();
+    let legacy =
+        execute_batch_with(&schema, &queries, ScanOptions::default().with_legacy_gather()).unwrap();
+    let parallel = execute_batch_with(&schema, &queries, ScanOptions::parallel(3)).unwrap();
+    for (i, q) in queries.iter().enumerate() {
+        let oracle = reference::execute(&schema, q).unwrap();
+        assert_eq!(staged[i], oracle, "dim={dim_rows} fact={fact_rows} query {i} (staged)");
+        assert_eq!(legacy[i], oracle, "dim={dim_rows} fact={fact_rows} query {i} (legacy)");
+        assert_eq!(parallel[i], oracle, "dim={dim_rows} fact={fact_rows} query {i} (parallel)");
+    }
+}
+
+/// Word↔byte-LUT probe boundary (64 dimension rows) crossed with every
+/// chunk/word-straddling fact size, including the empty fact table.
+#[test]
+fn word_byte_probe_boundary_matches_reference() {
+    for dim_rows in [63usize, 64, 65] {
+        for fact_rows in [0usize, 1, 63, 64, 4095, 4096, 4097] {
+            assert_boundary_equivalence(dim_rows, fact_rows);
+        }
+    }
+}
+
+/// Byte-LUT↔packed-bitset probe boundary (2^16 dimension rows). The
+/// group-by over the 2^16±1 domain also exercises the sparse fallback on
+/// both sides of `DENSE_GROUP_CAP`.
+#[test]
+fn byte_wide_probe_boundary_matches_reference() {
+    for dim_rows in [(1usize << 16) - 1, 1 << 16, (1 << 16) + 1] {
+        assert_boundary_equivalence(dim_rows, 4097);
+    }
+}
+
+/// Random queries over dimension row counts drawn from the probe-boundary
+/// set, with random (non-identity) attribute codes: staged, legacy-gather
+/// and parallel kernels all bit-identical to the reference.
+fn boundary_dim_rows() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(63), Just(64), Just(65), Just(66)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adversarial_probe_shapes_bit_identical_to_reference(
+        (dim_rows, codes, fact) in boundary_dim_rows().prop_flat_map(|nd| {
+            (
+                Just(nd),
+                proptest::collection::vec(0u32..DOM_A, nd),
+                proptest::collection::vec((0usize..nd, -9i64..9), 0..130),
+            )
+        }),
+        constraints in proptest::collection::vec(constraint_strategy(DOM_A), 0..3),
+        agg_kind in 0u32..2,
+        group in 0u32..2,
+        threads in 2usize..4,
+    ) {
+        let d = Domain::numeric("x", DOM_A).unwrap();
+        let dim = Table::new(
+            "D",
+            vec![
+                Column::key("pk", (0..dim_rows as u32).collect()),
+                Column::attr("x", d, codes),
+            ],
+        )
+        .unwrap();
+        let fact_table = Table::new(
+            "F",
+            vec![
+                Column::key("fk", fact.iter().map(|r| r.0 as u32).collect()),
+                Column::measure("m", fact.iter().map(|r| r.1).collect()),
+            ],
+        )
+        .unwrap();
+        let schema = StarSchema::new(fact_table, vec![Dimension::new(dim, "pk", "fk")]).unwrap();
+        let mut q =
+            if agg_kind == 0 { StarQuery::count("q") } else { StarQuery::sum("q", "m") };
+        for c in constraints {
+            q = q.with(Predicate { table: "D".into(), attr: "x".into(), constraint: c });
+        }
+        if group == 1 {
+            q = q.group_by(GroupAttr::new("D", "x"));
+        }
+        let queries = vec![q];
+        let oracle = reference::execute(&schema, &queries[0]).unwrap();
+        let staged = execute_batch(&schema, &queries).unwrap();
+        prop_assert_eq!(&staged[0], &oracle, "staged diverged");
+        let legacy = execute_batch_with(
+            &schema,
+            &queries,
+            ScanOptions::default().with_legacy_gather(),
+        )
+        .unwrap();
+        prop_assert_eq!(&legacy[0], &oracle, "legacy diverged");
+        let parallel =
+            execute_batch_with(&schema, &queries, ScanOptions::parallel(threads)).unwrap();
+        prop_assert_eq!(&parallel[0], &oracle, "parallel diverged");
+    }
+}
+
 /// Chunk-boundary coverage: fact tables straddling the 4096-row chunk and
 /// 64-row word boundaries, against the reference.
 #[test]
