@@ -1,0 +1,155 @@
+//! Router throughput: the same total SSB volume served by 1 / 2 / 4
+//! shards at 8 concurrent clients, plus a lockstep equivalence self-gate.
+//!
+//! ```text
+//! SSB_SF=0.05 ROUTER_QUERIES=200 cargo run --release -p starj-bench --bin router_throughput
+//! ```
+//!
+//! Environment knobs: `SSB_SF` (total scale across all slices, default
+//! 0.05), `ROUTER_QUERIES` (requests per client, default 200),
+//! `ROUTER_CLIENTS` (default 8), `SEED`, and `ROUTER_GATE=1` to arm the
+//! scaling gate (≥ 2.5× aggregate qps from 1 shard to 4 on the reference
+//! box; off by default because shared-runner hardware varies).
+//!
+//! The bin always self-gates (exit 2) on **equivalence**: a lockstep pass
+//! through the router must produce bit-identical answers, noisy queries,
+//! and ledgers to standalone per-slice services — the router adds routing,
+//! never privacy logic.
+
+use starj_bench::harness::{env_u64, Json};
+use starj_bench::{build_router, measure_router, query_pool, root_seed, ssb_sf, ssb_slices};
+use starj_bench::{RouterSample, TablePrinter};
+use starj_noise::PrivacyBudget;
+use starj_service::{Service, ServiceConfig};
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const EPSILON: f64 = 0.1;
+
+/// Lockstep equivalence: the router's per-slice services must answer and
+/// spend exactly like standalone services with the same seed and request
+/// order.
+fn equivalence_check(total_sf: f64, seed: u64) -> Result<(), String> {
+    let slices = ssb_slices(total_sf.min(0.02), 2, seed);
+    let router = build_router(&slices, 1, EPSILON, seed);
+    let config = ServiceConfig { seed, cache_answers: false, ..ServiceConfig::default() };
+    let standalones: Vec<Service> =
+        slices.iter().map(|s| Service::new(Arc::clone(s), config.clone())).collect();
+    for s in &standalones {
+        s.register_tenant("client-0", PrivacyBudget::pure(1_000.0).unwrap())
+            .map_err(|e| e.to_string())?;
+    }
+    for (i, q) in query_pool().iter().take(40).enumerate() {
+        let slice = i % slices.len();
+        let a = router
+            .pm_answer(&format!("slice-{slice}"), "client-0", q, EPSILON)
+            .map_err(|e| e.to_string())?;
+        let b = standalones[slice].pm_answer("client-0", q, EPSILON).map_err(|e| e.to_string())?;
+        if a.result != b.result || a.noisy_query != b.noisy_query {
+            return Err(format!("answer {i} diverged: {:?} vs {:?}", a.result, b.result));
+        }
+    }
+    for (i, standalone) in standalones.iter().enumerate() {
+        let ra = router
+            .tenant_usage(&format!("slice-{i}"), "client-0")
+            .map_err(|e| e.to_string())?
+            .spent_epsilon;
+        let sa = standalone.tenant_usage("client-0").unwrap().spent_epsilon;
+        if ra.to_bits() != sa.to_bits() {
+            return Err(format!("slice {i} ledger diverged: {ra} vs {sa}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let sf = ssb_sf();
+    let seed = root_seed();
+    let queries_per_client = env_u64("ROUTER_QUERIES", 200) as usize;
+    let clients = env_u64("ROUTER_CLIENTS", 8) as usize;
+    let gate_armed = std::env::var("ROUTER_GATE").is_ok_and(|v| v == "1");
+
+    println!(
+        "Router throughput (total SF={sf}, {clients} clients, {queries_per_client} \
+         queries/client, ε={EPSILON}/query)\n"
+    );
+
+    if let Err(e) = equivalence_check(sf, seed) {
+        eprintln!("EQUIVALENCE CHECK FAILED: router diverged from standalone services: {e}");
+        std::process::exit(2);
+    }
+    println!("equivalence self-check passed: router ≡ standalone per-slice services\n");
+
+    let table = TablePrinter::new(
+        &["shards", "slice rows", "clients", "requests", "wall s", "queries/s"],
+        &[7, 10, 8, 9, 8, 10],
+    );
+    let mut samples: Vec<Json> = Vec::new();
+    let mut by_shards: Vec<RouterSample> = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let slices = ssb_slices(sf, shards, seed);
+        let sample = measure_router(&slices, clients, queries_per_client, EPSILON, seed);
+        table.row(&[
+            &shards.to_string(),
+            &sample.slice_rows.to_string(),
+            &clients.to_string(),
+            &sample.requests.to_string(),
+            &format!("{:.2}", sample.wall_secs),
+            &format!("{:.0}", sample.qps),
+        ]);
+        samples.push(Json::obj(vec![
+            // `regime` names the point for the drift gate (`bench_compare`
+            // keys shared points on it), so each shard count compares only
+            // to itself across runs.
+            ("regime", Json::Str(format!("{shards}-shard"))),
+            ("shards", Json::Num(shards as f64)),
+            ("slice_rows", Json::Num(sample.slice_rows as f64)),
+            ("clients", Json::Num(clients as f64)),
+            ("requests", Json::Num(sample.requests as f64)),
+            ("wall_secs", Json::Num(sample.wall_secs)),
+            ("queries_per_sec", Json::Num(sample.qps)),
+        ]));
+        by_shards.push(sample);
+    }
+
+    let one = by_shards.iter().find(|s| s.shards == 1).expect("1-shard point");
+    let four = by_shards.iter().find(|s| s.shards == 4).expect("4-shard point");
+    let scaling = four.qps / one.qps.max(1e-9);
+    println!(
+        "\nscaling: {:.0} qps at 1 shard → {:.0} qps at 4 shards ({scaling:.2}×, \
+         per-request scan is {}→{} rows)",
+        one.qps, four.qps, one.slice_rows, four.slice_rows
+    );
+
+    Json::obj(vec![
+        ("bench", Json::Str("router_throughput".into())),
+        ("scale_factor", Json::Num(sf)),
+        ("queries_per_client", Json::Num(queries_per_client as f64)),
+        ("clients", Json::Num(clients as f64)),
+        ("epsilon", Json::Num(EPSILON)),
+        ("samples", Json::Arr(samples)),
+        (
+            "scaling_1_to_4",
+            Json::obj(vec![
+                ("one_shard_qps", Json::Num(one.qps)),
+                ("four_shard_qps", Json::Num(four.qps)),
+                ("speedup", Json::Num(scaling)),
+            ]),
+        ),
+    ])
+    .write("BENCH_router.json")
+    .expect("write BENCH_router.json");
+    println!("wrote BENCH_router.json");
+
+    if gate_armed && scaling < 2.5 {
+        eprintln!(
+            "SCALING GATE FAILED: 4-shard aggregate {:.0} qps is only {scaling:.2}× the \
+             1-shard {:.0} qps (need ≥ 2.5×)",
+            four.qps, one.qps
+        );
+        std::process::exit(1);
+    }
+    if !gate_armed {
+        println!("(scaling gate unarmed; set ROUTER_GATE=1 to require ≥ 2.5×)");
+    }
+}

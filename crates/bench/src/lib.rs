@@ -19,6 +19,7 @@
 //! | `service_throughput` | — (systems) | queries/sec of the multi-tenant DP service at 1/4/8 tenants; writes `BENCH_service.json` |
 //! | `scan_throughput` | — (systems) | row-at-a-time vs bitset vs fused-batch vs fused-legacy-gather vs parallel scan kernels, median-of-3, with equivalence + fusion-speedup + no-regression self-gates; writes `BENCH_scan.json` |
 //! | `coalesce_throughput` | — (systems) | sequential vs group-commit-coalesced single-query qps at 1/4/8/16 clients, cold vs warm W cache, staged-vs-legacy kernel A/B at 8 clients, with equivalence + regression self-gates; writes `BENCH_coalesce.json` |
+//! | `router_throughput` | — (systems) | the same total SSB volume served by 1/2/4 router shards at 8 clients, with a router-vs-standalone lockstep equivalence self-gate and an optional `ROUTER_GATE=1` ≥ 2.5× scaling gate; writes `BENCH_router.json` |
 //! | `bench_compare` | — (systems) | drift gate between two `BENCH_*.json` files: non-zero exit when a shared regime's qps regressed beyond the noise threshold (default 15%) |
 //!
 //! Environment knobs (all optional): `SSB_SF` (scale factor, default 0.05),
@@ -29,6 +30,7 @@ pub mod coalesce;
 pub mod drift;
 pub mod harness;
 pub mod mechanisms;
+pub mod router;
 pub mod scenarios;
 pub mod service;
 
@@ -38,5 +40,6 @@ pub use coalesce::{
 };
 pub use harness::{env_f64, env_u64, stats, Json, Stats, TablePrinter};
 pub use mechanisms::{ls_rel_err, pm_rel_err, r2t_rel_err, MechOutcome};
+pub use router::{build_router, measure_router, ssb_slices, RouterSample};
 pub use scenarios::{graph_frac, private_dims_for, root_seed, ssb_sf, trials_count};
 pub use service::{measure_throughput, query_pool, ThroughputSample};

@@ -1,0 +1,141 @@
+//! Router throughput scenario: the same total data volume served as one
+//! monolithic dataset vs split into K SSB scale slices across K shards.
+//!
+//! The sharding win this measures is **per-request work**: a slice holds
+//! `1/K` of the fact rows, so a query against its owning shard scans `1/K`
+//! of the data the monolith would. With concurrent clients spread across
+//! slices, aggregate queries/sec should approach `K×` the single-shard
+//! point (minus the fixed per-request pipeline cost), which is what the
+//! `router_throughput` bin records — and gates, when armed.
+//!
+//! Answer caching is off so every request pays the full pipeline; the
+//! router adds no privacy logic, so the bin separately self-gates on
+//! lockstep bit-equivalence against standalone per-slice services.
+
+use starj_engine::StarSchema;
+use starj_noise::PrivacyBudget;
+use starj_router::{Router, RouterConfig};
+use starj_service::ServiceConfig;
+use starj_ssb::{generate, SsbConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::service::query_pool;
+
+/// One router throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterSample {
+    /// Shards (= SSB slices) behind the router.
+    pub shards: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests served.
+    pub requests: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Requests per second, aggregated across shards.
+    pub qps: f64,
+    /// Fact rows per slice (the per-request scan size).
+    pub slice_rows: usize,
+}
+
+/// Generates `shards` independent SSB slices totalling `total_scale`
+/// (each at `total_scale / shards`, distinct seeds so the instances
+/// differ).
+pub fn ssb_slices(total_scale: f64, shards: usize, seed: u64) -> Vec<Arc<StarSchema>> {
+    (0..shards)
+        .map(|i| {
+            let config = SsbConfig::at_scale(total_scale / shards as f64, seed + i as u64);
+            Arc::new(generate(&config).expect("SSB slice generation"))
+        })
+        .collect()
+}
+
+/// A router hosting `slices` as datasets `slice-0..K`, one shard each,
+/// with answer caching off and every `client-c` tenant registered on
+/// every slice.
+pub fn build_router(slices: &[Arc<StarSchema>], clients: usize, epsilon: f64, seed: u64) -> Router {
+    let shard_config = ServiceConfig { seed, cache_answers: false, ..ServiceConfig::default() };
+    let router = Router::new(RouterConfig {
+        shards: slices.len(),
+        seed,
+        shard_config,
+        ..RouterConfig::default()
+    })
+    .expect("at least one shard");
+    for (i, slice) in slices.iter().enumerate() {
+        router.add_dataset(&format!("slice-{i}"), Arc::clone(slice)).expect("fresh dataset");
+    }
+    let allotment = PrivacyBudget::pure((epsilon * 10_000.0).max(1.0)).expect("bench allotment");
+    for c in 0..clients {
+        router.register_tenant_all(&format!("client-{c}"), allotment).expect("fresh tenants");
+    }
+    router
+}
+
+/// Runs `queries_per_client` PM requests from each of `clients` threads,
+/// each request routed to the slice `(client + i) % shards` — uniform
+/// slice coverage, distinct per-thread query streams.
+pub fn measure_router(
+    slices: &[Arc<StarSchema>],
+    clients: usize,
+    queries_per_client: usize,
+    epsilon: f64,
+    seed: u64,
+) -> RouterSample {
+    let shards = slices.len();
+    let router = Arc::new(build_router(slices, clients, epsilon, seed));
+    let pool = Arc::new(query_pool());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let router = Arc::clone(&router);
+            let pool = Arc::clone(&pool);
+            scope.spawn(move || {
+                let tenant = format!("client-{c}");
+                for i in 0..queries_per_client {
+                    let dataset = format!("slice-{}", (c + i) % shards);
+                    let q = &pool[(c + i * 7) % pool.len()];
+                    router
+                        .pm_answer(&dataset, &tenant, q, epsilon)
+                        .expect("benchmark requests are well-formed and funded");
+                }
+            });
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let requests = router.metrics().aggregate.queries_served;
+    RouterSample {
+        shards,
+        clients,
+        requests,
+        wall_secs,
+        qps: requests as f64 / wall_secs.max(1e-9),
+        slice_rows: slices[0].fact().num_rows(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_split_the_volume_and_measurement_counts_every_request() {
+        let slices = ssb_slices(0.004, 2, 7);
+        assert_eq!(slices.len(), 2);
+        let sample = measure_router(&slices, 2, 10, 0.05, 7);
+        assert_eq!(sample.requests, 20, "every request served");
+        assert_eq!(sample.shards, 2);
+        assert!(sample.qps > 0.0);
+    }
+
+    #[test]
+    fn single_slice_router_serves_the_monolith() {
+        let slices = ssb_slices(0.004, 1, 7);
+        let sample = measure_router(&slices, 2, 5, 0.05, 7);
+        assert_eq!(sample.requests, 10);
+        assert_eq!(sample.shards, 1);
+    }
+}

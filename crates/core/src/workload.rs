@@ -102,6 +102,19 @@ impl PredicateWorkload {
             .collect()
     }
 
+    /// The distinct dimension tables the workload's blocks constrain, in
+    /// first-appearance order — the ownership surface a multi-schema router
+    /// inspects to decide which dataset shard a workload belongs to.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for b in &self.blocks {
+            if !seen.contains(&b.table.as_str()) {
+                seen.push(b.table.as_str());
+            }
+        }
+        seen
+    }
+
     /// Exact (non-private) answers, for error measurement.
     pub fn true_answers(&self, schema: &StarSchema) -> Result<Vec<f64>, CoreError> {
         self.to_star_queries()
@@ -403,6 +416,18 @@ mod tests {
             vec![vec![Constraint::Point(0), Constraint::Point(1)]]
         )
         .is_err());
+    }
+
+    #[test]
+    fn tables_deduplicate_in_first_appearance_order() {
+        let blocks = vec![
+            WorkloadBlock { table: "Date".into(), attr: "year".into(), domain: 7 },
+            WorkloadBlock { table: "Customer".into(), attr: "region".into(), domain: 5 },
+            WorkloadBlock { table: "Date".into(), attr: "month".into(), domain: 12 },
+        ];
+        let rows = vec![vec![Constraint::Point(0), Constraint::Point(1), Constraint::Point(2)]];
+        let w = PredicateWorkload::new(blocks, rows).unwrap();
+        assert_eq!(w.tables(), vec!["Date", "Customer"]);
     }
 
     #[test]

@@ -152,6 +152,19 @@ impl StarSchema {
         None
     }
 
+    /// Every table name the schema answers queries against — fact,
+    /// dimensions, and snowflake sub-dimensions, in declaration order. This
+    /// is the ownership surface a multi-schema router indexes to plan which
+    /// dataset a query's predicate tables belong to.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names = vec![self.fact.name()];
+        for dim in &self.dims {
+            names.push(dim.table.name());
+            names.extend(dim.subdims.iter().map(|s| s.table.name()));
+        }
+        names
+    }
+
     /// Total tuple count `N = |D_s|` across fact and dimension tables — the
     /// paper's input size.
     pub fn total_rows(&self) -> usize {
@@ -315,6 +328,30 @@ mod tests {
         assert_eq!(parent.table.name(), "A");
         assert_eq!(sub.fk_in_dim, "sk");
         assert!(schema.subdim("nope").is_none());
+    }
+
+    #[test]
+    fn table_names_cover_fact_dims_and_subdims() {
+        let sub = dim_table("S", 2);
+        let d = Domain::numeric("attr", 4).unwrap();
+        let a = Table::new(
+            "A",
+            vec![
+                Column::key("pk", vec![0, 1]),
+                Column::attr("attr", d, vec![0, 1]),
+                Column::key("sk", vec![0, 1]),
+            ],
+        )
+        .unwrap();
+        let fact = fact_table(vec![("fk_a", vec![0, 1]), ("fk_b", vec![0, 1])]);
+        let dim_a = Dimension::new(a, "pk", "fk_a").with_subdim(SubDimension {
+            table: sub,
+            pk: "pk".into(),
+            fk_in_dim: "sk".into(),
+        });
+        let dim_b = Dimension::new(dim_table("B", 2), "pk", "fk_b");
+        let schema = StarSchema::new(fact, vec![dim_a, dim_b]).unwrap();
+        assert_eq!(schema.table_names(), vec!["Fact", "A", "S", "B"]);
     }
 
     #[test]

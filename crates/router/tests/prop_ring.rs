@@ -1,0 +1,99 @@
+//! Placement properties of the router's consistent-hash ring, pinned
+//! property-style over random seeds, shard counts, and replication
+//! factors:
+//!
+//! 1. **determinism** — the same `(seed, shards, replication)` places
+//!    every key identically across independently-built rings (there is no
+//!    process entropy anywhere in the hash path);
+//! 2. **balance** — with ≥ 8 virtual nodes per shard, the heaviest shard
+//!    stays within 2× of the ideal `keys / shards` load;
+//! 3. **minimal movement** — removing one shard remaps only that shard's
+//!    keys (every other key keeps its placement), and adding a shard
+//!    moves keys only *onto* the new shard.
+
+use proptest::prelude::*;
+use starj_router::HashRing;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("dataset-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn placement_is_deterministic_across_runs(
+        seed in 0u64..1_000_000,
+        shards in 1usize..9,
+        replication in 8usize..33,
+    ) {
+        let a = HashRing::new(0..shards as u32, replication, seed);
+        let b = HashRing::new(0..shards as u32, replication, seed);
+        for key in keys(256) {
+            prop_assert_eq!(a.place(&key), b.place(&key));
+        }
+    }
+
+    #[test]
+    fn load_is_within_twice_ideal_at_8_plus_vnodes(
+        seed in 0u64..1_000_000,
+        shards in 2usize..9,
+        replication in 8usize..65,
+    ) {
+        const KEYS: usize = 2_048;
+        let ring = HashRing::new(0..shards as u32, replication, seed);
+        let mut counts = vec![0usize; shards];
+        for key in keys(KEYS) {
+            counts[ring.place(&key).unwrap() as usize] += 1;
+        }
+        let ideal = KEYS as f64 / shards as f64;
+        let heaviest = *counts.iter().max().unwrap() as f64;
+        prop_assert!(
+            heaviest <= 2.0 * ideal,
+            "heaviest shard holds {heaviest} keys, ideal {ideal} (seed {seed}, \
+             {shards} shards, {replication} vnodes)"
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys(
+        seed in 0u64..1_000_000,
+        shards in 2usize..9,
+        replication in 8usize..33,
+        victim_pick in 0usize..8,
+    ) {
+        let victim = (victim_pick % shards) as u32;
+        let full = HashRing::new(0..shards as u32, replication, seed);
+        let mut reduced = full.clone();
+        prop_assert!(reduced.remove_shard(victim));
+        for key in keys(512) {
+            let before = full.place(&key).unwrap();
+            let after = reduced.place(&key).unwrap();
+            if before == victim {
+                prop_assert!(after != victim, "key `{}` still on the removed shard", key);
+            } else {
+                prop_assert_eq!(before, after, "key `{}` moved although its shard survived", key);
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_keys_only_onto_it(
+        seed in 0u64..1_000_000,
+        shards in 1usize..8,
+        replication in 8usize..33,
+    ) {
+        let newcomer = shards as u32;
+        let small = HashRing::new(0..shards as u32, replication, seed);
+        let mut grown = small.clone();
+        prop_assert!(grown.add_shard(newcomer));
+        for key in keys(512) {
+            let before = small.place(&key).unwrap();
+            let after = grown.place(&key).unwrap();
+            prop_assert!(
+                after == before || after == newcomer,
+                "key `{}` moved between surviving shards ({} → {})", key, before, after
+            );
+        }
+    }
+}

@@ -53,7 +53,7 @@ use crate::metrics::ServiceMetrics;
 use crate::service::{PmWork, ServiceAnswer, ServiceCore, WdWork};
 use dp_starj::CoreError;
 use starj_engine::{execute_batch_with, plan::AxisNames, StarQuery};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -63,6 +63,37 @@ use std::time::{Duration, Instant};
 pub(crate) enum Job {
     Pm(PmJob),
     Wd(WdJob),
+}
+
+impl Job {
+    /// The tenant that submitted this job — the fairness key the queue
+    /// lanes and per-tenant cap are keyed on.
+    pub(crate) fn tenant(&self) -> &str {
+        match self {
+            Job::Pm(j) => &j.work.tenant,
+            Job::Wd(j) => &j.work.tenant,
+        }
+    }
+
+    /// Data version the job's submit phase reserved and perturbed against.
+    fn version(&self) -> u64 {
+        match self {
+            Job::Pm(j) => j.work.version,
+            Job::Wd(j) => j.work.version,
+        }
+    }
+
+    /// Refuses the job with a typed stale-version error. Dropping the
+    /// carried work unit drops its un-committed reservation, so the refusal
+    /// refunds automatically (RAII).
+    fn refuse_stale(self, current: u64) {
+        let submitted = self.version();
+        let err = ServiceError::StaleDataVersion { submitted, current };
+        match self {
+            Job::Pm(j) => j.slot.fill(Err(err)),
+            Job::Wd(j) => j.slot.fill(Err(err)),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -170,11 +201,88 @@ impl<T> Submitted<T> {
     }
 }
 
+// ---- the fair queue -------------------------------------------------------
+
+/// A multi-tenant fair queue: one FIFO lane per tenant, drained round-robin.
+///
+/// FIFO across all tenants (the original design) lets one flooding tenant
+/// put its whole backlog in front of everybody else's single requests. The
+/// fair queue fixes both halves of that:
+///
+/// * **round-robin drain** — a drain takes one job per tenant per rotation
+///   (arrival order preserved *within* each tenant's lane), and the
+///   rotation cursor persists across drains, so under contention every
+///   tenant's head-of-line job is at most one rotation from service;
+/// * **per-tenant cap** — enqueue blocks a tenant whose own lane is at
+///   [`crate::ServiceConfig::coalesce_tenant_queue`], while other tenants
+///   keep enqueueing freely; the flooder backpressures itself instead of
+///   the fleet.
+///
+/// Reordering jobs across tenants is invisible to DP semantics: everything
+/// privacy-relevant (RNG by arrival index, perturbation, reservation)
+/// already happened at submit time, so answers and ledgers stay
+/// bit-identical to any other drain order (`tests/prop_coalesce.rs`).
+#[derive(Debug, Default)]
+pub(crate) struct FairQueue {
+    /// Per-tenant FIFO lanes. Lanes are removed when emptied, bounding the
+    /// map by the number of tenants with parked work.
+    lanes: HashMap<String, VecDeque<Job>>,
+    /// Tenants with non-empty lanes, in round-robin rotation order. A lane
+    /// that empties leaves the rotation; a tenant whose lane goes from
+    /// empty to non-empty joins at the tail.
+    rotation: VecDeque<String>,
+    len: usize,
+}
+
+impl FairQueue {
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Jobs currently parked for one tenant.
+    pub(crate) fn tenant_len(&self, tenant: &str) -> usize {
+        self.lanes.get(tenant).map_or(0, VecDeque::len)
+    }
+
+    pub(crate) fn push(&mut self, job: Job) {
+        let tenant = job.tenant().to_string();
+        let lane = self.lanes.entry(tenant.clone()).or_default();
+        if lane.is_empty() {
+            self.rotation.push_back(tenant);
+        }
+        lane.push_back(job);
+        self.len += 1;
+    }
+
+    /// Takes up to `max` jobs, one per tenant per rotation. The rotation
+    /// cursor carries across calls: a tenant served this drain goes to the
+    /// back of the line for the next one.
+    pub(crate) fn drain_round_robin(&mut self, max: usize) -> Vec<Job> {
+        let mut out = Vec::with_capacity(max.min(self.len));
+        while out.len() < max {
+            let Some(tenant) = self.rotation.pop_front() else { break };
+            let lane = self.lanes.get_mut(&tenant).expect("rotation tracks live lanes");
+            out.push(lane.pop_front().expect("rotation holds only non-empty lanes"));
+            self.len -= 1;
+            if lane.is_empty() {
+                self.lanes.remove(&tenant);
+            } else {
+                self.rotation.push_back(tenant);
+            }
+        }
+        out
+    }
+}
+
 // ---- the queue and worker pool --------------------------------------------
 
 #[derive(Debug, Default)]
 struct QueueState {
-    queue: VecDeque<Job>,
+    queue: FairQueue,
     shutdown: bool,
 }
 
@@ -188,6 +296,8 @@ struct Shared {
     window: Duration,
     max_batch: usize,
     capacity: usize,
+    /// Per-tenant lane capacity; a tenant at its cap blocks only itself.
+    tenant_capacity: usize,
 }
 
 /// The queue plus its worker pool. Owned by [`crate::Service`]; dropping it
@@ -209,6 +319,7 @@ impl Coalescer {
             window: config.coalesce_window,
             max_batch: config.max_batch.max(1),
             capacity: config.coalesce_queue.max(1),
+            tenant_capacity: config.coalesce_tenant_queue.max(1),
         });
         let workers = (0..config.coalesce_workers.max(1))
             .map(|i| {
@@ -223,13 +334,18 @@ impl Coalescer {
         Coalescer { shared, workers }
     }
 
-    /// Parks a job, blocking while the bounded queue is full.
+    /// Parks a job, blocking while the bounded queue is full — globally, or
+    /// for this job's tenant lane (the per-tenant cap backpressures a
+    /// flooding tenant without blocking anyone else's submits).
     pub(crate) fn enqueue(&self, job: Job) {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        while state.queue.len() >= self.shared.capacity && !state.shutdown {
+        while (state.queue.len() >= self.shared.capacity
+            || state.queue.tenant_len(job.tenant()) >= self.shared.tenant_capacity)
+            && !state.shutdown
+        {
             state = self.shared.drained.wait(state).unwrap_or_else(|e| e.into_inner());
         }
-        state.queue.push_back(job);
+        state.queue.push(job);
         drop(state);
         self.shared.arrived.notify_all();
     }
@@ -283,8 +399,7 @@ fn worker_loop(core: &Arc<ServiceCore>, shared: &Arc<Shared>) {
                     }
                 }
             }
-            let take = state.queue.len().min(shared.max_batch);
-            state.queue.drain(..take).collect()
+            state.queue.drain_round_robin(shared.max_batch)
         };
         shared.drained.notify_all();
         // A panic while answering must not kill the worker: the batch's
@@ -305,6 +420,31 @@ pub(crate) fn process_batch(core: &ServiceCore, jobs: Vec<Job>) {
     }
     ServiceMetrics::add(&core.metrics.coalesced_requests, jobs.len() as u64);
     ServiceMetrics::inc(&core.metrics.coalesced_batches);
+
+    // Stale-version refusal, fast path: a `refresh_schema` that landed
+    // while these jobs were queued means their submit-time snapshot is no
+    // longer what the service serves, so refuse them before wasting a scan
+    // (typed error; the work unit drops un-committed, refunding the
+    // reservation). This filter alone is a check-then-scan race — a
+    // refresh can still land *during* the fused scan — so the actual
+    // barrier is `ServiceCore::stale_check` at commit time inside
+    // `pm_finish`/`wd_finish`, which re-reads the version right before the
+    // reservation commits. Cache-key isolation alone is not enough either
+    // way: it only stops *replays*, not the committed release of an answer
+    // computed against the old instance.
+    let current = core.snapshot().1;
+    let jobs: Vec<Job> = jobs
+        .into_iter()
+        .filter_map(|job| {
+            if job.version() == current {
+                Some(job)
+            } else {
+                ServiceMetrics::inc(&core.metrics.stale_refusals);
+                job.refuse_stale(current);
+                None
+            }
+        })
+        .collect();
 
     let mut pm_parts: Vec<(u64, Vec<PmJob>)> = Vec::new();
     let mut wd_parts: Vec<((u64, AxisNames), Vec<WdJob>)> = Vec::new();
@@ -377,5 +517,106 @@ fn answer_wd_partition(core: &ServiceCore, axes: &[(String, String)], jobs: Vec<
                 job.slot.fill(Err(e.clone()));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accountant::BudgetAccountant;
+    use crate::cache::RequestKey;
+    use starj_engine::{canonicalize, Column, Dimension, Domain, StarSchema, Table};
+    use starj_noise::PrivacyBudget;
+
+    /// A real PM job for queue-order tests: the slot handle's drop fills a
+    /// typed error, so simply dropping drained jobs is fine.
+    fn job(accountant: &BudgetAccountant, tenant: &str, name: &str) -> Job {
+        let domain = Domain::numeric("c", 2).unwrap();
+        let dim = Table::new(
+            "D",
+            vec![Column::key("pk", vec![0, 1]), Column::attr("c", domain, vec![0, 1])],
+        )
+        .unwrap();
+        let fact = Table::new("F", vec![Column::key("fk", vec![0, 1])]).unwrap();
+        let schema =
+            Arc::new(StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")]).unwrap());
+        let q = StarQuery::count(name);
+        let (_, slot) = pending_pair();
+        Job::Pm(PmJob {
+            work: PmWork {
+                tenant: tenant.to_string(),
+                name: name.to_string(),
+                epsilon: 0.1,
+                cost: PrivacyBudget::pure(0.1).unwrap(),
+                key: RequestKey::Single(canonicalize(&q)),
+                noisy: q,
+                reservation: accountant.reserve(tenant, PrivacyBudget::pure(0.1).unwrap()).unwrap(),
+                schema,
+                version: 0,
+                start: Instant::now(),
+            },
+            slot,
+        })
+    }
+
+    fn names(jobs: &[Job]) -> Vec<String> {
+        jobs.iter()
+            .map(|j| match j {
+                Job::Pm(p) => p.work.name.clone(),
+                Job::Wd(_) => unreachable!("queue tests only park PM jobs"),
+            })
+            .collect()
+    }
+
+    fn accountant_for(tenants: &[&str]) -> BudgetAccountant {
+        let acc = BudgetAccountant::new();
+        for t in tenants {
+            acc.register(t, PrivacyBudget::pure(100.0).unwrap()).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn drain_is_round_robin_across_tenants_fifo_within() {
+        let acc = accountant_for(&["a", "b", "c"]);
+        let mut q = FairQueue::default();
+        for name in ["a1", "a2", "a3"] {
+            q.push(job(&acc, "a", name));
+        }
+        q.push(job(&acc, "b", "b1"));
+        q.push(job(&acc, "c", "c1"));
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.tenant_len("a"), 3);
+        let drained = q.drain_round_robin(10);
+        assert_eq!(names(&drained), ["a1", "b1", "c1", "a2", "a3"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rotation_cursor_persists_across_drains() {
+        let acc = accountant_for(&["a", "b"]);
+        let mut q = FairQueue::default();
+        q.push(job(&acc, "a", "a1"));
+        q.push(job(&acc, "a", "a2"));
+        q.push(job(&acc, "b", "b1"));
+        // First drain serves tenant a, so the next drain starts at b even
+        // though a still has a parked job.
+        assert_eq!(names(&q.drain_round_robin(1)), ["a1"]);
+        assert_eq!(names(&q.drain_round_robin(2)), ["b1", "a2"]);
+    }
+
+    #[test]
+    fn emptied_lane_rejoins_at_the_tail() {
+        let acc = accountant_for(&["a", "b"]);
+        let mut q = FairQueue::default();
+        q.push(job(&acc, "a", "a1"));
+        q.push(job(&acc, "b", "b1"));
+        assert_eq!(names(&q.drain_round_robin(2)), ["a1", "b1"]);
+        // Tenant a left the rotation when its lane emptied; a fresh push
+        // re-enters it cleanly.
+        q.push(job(&acc, "b", "b2"));
+        q.push(job(&acc, "a", "a2"));
+        assert_eq!(names(&q.drain_round_robin(2)), ["b2", "a2"]);
+        assert_eq!(q.tenant_len("a"), 0);
     }
 }

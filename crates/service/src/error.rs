@@ -41,6 +41,18 @@ pub enum ServiceError {
     /// The underlying DP mechanism failed after admission; the reservation
     /// was rolled back, so the failed query spent nothing.
     Mechanism(CoreError),
+    /// A [`crate::Service::refresh_schema`] landed between this request's
+    /// submit (admission, reservation, perturbation against the old data
+    /// version) and its coalesced drain. Answering would release a result
+    /// computed over data the service no longer serves, so the request is
+    /// refused and its reservation refunded — resubmit to run against the
+    /// current version.
+    StaleDataVersion {
+        /// Data version the request was submitted against.
+        submitted: u64,
+        /// Data version the service was serving at drain time.
+        current: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -61,6 +73,11 @@ impl fmt::Display for ServiceError {
                 write!(f, "k-star queries need a service built with a graph")
             }
             ServiceError::Mechanism(e) => write!(f, "mechanism failure (budget refunded): {e}"),
+            ServiceError::StaleDataVersion { submitted, current } => write!(
+                f,
+                "data refreshed while the request was queued (submitted against version \
+                 {submitted}, now serving {current}); the reservation was refunded — resubmit"
+            ),
         }
     }
 }
@@ -98,6 +115,13 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("acme") && msg.contains("0.5") && msg.contains("0.25"));
+    }
+
+    #[test]
+    fn stale_version_display_names_both_versions() {
+        let e = ServiceError::StaleDataVersion { submitted: 3, current: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('5') && msg.contains("refunded"));
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub use accountant::{BudgetAccountant, Reservation, TenantUsage};
 pub use cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 pub use coalesce::{Pending, Submitted};
 pub use error::ServiceError;
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics, LATENCY_BUCKETS};
 pub use service::{
     BatchAnswer, KStarAnswer, Service, ServiceAnswer, ServiceConfig, WorkloadAnswer,
 };

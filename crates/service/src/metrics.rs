@@ -10,7 +10,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-const BUCKETS: usize = 64;
+/// Number of power-of-two latency buckets (public so cross-service
+/// aggregators — e.g. a shard router merging per-shard histograms — can
+/// size their accumulation arrays).
+pub const LATENCY_BUCKETS: usize = 64;
+const BUCKETS: usize = LATENCY_BUCKETS;
 
 /// Power-of-two latency histogram. Bucket `i` covers `[2^(i−1), 2^i)` ns
 /// (bucket 0 covers `[0, 1)` ns).
@@ -58,6 +62,24 @@ impl LatencyHistogram {
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
+
+    /// A point-in-time copy of the raw bucket counts (bucket `i` covers
+    /// `[2^(i−1), 2^i)` ns). The merge surface for cross-service
+    /// aggregation: quantiles of a fleet are read from the *summed*
+    /// buckets, never from per-service p50/p99 (quantiles do not average).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Adds another histogram's bucket counts into this one — the other
+    /// half of the merge surface.
+    pub fn absorb(&self, counts: &[u64; BUCKETS]) {
+        for (bucket, &n) in self.buckets.iter().zip(counts) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Counters and latency for one [`crate::Service`].
@@ -91,6 +113,11 @@ pub struct ServiceMetrics {
     pub coalesced_batches: AtomicU64,
     /// Workload requests answered scan-free from a cached W histogram.
     pub w_cache_hits: AtomicU64,
+    /// Requests refused with [`crate::ServiceError::StaleDataVersion`]
+    /// because a [`crate::Service::refresh_schema`] landed between their
+    /// submit and their commit — while parked in the coalescer queue or
+    /// while their scan was running (each one refunded its reservation).
+    pub stale_refusals: AtomicU64,
     /// End-to-end request latency (successful requests only).
     pub latency: LatencyHistogram,
 }
@@ -120,10 +147,53 @@ pub struct MetricsSnapshot {
     pub coalesced_batches: u64,
     /// See [`ServiceMetrics::w_cache_hits`].
     pub w_cache_hits: u64,
+    /// See [`ServiceMetrics::stale_refusals`].
+    pub stale_refusals: u64,
     /// Median latency in µs (None before the first served query).
     pub p50_latency_us: Option<f64>,
     /// 99th-percentile latency in µs.
     pub p99_latency_us: Option<f64>,
+}
+
+impl MetricsSnapshot {
+    /// Adds another snapshot's counters into this one — the counter half of
+    /// cross-service aggregation. The latency quantiles are deliberately
+    /// **not** touched (quantiles do not sum); an aggregator derives them
+    /// from the merged [`LatencyHistogram`] buckets instead.
+    pub fn accumulate(&mut self, other: &MetricsSnapshot) {
+        self.queries_served += other.queries_served;
+        self.cache_hits += other.cache_hits;
+        self.free_answers += other.free_answers;
+        self.budget_refusals += other.budget_refusals;
+        self.admission_rejections += other.admission_rejections;
+        self.mechanism_failures += other.mechanism_failures;
+        self.fused_scans += other.fused_scans;
+        self.fused_queries_saved += other.fused_queries_saved;
+        self.coalesced_requests += other.coalesced_requests;
+        self.coalesced_batches += other.coalesced_batches;
+        self.w_cache_hits += other.w_cache_hits;
+        self.stale_refusals += other.stale_refusals;
+    }
+
+    /// An all-zero snapshot, the identity for [`MetricsSnapshot::accumulate`].
+    pub fn zero() -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_served: 0,
+            cache_hits: 0,
+            free_answers: 0,
+            budget_refusals: 0,
+            admission_rejections: 0,
+            mechanism_failures: 0,
+            fused_scans: 0,
+            fused_queries_saved: 0,
+            coalesced_requests: 0,
+            coalesced_batches: 0,
+            w_cache_hits: 0,
+            stale_refusals: 0,
+            p50_latency_us: None,
+            p99_latency_us: None,
+        }
+    }
 }
 
 impl ServiceMetrics {
@@ -152,6 +222,7 @@ impl ServiceMetrics {
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             w_cache_hits: self.w_cache_hits.load(Ordering::Relaxed),
+            stale_refusals: self.stale_refusals.load(Ordering::Relaxed),
             p50_latency_us: self.latency.quantile_us(0.50),
             p99_latency_us: self.latency.quantile_us(0.99),
         }
@@ -194,6 +265,44 @@ mod tests {
         let p10 = h.quantile_us(0.1).unwrap();
         let p90 = h.quantile_us(0.9).unwrap();
         assert!(p10 <= p90);
+    }
+
+    #[test]
+    fn bucket_counts_round_trip_through_absorb() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        for us in [1u64, 10, 100] {
+            a.record(Duration::from_micros(us));
+        }
+        b.record(Duration::from_millis(5));
+        let merged = LatencyHistogram::default();
+        merged.absorb(&a.bucket_counts());
+        merged.absorb(&b.bucket_counts());
+        assert_eq!(merged.count(), 4);
+        // The merged p100 must see b's 5 ms outlier even though a holds
+        // three fast observations.
+        assert!(merged.quantile_us(1.0).unwrap() >= 5_000.0);
+        assert_eq!(
+            merged.bucket_counts().iter().sum::<u64>(),
+            a.count() + b.count(),
+            "absorb preserves total mass"
+        );
+    }
+
+    #[test]
+    fn snapshot_accumulate_sums_counters_only() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::add(&m.queries_served, 3);
+        ServiceMetrics::inc(&m.cache_hits);
+        ServiceMetrics::inc(&m.stale_refusals);
+        m.latency.record(Duration::from_micros(7));
+        let mut total = MetricsSnapshot::zero();
+        total.accumulate(&m.snapshot());
+        total.accumulate(&m.snapshot());
+        assert_eq!(total.queries_served, 6);
+        assert_eq!(total.cache_hits, 2);
+        assert_eq!(total.stale_refusals, 2);
+        assert_eq!(total.p50_latency_us, None, "quantiles never sum");
     }
 
     #[test]

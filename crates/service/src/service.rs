@@ -93,6 +93,12 @@ pub struct ServiceConfig {
     /// Bounded coalescer queue capacity; submitters block (backpressure)
     /// while it is full.
     pub coalesce_queue: usize,
+    /// Per-tenant coalescer lane capacity (clamped to ≥ 1): one tenant may
+    /// hold at most this many parked jobs, so a flooding tenant
+    /// backpressures itself while everyone else keeps submitting. Drains
+    /// are round-robin across tenants, so a capped backlog also cannot
+    /// starve another tenant's head-of-line request.
+    pub coalesce_tenant_queue: usize,
     /// Cache the joint attribute-code W histograms that answer workload
     /// requests (`Q = Φ·W`), keyed on (axis set, aggregate, data version).
     /// With a warm cache, repeat workload traffic is scan-free.
@@ -115,6 +121,7 @@ impl Default for ServiceConfig {
             max_batch: 64,
             coalesce_workers: 2,
             coalesce_queue: 4096,
+            coalesce_tenant_queue: 256,
             cache_w_histograms: true,
             w_cache_capacity: crate::wcache::DEFAULT_W_CACHE_CAPACITY,
         }
@@ -328,6 +335,21 @@ impl Service {
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics.snapshot()
+    }
+
+    /// The raw lock-free metrics behind this service — the shard-facing
+    /// handle a router aggregates across shards. Counters sum via
+    /// [`MetricsSnapshot::accumulate`]; latency merges via
+    /// [`crate::LatencyHistogram::bucket_counts`] /
+    /// [`crate::LatencyHistogram::absorb`] (quantiles of a fleet come from
+    /// the summed buckets, never from averaged per-shard p50/p99).
+    pub fn raw_metrics(&self) -> &ServiceMetrics {
+        &self.core.metrics
+    }
+
+    /// Registered tenant ids, sorted for deterministic reporting.
+    pub fn tenants(&self) -> Vec<String> {
+        self.core.accountant.tenants()
     }
 
     /// Number of answers currently cached.
@@ -723,12 +745,30 @@ impl ServiceCore {
         }))
     }
 
+    /// Refuses an executed request whose data version is no longer the
+    /// served one: a [`Service::refresh_schema`] that landed anywhere
+    /// between submit and this commit point — while the request was parked
+    /// in the coalescer *or* while its scan was running — must not release
+    /// an answer computed over the retired instance. Returning the error
+    /// drops the work unit, so the reservation refunds (RAII). A refresh
+    /// landing after this check linearizes after the release: the answer
+    /// was committed while its version was still current.
+    fn stale_check(&self, submitted: u64) -> Result<(), ServiceError> {
+        let current = self.snapshot().1;
+        if submitted != current {
+            ServiceMetrics::inc(&self.metrics.stale_refusals);
+            return Err(ServiceError::StaleDataVersion { submitted, current });
+        }
+        Ok(())
+    }
+
     /// Commit + cache + metrics for an executed PM request.
     pub(crate) fn pm_finish(
         &self,
         work: PmWork,
         result: QueryResult,
     ) -> Result<ServiceAnswer, ServiceError> {
+        self.stale_check(work.version)?;
         work.reservation.commit()?;
         if self.config.cache_answers {
             self.cache.insert(
@@ -897,6 +937,7 @@ impl ServiceCore {
         work: WdWork,
         answers: Vec<f64>,
     ) -> Result<WorkloadAnswer, ServiceError> {
+        self.stale_check(work.version)?;
         work.reservation.commit()?;
         if self.config.cache_answers {
             self.cache.insert(
@@ -1218,6 +1259,33 @@ mod tests {
         let m = service.metrics();
         assert_eq!(m.coalesced_requests, 1, "only the paid fresh request parked");
         assert!((service.tenant_usage("t").unwrap().spent_epsilon - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_time_stale_check_refuses_a_refresh_racing_the_scan() {
+        // The drain-start filter in the coalescer cannot see a refresh
+        // that lands *during* the fused scan; the commit-time barrier in
+        // `pm_finish` must. Simulate exactly that interleaving: submit
+        // phase done, refresh lands, then the executed result tries to
+        // commit.
+        let service = Service::new(toy_schema(), ServiceConfig::default());
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+        let q = StarQuery::count("q").with(Predicate::point("D", "color", 1));
+        let work = match service.core.pm_phase1("t", &q, 0.5).unwrap() {
+            PmPhase::Execute(work) => work,
+            PmPhase::Immediate(_) => panic!("a fresh paid query must reach the execute phase"),
+        };
+        let result = execute_with(&work.schema, &work.noisy, service.core.config.pm.scan).unwrap();
+        service.refresh_schema(toy_schema());
+        match service.core.pm_finish(work, result) {
+            Err(ServiceError::StaleDataVersion { submitted: 0, current: 1 }) => {}
+            other => panic!("expected StaleDataVersion, got {other:?}"),
+        }
+        let usage = service.tenant_usage("t").unwrap();
+        assert_eq!(usage.spent_epsilon, 0.0, "refused commit must refund");
+        assert_eq!(usage.in_flight_epsilon, 0.0);
+        assert_eq!(service.metrics().stale_refusals, 1);
+        assert_eq!(service.cached_answers(), 0, "no stale release may be cached");
     }
 
     #[test]

@@ -9,5 +9,6 @@ pub use starj_engine as engine;
 pub use starj_graph as graph;
 pub use starj_linalg as linalg;
 pub use starj_noise as noise;
+pub use starj_router as router;
 pub use starj_service as service;
 pub use starj_ssb as ssb;
