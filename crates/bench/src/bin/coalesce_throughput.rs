@@ -10,9 +10,11 @@
 //!
 //! Environment knobs: `SSB_SF` (scale factor, default 0.05),
 //! `COALESCE_QUERIES` (requests per client, default 300),
-//! `COALESCE_WINDOW_US` (group-commit window, default 200), `SEED`.
+//! `COALESCE_WINDOW_US` (group-commit window, default 200), `SEED`,
+//! `TRACE_GATE` (allowed tracing overhead fraction, default 0.05; 0
+//! disables the tracing gate).
 //!
-//! The bin self-gates (non-zero exit) on three properties, making it a CI
+//! The bin self-gates (non-zero exit) on four properties, making it a CI
 //! smoke test and not just a reporter:
 //!
 //! 1. **equivalence** — a lockstep run through the coalescer must produce
@@ -22,9 +24,13 @@
 //! 3. **no regression** — the median coalesced qps over three 8-client
 //!    runs must not fall below 95% of the median sequential qps (the small
 //!    allowance absorbs shared-runner noise; a genuine coalescer
-//!    regression — e.g. accidental serialization — is far larger).
+//!    regression — e.g. accidental serialization — is far larger);
+//! 4. **cheap tracing** — with request-stage tracing on (the default
+//!    telemetry config) the 8-client coalesced median must stay within
+//!    `TRACE_GATE` (5%) of the tracing-off median, so observability can
+//!    stay enabled in production.
 
-use starj_bench::harness::{env_u64, Json};
+use starj_bench::harness::{env_f64, env_u64, Json};
 use starj_bench::{measure_coalesce, measure_wd_wcache, query_pool, root_seed, ssb_sf};
 use starj_bench::{CoalesceSample, TablePrinter};
 use starj_noise::PrivacyBudget;
@@ -186,6 +192,36 @@ fn main() {
         coal_med / legacy_med.max(1e-9)
     );
 
+    // Telemetry A/B at the 8-client coalesced point: the default config
+    // (tracing on — the `coal_med` median above) vs a service built with
+    // `TelemetryConfig::disabled()` (no span ring, no audit trail, inert
+    // trace builders, zero clock reads on the request path). Tracing is
+    // supposed to be cheap enough to leave on in production; the gate
+    // below holds it to that claim.
+    let mut untraced_qps: Vec<f64> = (0..3)
+        .map(|_| {
+            starj_bench::measure_coalesce_tracing(
+                &schema,
+                8,
+                queries_per_client,
+                EPSILON,
+                true,
+                window,
+                seed,
+                false,
+                false,
+            )
+            .qps
+        })
+        .collect();
+    let untraced_med = median(&mut untraced_qps);
+    let trace_overhead = 1.0 - coal_med / untraced_med.max(1e-9);
+    println!(
+        "\ntracing A/B at 8 coalesced clients: on {coal_med:.0} qps vs off {untraced_med:.0} qps \
+         ({:+.1}% overhead)",
+        trace_overhead * 100.0
+    );
+
     // Cold vs warm W-histogram cache on repeat workload traffic.
     let wcache = measure_wd_wcache(&schema, 50, EPSILON, seed);
     println!(
@@ -222,6 +258,14 @@ fn main() {
             ]),
         ),
         (
+            "tracing_ab_8_clients",
+            Json::obj(vec![
+                ("tracing_on_median_qps", Json::Num(coal_med)),
+                ("tracing_off_median_qps", Json::Num(untraced_med)),
+                ("overhead_frac", Json::Num(trace_overhead)),
+            ]),
+        ),
+        (
             "w_cache",
             Json::obj(vec![
                 ("repeats", Json::Num(wcache.repeats as f64)),
@@ -245,6 +289,18 @@ fn main() {
         eprintln!(
             "REGRESSION GATE FAILED: median coalesced {coal_med:.0} qps < 95% of median \
              sequential {seq_med:.0} qps at 8 clients"
+        );
+        std::process::exit(1);
+    }
+    // Gate 4: tracing overhead. `TRACE_GATE` is the allowed fractional qps
+    // overhead of tracing-on vs tracing-off (default 5%); `TRACE_GATE=0`
+    // disables the gate, mirroring `SCAN_GATE`.
+    let trace_gate = env_f64("TRACE_GATE", 0.05);
+    if trace_gate > 0.0 && coal_med < (1.0 - trace_gate) * untraced_med {
+        eprintln!(
+            "TRACING GATE FAILED: tracing-on median {coal_med:.0} qps is more than \
+             {:.0}% below tracing-off median {untraced_med:.0} qps at 8 clients",
+            trace_gate * 100.0
         );
         std::process::exit(1);
     }

@@ -1,0 +1,154 @@
+//! Observability smoke test: drive mixed SSB traffic through a service
+//! (and a small routed fleet), then dump everything the telemetry
+//! subsystem records — the Prometheus exposition, the privacy-budget
+//! audit trail as JSONL, completed request spans, and the slow-query log.
+//!
+//! ```text
+//! SSB_SF=0.01 cargo run --release -p starj-bench --bin telemetry_dump
+//! ```
+//!
+//! Artifacts: `TELEMETRY_prom.txt` (service + router Prometheus text),
+//! `TELEMETRY_audit.jsonl` (service audit trail, then the router's
+//! dataset-tagged trails). Environment knobs: `SSB_SF` (default 0.01),
+//! `SEED`.
+//!
+//! The bin self-gates (exit 2) on the audit trail's core invariant: for
+//! every tenant, the sum of Commit-event ε deltas must be **bit-identical**
+//! to the ledger's committed spend — the trail is evidence, not an
+//! estimate. Dyadic per-query ε makes the comparison exact regardless of
+//! commit order.
+
+use starj_bench::{dashboard_workload, query_pool, root_seed, ssb_sf};
+use starj_noise::PrivacyBudget;
+use starj_router::{Router, RouterConfig};
+use starj_service::{Service, ServiceConfig, ServiceError};
+use starj_ssb::{generate, SsbConfig};
+use std::sync::Arc;
+
+const EPSILON: f64 = 0.125; // dyadic, so audit sums are exactly comparable
+
+fn main() {
+    let sf = ssb_sf_or_small();
+    let seed = root_seed();
+    let schema = Arc::new(generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation"));
+    println!(
+        "Telemetry dump (SF={sf}, {} fact rows, ε={EPSILON}/query)\n",
+        schema.fact().num_rows()
+    );
+
+    // ---- service traffic: paid, cached, free, batch, and refused ------
+    let service = Service::new(Arc::clone(&schema), ServiceConfig { seed, ..Default::default() });
+    service.register_tenant("alice", PrivacyBudget::pure(64.0).expect("valid")).expect("fresh");
+    service.register_tenant("bob", PrivacyBudget::pure(64.0).expect("valid")).expect("fresh");
+    // A pinched tenant whose third query must be refused: 2 × ε fits, 3 × ε
+    // does not, so the audit trail records Reserve/Commit pairs *and* a
+    // Refusal for the same tenant.
+    service
+        .register_tenant("pinch", PrivacyBudget::pure(EPSILON * 2.5).expect("valid"))
+        .expect("fresh");
+
+    let pool = query_pool();
+    for (i, q) in pool.iter().take(12).enumerate() {
+        let tenant = if i % 2 == 0 { "alice" } else { "bob" };
+        service.pm_answer(tenant, q, EPSILON).expect("funded benchmark query");
+    }
+    // Cache replays (free, no audit events) and a workload request.
+    service.pm_answer("alice", &pool[0], EPSILON).expect("cache replay");
+    service.wd_answer("bob", &dashboard_workload(), EPSILON).expect("workload request");
+    service.pm_batch_answer("alice", &pool[..4], EPSILON).expect("batch request");
+    let mut refusals = 0;
+    for q in pool.iter().take(4) {
+        match service.pm_answer("pinch", q, EPSILON) {
+            Ok(_) => {}
+            Err(ServiceError::BudgetExhausted { .. }) => refusals += 1,
+            Err(e) => panic!("unexpected refusal kind: {e}"),
+        }
+    }
+    assert!(refusals > 0, "the pinched tenant must hit its budget wall");
+
+    // ---- the audit ≡ ledger gate --------------------------------------
+    let audit = service.telemetry().audit();
+    let mut failed = false;
+    for tenant in audit.tenants() {
+        let (audit_eps, audit_delta) = audit.committed(&tenant);
+        let usage = service.tenant_usage(&tenant).expect("audited tenants are registered");
+        if audit_eps.to_bits() != usage.spent_epsilon.to_bits()
+            || audit_delta.to_bits() != usage.spent_delta.to_bits()
+        {
+            eprintln!(
+                "AUDIT GATE FAILED: tenant `{tenant}` audit commits sum to \
+                 ε={audit_eps}, δ={audit_delta} but the ledger holds \
+                 ε={}, δ={}",
+                usage.spent_epsilon, usage.spent_delta
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+    println!(
+        "audit gate passed: {} events, committed ε bit-equal to the ledger for {} tenants \
+         ({refusals} refusals on `pinch`)",
+        audit.len(),
+        audit.tenants().len()
+    );
+
+    // ---- spans + slow queries -----------------------------------------
+    let spans = service.telemetry().spans();
+    println!(
+        "\n{} completed request spans recorded ({} total); slow-query log holds {} \
+         (threshold {} µs)",
+        spans.len(),
+        service.telemetry().spans_recorded(),
+        service.telemetry().slow_queries().len(),
+        ServiceConfig::default().telemetry.slow_query_us,
+    );
+    for record in spans.iter().take(3) {
+        println!("  {}", record.to_json().render());
+    }
+
+    // ---- a small routed fleet -----------------------------------------
+    let router =
+        Router::new(RouterConfig { shards: 2, ..Default::default() }).expect("two-shard router");
+    router.add_dataset("ssb_a", Arc::clone(&schema)).expect("fresh dataset");
+    router.add_dataset("ssb_b", Arc::clone(&schema)).expect("fresh dataset");
+    for dataset in ["ssb_a", "ssb_b"] {
+        router
+            .register_tenant(dataset, "carol", PrivacyBudget::pure(8.0).expect("valid"))
+            .expect("fresh tenant");
+        for q in pool.iter().take(4) {
+            router.pm_answer(dataset, "carol", q, EPSILON).expect("routed query");
+        }
+    }
+
+    // ---- artifacts -----------------------------------------------------
+    let mut prom = service.prometheus_text();
+    prom.push_str("# --- router fleet ---\n");
+    prom.push_str(&router.prometheus_text());
+    std::fs::write("TELEMETRY_prom.txt", &prom).expect("write TELEMETRY_prom.txt");
+
+    let mut jsonl = service.audit_jsonl();
+    jsonl.push_str(&router.audit_jsonl());
+    std::fs::write("TELEMETRY_audit.jsonl", &jsonl).expect("write TELEMETRY_audit.jsonl");
+
+    println!(
+        "\nwrote TELEMETRY_prom.txt ({} lines) and TELEMETRY_audit.jsonl ({} lines)",
+        prom.lines().count(),
+        jsonl.lines().count()
+    );
+    println!("\n--- Prometheus exposition (service head) ---");
+    for line in prom.lines().take(24) {
+        println!("{line}");
+    }
+}
+
+/// `SSB_SF`, defaulting smaller than the throughput bins: this bin is about
+/// exercising every telemetry path, not about load.
+fn ssb_sf_or_small() -> f64 {
+    if std::env::var("SSB_SF").is_ok() {
+        ssb_sf()
+    } else {
+        0.01
+    }
+}

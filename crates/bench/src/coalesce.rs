@@ -78,6 +78,37 @@ pub fn measure_coalesce_kernel(
     seed: u64,
     legacy_gather: bool,
 ) -> CoalesceSample {
+    measure_coalesce_tracing(
+        schema,
+        clients,
+        queries_per_client,
+        epsilon,
+        coalesce,
+        window,
+        seed,
+        legacy_gather,
+        true,
+    )
+}
+
+/// The fully-selectable interior: kernel (staged vs legacy gather) *and*
+/// telemetry (`tracing = false` builds the service with
+/// [`starj_service::TelemetryConfig::disabled`], so no span ring, no audit
+/// trail, no slow-query log and — because disabled trace builders are
+/// inert — no clock reads on the request path). The tracing-on/off A/B in
+/// `coalesce_throughput` gates on this pair.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_coalesce_tracing(
+    schema: &Arc<StarSchema>,
+    clients: usize,
+    queries_per_client: usize,
+    epsilon: f64,
+    coalesce: bool,
+    window: Duration,
+    seed: u64,
+    legacy_gather: bool,
+    tracing: bool,
+) -> CoalesceSample {
     let mut config = ServiceConfig {
         seed,
         cache_answers: false,
@@ -88,6 +119,9 @@ pub fn measure_coalesce_kernel(
     if legacy_gather {
         config.pm.scan = config.pm.scan.with_legacy_gather();
         config.wd.scan = config.wd.scan.with_legacy_gather();
+    }
+    if !tracing {
+        config.telemetry = starj_service::TelemetryConfig::disabled();
     }
     let service = Arc::new(Service::new(Arc::clone(schema), config));
     let allotment = PrivacyBudget::pure(epsilon * (queries_per_client.max(1) as f64) * 2.0)

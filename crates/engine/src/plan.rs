@@ -71,6 +71,7 @@ use crate::schema::StarSchema;
 use crate::stage::{
     gather_word_bytes, gather_word_small, gather_word_wide, ChunkStage, CHUNK_ROWS, CHUNK_WORDS,
 };
+use starj_telemetry::{kernel_counters, KernelCounters};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -302,11 +303,15 @@ struct Filter {
 impl Filter {
     fn new(dim: usize, bits: BitSet) -> Self {
         let pass = bits.count_ones();
+        let k = kernel_counters();
         let probe = if bits.len() <= WORD_PROBE_CAP {
+            KernelCounters::add(&k.probe_word, 1);
             Probe::Word(bits.words().first().copied().unwrap_or(0))
         } else if bits.len() <= BYTE_PROBE_CAP {
+            KernelCounters::add(&k.probe_bytes, 1);
             Probe::Bytes(bits.to_byte_lut())
         } else {
+            KernelCounters::add(&k.probe_bitset, 1);
             Probe::Wide
         };
         Filter { dim, bits, probe, pass }
@@ -674,7 +679,78 @@ impl<'a> ScanPlan<'a> {
             }
         }
         FACT_SCANS.fetch_add(1, Ordering::Relaxed);
+        self.flush_kernel_counters(&bounds, hist_plan.as_ref(), program, legacy);
         self.finalize(state, hist_plan.as_ref())
+    }
+
+    /// Flushes the scan's kernel profiling tallies to the process-wide
+    /// [`kernel_counters`]. Everything is derived once from the plan
+    /// geometry — chunk count from the shard bounds, gather counts from
+    /// the mask program and staging decision — so the chunk loop itself
+    /// carries zero instrumentation.
+    fn flush_kernel_counters(
+        &self,
+        bounds: &[(usize, usize)],
+        hist_plan: Option<&HistPlan>,
+        program: &MaskProgram,
+        legacy: bool,
+    ) {
+        let k = kernel_counters();
+        let chunks: u64 =
+            bounds.iter().map(|&(lo, hi)| (hi - lo).div_ceil(CHUNK_ROWS) as u64).sum();
+        KernelCounters::add(&k.chunks_scanned, chunks);
+        if legacy {
+            // The pre-staging kernel re-gathers every filter of every
+            // mask-building query per chunk, straight from the fk arrays.
+            let gathers: u64 = self
+                .queries
+                .iter()
+                .enumerate()
+                .filter(|(qi, _)| hist_plan.is_none_or(|hp| hp.assignment[*qi].is_none()))
+                .map(|(_, q)| q.filters.len() as u64)
+                .sum();
+            KernelCounters::add(&k.direct_gathers, gathers * chunks);
+            return;
+        }
+        let staged = self.staged_dims(hist_plan, program);
+        KernelCounters::add(
+            &k.staged_chunk_copies,
+            staged.iter().filter(|&&s| s).count() as u64 * chunks,
+        );
+        let mut staged_gathers = 0u64;
+        let mut direct_gathers = 0u64;
+        let mut tally = |dim: usize| {
+            if staged[dim] {
+                staged_gathers += 1;
+            } else {
+                direct_gathers += 1;
+            }
+        };
+        for f in &program.shared {
+            tally(f.dim);
+        }
+        for (_, private) in &program.per_query {
+            for f in private {
+                tally(f.dim);
+            }
+        }
+        if let Some(hp) = hist_plan {
+            for (di, _, _) in &hp.axes {
+                tally(*di);
+            }
+        }
+        KernelCounters::add(&k.staged_gathers, staged_gathers * chunks);
+        KernelCounters::add(&k.direct_gathers, direct_gathers * chunks);
+        KernelCounters::add(&k.shared_mask_filters, program.shared.len() as u64);
+        // A promotion with `u` users saves `u − 1` gather passes per chunk.
+        let saved: u64 = (0..program.shared.len())
+            .map(|si| {
+                let uses =
+                    program.per_query.iter().filter(|(via, _)| via.contains(&si)).count() as u64;
+                uses.saturating_sub(1)
+            })
+            .sum();
+        KernelCounters::add(&k.shared_mask_gathers_saved, saved * chunks);
     }
 
     /// Builds the cross-query mask-sharing program: filters whose
@@ -1306,6 +1382,13 @@ impl WeightHistogram {
             merged
         };
         FACT_SCANS.fetch_add(1, Ordering::Relaxed);
+        let k = kernel_counters();
+        let chunks: u64 =
+            bounds.iter().map(|&(lo, hi)| (hi - lo).div_ceil(CHUNK_ROWS) as u64).sum();
+        KernelCounters::add(&k.chunks_scanned, chunks);
+        // The histogram interior reads each axis fk straight from the
+        // source array — one direct pass per axis per chunk, no staging.
+        KernelCounters::add(&k.direct_gathers, resolved.len() as u64 * chunks);
         Ok(WeightHistogram {
             axes: resolved.into_iter().map(|a| (a.table, a.attr, a.domain)).collect(),
             space,

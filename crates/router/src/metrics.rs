@@ -10,6 +10,7 @@
 //! averaged per-shard quantiles.
 
 use starj_service::{LatencyHistogram, MetricsSnapshot};
+use starj_telemetry::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Router-level counters (on top of what the shards themselves count).
@@ -66,6 +67,58 @@ pub struct RouterMetrics {
     pub fanout_subrequests: u64,
     /// See [`RouterCounters::rebalanced_datasets`].
     pub rebalanced_datasets: u64,
+}
+
+impl RouterMetrics {
+    /// A stable JSON rendering of the whole roll-up: router counters,
+    /// the fleet aggregate, per-shard totals, and per-dataset snapshots,
+    /// in the same deterministic `(shard, dataset)` order the struct
+    /// carries. Field names match [`MetricsSnapshot::to_json`], so a
+    /// dashboard can parse shard and fleet rows with one schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("routed_requests", Json::Num(self.routed_requests as f64)),
+            ("fanout_requests", Json::Num(self.fanout_requests as f64)),
+            ("fanout_subrequests", Json::Num(self.fanout_subrequests as f64)),
+            ("rebalanced_datasets", Json::Num(self.rebalanced_datasets as f64)),
+            ("aggregate", self.aggregate.to_json()),
+            (
+                "per_shard",
+                Json::Arr(
+                    self.per_shard
+                        .iter()
+                        .map(|(shard, snapshot)| {
+                            Json::obj(vec![
+                                ("shard", Json::Num(*shard as f64)),
+                                ("metrics", snapshot.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "per_dataset",
+                Json::Arr(
+                    self.per_dataset
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("dataset", Json::Str(d.dataset.clone())),
+                                ("shard", Json::Num(d.shard as f64)),
+                                ("metrics", d.snapshot.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for RouterMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json().render())
+    }
 }
 
 /// Sums snapshots and merges latency buckets into one `MetricsSnapshot`

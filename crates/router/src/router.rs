@@ -35,6 +35,7 @@ use starj_service::{
     BatchAnswer, KStarAnswer, Service, ServiceAnswer, ServiceConfig, ServiceError, Submitted,
     TenantUsage, WorkloadAnswer,
 };
+use starj_telemetry::PromText;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -754,6 +755,77 @@ impl Router {
                 .rebalanced_datasets
                 .load(std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// The fleet as a Prometheus text-format (0.0.4) exposition: router
+    /// counters, fleet-aggregate service counters, and every service
+    /// counter broken out per dataset with `dataset`/`shard` labels.
+    /// Deterministic for a fixed fleet state — datasets render in
+    /// `(shard, dataset)` order.
+    pub fn prometheus_text(&self) -> String {
+        let m = self.metrics();
+        let mut p = PromText::new();
+        for (name, help, value) in [
+            (
+                "routed_requests",
+                "Single-dataset requests routed to an owning shard.",
+                m.routed_requests,
+            ),
+            (
+                "fanout_requests",
+                "Cross-shard fan-out requests planned and executed.",
+                m.fanout_requests,
+            ),
+            (
+                "fanout_subrequests",
+                "Per-shard sub-requests the fan-outs expanded into.",
+                m.fanout_subrequests,
+            ),
+            (
+                "rebalanced_datasets",
+                "Datasets moved between shards by shard add/remove.",
+                m.rebalanced_datasets,
+            ),
+        ] {
+            let metric = format!("starj_router_{name}_total");
+            p.header(&metric, help, "counter");
+            p.sample(&metric, &[], value as f64);
+        }
+        for (name, value) in m.aggregate.counter_entries() {
+            let metric = format!("starj_fleet_{name}_total");
+            p.header(&metric, &format!("Fleet-total service counter `{name}`."), "counter");
+            p.sample(&metric, &[], value as f64);
+        }
+        let names: Vec<&'static str> =
+            m.aggregate.counter_entries().iter().map(|&(n, _)| n).collect();
+        for (i, name) in names.iter().enumerate() {
+            let metric = format!("starj_dataset_{name}_total");
+            p.header(&metric, &format!("Service counter `{name}` per hosted dataset."), "counter");
+            for d in &m.per_dataset {
+                let shard = d.shard.to_string();
+                p.sample(
+                    &metric,
+                    &[("dataset", &d.dataset), ("shard", &shard)],
+                    d.snapshot.counter_entries()[i].1 as f64,
+                );
+            }
+        }
+        p.render()
+    }
+
+    /// The fleet-wide privacy-budget audit trail as JSONL: every hosted
+    /// dataset's trail, each line tagged with a `"dataset"` field, datasets
+    /// concatenated in name order (each dataset's lines stay oldest-first).
+    pub fn audit_jsonl(&self) -> String {
+        let services: Vec<(String, Arc<Service>)> = {
+            let state = self.read();
+            state.datasets.iter().map(|(name, e)| (name.clone(), Arc::clone(&e.service))).collect()
+        };
+        let mut out = String::new();
+        for (name, service) in &services {
+            out.push_str(&service.telemetry().audit().to_jsonl_tagged(&[("dataset", name)]));
+        }
+        out
     }
 }
 

@@ -23,11 +23,15 @@
 
 use crate::error::ServiceError;
 use starj_noise::{BudgetLedger, PrivacyBudget};
+use starj_telemetry::{AuditKind, AuditTrail};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 #[derive(Debug)]
 struct TenantState {
+    /// The tenant id as a shared string, so audit events clone a pointer,
+    /// not a heap allocation.
+    name: Arc<str>,
     ledger: BudgetLedger,
     in_flight_epsilon: f64,
     in_flight_delta: f64,
@@ -48,6 +52,21 @@ impl TenantState {
     }
 }
 
+/// Audit context attached to a reservation: where to log the settlement
+/// events and what request/data they concern. Carried by the reservation
+/// itself so *every* settlement path — commit, explicit rollback, or an
+/// RAII drop from `?`-unwinding — lands in the trail without call-site
+/// cooperation.
+#[derive(Debug, Clone)]
+pub struct AuditCtx {
+    /// The trail settlement events append to.
+    pub trail: Arc<AuditTrail>,
+    /// Hash of the canonical request being charged (0 = none).
+    pub query_hash: u64,
+    /// The data version the request was admitted against.
+    pub data_version: u64,
+}
+
 /// A committed-or-refunded hold on a tenant's budget. Obtained from
 /// [`BudgetAccountant::reserve`]; dropping it without committing refunds the
 /// tenant automatically (RAII), so early returns and `?`-propagation in a
@@ -57,6 +76,7 @@ pub struct Reservation {
     tenant: Arc<Mutex<TenantState>>,
     cost: PrivacyBudget,
     settled: bool,
+    audit: Option<AuditCtx>,
 }
 
 impl Reservation {
@@ -74,7 +94,18 @@ impl Reservation {
         self.settled = true;
         // Cannot fail: `reserve` admitted spent + in-flight + cost under the
         // same tolerance the ledger charges with.
-        state.ledger.charge(self.cost).map_err(ServiceError::InvalidBudget)
+        state.ledger.charge(self.cost).map_err(ServiceError::InvalidBudget)?;
+        if let Some(ctx) = &self.audit {
+            ctx.trail.record(
+                &state.name,
+                AuditKind::Commit,
+                ctx.query_hash,
+                self.cost.epsilon(),
+                self.cost.delta(),
+                ctx.data_version,
+            );
+        }
+        Ok(())
     }
 
     /// Returns the hold to the tenant. Equivalent to dropping the
@@ -89,6 +120,16 @@ impl Reservation {
             state.in_flight_epsilon = (state.in_flight_epsilon - self.cost.epsilon()).max(0.0);
             state.in_flight_delta = (state.in_flight_delta - self.cost.delta()).max(0.0);
             self.settled = true;
+            if let Some(ctx) = &self.audit {
+                ctx.trail.record(
+                    &state.name,
+                    AuditKind::Refund,
+                    ctx.query_hash,
+                    self.cost.epsilon(),
+                    self.cost.delta(),
+                    ctx.data_version,
+                );
+            }
         }
     }
 }
@@ -138,6 +179,7 @@ impl BudgetAccountant {
         map.insert(
             tenant.to_string(),
             Arc::new(Mutex::new(TenantState {
+                name: Arc::from(tenant),
                 ledger: BudgetLedger::new(allotment),
                 in_flight_epsilon: 0.0,
                 in_flight_delta: 0.0,
@@ -150,10 +192,33 @@ impl BudgetAccountant {
     /// Refuses with [`ServiceError::BudgetExhausted`] when
     /// `spent + in-flight + cost` would exceed the allotment.
     pub fn reserve(&self, tenant: &str, cost: PrivacyBudget) -> Result<Reservation, ServiceError> {
+        self.reserve_audited(tenant, cost, None)
+    }
+
+    /// [`BudgetAccountant::reserve`] with an audit context: the admission
+    /// decision (Reserve or Refusal) is logged here, and the context rides
+    /// the reservation so its settlement (Commit or Refund) is logged by
+    /// whichever path settles it.
+    pub fn reserve_audited(
+        &self,
+        tenant: &str,
+        cost: PrivacyBudget,
+        audit: Option<AuditCtx>,
+    ) -> Result<Reservation, ServiceError> {
         let state_arc = self.tenant_arc(tenant)?;
         let mut state = lock(&state_arc);
         if !state.admits(&cost) {
             let remaining = (state.ledger.remaining_epsilon() - state.in_flight_epsilon).max(0.0);
+            if let Some(ctx) = &audit {
+                ctx.trail.record(
+                    &state.name,
+                    AuditKind::Refusal,
+                    ctx.query_hash,
+                    cost.epsilon(),
+                    cost.delta(),
+                    ctx.data_version,
+                );
+            }
             return Err(ServiceError::BudgetExhausted {
                 tenant: tenant.to_string(),
                 requested_epsilon: cost.epsilon(),
@@ -162,8 +227,18 @@ impl BudgetAccountant {
         }
         state.in_flight_epsilon += cost.epsilon();
         state.in_flight_delta += cost.delta();
+        if let Some(ctx) = &audit {
+            ctx.trail.record(
+                &state.name,
+                AuditKind::Reserve,
+                ctx.query_hash,
+                cost.epsilon(),
+                cost.delta(),
+                ctx.data_version,
+            );
+        }
         drop(state);
-        Ok(Reservation { tenant: state_arc, cost, settled: false })
+        Ok(Reservation { tenant: state_arc, cost, settled: false, audit })
     }
 
     /// The tenant's current usage snapshot.

@@ -53,6 +53,7 @@ use crate::metrics::ServiceMetrics;
 use crate::service::{PmWork, ServiceAnswer, ServiceCore, WdWork};
 use dp_starj::CoreError;
 use starj_engine::{execute_batch_with, plan::AxisNames, StarQuery};
+use starj_telemetry::Stage;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -475,10 +476,18 @@ pub(crate) fn process_batch(core: &ServiceCore, jobs: Vec<Job>) {
 }
 
 /// One fused binary scan answers every PM job of a partition.
-fn answer_pm_partition(core: &ServiceCore, jobs: Vec<PmJob>) {
+fn answer_pm_partition(core: &ServiceCore, mut jobs: Vec<PmJob>) {
+    for job in &mut jobs {
+        job.work.trace.stage_end(Stage::QueueWait);
+        job.work.trace.stage_begin(Stage::FusedScan);
+    }
     let schema = Arc::clone(&jobs[0].work.schema);
     let noisy: Vec<StarQuery> = jobs.iter().map(|j| j.work.noisy.clone()).collect();
-    match execute_batch_with(&schema, &noisy, core.config.pm.scan) {
+    let results = execute_batch_with(&schema, &noisy, core.config.pm.scan);
+    for job in &mut jobs {
+        job.work.trace.stage_end(Stage::FusedScan);
+    }
+    match results {
         Ok(results) => {
             if jobs.len() > 1 {
                 ServiceMetrics::inc(&core.metrics.fused_scans);
@@ -500,12 +509,20 @@ fn answer_pm_partition(core: &ServiceCore, jobs: Vec<PmJob>) {
 
 /// One shared W histogram (or one fused weighted scan) answers every WD job
 /// of an axis-compatible partition.
-fn answer_wd_partition(core: &ServiceCore, axes: &[(String, String)], jobs: Vec<WdJob>) {
+fn answer_wd_partition(core: &ServiceCore, axes: &[(String, String)], mut jobs: Vec<WdJob>) {
+    for job in &mut jobs {
+        job.work.trace.stage_end(Stage::QueueWait);
+        job.work.trace.stage_begin(Stage::FusedScan);
+    }
     let schema = Arc::clone(&jobs[0].work.schema);
     let version = jobs[0].work.version;
     let batches: Vec<&[starj_engine::WeightedQuery]> =
         jobs.iter().map(|j| j.work.rows.as_slice()).collect();
-    match core.wd_partition_answers(&schema, version, axes, jobs[0].work.space, &batches) {
+    let answered = core.wd_partition_answers(&schema, version, axes, jobs[0].work.space, &batches);
+    for job in &mut jobs {
+        job.work.trace.stage_end(Stage::FusedScan);
+    }
+    match answered {
         Ok(answer_sets) => {
             for (job, answers) in jobs.into_iter().zip(answer_sets) {
                 job.slot.fill(core.wd_finish(job.work, answers));
@@ -554,6 +571,11 @@ mod tests {
                 schema,
                 version: 0,
                 start: Instant::now(),
+                trace: starj_telemetry::TraceBuilder::start(
+                    starj_telemetry::RequestKind::Pm,
+                    tenant,
+                    false,
+                ),
             },
             slot,
         })

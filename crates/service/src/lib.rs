@@ -34,7 +34,14 @@
 //!   version bump, as is the answer cache;
 //! * [`ServiceMetrics`] — queries served, cache hits, budget refusals,
 //!   coalesced requests/batches, W-cache hits, and p50/p99 latency, all
-//!   lock-free on the serving path.
+//!   lock-free on the serving path;
+//! * **observability** (via [`starj_telemetry`]) — per-request stage traces
+//!   ([`Service::telemetry`]), an append-only privacy-budget audit trail
+//!   whose committed ε sums are bit-identical to the ledger
+//!   ([`Service::audit_jsonl`]), and a Prometheus text endpoint
+//!   ([`Service::prometheus_text`]). Tracing reads clocks only at the
+//!   submit-/drain-time seams, so enabling it never perturbs an answer or
+//!   a ledger bit.
 //!
 //! # Quick start
 //!
@@ -88,3 +95,10 @@ pub use service::{
     BatchAnswer, KStarAnswer, Service, ServiceAnswer, ServiceConfig, WorkloadAnswer,
 };
 pub use wcache::WeightHistogramCache;
+
+// Re-export the observability vocabulary so service consumers configure
+// tracing/auditing without naming the telemetry crate directly.
+pub use starj_telemetry::{
+    AuditEvent, AuditKind, AuditTrail, KernelSnapshot, RequestKind, Stage, Telemetry,
+    TelemetryConfig, TraceOutcome, TraceRecord,
+};

@@ -7,6 +7,7 @@
 //! quantiles are read by scanning 64 buckets, so the histogram never
 //! allocates and never takes a lock on the serving path.
 
+use starj_telemetry::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -37,9 +38,11 @@ impl LatencyHistogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, resolved to the upper
-    /// edge of the containing bucket (≤ 2× the true value, which is plenty
-    /// for dashboard-grade p50/p99). `None` until something was recorded.
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, resolved to the
+    /// geometric mean of the containing bucket's edges — the unbiased point
+    /// estimate for a power-of-two bucket, off by at most √2× in either
+    /// direction. (The previous upper-edge convention biased every quantile
+    /// high, up to 2× the true value.) `None` until something was recorded.
     pub fn quantile_us(&self, q: f64) -> Option<f64> {
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
@@ -51,8 +54,10 @@ impl LatencyHistogram {
         for (idx, &c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper_ns = if idx == 0 { 1.0 } else { (idx as f64).exp2() };
-                return Some(upper_ns / 1_000.0);
+                // Bucket idx covers [2^(idx−1), 2^idx) ns; its geometric
+                // mean is 2^(idx−0.5). Bucket 0 covers [0, 1) ns.
+                let mid_ns = if idx == 0 { 1.0 } else { (idx as f64 - 0.5).exp2() };
+                return Some(mid_ns / 1_000.0);
             }
         }
         None
@@ -175,6 +180,44 @@ impl MetricsSnapshot {
         self.stale_refusals += other.stale_refusals;
     }
 
+    /// `(name, value)` counter pairs in declaration order — the single
+    /// source the JSON, `Display`, and Prometheus expositions iterate.
+    pub fn counter_entries(&self) -> [(&'static str, u64); 12] {
+        [
+            ("queries_served", self.queries_served),
+            ("cache_hits", self.cache_hits),
+            ("free_answers", self.free_answers),
+            ("budget_refusals", self.budget_refusals),
+            ("admission_rejections", self.admission_rejections),
+            ("mechanism_failures", self.mechanism_failures),
+            ("fused_scans", self.fused_scans),
+            ("fused_queries_saved", self.fused_queries_saved),
+            ("coalesced_requests", self.coalesced_requests),
+            ("coalesced_batches", self.coalesced_batches),
+            ("w_cache_hits", self.w_cache_hits),
+            ("stale_refusals", self.stale_refusals),
+        ]
+    }
+
+    /// The snapshot as a stable JSON object: every counter by name, plus
+    /// `p50_latency_us` / `p99_latency_us` (null before the first request).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = self
+            .counter_entries()
+            .iter()
+            .map(|&(name, v)| (name.to_string(), Json::Num(v as f64)))
+            .collect();
+        pairs.push((
+            "p50_latency_us".to_string(),
+            self.p50_latency_us.map_or(Json::Null, Json::Num),
+        ));
+        pairs.push((
+            "p99_latency_us".to_string(),
+            self.p99_latency_us.map_or(Json::Null, Json::Num),
+        ));
+        Json::Obj(pairs)
+    }
+
     /// An all-zero snapshot, the identity for [`MetricsSnapshot::accumulate`].
     pub fn zero() -> MetricsSnapshot {
         MetricsSnapshot {
@@ -193,6 +236,13 @@ impl MetricsSnapshot {
             p50_latency_us: None,
             p99_latency_us: None,
         }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    /// Renders the stable JSON form ([`MetricsSnapshot::to_json`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_json().render())
     }
 }
 
@@ -303,6 +353,44 @@ mod tests {
         assert_eq!(total.cache_hits, 2);
         assert_eq!(total.stale_refusals, 2);
         assert_eq!(total.p50_latency_us, None, "quantiles never sum");
+    }
+
+    #[test]
+    fn quantiles_use_the_bucket_geometric_mean() {
+        // 1000 identical 10 µs observations land in bucket 14
+        // ([8_192, 16_384) ns). The old upper-edge convention reported
+        // p50 = p99 = 16.384 µs — a 64% overshoot; the geometric mean
+        // 2^13.5 ns ≈ 11.585 µs is within √2 of the true 10 µs.
+        let h = LatencyHistogram::default();
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(10));
+        }
+        let expected = (13.5f64).exp2() / 1_000.0;
+        for q in [0.5, 0.99] {
+            let got = h.quantile_us(q).unwrap();
+            assert!((got - expected).abs() < 1e-9, "q={q}: got {got}, want {expected}");
+            assert!(got < 16.0, "q={q}: {got} must not sit on the 16.384 µs upper edge");
+            assert!((10.0 / 2f64.sqrt()..=10.0 * 2f64.sqrt()).contains(&got));
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_to_stable_json() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::add(&m.queries_served, 3);
+        ServiceMetrics::inc(&m.w_cache_hits);
+        let s = m.snapshot();
+        let json = starj_telemetry::Json::parse(&s.to_string()).expect("Display renders JSON");
+        assert_eq!(json.get("queries_served").and_then(starj_telemetry::Json::as_f64), Some(3.0));
+        assert_eq!(json.get("w_cache_hits").and_then(starj_telemetry::Json::as_f64), Some(1.0));
+        assert!(
+            matches!(json.get("p50_latency_us"), Some(starj_telemetry::Json::Null)),
+            "no latency recorded yet"
+        );
+        m.latency.record(Duration::from_micros(5));
+        let again = m.snapshot().to_json();
+        assert!(again.get("p50_latency_us").and_then(starj_telemetry::Json::as_f64).is_some());
+        assert_eq!(s.counter_entries().len(), 12);
     }
 
     #[test]

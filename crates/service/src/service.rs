@@ -37,7 +37,7 @@
 //! that version, so no pre-refresh release or histogram can ever serve a
 //! post-refresh request.
 
-use crate::accountant::{BudgetAccountant, TenantUsage};
+use crate::accountant::{AuditCtx, BudgetAccountant, TenantUsage};
 use crate::admission::{validate_query, validate_workload};
 use crate::cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 use crate::coalesce::{pending_pair, Coalescer, Job, PmJob, Submitted, WdJob};
@@ -53,7 +53,12 @@ use starj_engine::{
 };
 use starj_graph::{Graph, KStarQuery};
 use starj_noise::{PrivacyBudget, StarRng};
+use starj_telemetry::{
+    kernel_counters, PromText, RequestKind, Stage, Telemetry, TelemetryConfig, TraceBuilder,
+    TraceOutcome,
+};
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -105,6 +110,11 @@ pub struct ServiceConfig {
     pub cache_w_histograms: bool,
     /// Maximum cached W histograms before FIFO eviction.
     pub w_cache_capacity: usize,
+    /// Observability: span-ring / audit-trail / slow-query-log capacities
+    /// and the slow-query latency threshold. The defaults keep everything
+    /// on; [`TelemetryConfig::disabled`] turns every component off (the
+    /// tracing-off arm of the coalesce bench's A/B).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -124,6 +134,7 @@ impl Default for ServiceConfig {
             coalesce_tenant_queue: 256,
             cache_w_histograms: true,
             w_cache_capacity: crate::wcache::DEFAULT_W_CACHE_CAPACITY,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -200,6 +211,7 @@ pub(crate) struct PmWork {
     pub(crate) schema: Arc<StarSchema>,
     pub(crate) version: u64,
     pub(crate) start: Instant,
+    pub(crate) trace: TraceBuilder,
 }
 
 /// A WD request past its private phase: the reconstructed real-valued rows
@@ -219,12 +231,15 @@ pub(crate) struct WdWork {
     pub(crate) schema: Arc<StarSchema>,
     pub(crate) version: u64,
     pub(crate) start: Instant,
+    pub(crate) trace: TraceBuilder,
 }
 
 /// Submit-phase outcome: answered on the spot, or ready to execute.
+/// Boxed for the same reason as [`WdPhase`]: the work unit carries the
+/// noisy query, the schema Arc, and the trace builder.
 pub(crate) enum PmPhase {
     Immediate(ServiceAnswer),
-    Execute(PmWork),
+    Execute(Box<PmWork>),
 }
 
 pub(crate) enum WdPhase {
@@ -246,6 +261,7 @@ pub(crate) struct ServiceCore {
     pub(crate) cache: AnswerCache,
     pub(crate) wcache: WeightHistogramCache,
     pub(crate) metrics: ServiceMetrics,
+    pub(crate) telemetry: Telemetry,
     request_counter: AtomicU64,
 }
 
@@ -270,6 +286,7 @@ impl Service {
         }
         let cache = AnswerCache::with_capacity(config.cache_capacity);
         let wcache = WeightHistogramCache::with_capacity(config.w_cache_capacity);
+        let telemetry = Telemetry::new(&config.telemetry);
         let core = Arc::new(ServiceCore {
             schema: RwLock::new((schema, 0)),
             config,
@@ -277,6 +294,7 @@ impl Service {
             cache,
             wcache,
             metrics: ServiceMetrics::default(),
+            telemetry,
             request_counter: AtomicU64::new(0),
         });
         let coalescer = core.config.coalesce.then(|| Coalescer::start(Arc::clone(&core)));
@@ -352,6 +370,98 @@ impl Service {
         self.core.accountant.tenants()
     }
 
+    /// This service's telemetry hub: completed-request spans, the
+    /// privacy-budget audit trail, and the slow-query log.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.core.telemetry
+    }
+
+    /// The privacy-budget audit trail as JSONL, one event per line, oldest
+    /// first.
+    pub fn audit_jsonl(&self) -> String {
+        self.core.telemetry.audit().to_jsonl()
+    }
+
+    /// The full service state as a Prometheus text-format (0.0.4)
+    /// exposition: request counters, the latency histogram (cumulative
+    /// buckets in seconds), per-tenant budget gauges, the process-wide
+    /// kernel profiling counters, and telemetry depth gauges.
+    pub fn prometheus_text(&self) -> String {
+        let mut p = PromText::new();
+        let snap = self.metrics();
+        for (name, value) in snap.counter_entries() {
+            let metric = format!("starj_{name}_total");
+            p.header(&metric, &format!("Service counter `{name}`."), "counter");
+            p.sample(&metric, &[], value as f64);
+        }
+
+        p.header(
+            "starj_request_latency_seconds",
+            "End-to-end request latency (successful requests).",
+            "histogram",
+        );
+        let buckets = self.core.metrics.latency.bucket_counts();
+        let mut cumulative = 0u64;
+        for (i, &count) in buckets.iter().enumerate() {
+            cumulative += count;
+            if count == 0 && i + 1 != buckets.len() {
+                continue; // keep the exposition compact: only occupied edges
+            }
+            let upper_s = (i as f64).exp2() / 1e9;
+            let le = format!("{upper_s}");
+            p.sample("starj_request_latency_seconds_bucket", &[("le", &le)], cumulative as f64);
+        }
+        p.sample("starj_request_latency_seconds_bucket", &[("le", "+Inf")], cumulative as f64);
+        p.sample("starj_request_latency_seconds_count", &[], cumulative as f64);
+
+        p.header("starj_tenant_spent_epsilon", "Committed ε spending per tenant.", "gauge");
+        let tenants = self.tenants();
+        for tenant in &tenants {
+            if let Ok(usage) = self.tenant_usage(tenant) {
+                p.sample("starj_tenant_spent_epsilon", &[("tenant", tenant)], usage.spent_epsilon);
+            }
+        }
+        p.header("starj_tenant_remaining_epsilon", "Unreserved ε remaining per tenant.", "gauge");
+        for tenant in &tenants {
+            if let Ok(usage) = self.tenant_usage(tenant) {
+                p.sample(
+                    "starj_tenant_remaining_epsilon",
+                    &[("tenant", tenant)],
+                    usage.remaining_epsilon,
+                );
+            }
+        }
+
+        for (name, value) in kernel_counters().snapshot().entries() {
+            let metric = format!("starj_kernel_{name}_total");
+            p.header(
+                &metric,
+                &format!("Kernel profiling counter `{name}` (process-wide)."),
+                "counter",
+            );
+            p.sample(&metric, &[], value as f64);
+        }
+
+        let telemetry = &self.core.telemetry;
+        p.header(
+            "starj_trace_spans_recorded_total",
+            "Completed request spans recorded.",
+            "counter",
+        );
+        p.sample("starj_trace_spans_recorded_total", &[], telemetry.spans_recorded() as f64);
+        p.header("starj_audit_events", "Privacy-budget audit events retained.", "gauge");
+        p.sample("starj_audit_events", &[], telemetry.audit().len() as f64);
+        p.header(
+            "starj_audit_events_dropped_total",
+            "Audit events evicted by the capacity bound.",
+            "counter",
+        );
+        p.sample("starj_audit_events_dropped_total", &[], telemetry.audit().dropped() as f64);
+        p.header("starj_slow_queries", "Requests retained in the slow-query log.", "gauge");
+        p.sample("starj_slow_queries", &[], telemetry.slow_queries().len() as f64);
+        p.render()
+    }
+
     /// Number of answers currently cached.
     pub fn cached_answers(&self) -> usize {
         self.core.cache.len()
@@ -391,9 +501,11 @@ impl Service {
             None => self.core.pm_direct(tenant, query, epsilon).map(Submitted::Ready),
             Some(coalescer) => match self.core.pm_phase1(tenant, query, epsilon)? {
                 PmPhase::Immediate(answer) => Ok(Submitted::Ready(answer)),
-                PmPhase::Execute(work) => {
+                PmPhase::Execute(mut work) => {
+                    work.trace.mark_queued();
+                    work.trace.stage_begin(Stage::QueueWait);
                     let (pending, slot) = pending_pair();
-                    coalescer.enqueue(Job::Pm(PmJob { work, slot }));
+                    coalescer.enqueue(Job::Pm(PmJob { work: *work, slot }));
                     Ok(Submitted::Queued(pending))
                 }
             },
@@ -427,7 +539,9 @@ impl Service {
             None => self.core.wd_direct(tenant, workload, epsilon).map(Submitted::Ready),
             Some(coalescer) => match self.core.wd_phase1(tenant, workload, epsilon)? {
                 WdPhase::Immediate(answer) => Ok(Submitted::Ready(answer)),
-                WdPhase::Execute(work) => {
+                WdPhase::Execute(mut work) => {
+                    work.trace.mark_queued();
+                    work.trace.stage_begin(Stage::QueueWait);
                     let (pending, slot) = pending_pair();
                     coalescer.enqueue(Job::Wd(WdJob { work: *work, slot }));
                     Ok(Submitted::Queued(pending))
@@ -455,19 +569,31 @@ impl Service {
     ) -> Result<BatchAnswer, ServiceError> {
         let core = &self.core;
         let start = Instant::now();
+        let mut trace = core.telemetry.trace_start(RequestKind::PmBatch, tenant);
+        trace.stage_begin(Stage::Admission);
         let cost = core.admit_cost(epsilon)?;
         if queries.is_empty() {
+            trace.stage_end(Stage::Admission);
+            core.telemetry.trace_finish(trace, TraceOutcome::Free);
             return Ok(BatchAnswer { answers: Vec::new(), cached: false, cost: None });
         }
         let (schema, version) = core.snapshot();
         for q in queries {
             core.admit(|| validate_query(&schema, q))?;
         }
+        trace.stage_end(Stage::Admission);
 
-        let canons: Vec<_> = queries.iter().map(canonicalize).collect();
-        let key = RequestKey::Workload(canons.clone());
-        if let Some(hit) = core.cache_get(tenant, Mechanism::PmBatch, epsilon, version, &key) {
+        let (canons, key) = trace.stage(Stage::Canon, || {
+            let canons: Vec<_> = queries.iter().map(canonicalize).collect();
+            let key = RequestKey::Workload(canons.clone());
+            (canons, key)
+        });
+        let hit = trace.stage(Stage::CacheProbe, || {
+            core.cache_get(tenant, Mechanism::PmBatch, epsilon, version, &key)
+        });
+        if let Some(hit) = hit {
             core.served(start);
+            core.telemetry.trace_finish(trace, TraceOutcome::Cached);
             let answers = queries
                 .iter()
                 .zip(hit.batch)
@@ -502,23 +628,26 @@ impl Service {
             ServiceMetrics::add(&core.metrics.free_answers, queries.len() as u64);
             None
         } else {
-            let reservation = core.reserve(tenant, cost)?;
+            let reservation = trace.stage(Stage::BudgetReserve, || {
+                core.reserve(tenant, cost, query_hash(Mechanism::PmBatch, &key), version)
+            })?;
             let mut rng = core.request_rng();
             let eps_each = epsilon / satisfiable.len() as f64;
             // Phase 1: per-member perturbation (the private step).
-            let noisy: Vec<StarQuery> = match satisfiable
-                .iter()
-                .map(|&i| {
-                    dp_starj::pm::perturb_query(
-                        &schema,
-                        &canons[i].to_query(&queries[i].name),
-                        eps_each,
-                        &core.config.pm,
-                        &mut rng,
-                    )
-                })
-                .collect::<Result<_, _>>()
-            {
+            let noisy: Vec<StarQuery> = match trace.stage(Stage::Perturb, || {
+                satisfiable
+                    .iter()
+                    .map(|&i| {
+                        dp_starj::pm::perturb_query(
+                            &schema,
+                            &canons[i].to_query(&queries[i].name),
+                            eps_each,
+                            &core.config.pm,
+                            &mut rng,
+                        )
+                    })
+                    .collect::<Result<_, _>>()
+            }) {
                 Ok(n) => n,
                 Err(e) => {
                     ServiceMetrics::inc(&core.metrics.mechanism_failures);
@@ -526,14 +655,16 @@ impl Service {
                 }
             };
             // Phase 2: one fused scan answers every noisy member.
-            let results = match execute_batch_with(&schema, &noisy, core.config.pm.scan) {
+            let results = match trace.stage(Stage::FusedScan, || {
+                execute_batch_with(&schema, &noisy, core.config.pm.scan)
+            }) {
                 Ok(r) => r,
                 Err(e) => {
                     ServiceMetrics::inc(&core.metrics.mechanism_failures);
                     return Err(ServiceError::InvalidQuery(e));
                 }
             };
-            reservation.commit()?;
+            trace.stage(Stage::Commit, || reservation.commit())?;
             // Metrics only after the batch actually commits — a refused or
             // failed request must not count its free members as served.
             ServiceMetrics::add(
@@ -569,6 +700,8 @@ impl Service {
             );
         }
         core.served(start);
+        let outcome = if charged.is_some() { TraceOutcome::Ok } else { TraceOutcome::Free };
+        core.telemetry.trace_finish(trace, outcome);
         let answers = queries
             .iter()
             .zip(batch)
@@ -593,6 +726,8 @@ impl Service {
     ) -> Result<KStarAnswer, ServiceError> {
         let core = &self.core;
         let start = Instant::now();
+        let mut trace = core.telemetry.trace_start(RequestKind::KStar, tenant);
+        trace.stage_begin(Stage::Admission);
         let cost = core.admit_cost(epsilon)?;
         let graph = self.graph.as_ref().ok_or(ServiceError::NoGraph)?;
         let version = core.snapshot().1;
@@ -610,10 +745,15 @@ impl Service {
                 Ok(())
             }
         })?;
+        trace.stage_end(Stage::Admission);
 
         let key = RequestKey::KStar(query.k, query.lo, query.hi);
-        if let Some(hit) = core.cache_get(tenant, Mechanism::KStar, epsilon, version, &key) {
+        let hit = trace.stage(Stage::CacheProbe, || {
+            core.cache_get(tenant, Mechanism::KStar, epsilon, version, &key)
+        });
+        if let Some(hit) = hit {
             core.served(start);
+            core.telemetry.trace_finish(trace, TraceOutcome::Cached);
             let (k, lo, hi) = hit.noisy_kstar.unwrap_or((query.k, query.lo, query.hi));
             return Ok(KStarAnswer {
                 count: hit.result.scalar().map_err(ServiceError::InvalidQuery)?,
@@ -623,17 +763,20 @@ impl Service {
             });
         }
 
-        let reservation = core.reserve(tenant, cost)?;
+        let reservation = trace.stage(Stage::BudgetReserve, || {
+            core.reserve(tenant, cost, query_hash(Mechanism::KStar, &key), version)
+        })?;
         let mut rng = core.request_rng();
-        let (count, noisy_query) =
-            match pm_kstar(graph, query, epsilon, core.config.pm.policy, &mut rng) {
-                Ok(a) => a,
-                Err(e) => {
-                    ServiceMetrics::inc(&core.metrics.mechanism_failures);
-                    return Err(e.into());
-                }
-            };
-        reservation.commit()?;
+        let (count, noisy_query) = match trace.stage(Stage::Perturb, || {
+            pm_kstar(graph, query, epsilon, core.config.pm.policy, &mut rng)
+        }) {
+            Ok(a) => a,
+            Err(e) => {
+                ServiceMetrics::inc(&core.metrics.mechanism_failures);
+                return Err(e.into());
+            }
+        };
+        trace.stage(Stage::Commit, || reservation.commit())?;
 
         if core.config.cache_answers {
             core.cache.insert(
@@ -653,6 +796,7 @@ impl Service {
             );
         }
         core.served(start);
+        core.telemetry.trace_finish(trace, TraceOutcome::Ok);
         Ok(KStarAnswer { count, noisy_query, cached: false, cost: Some(cost) })
     }
 }
@@ -676,11 +820,15 @@ impl ServiceCore {
         epsilon: f64,
     ) -> Result<PmPhase, ServiceError> {
         let start = Instant::now();
-        let cost = self.admit_cost(epsilon)?;
+        let mut trace = self.telemetry.trace_start(RequestKind::Pm, tenant);
         let (schema, version) = self.snapshot();
-        self.admit(|| validate_query(&schema, query))?;
+        let cost = trace.stage(Stage::Admission, || {
+            let cost = self.admit_cost(epsilon)?;
+            self.admit(|| validate_query(&schema, query))?;
+            Ok::<_, ServiceError>(cost)
+        })?;
 
-        let canon = canonicalize(query);
+        let canon = trace.stage(Stage::Canon, || canonicalize(query));
         if canon.unsatisfiable {
             // Unsatisfiable on every instance — the exact empty answer is
             // data-independent, hence free.
@@ -691,6 +839,7 @@ impl ServiceCore {
             };
             ServiceMetrics::inc(&self.metrics.free_answers);
             self.served(start);
+            self.telemetry.trace_finish(trace, TraceOutcome::Free);
             return Ok(PmPhase::Immediate(ServiceAnswer {
                 name: query.name.clone(),
                 result,
@@ -701,8 +850,12 @@ impl ServiceCore {
         }
 
         let key = RequestKey::Single(canon.clone());
-        if let Some(hit) = self.cache_get(tenant, Mechanism::Pm, epsilon, version, &key) {
+        let hit = trace.stage(Stage::CacheProbe, || {
+            self.cache_get(tenant, Mechanism::Pm, epsilon, version, &key)
+        });
+        if let Some(hit) = hit {
             self.served(start);
+            self.telemetry.trace_finish(trace, TraceOutcome::Cached);
             return Ok(PmPhase::Immediate(ServiceAnswer {
                 name: query.name.clone(),
                 result: hit.result,
@@ -712,18 +865,16 @@ impl ServiceCore {
             }));
         }
 
-        let reservation = self.reserve(tenant, cost)?;
+        let query_hash = query_hash(Mechanism::Pm, &key);
+        let reservation = trace
+            .stage(Stage::BudgetReserve, || self.reserve(tenant, cost, query_hash, version))?;
         let mut rng = self.request_rng();
         // The canonical form is what executes: presentation-equivalent
         // queries must spend identically, not just cache identically.
         let executable = canon.to_query(&query.name);
-        let noisy = match dp_starj::pm::perturb_query(
-            &schema,
-            &executable,
-            epsilon,
-            &self.config.pm,
-            &mut rng,
-        ) {
+        let noisy = match trace.stage(Stage::Perturb, || {
+            dp_starj::pm::perturb_query(&schema, &executable, epsilon, &self.config.pm, &mut rng)
+        }) {
             Ok(n) => n,
             Err(e) => {
                 // Reservation drops here → automatic refund.
@@ -731,7 +882,7 @@ impl ServiceCore {
                 return Err(e.into());
             }
         };
-        Ok(PmPhase::Execute(PmWork {
+        Ok(PmPhase::Execute(Box::new(PmWork {
             tenant: tenant.to_string(),
             name: query.name.clone(),
             epsilon,
@@ -742,7 +893,8 @@ impl ServiceCore {
             schema,
             version,
             start,
-        }))
+            trace,
+        })))
     }
 
     /// Refuses an executed request whose data version is no longer the
@@ -768,32 +920,49 @@ impl ServiceCore {
         work: PmWork,
         result: QueryResult,
     ) -> Result<ServiceAnswer, ServiceError> {
-        self.stale_check(work.version)?;
-        work.reservation.commit()?;
-        if self.config.cache_answers {
-            self.cache.insert(
-                &work.tenant,
-                Mechanism::Pm,
-                work.epsilon,
-                work.version,
-                work.key,
-                CachedAnswer {
-                    result: result.clone(),
-                    workload_answers: Vec::new(),
-                    noisy_query: Some(work.noisy.clone()),
-                    batch: Vec::new(),
-                    noisy_kstar: None,
-                    original_cost: work.cost,
-                },
-            );
-        }
-        self.served(work.start);
+        let PmWork {
+            tenant,
+            name,
+            epsilon,
+            cost,
+            key,
+            noisy,
+            reservation,
+            version,
+            start,
+            mut trace,
+            ..
+        } = work;
+        trace.stage(Stage::Commit, || {
+            self.stale_check(version)?;
+            reservation.commit()?;
+            if self.config.cache_answers {
+                self.cache.insert(
+                    &tenant,
+                    Mechanism::Pm,
+                    epsilon,
+                    version,
+                    key,
+                    CachedAnswer {
+                        result: result.clone(),
+                        workload_answers: Vec::new(),
+                        noisy_query: Some(noisy.clone()),
+                        batch: Vec::new(),
+                        noisy_kstar: None,
+                        original_cost: cost,
+                    },
+                );
+            }
+            Ok::<_, ServiceError>(())
+        })?;
+        self.served(start);
+        self.telemetry.trace_finish(trace, TraceOutcome::Ok);
         Ok(ServiceAnswer {
-            name: work.name,
+            name,
             result,
-            noisy_query: Some(work.noisy),
+            noisy_query: Some(noisy),
             cached: false,
-            cost: Some(work.cost),
+            cost: Some(cost),
         })
     }
 
@@ -807,7 +976,12 @@ impl ServiceCore {
         match self.pm_phase1(tenant, query, epsilon)? {
             PmPhase::Immediate(answer) => Ok(answer),
             PmPhase::Execute(work) => {
-                let result = match execute_with(&work.schema, &work.noisy, self.config.pm.scan) {
+                let mut work = *work;
+                let scan = self.config.pm.scan;
+                let result = match work
+                    .trace
+                    .stage(Stage::FusedScan, || execute_with(&work.schema, &work.noisy, scan))
+                {
                     Ok(r) => r,
                     Err(e) => {
                         ServiceMetrics::inc(&self.metrics.mechanism_failures);
@@ -828,14 +1002,23 @@ impl ServiceCore {
         epsilon: f64,
     ) -> Result<WdPhase, ServiceError> {
         let start = Instant::now();
-        let cost = self.admit_cost(epsilon)?;
+        let mut trace = self.telemetry.trace_start(RequestKind::Wd, tenant);
         let (schema, version) = self.snapshot();
-        self.admit(|| validate_workload(&schema, workload))?;
+        let cost = trace.stage(Stage::Admission, || {
+            let cost = self.admit_cost(epsilon)?;
+            self.admit(|| validate_workload(&schema, workload))?;
+            Ok::<_, ServiceError>(cost)
+        })?;
 
-        let key =
-            RequestKey::Workload(workload.to_star_queries().iter().map(canonicalize).collect());
-        if let Some(hit) = self.cache_get(tenant, Mechanism::Wd, epsilon, version, &key) {
+        let key = trace.stage(Stage::Canon, || {
+            RequestKey::Workload(workload.to_star_queries().iter().map(canonicalize).collect())
+        });
+        let hit = trace.stage(Stage::CacheProbe, || {
+            self.cache_get(tenant, Mechanism::Wd, epsilon, version, &key)
+        });
+        if let Some(hit) = hit {
             self.served(start);
+            self.telemetry.trace_finish(trace, TraceOutcome::Cached);
             return Ok(WdPhase::Immediate(WorkloadAnswer {
                 answers: hit.workload_answers,
                 cached: true,
@@ -844,9 +1027,13 @@ impl ServiceCore {
         }
 
         let (axes, space) = WeightHistogram::plan_axes(&schema, &workload_axes(workload))?;
-        let reservation = self.reserve(tenant, cost)?;
+        let query_hash = query_hash(Mechanism::Wd, &key);
+        let reservation = trace
+            .stage(Stage::BudgetReserve, || self.reserve(tenant, cost, query_hash, version))?;
         let mut rng = self.request_rng();
-        let rows = match wd_reconstruct(&schema, workload, epsilon, &self.config.wd, &mut rng) {
+        let rows = match trace.stage(Stage::Perturb, || {
+            wd_reconstruct(&schema, workload, epsilon, &self.config.wd, &mut rng)
+        }) {
             Ok(rows) => rows,
             Err(e) => {
                 ServiceMetrics::inc(&self.metrics.mechanism_failures);
@@ -865,6 +1052,7 @@ impl ServiceCore {
             schema,
             version,
             start,
+            trace,
         })))
     }
 
@@ -937,27 +1125,33 @@ impl ServiceCore {
         work: WdWork,
         answers: Vec<f64>,
     ) -> Result<WorkloadAnswer, ServiceError> {
-        self.stale_check(work.version)?;
-        work.reservation.commit()?;
-        if self.config.cache_answers {
-            self.cache.insert(
-                &work.tenant,
-                Mechanism::Wd,
-                work.epsilon,
-                work.version,
-                work.key,
-                CachedAnswer {
-                    result: QueryResult::Scalar(0.0),
-                    workload_answers: answers.clone(),
-                    noisy_query: None,
-                    batch: Vec::new(),
-                    noisy_kstar: None,
-                    original_cost: work.cost,
-                },
-            );
-        }
-        self.served(work.start);
-        Ok(WorkloadAnswer { answers, cached: false, cost: Some(work.cost) })
+        let WdWork { tenant, epsilon, cost, key, reservation, version, start, mut trace, .. } =
+            work;
+        trace.stage(Stage::Commit, || {
+            self.stale_check(version)?;
+            reservation.commit()?;
+            if self.config.cache_answers {
+                self.cache.insert(
+                    &tenant,
+                    Mechanism::Wd,
+                    epsilon,
+                    version,
+                    key,
+                    CachedAnswer {
+                        result: QueryResult::Scalar(0.0),
+                        workload_answers: answers.clone(),
+                        noisy_query: None,
+                        batch: Vec::new(),
+                        noisy_kstar: None,
+                        original_cost: cost,
+                    },
+                );
+            }
+            Ok::<_, ServiceError>(())
+        })?;
+        self.served(start);
+        self.telemetry.trace_finish(trace, TraceOutcome::Ok);
+        Ok(WorkloadAnswer { answers, cached: false, cost: Some(cost) })
     }
 
     pub(crate) fn wd_direct(
@@ -968,7 +1162,8 @@ impl ServiceCore {
     ) -> Result<WorkloadAnswer, ServiceError> {
         match self.wd_phase1(tenant, workload, epsilon)? {
             WdPhase::Immediate(answer) => Ok(answer),
-            WdPhase::Execute(work) => {
+            WdPhase::Execute(mut work) => {
+                work.trace.stage_begin(Stage::FusedScan);
                 let answers = match self.wd_partition_answers(
                     &work.schema,
                     work.version,
@@ -982,6 +1177,7 @@ impl ServiceCore {
                         return Err(e);
                     }
                 };
+                work.trace.stage_end(Stage::FusedScan);
                 self.wd_finish(*work, answers)
             }
         }
@@ -1006,8 +1202,16 @@ impl ServiceCore {
         &self,
         tenant: &str,
         cost: PrivacyBudget,
+        query_hash: u64,
+        version: u64,
     ) -> Result<crate::accountant::Reservation, ServiceError> {
-        self.accountant.reserve(tenant, cost).inspect_err(|e| {
+        let trail = self.telemetry.audit();
+        let audit = trail.enabled().then(|| AuditCtx {
+            trail: Arc::clone(trail),
+            query_hash,
+            data_version: version,
+        });
+        self.accountant.reserve_audited(tenant, cost, audit).inspect_err(|e| {
             if matches!(e, ServiceError::BudgetExhausted { .. }) {
                 ServiceMetrics::inc(&self.metrics.budget_refusals);
             }
@@ -1039,6 +1243,16 @@ impl ServiceCore {
         let index = self.request_counter.fetch_add(1, Ordering::Relaxed);
         StarRng::from_seed(self.config.seed).derive_index(index)
     }
+}
+
+/// Stable-within-a-run fingerprint of a canonical request, recorded on every
+/// audit event so a tenant's trail can be correlated back to the query shape
+/// without storing predicates (which may embed sensitive literals) verbatim.
+fn query_hash(mechanism: Mechanism, key: &RequestKey) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    mechanism.hash(&mut hasher);
+    key.hash(&mut hasher);
+    hasher.finish()
 }
 
 #[cfg(test)]
@@ -1272,7 +1486,7 @@ mod tests {
         service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
         let q = StarQuery::count("q").with(Predicate::point("D", "color", 1));
         let work = match service.core.pm_phase1("t", &q, 0.5).unwrap() {
-            PmPhase::Execute(work) => work,
+            PmPhase::Execute(work) => *work,
             PmPhase::Immediate(_) => panic!("a fresh paid query must reach the execute phase"),
         };
         let result = execute_with(&work.schema, &work.noisy, service.core.config.pm.scan).unwrap();

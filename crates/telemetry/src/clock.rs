@@ -1,0 +1,35 @@
+//! The process-wide monotonic telemetry clock.
+//!
+//! Every span and audit event is stamped in nanoseconds since a lazily
+//! initialized process epoch, so timestamps are plain `u64`s that compare,
+//! subtract, and serialize without any wall-clock ambiguity. The epoch is
+//! a [`std::time::Instant`], so the clock is monotone: a stage's end never
+//! precedes its start, which the span-balance property test relies on.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process epoch (first call wins; all later calls see the same one).
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process epoch. Monotone and thread-safe.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        let c = now_ns();
+        assert!(a <= b && b <= c);
+    }
+}

@@ -1,0 +1,119 @@
+//! A hand-rolled Prometheus text-format (version 0.0.4) renderer.
+//!
+//! The workspace is offline, so there is no client library — but the
+//! exposition format is simple enough to emit directly: `# HELP` /
+//! `# TYPE` headers followed by `name{label="value"} number` samples.
+//! Label values are escaped per the spec (`\\`, `\"`, `\n`); sample
+//! values render integers exactly and floats with full precision
+//! (`NaN`/`+Inf`/`-Inf` use the spec spellings).
+
+/// An in-progress Prometheus text exposition.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header for a metric family.
+    /// `metric_type` is one of `counter`, `gauge`, `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, metric_type: &str) -> &mut Self {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&help.replace('\\', "\\\\").replace('\n', "\\n"));
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(metric_type);
+        self.out.push('\n');
+        self
+    }
+
+    /// Appends one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&render_value(value));
+        self.out.push('\n');
+        self
+    }
+
+    /// The finished exposition text.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+fn render_value(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_samples() {
+        let mut p = PromText::new();
+        p.header("starj_queries_served_total", "Requests answered.", "counter");
+        p.sample("starj_queries_served_total", &[], 42.0);
+        p.sample("starj_tenant_spent_epsilon", &[("tenant", "a\"b")], 0.5);
+        let text = p.render();
+        assert!(text.contains("# HELP starj_queries_served_total Requests answered.\n"));
+        assert!(text.contains("# TYPE starj_queries_served_total counter\n"));
+        assert!(text.contains("starj_queries_served_total 42\n"));
+        assert!(text.contains("starj_tenant_spent_epsilon{tenant=\"a\\\"b\"} 0.5\n"));
+    }
+
+    #[test]
+    fn special_values_use_spec_spellings() {
+        assert_eq!(render_value(f64::INFINITY), "+Inf");
+        assert_eq!(render_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(render_value(f64::NAN), "NaN");
+        assert_eq!(render_value(7.0), "7");
+        assert_eq!(render_value(0.125), "0.125");
+    }
+
+    #[test]
+    fn multiple_labels_join_with_commas() {
+        let mut p = PromText::new();
+        p.sample("m", &[("a", "1"), ("b", "2")], 1.0);
+        assert_eq!(p.render(), "m{a=\"1\",b=\"2\"} 1\n");
+    }
+}

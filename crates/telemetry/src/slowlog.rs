@@ -1,0 +1,94 @@
+//! The slow-query log: completed request spans whose end-to-end latency
+//! met a configurable threshold.
+//!
+//! The latency histogram answers "what is p99?"; the slow-query log
+//! answers the question that follows — "*which* requests were slow, and
+//! where did their time go?" — by retaining the full stage breakdown of
+//! the offenders. Bounded FIFO: past capacity the oldest entry is
+//! dropped (and counted), so a latency incident can never grow service
+//! memory without bound.
+
+use crate::trace::TraceRecord;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct LogState {
+    entries: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+/// A bounded log of slow completed requests.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    state: Mutex<LogState>,
+    threshold_ns: u64,
+    capacity: usize,
+}
+
+impl SlowQueryLog {
+    /// A log retaining requests of duration ≥ `threshold_ns`, holding at
+    /// most `capacity` entries (0 = disabled).
+    pub fn new(threshold_ns: u64, capacity: usize) -> SlowQueryLog {
+        SlowQueryLog { state: Mutex::new(LogState::default()), threshold_ns, capacity }
+    }
+
+    /// The configured threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// Offers a completed record; retained iff it met the threshold.
+    pub fn observe(&self, record: &TraceRecord) {
+        if self.capacity == 0 || record.duration_ns() < self.threshold_ns {
+            return;
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.entries.push_back(record.clone());
+        if state.entries.len() > self.capacity {
+            state.entries.pop_front();
+            state.dropped += 1;
+        }
+    }
+
+    /// Retained slow requests, oldest first.
+    pub fn entries(&self) -> Vec<TraceRecord> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.entries.iter().cloned().collect()
+    }
+
+    /// Slow requests evicted by the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RequestKind, TraceBuilder, TraceOutcome};
+
+    fn record() -> TraceRecord {
+        TraceBuilder::start(RequestKind::Pm, "t", true)
+            .finish(TraceOutcome::Ok)
+            .expect("enabled builder yields a record")
+    }
+
+    #[test]
+    fn threshold_filters_and_capacity_bounds() {
+        let log = SlowQueryLog::new(0, 2);
+        for _ in 0..5 {
+            log.observe(&record());
+        }
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.dropped(), 3);
+
+        let strict = SlowQueryLog::new(u64::MAX, 2);
+        strict.observe(&record());
+        assert!(strict.entries().is_empty(), "sub-threshold requests are not retained");
+
+        let disabled = SlowQueryLog::new(0, 0);
+        disabled.observe(&record());
+        assert!(disabled.entries().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Telemetry tour: what the observability subsystem records while a
+//! service answers DP queries — request-stage spans, the privacy-budget
+//! audit trail, kernel profiling counters, the slow-query log, and the
+//! Prometheus exposition — all on a toy schema small enough to read the
+//! output end to end.
+//!
+//! ```text
+//! cargo run --release --example telemetry_tour
+//! ```
+//!
+//! The tour closes with the audit trail's core guarantee checked live:
+//! per-tenant Commit-event ε sums are **bit-identical** to the
+//! accountant's ledger (exactly — the εs here are dyadic).
+
+use dp_starj_repro::engine::{Column, Dimension, Domain, Predicate, StarQuery, StarSchema, Table};
+use dp_starj_repro::noise::PrivacyBudget;
+use dp_starj_repro::service::{Service, ServiceConfig, ServiceError, Stage};
+use dp_starj_repro::telemetry::kernel_counters;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy star: one dimension ("color", 4 values), twelve fact rows.
+    let domain = Domain::numeric("color", 4)?;
+    let dim = Table::new(
+        "D",
+        vec![Column::key("pk", vec![0, 1, 2, 3]), Column::attr("color", domain, vec![0, 1, 2, 3])],
+    )?;
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("fk", (0..12u32).map(|i| i % 4).collect()),
+            Column::measure("qty", (1..=12i64).collect()),
+        ],
+    )?;
+    let schema = Arc::new(StarSchema::new(fact, vec![Dimension::new(dim, "pk", "fk")])?);
+
+    // Telemetry is on by default; `ServiceConfig::telemetry` tunes ring
+    // capacities and the slow-query threshold (µs).
+    let service = Service::new(Arc::clone(&schema), ServiceConfig::default());
+    service.register_tenant("alice", PrivacyBudget::pure(4.0)?)?;
+    service.register_tenant("pinch", PrivacyBudget::pure(0.3)?)?;
+
+    // ---- traffic: paid answers, a cache replay, a refusal -------------
+    let kernel_before = kernel_counters().snapshot();
+    for v in 0..4u32 {
+        let q = StarQuery::count(format!("c{v}")).with(Predicate::point("D", "color", v));
+        service.pm_answer("alice", &q, 0.25)?;
+    }
+    let replay = StarQuery::count("c0").with(Predicate::point("D", "color", 0));
+    assert!(service.pm_answer("alice", &replay, 0.25)?.cached);
+    let refused = service.pm_answer("pinch", &replay, 0.5);
+    assert!(matches!(refused, Err(ServiceError::BudgetExhausted { .. })));
+
+    // ---- 1. request-stage spans ---------------------------------------
+    println!("== request-stage spans ==");
+    for record in service.telemetry().spans() {
+        print!(
+            "#{} {} tenant={} outcome={} total={}µs |",
+            record.trace_id,
+            record.kind.name(),
+            record.tenant(),
+            record.outcome.name(),
+            record.duration_ns() / 1_000,
+        );
+        for stage in Stage::ALL {
+            if let Some((s, e)) = record.stage(stage) {
+                print!(" {}={}µs", stage.name(), (e - s) / 1_000);
+            }
+        }
+        println!();
+    }
+
+    // ---- 2. the privacy-budget audit trail ----------------------------
+    println!("\n== audit trail (JSONL) ==");
+    print!("{}", service.audit_jsonl());
+
+    // The guarantee, checked live: Σ Commit ε ≡ ledger spend, bitwise.
+    for tenant in ["alice", "pinch"] {
+        let audited = service.telemetry().audit().committed(tenant).0;
+        let ledger = service.tenant_usage(tenant)?.spent_epsilon;
+        assert_eq!(audited.to_bits(), ledger.to_bits());
+        println!("audit ≡ ledger for {tenant}: ε = {ledger} (bit-identical)");
+    }
+
+    // ---- 3. kernel profiling counters ---------------------------------
+    println!("\n== kernel counters (this run) ==");
+    for (name, value) in kernel_counters().snapshot().since(&kernel_before).entries() {
+        if value > 0 {
+            println!("{name:28} {value}");
+        }
+    }
+
+    // ---- 4. the Prometheus exposition (head) --------------------------
+    println!("\n== prometheus exposition (first 12 lines) ==");
+    for line in service.prometheus_text().lines().take(12) {
+        println!("{line}");
+    }
+    println!(
+        "\nslow-query log: {} entries (threshold {} µs — raise traffic or lower \
+         `telemetry.slow_query_us` to populate it)",
+        service.telemetry().slow_queries().len(),
+        ServiceConfig::default().telemetry.slow_query_us,
+    );
+    Ok(())
+}

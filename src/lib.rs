@@ -12,3 +12,4 @@ pub use starj_noise as noise;
 pub use starj_router as router;
 pub use starj_service as service;
 pub use starj_ssb as ssb;
+pub use starj_telemetry as telemetry;

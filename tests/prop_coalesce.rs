@@ -194,6 +194,16 @@ proptest! {
         prop_assert_eq!(ua.in_flight_epsilon, 0.0);
         prop_assert_eq!(ub.in_flight_epsilon, 0.0);
         prop_assert_eq!(seq.cached_answers(), coal.cached_answers());
+
+        // The audit trail is evidence, not an estimate: on both paths the
+        // summed Commit-event ε/δ deltas must be bit-identical to what the
+        // ledger actually charged (dyadic ε ⇒ exact fp sums either way).
+        for (name, service, usage) in [("seq", &seq, &ua), ("coal", &coal, &ub)] {
+            let (audit_eps, audit_delta) = service.telemetry().audit().committed("t");
+            prop_assert_eq!(audit_eps.to_bits(), usage.spent_epsilon.to_bits(),
+                "{} audit trail diverged from the ledger", name);
+            prop_assert_eq!(audit_delta.to_bits(), usage.spent_delta.to_bits());
+        }
     }
 
     /// Asynchronous submission: every request parks before the first drain
@@ -348,5 +358,16 @@ fn scarce_budget_refusals_match_the_sequential_path() {
         assert_eq!(usage.spent_epsilon.to_bits(), 1.0f64.to_bits(), "exactly the allotment");
         assert_eq!(usage.in_flight_epsilon, 0.0);
         assert_eq!(service.metrics().budget_refusals, 4);
+
+        // The audit trail saw the same story: 8 commits summing (exactly,
+        // ε is dyadic) to the allotment, and one Refusal per refused query.
+        let audit = service.telemetry().audit();
+        assert_eq!(audit.committed("t").0.to_bits(), 1.0f64.to_bits());
+        let refusals = audit
+            .events_for("t")
+            .iter()
+            .filter(|e| e.kind == dp_starj_repro::service::AuditKind::Refusal)
+            .count();
+        assert_eq!(refusals, 4, "every budget refusal leaves an audit event");
     }
 }
