@@ -1,0 +1,386 @@
+//! Cost-model bench: the sampling-driven planner against ground truth.
+//!
+//! PR 7 replaced the scan planner's four static heuristics (exact
+//! full-column selectivity counts, blanket mask-cache promotion, the
+//! fk-staging row threshold, and the fixed group-commit window) with a
+//! WanderJoin-style sampled cost model. Every replaced decision is
+//! plan-shape-only — answers must stay bit-identical — and the estimates
+//! feeding it must actually be accurate. This bin holds both claims to
+//! account and self-gates (non-zero exit) on:
+//!
+//! 1. **bit-identity** — cost-model plans answer the full SSB query pool
+//!    bit-identically to the row-at-a-time reference executor *and* to
+//!    static (`cost_samples = 0`) plans;
+//! 2. **estimator accuracy** — on randomized point/range/subset dimension
+//!    masks, the measured pass fraction must lie inside the model's
+//!    reported confidence interval for ≥ 90% of predicates (3σ binomial
+//!    CIs make the expected coverage ≈ 99.7%);
+//! 3. **kernel ground truth** — the PR 6 kernel counters for the same
+//!    fused batch must agree across static and cost-model plans on
+//!    `chunks_scanned` (a plan-shape change can re-order work, never
+//!    change how much of the fact table is scanned);
+//! 4. **adaptive window** — at 8 concurrent clients the EWMA-adaptive
+//!    group-commit window must hold ≥ 95% of the fixed-window qps in its
+//!    best of 3 paired rounds (saturated rounds jitter ~10%, but a real
+//!    regression depresses all of them), the idle single-client p50
+//!    latency must *strictly* improve (the adaptive window collapses,
+//!    the fixed one taxes every request), and the
+//!    `starj_cost_window_adjustments` counter must show the adaptation
+//!    actually engaged.
+//!
+//! Planning-time speedup of estimate-based filter ordering over exact
+//! counting is reported (not gated). Results land in `BENCH_cost.json`;
+//! when a committed `BENCH_cost.json` exists the fresh qps numbers are
+//! drift-compared against it before overwriting (gate 5).
+//!
+//! ```text
+//! SSB_SF=0.05 COST_QUERIES=200 cargo run --release -p starj-bench --bin cost_model
+//! ```
+//!
+//! Environment knobs: `SSB_SF` (scale factor, default 0.05),
+//! `COST_QUERIES` (requests per client in the window A/B, default 200),
+//! `COST_WINDOW_US` (fixed window and adaptive bound, default 1000),
+//! `SEED`.
+
+use starj_bench::harness::{env_u64, Json};
+use starj_bench::{
+    drift, measure_coalesce, measure_coalesce_adaptive, query_pool, root_seed, ssb_sf,
+};
+use starj_engine::exec::reference;
+use starj_engine::{cost_model_for, execute_batch_with, BitSet, CostConfig, ScanOptions, ScanPlan};
+use starj_ssb::{generate, SsbConfig};
+use starj_telemetry::{cost_counters, kernel_counters};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const EPSILON: f64 = 0.1;
+const PREDICATES_PER_DIM: usize = 24;
+const COVERAGE_GATE: f64 = 0.90;
+const PLANNING_REPS: usize = 50;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A randomized dimension mask: alternating contiguous ranges (the shape
+/// range predicates resolve to) and Bernoulli subsets at a random density
+/// (the shape arbitrary point-set predicates resolve to).
+fn random_mask(rows: usize, index: usize, rng: &mut u64) -> BitSet {
+    if index.is_multiple_of(2) {
+        let lo = (splitmix(rng) as usize) % rows;
+        let span = 1 + (splitmix(rng) as usize) % (rows - lo);
+        BitSet::from_fn(rows, |r| r >= lo && r < lo + span)
+    } else {
+        let density = ((splitmix(rng) % 99) + 1) as f64 / 100.0;
+        let mut local = splitmix(rng) | 1;
+        BitSet::from_fn(rows, |_| (splitmix(&mut local) as f64 / u64::MAX as f64) < density)
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let sf = ssb_sf();
+    let seed = root_seed();
+    let queries_per_client = env_u64("COST_QUERIES", 200) as usize;
+    let window = Duration::from_micros(env_u64("COST_WINDOW_US", 1000));
+
+    let schema = Arc::new(generate(&SsbConfig::at_scale(sf, seed)).expect("SSB generation"));
+    let pool = query_pool();
+    println!(
+        "Cost model (SF={sf}, {} fact rows, {} pool queries, window={}µs)\n",
+        schema.fact().num_rows(),
+        pool.len(),
+        window.as_micros()
+    );
+
+    // Gate 1: bit-identity — cost-model plans vs the reference executor
+    // and vs static plans, over the whole pool in one fused batch.
+    let model_opts = ScanOptions::default(); // cost model on by default
+    let static_opts = ScanOptions::default().with_cost_samples(0);
+    let before = kernel_counters().snapshot();
+    let model_results = execute_batch_with(&schema, &pool, model_opts).expect("fused batch");
+    let model_delta = kernel_counters().snapshot().since(&before);
+    let before = kernel_counters().snapshot();
+    let static_results = execute_batch_with(&schema, &pool, static_opts).expect("fused batch");
+    let static_delta = kernel_counters().snapshot().since(&before);
+    for (i, (q, got)) in pool.iter().zip(&model_results).enumerate() {
+        let want = reference::execute(&schema, q).expect("reference executor");
+        if *got != want {
+            eprintln!("IDENTITY GATE FAILED: query {i} ({}) diverged from reference", q.name);
+            std::process::exit(2);
+        }
+    }
+    if model_results != static_results {
+        eprintln!("IDENTITY GATE FAILED: cost-model plan diverged from the static plan");
+        std::process::exit(2);
+    }
+    println!(
+        "identity self-check passed: {} queries bit-identical (reference ≡ static ≡ cost-model)",
+        pool.len()
+    );
+
+    // Gate 3: kernel ground truth — the plan shape may re-order filters,
+    // re-split the mask program, and re-decide staging, but both plans
+    // scan the same fact table once; the chunk counter must agree exactly.
+    if model_delta.chunks_scanned != static_delta.chunks_scanned {
+        eprintln!(
+            "KERNEL GATE FAILED: chunks_scanned diverged (static {}, cost-model {})",
+            static_delta.chunks_scanned, model_delta.chunks_scanned
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "kernel counters: {} chunks scanned by both plans (static staged {} copies, \
+         model staged {}; shared-mask filters {} vs {})",
+        model_delta.chunks_scanned,
+        static_delta.staged_chunk_copies,
+        model_delta.staged_chunk_copies,
+        static_delta.shared_mask_filters,
+        model_delta.shared_mask_filters,
+    );
+
+    // Gate 2: estimator accuracy on randomized dimension masks. Ground
+    // truth comes from the model's own exact mode (sample_size ≥ fact
+    // rows degenerates the sampler into a full count with zero-width CIs).
+    let model = cost_model_for(&schema, &CostConfig::default()).expect("cost model");
+    let exact_config =
+        CostConfig { sample_size: schema.fact().num_rows().max(1), ..CostConfig::default() };
+    let exact = cost_model_for(&schema, &exact_config).expect("exact model");
+    assert!(exact.is_exact(), "sample_size ≥ fact rows must be exact");
+    let mut rng = seed ^ 0x5354_4152;
+    let (mut covered, mut total) = (0usize, 0usize);
+    let mut sum_abs_err = 0.0f64;
+    for d in 0..schema.num_dims() {
+        let rows = schema.dims()[d].table.num_rows();
+        for i in 0..PREDICATES_PER_DIM {
+            let bits = random_mask(rows, i, &mut rng);
+            let est = model.pass_fraction(d, &bits);
+            let truth = exact.pass_fraction(d, &bits).fraction;
+            total += 1;
+            if est.covers(truth) {
+                covered += 1;
+            }
+            sum_abs_err += (est.fraction - truth).abs();
+        }
+    }
+    let coverage = covered as f64 / total as f64;
+    let mean_abs_err = sum_abs_err / total as f64;
+    println!(
+        "estimator: {covered}/{total} predicates inside the reported CI \
+         ({:.1}% coverage, mean |err| {:.4})",
+        coverage * 100.0,
+        mean_abs_err
+    );
+    if coverage < COVERAGE_GATE {
+        eprintln!(
+            "ESTIMATOR GATE FAILED: {:.1}% CI coverage < {:.0}% floor",
+            coverage * 100.0,
+            COVERAGE_GATE * 100.0
+        );
+        std::process::exit(2);
+    }
+
+    // Planning-time A/B (reported, not gated): estimate-based filter
+    // ordering skips the exact full-column popcounts the static path pays
+    // per filter per plan.
+    let time_planning = |opts: ScanOptions| {
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..PLANNING_REPS {
+            let mut plan = ScanPlan::with_options(&schema, opts).expect("plan");
+            for q in &pool {
+                plan.add_query(q).expect("pool queries are well-formed");
+            }
+            sink += plan.num_queries();
+        }
+        assert_eq!(sink, PLANNING_REPS * pool.len());
+        start.elapsed().as_secs_f64()
+    };
+    let static_plan_secs = time_planning(static_opts);
+    let model_plan_secs = time_planning(model_opts);
+    println!(
+        "planning: static {:.2} ms vs cost-model {:.2} ms over {PLANNING_REPS}×{} queries \
+         ({:.2}× speedup)",
+        static_plan_secs * 1e3,
+        model_plan_secs * 1e3,
+        pool.len(),
+        static_plan_secs / model_plan_secs.max(1e-12)
+    );
+
+    // Gate 4: the adaptive group-commit window. Fixed vs adaptive at 1
+    // and 8 clients; the 8-client pairs gate throughput (best paired
+    // round), the 1-client pair gates idle latency (the fixed window
+    // taxes every request with the full hold; the adaptive window
+    // collapses to zero once the EWMAs see traffic the hold could never
+    // help).
+    let cost_before = cost_counters().snapshot();
+    let mut samples: Vec<Json> = Vec::new();
+    let mut fixed8 = Vec::new();
+    let mut adaptive8 = Vec::new();
+    let mut fixed1_p50 = Vec::new();
+    let mut adaptive1_p50 = Vec::new();
+    for round in 0..3 {
+        for &clients in &[1usize, 8] {
+            let fixed =
+                measure_coalesce(&schema, clients, queries_per_client, EPSILON, true, window, seed);
+            let adaptive = measure_coalesce_adaptive(
+                &schema,
+                clients,
+                queries_per_client,
+                EPSILON,
+                window,
+                window,
+                seed,
+            );
+            if clients == 8 {
+                fixed8.push(fixed.qps);
+                adaptive8.push(adaptive.qps);
+            } else {
+                fixed1_p50.push(fixed.p50_latency_us);
+                adaptive1_p50.push(adaptive.p50_latency_us);
+            }
+            if round == 0 {
+                for (regime, s) in [("fixed-window", &fixed), ("adaptive-window", &adaptive)] {
+                    println!(
+                        "  {regime:>16} {clients} clients: {:>7.0} qps, p50 {:>8.0} µs, \
+                         {} fused away",
+                        s.qps, s.p50_latency_us, s.fused_queries_saved
+                    );
+                    samples.push(Json::obj(vec![
+                        ("regime", Json::Str((*regime).into())),
+                        ("clients", Json::Num(clients as f64)),
+                        ("requests", Json::Num(s.requests as f64)),
+                        ("queries_per_sec", Json::Num(s.qps)),
+                        ("p50_latency_us", Json::Num(s.p50_latency_us)),
+                        ("fused_queries_saved", Json::Num(s.fused_queries_saved as f64)),
+                    ]));
+                }
+            }
+        }
+    }
+    let adjustments = cost_counters().snapshot().since(&cost_before).window_adjustments;
+    let (fixed8_med, adaptive8_med) = (median(fixed8.clone()), median(adaptive8.clone()));
+    // Saturated 8-client rounds jitter ~10% run-to-run, so the
+    // no-regression verdict pairs each round's arms and takes the *best*
+    // ratio: one clean round acquits the adaptive window of systematic
+    // loss, while a real regression depresses every round and still
+    // trips the gate.
+    let best_ratio8 =
+        fixed8.iter().zip(&adaptive8).map(|(f, a)| a / f.max(1e-12)).fold(0.0f64, f64::max);
+    let (fixed1_p50_med, adaptive1_p50_med) = (median(fixed1_p50), median(adaptive1_p50));
+    println!(
+        "\nwindow A/B: 8 clients {adaptive8_med:.0} vs {fixed8_med:.0} qps median \
+         (adaptive/fixed, best round ratio {best_ratio8:.2}), \
+         idle p50 {adaptive1_p50_med:.0} vs {fixed1_p50_med:.0} µs, \
+         {adjustments} window adjustments"
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("cost_model".into())),
+        ("scale_factor", Json::Num(sf)),
+        ("fact_rows", Json::Num(schema.fact().num_rows() as f64)),
+        ("queries_per_client", Json::Num(queries_per_client as f64)),
+        ("window_us", Json::Num(window.as_micros() as f64)),
+        ("samples", Json::Arr(samples)),
+        (
+            "estimator",
+            Json::obj(vec![
+                ("sample_size", Json::Num(starj_engine::DEFAULT_COST_SAMPLES as f64)),
+                ("predicates", Json::Num(total as f64)),
+                ("covered", Json::Num(covered as f64)),
+                ("coverage_frac", Json::Num(coverage)),
+                ("mean_abs_err", Json::Num(mean_abs_err)),
+            ]),
+        ),
+        (
+            "kernel",
+            Json::obj(vec![
+                ("chunks_scanned", Json::Num(model_delta.chunks_scanned as f64)),
+                ("static_staged_copies", Json::Num(static_delta.staged_chunk_copies as f64)),
+                ("model_staged_copies", Json::Num(model_delta.staged_chunk_copies as f64)),
+                ("static_shared_mask_filters", Json::Num(static_delta.shared_mask_filters as f64)),
+                ("model_shared_mask_filters", Json::Num(model_delta.shared_mask_filters as f64)),
+            ]),
+        ),
+        (
+            "planning",
+            Json::obj(vec![
+                ("static_secs", Json::Num(static_plan_secs)),
+                ("model_secs", Json::Num(model_plan_secs)),
+                ("speedup", Json::Num(static_plan_secs / model_plan_secs.max(1e-12))),
+            ]),
+        ),
+        (
+            "window_ab",
+            Json::obj(vec![
+                ("fixed_median_qps_8_clients", Json::Num(fixed8_med)),
+                ("adaptive_median_qps_8_clients", Json::Num(adaptive8_med)),
+                ("fixed_p50_us_1_client", Json::Num(fixed1_p50_med)),
+                ("adaptive_p50_us_1_client", Json::Num(adaptive1_p50_med)),
+                ("best_round_ratio_8_clients", Json::Num(best_ratio8)),
+                ("window_adjustments", Json::Num(adjustments as f64)),
+            ]),
+        ),
+    ]);
+
+    // Gate 5: drift vs the committed BENCH_cost.json (when present and
+    // comparable), before overwriting it.
+    let committed = drift::load("BENCH_cost.json").ok();
+    doc.write("BENCH_cost.json").expect("write BENCH_cost.json");
+    println!("wrote BENCH_cost.json");
+    match committed {
+        None => println!("no prior BENCH_cost.json to compare against"),
+        Some(old) => {
+            let fresh = drift::load("BENCH_cost.json").expect("just-written results parse");
+            match drift::compare(&old, &fresh, drift::noise_frac_from_env()) {
+                drift::Verdict::Ok(held) => {
+                    println!("no regression vs committed BENCH_cost.json ({} regimes)", held.len());
+                }
+                drift::Verdict::Skipped(why) => println!("drift comparison skipped: {why}"),
+                drift::Verdict::Regressed(lines) => {
+                    eprintln!("REGRESSION vs committed BENCH_cost.json:");
+                    for line in lines {
+                        eprintln!("  {line}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // Gate 4 verdicts (after the JSON lands, so a failed gate still
+    // leaves the measurement on disk for inspection).
+    if adjustments == 0 {
+        eprintln!("ADAPTIVE GATE FAILED: the window never adjusted — adaptation did not engage");
+        std::process::exit(1);
+    }
+    if best_ratio8 < 0.95 {
+        eprintln!(
+            "ADAPTIVE GATE FAILED: every round's 8-client adaptive qps fell below 95% of its \
+             fixed-window pair (best ratio {best_ratio8:.2}; medians {adaptive8_med:.0} vs \
+             {fixed8_med:.0} qps)"
+        );
+        std::process::exit(1);
+    }
+    if adaptive1_p50_med >= fixed1_p50_med {
+        eprintln!(
+            "ADAPTIVE GATE FAILED: idle 1-client p50 {adaptive1_p50_med:.0} µs did not improve \
+             on the fixed window's {fixed1_p50_med:.0} µs"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gates passed: identity, kernel agreement, {:.1}% CI coverage, adaptive window \
+         (best round ratio {best_ratio8:.2} ≥ 0.95 at 8 clients; idle p50 \
+         {adaptive1_p50_med:.0} < {fixed1_p50_med:.0} µs)",
+        coverage * 100.0
+    );
+}

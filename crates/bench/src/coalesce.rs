@@ -36,6 +36,11 @@ pub struct CoalesceSample {
     pub fused_queries_saved: u64,
     /// Requests that parked in the coalescer queue (0 when disabled).
     pub coalesced_requests: u64,
+    /// Median end-to-end request latency in µs (0.0 if nothing recorded) —
+    /// the signal the adaptive-window idle gate compares: a fixed window
+    /// taxes every idle request with the full hold, an adaptive window
+    /// collapses it.
+    pub p50_latency_us: f64,
 }
 
 /// Runs `queries_per_client` PM requests from each of `clients` threads
@@ -123,6 +128,44 @@ pub fn measure_coalesce_tracing(
     if !tracing {
         config.telemetry = starj_service::TelemetryConfig::disabled();
     }
+    measure_with_config(schema, clients, queries_per_client, epsilon, config)
+}
+
+/// [`measure_coalesce`] with the EWMA-adaptive group-commit window enabled:
+/// `window` is the fixed starting window, `window_max`
+/// ([`starj_service::ServiceConfig::coalesce_window_max`]) bounds the
+/// adaptation. The `cost_model` bench's idle-latency and burst-throughput
+/// gates compare this against the fixed-window arm.
+pub fn measure_coalesce_adaptive(
+    schema: &Arc<StarSchema>,
+    clients: usize,
+    queries_per_client: usize,
+    epsilon: f64,
+    window: Duration,
+    window_max: Duration,
+    seed: u64,
+) -> CoalesceSample {
+    let config = ServiceConfig {
+        seed,
+        cache_answers: false,
+        coalesce: true,
+        coalesce_window: window,
+        coalesce_window_max: window_max,
+        ..ServiceConfig::default()
+    };
+    measure_with_config(schema, clients, queries_per_client, epsilon, config)
+}
+
+/// The shared interior: spins up a service with `config`, drives
+/// `queries_per_client` PM requests from each of `clients` threads, and
+/// reads the sample off the wall clock and the service metrics.
+fn measure_with_config(
+    schema: &Arc<StarSchema>,
+    clients: usize,
+    queries_per_client: usize,
+    epsilon: f64,
+    config: ServiceConfig,
+) -> CoalesceSample {
     let service = Arc::new(Service::new(Arc::clone(schema), config));
     let allotment = PrivacyBudget::pure(epsilon * (queries_per_client.max(1) as f64) * 2.0)
         .expect("valid benchmark allotment");
@@ -163,6 +206,7 @@ pub fn measure_coalesce_tracing(
         fact_scans,
         fused_queries_saved: metrics.fused_queries_saved,
         coalesced_requests: metrics.coalesced_requests,
+        p50_latency_us: metrics.p50_latency_us.unwrap_or(0.0),
     }
 }
 

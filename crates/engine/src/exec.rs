@@ -28,13 +28,13 @@ pub fn execute(schema: &StarSchema, query: &StarQuery) -> Result<QueryResult, En
     execute_with(schema, query, ScanOptions::default())
 }
 
-/// [`execute`] with explicit scan options (thread count).
+/// [`execute`] with explicit scan options (threads, cost-model sampling, probe caps).
 pub fn execute_with(
     schema: &StarSchema,
     query: &StarQuery,
     options: ScanOptions,
 ) -> Result<QueryResult, EngineError> {
-    let mut plan = ScanPlan::new(schema)?;
+    let mut plan = ScanPlan::with_options(schema, options)?;
     plan.add_query(query)?;
     Ok(plan.execute(options).pop().expect("one planned query yields one result"))
 }
@@ -50,13 +50,13 @@ pub fn execute_batch(
     execute_batch_with(schema, queries, ScanOptions::default())
 }
 
-/// [`execute_batch`] with explicit scan options (thread count).
+/// [`execute_batch`] with explicit scan options (threads, cost-model sampling, probe caps).
 pub fn execute_batch_with(
     schema: &StarSchema,
     queries: &[StarQuery],
     options: ScanOptions,
 ) -> Result<Vec<QueryResult>, EngineError> {
-    let mut plan = ScanPlan::new(schema)?;
+    let mut plan = ScanPlan::with_options(schema, options)?;
     for q in queries {
         plan.add_query(q)?;
     }
@@ -71,7 +71,7 @@ pub fn execute_weighted(
     predicates: &[WeightedPredicate],
     agg: &Agg,
 ) -> Result<f64, EngineError> {
-    let mut plan = ScanPlan::new(schema)?;
+    let mut plan = ScanPlan::with_options(schema, ScanOptions::default())?;
     plan.add_weighted(predicates, agg)?;
     plan.execute(ScanOptions::default())
         .pop()
@@ -89,13 +89,13 @@ pub fn execute_weighted_batch(
     execute_weighted_batch_with(schema, queries, ScanOptions::default())
 }
 
-/// [`execute_weighted_batch`] with explicit scan options (thread count).
+/// [`execute_weighted_batch`] with explicit scan options (threads, cost-model sampling, probe caps).
 pub fn execute_weighted_batch_with(
     schema: &StarSchema,
     queries: &[WeightedQuery],
     options: ScanOptions,
 ) -> Result<Vec<f64>, EngineError> {
-    let mut plan = ScanPlan::new(schema)?;
+    let mut plan = ScanPlan::with_options(schema, options)?;
     for q in queries {
         plan.add_weighted(&q.predicates, &q.agg)?;
     }

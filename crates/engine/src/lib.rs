@@ -53,6 +53,7 @@
 pub mod bitset;
 pub mod canon;
 pub mod column;
+pub mod cost;
 pub mod domain;
 pub mod error;
 pub mod exec;
@@ -66,8 +67,12 @@ pub mod stats;
 pub mod table;
 
 pub use bitset::BitSet;
-pub use canon::{canonicalize, CanonicalQuery};
+pub use canon::{canonicalize, implies, CanonicalQuery};
 pub use column::{Column, ColumnData};
+pub use cost::{
+    cost_model_for, invalidate_cost_model, CostConfig, CostModel, DimensionStats,
+    PredicateEstimate, DEFAULT_COST_SAMPLES,
+};
 pub use domain::Domain;
 pub use error::EngineError;
 pub use exec::{

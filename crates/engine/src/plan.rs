@@ -44,7 +44,7 @@
 //!   memory once per query per chunk); per-dimension pass masks are
 //!   classified at plan time into probe fast paths (≤ 64 dimension rows →
 //!   the whole mask in one register word, ≤ 2^16 rows → a byte-granular
-//!   LUT, larger → the packed bitset) drained by 4-wide unrolled gather
+//!   LUT, larger → the packed bitset) drained by 8-wide unrolled gather
 //!   loops; filters are ordered by estimated selectivity (pass-fraction,
 //!   ties by dimension index) so the `*word == 0` early exit fires as
 //!   early as possible; and the histogram plan stages its joint flat codes
@@ -64,6 +64,7 @@
 //! the same ascending order.
 
 use crate::bitset::BitSet;
+use crate::cost::{cost_model_for, CostConfig, CostModel, DEFAULT_COST_SAMPLES};
 use crate::error::EngineError;
 use crate::predicate::{Predicate, WeightedPredicate};
 use crate::query::{Agg, QueryResult, StarQuery};
@@ -71,15 +72,19 @@ use crate::schema::StarSchema;
 use crate::stage::{
     gather_word_bytes, gather_word_small, gather_word_wide, ChunkStage, CHUNK_ROWS, CHUNK_WORDS,
 };
-use starj_telemetry::{kernel_counters, KernelCounters};
+use starj_telemetry::{cost_counters, kernel_counters, CostCounters, KernelCounters};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Largest dimension row count answered through the single-register-word
-/// probe ([`Probe::Word`]).
+/// Default largest dimension row count answered through the
+/// single-register-word probe ([`Probe::Word`]); overridable per scan via
+/// [`ScanOptions::word_probe_cap`] (clamped to ≤ 64 — the mask must fit
+/// one register word).
 const WORD_PROBE_CAP: usize = 64;
-/// Largest dimension row count answered through the byte-LUT probe
+/// Default largest dimension row count answered through the byte-LUT probe
 /// ([`Probe::Bytes`]); larger dimensions gather from the packed bitset.
+/// Overridable per scan via [`ScanOptions::byte_probe_cap`].
 const BYTE_PROBE_CAP: usize = 1 << 16;
 
 /// Largest dense accumulator (group-by cross-product or weighted joint code
@@ -111,11 +116,37 @@ pub struct ScanOptions {
     /// SIMD-width kernel. Results are bit-identical either way; this knob
     /// exists so benchmarks can A/B the gather strategies on live traffic.
     pub legacy_gather: bool,
+    /// Fact rows the sampling cost model walks per schema instance
+    /// ([`crate::cost`]). `0` disables the model and restores the static
+    /// plan heuristics (exact pass-count filter ordering, blanket ≥ 2-uses
+    /// mask sharing and staging). Any plan shape the model picks is
+    /// bit-identical on answers by construction.
+    pub cost_samples: usize,
+    /// Largest dimension row count probed through the register-word fast
+    /// path (clamped to ≤ 64 at classification).
+    pub word_probe_cap: usize,
+    /// Largest dimension row count probed through the byte-LUT fast path.
+    pub byte_probe_cap: usize,
+    /// Minimum per-chunk gathers of a dimension before its fk codes are
+    /// staged (the cost model may still demote cache-resident dimensions).
+    pub stage_min_uses: usize,
+    /// Minimum cross-query uses of a filter before it is considered for
+    /// the shared-mask cache (the cost model may still demote filters
+    /// whose private re-gathers are estimated nearly free).
+    pub share_min_uses: usize,
 }
 
 impl Default for ScanOptions {
     fn default() -> Self {
-        ScanOptions { threads: 1, legacy_gather: false }
+        ScanOptions {
+            threads: 1,
+            legacy_gather: false,
+            cost_samples: DEFAULT_COST_SAMPLES,
+            word_probe_cap: WORD_PROBE_CAP,
+            byte_probe_cap: BYTE_PROBE_CAP,
+            stage_min_uses: 2,
+            share_min_uses: 2,
+        }
     }
 }
 
@@ -125,10 +156,34 @@ impl ScanOptions {
         ScanOptions { threads: threads.max(1), ..ScanOptions::default() }
     }
 
+    /// The same options with `threads` workers (clamped to ≥ 1), keeping
+    /// every other knob — how a service threads its configured scan
+    /// options without resetting the cost-model and probe overrides.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// The same options with the pre-staging scalar gather interior forced
     /// (the A/B baseline for the staged SIMD-width kernel).
     pub fn with_legacy_gather(mut self) -> Self {
         self.legacy_gather = true;
+        self
+    }
+
+    /// The same options with the cost model sampling `samples` fact rows
+    /// (0 disables it — the static-heuristic baseline).
+    pub fn with_cost_samples(mut self, samples: usize) -> Self {
+        self.cost_samples = samples;
+        self
+    }
+
+    /// The same options with explicit probe-classification caps, so tests
+    /// and benches can exercise every probe regime without 2^16-row
+    /// fixtures.
+    pub fn with_probe_caps(mut self, word: usize, byte: usize) -> Self {
+        self.word_probe_cap = word;
+        self.byte_probe_cap = byte;
         self
     }
 }
@@ -288,7 +343,7 @@ enum Probe {
 }
 
 /// One compiled binary filter: the dimension, its packed pass mask, the
-/// probe fast path, and the plan-time pass count (selectivity ordering).
+/// probe fast path, and the plan-time selectivity signal.
 #[derive(Debug, Clone)]
 struct Filter {
     dim: usize,
@@ -296,30 +351,57 @@ struct Filter {
     /// gather and the `Wide` probe read it; selectivity comes from it).
     bits: BitSet,
     probe: Probe,
-    /// Set bits in `bits` at plan time.
+    /// Selectivity discriminant: the exact dimension-row pass count when
+    /// the cost model is off, the sampled fact-row hit count when it's on.
+    /// Deterministic per (mask, model), so it stays a valid dedup key.
     pass: usize,
+    /// Estimated fact pass fraction from the cost model (`None` without a
+    /// model → exact cross-multiplied ordering).
+    est: Option<f64>,
 }
 
 impl Filter {
+    /// [`Filter::build`] under the default caps with no model — the
+    /// boundary-test entry point.
+    #[cfg(test)]
     fn new(dim: usize, bits: BitSet) -> Self {
-        let pass = bits.count_ones();
+        Filter::build(dim, bits, WORD_PROBE_CAP, BYTE_PROBE_CAP, None)
+    }
+
+    /// Builds a filter under explicit probe caps and an optional cost
+    /// model. With a model, selectivity comes from the sampled walks — no
+    /// full-column `count_ones` pass.
+    fn build(
+        dim: usize,
+        bits: BitSet,
+        word_cap: usize,
+        byte_cap: usize,
+        model: Option<&CostModel>,
+    ) -> Self {
+        let (pass, est) = match model {
+            Some(m) => {
+                let e = m.pass_fraction(dim, &bits);
+                (e.hits, Some(e.fraction))
+            }
+            None => (bits.count_ones(), None),
+        };
         let k = kernel_counters();
-        let probe = if bits.len() <= WORD_PROBE_CAP {
+        let probe = if bits.len() <= word_cap.min(WORD_PROBE_CAP) {
             KernelCounters::add(&k.probe_word, 1);
             Probe::Word(bits.words().first().copied().unwrap_or(0))
-        } else if bits.len() <= BYTE_PROBE_CAP {
+        } else if bits.len() <= byte_cap {
             KernelCounters::add(&k.probe_bytes, 1);
             Probe::Bytes(bits.to_byte_lut())
         } else {
             KernelCounters::add(&k.probe_bitset, 1);
             Probe::Wide
         };
-        Filter { dim, bits, probe, pass }
+        Filter { dim, bits, probe, pass, est }
     }
 
     /// Gathers one mask word (≤ 64 fk codes) through the probe fast path.
     /// The match costs one predicted branch per 64 rows; each arm is a
-    /// monomorphic 4-wide unrolled loop.
+    /// monomorphic 8-wide unrolled loop.
     #[inline]
     fn gather_word(&self, lane: &[u32]) -> u64 {
         match &self.probe {
@@ -347,24 +429,40 @@ impl Filter {
 /// bit-identical for any sharing split.
 #[derive(Debug)]
 struct MaskProgram<'p> {
-    /// Distinct filters used by ≥ 2 mask-building queries, first-use order.
+    /// Distinct filters promoted to the shared cache, first-use order.
     shared: Vec<&'p Filter>,
+    /// Direct promotion uses of each shared slot (excludes the extra
+    /// via-cache references added by subsumption refinement, which save
+    /// nothing — the subsumed filter still runs its private gather).
+    shared_uses: Vec<usize>,
     /// Per query: indices into `shared`, plus the query-private filters
     /// (in the query's selectivity order).
     per_query: Vec<(Vec<usize>, Vec<&'p Filter>)>,
 }
 
-/// Orders filters by estimated selectivity — ascending pass fraction
-/// (`popcount / dimension rows`), ties broken by dimension index — so the
-/// most selective mask is ANDed first and the `*word == 0` early exit in
-/// later filters fires as early as possible. Pure reordering of a bitwise
-/// AND conjunction: the resulting mask is identical for any order.
+/// Orders filters by estimated selectivity — ascending pass fraction,
+/// ties broken by dimension index — so the most selective mask is ANDed
+/// first and the `*word == 0` early exit in later filters fires as early
+/// as possible. With the cost model the fraction is the *fact-weighted*
+/// sampled estimate (a better early-exit signal than the dimension-row
+/// popcount ratio: a mask passing few dimension rows can still admit most
+/// fact rows under a skewed fk distribution); without it, the exact
+/// cross-multiplied `popcount / dimension rows` compare. Pure reordering
+/// of a bitwise AND conjunction: the resulting mask is identical for any
+/// order.
 fn selectivity_order(filters: &mut [Filter]) {
     filters.sort_by(|a, b| {
-        // Cross-multiplied fraction compare (exact, no floats).
-        let lhs = a.pass as u128 * b.bits.len() as u128;
-        let rhs = b.pass as u128 * a.bits.len() as u128;
-        lhs.cmp(&rhs).then(a.dim.cmp(&b.dim))
+        match (a.est, b.est) {
+            (Some(ea), Some(eb)) => {
+                ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal).then(a.dim.cmp(&b.dim))
+            }
+            _ => {
+                // Cross-multiplied fraction compare (exact, no floats).
+                let lhs = a.pass as u128 * b.bits.len() as u128;
+                let rhs = b.pass as u128 * a.bits.len() as u128;
+                lhs.cmp(&rhs).then(a.dim.cmp(&b.dim))
+            }
+        }
     });
 }
 
@@ -553,23 +651,68 @@ pub struct ScanPlan<'a> {
     fks: Vec<&'a [u32]>,
     fact_rows: usize,
     queries: Vec<PlannedQuery<'a>>,
+    /// The options the plan was compiled under (probe caps, staging and
+    /// sharing thresholds). [`ScanPlan::new`] uses the static defaults
+    /// with the cost model off.
+    opts: ScanOptions,
+    /// The sampling cost model steering plan-shape decisions, when
+    /// enabled. `None` → the static heuristics (exact pass counts,
+    /// blanket ≥ 2-uses sharing and staging).
+    model: Option<Arc<CostModel>>,
 }
 
 impl<'a> ScanPlan<'a> {
-    /// An empty plan over `schema` (resolves the foreign-key arrays).
+    /// An empty plan over `schema` with the static plan heuristics
+    /// (resolves the foreign-key arrays; no cost model).
     pub fn new(schema: &'a StarSchema) -> Result<Self, EngineError> {
+        ScanPlan::with_options(schema, ScanOptions::default().with_cost_samples(0))
+    }
+
+    /// An empty plan compiled under explicit options. When
+    /// `options.cost_samples > 0` the per-schema sampling cost model is
+    /// resolved from the process-wide registry (built on first use, cached
+    /// until [`crate::cost::invalidate_cost_model`]) and steers filter
+    /// ordering, mask-sharing promotion, subsumption refinement, and fk
+    /// staging. Every model-driven choice is plan-shape-only: answers and
+    /// ledgers are bit-identical to [`ScanPlan::new`] by construction.
+    pub fn with_options(schema: &'a StarSchema, options: ScanOptions) -> Result<Self, EngineError> {
         let fks: Vec<&[u32]> =
             schema.dims().iter().map(|d| schema.fact().key(&d.fk)).collect::<Result<_, _>>()?;
-        Ok(ScanPlan { schema, fact_rows: schema.fact().num_rows(), fks, queries: Vec::new() })
+        let model = if options.cost_samples > 0 {
+            Some(cost_model_for(
+                schema,
+                &CostConfig { sample_size: options.cost_samples, ..CostConfig::default() },
+            )?)
+        } else {
+            None
+        };
+        Ok(ScanPlan {
+            schema,
+            fact_rows: schema.fact().num_rows(),
+            fks,
+            queries: Vec::new(),
+            opts: options,
+            model,
+        })
+    }
+
+    /// Replaces the plan's cost model — the adversarial-estimate test hook
+    /// (see `tests/prop_cost_model.rs`). Call before `add_query`: filters
+    /// compiled earlier keep their old estimates.
+    #[doc(hidden)]
+    pub fn set_cost_model(&mut self, model: Option<Arc<CostModel>>) {
+        self.model = model;
     }
 
     /// Compiles a binary-predicate star query into the plan.
     pub fn add_query(&mut self, query: &StarQuery) -> Result<(), EngineError> {
         let bitsets = dimension_bitsets(self.schema, &query.predicates)?;
+        let (word_cap, byte_cap) = (self.opts.word_probe_cap, self.opts.byte_probe_cap);
+        let model = self.model.as_deref();
         let mut filters: Vec<Filter> = bitsets
             .into_iter()
             .enumerate()
-            .filter_map(|(di, b)| Some(Filter::new(di, b?)))
+            .filter_map(|(di, b)| Some(Filter::build(di, b?, word_cap, byte_cap, model)))
             .collect();
         selectivity_order(&mut filters);
         let grouping = if query.group_by.is_empty() {
@@ -742,20 +885,44 @@ impl<'a> ScanPlan<'a> {
         KernelCounters::add(&k.staged_gathers, staged_gathers * chunks);
         KernelCounters::add(&k.direct_gathers, direct_gathers * chunks);
         KernelCounters::add(&k.shared_mask_filters, program.shared.len() as u64);
-        // A promotion with `u` users saves `u − 1` gather passes per chunk.
-        let saved: u64 = (0..program.shared.len())
-            .map(|si| {
-                let uses =
-                    program.per_query.iter().filter(|(via, _)| via.contains(&si)).count() as u64;
-                uses.saturating_sub(1)
-            })
-            .sum();
+        // A promotion with `u` direct users saves `u − 1` gather passes per
+        // chunk (subsumption-added cache references save nothing — the
+        // subsumed filter still runs its private gather).
+        let saved: u64 = program.shared_uses.iter().map(|&u| (u as u64).saturating_sub(1)).sum();
         KernelCounters::add(&k.shared_mask_gathers_saved, saved * chunks);
     }
 
-    /// Builds the cross-query mask-sharing program: filters whose
-    /// `(dimension, pass mask)` recurs across ≥ 2 mask-building queries are
-    /// promoted to the shared gather list; the rest stay query-private.
+    /// Estimated pass fraction of a filter (model estimate when present,
+    /// exact dimension-row ratio otherwise) — the probability signal behind
+    /// savings-driven promotion.
+    fn est_fraction(f: &Filter) -> f64 {
+        f.est.unwrap_or(f.pass as f64 / f.bits.len().max(1) as f64)
+    }
+
+    /// Expected private-gather cost of the filter at position `pos` of a
+    /// query's selectivity-ordered filter list, as a fraction of one full
+    /// gather pass: each 64-row mask word survives the earlier filters'
+    /// `*word == 0` early exit with probability `1 − (1 − p)^64` where `p`
+    /// is the product of the earlier filters' pass fractions.
+    fn private_gather_cost(filters: &[Filter], pos: usize) -> f64 {
+        let prefix: f64 = filters[..pos].iter().map(Self::est_fraction).product();
+        1.0 - (1.0 - prefix.clamp(0.0, 1.0)).powi(64)
+    }
+
+    /// Builds the cross-query mask-sharing program. Without the cost model,
+    /// filters whose `(dimension, pass mask)` recurs across ≥
+    /// `share_min_uses` mask-building queries are promoted to the shared
+    /// gather list (the legacy blanket rule). With the model, promotion is
+    /// savings-driven: a recurring filter is promoted only when the summed
+    /// expected cost of its private per-query gathers (each discounted by
+    /// the early-exit survival of the filters ordered before it) exceeds
+    /// the one full shared gather pass the cache costs — ultra-selective
+    /// predecessors make re-gathers nearly free, so such filters stay
+    /// private. The model also enables subsumption refinement: a private
+    /// filter whose mask is a subset of a promoted same-dimension mask has
+    /// the subsumer's cached mask ANDed in first (exact — `X ⊆ Y` implies
+    /// `X = X ∧ Y`), so its private gather early-exits on every word the
+    /// wider shared mask already killed.
     fn mask_program(&self, hist_plan: Option<&HistPlan>) -> MaskProgram<'_> {
         let active: Vec<bool> = (0..self.queries.len())
             .map(|qi| hist_plan.is_none_or(|hp| hp.assignment[qi].is_none()))
@@ -773,16 +940,38 @@ impl<'a> ScanPlan<'a> {
                 }
             }
         }
+        let min_uses = self.opts.share_min_uses.max(2);
         let mut shared: Vec<&Filter> = Vec::new();
+        let mut shared_uses: Vec<usize> = Vec::new();
         let shared_slot: Vec<Option<usize>> = distinct
             .iter()
             .map(|&(f, uses)| {
-                (uses >= 2).then(|| {
-                    shared.push(f);
-                    shared.len() - 1
-                })
+                if uses < min_uses {
+                    return None;
+                }
+                if self.model.is_some() {
+                    // Σ over using queries of the expected private-gather
+                    // cost; the shared cache costs one full gather pass.
+                    let saved: f64 = self
+                        .queries
+                        .iter()
+                        .enumerate()
+                        .filter(|&(qi, _)| active[qi])
+                        .filter_map(|(_, q)| {
+                            let pos = q.filters.iter().position(|g| g.same_mask(f))?;
+                            Some(Self::private_gather_cost(&q.filters, pos))
+                        })
+                        .sum();
+                    if saved <= 1.0 {
+                        return None;
+                    }
+                }
+                shared.push(f);
+                shared_uses.push(uses);
+                Some(shared.len() - 1)
             })
             .collect();
+        let c = cost_counters();
         let per_query = self
             .queries
             .iter()
@@ -798,21 +987,41 @@ impl<'a> ScanPlan<'a> {
                             .expect("every active filter was counted");
                         match shared_slot[di] {
                             Some(si) => via_cache.push(si),
-                            None => private.push(f),
+                            None => {
+                                if self.model.is_some() {
+                                    // Subsumption refinement (see above).
+                                    let subsumer = shared.iter().position(|y| {
+                                        y.dim == f.dim
+                                            && !y.same_mask(f)
+                                            && f.bits.is_subset(&y.bits)
+                                    });
+                                    if let Some(si) = subsumer {
+                                        if !via_cache.contains(&si) {
+                                            via_cache.push(si);
+                                            CostCounters::add(&c.subsumption_merges, 1);
+                                        }
+                                    }
+                                }
+                                private.push(f);
+                            }
                         }
                     }
                 }
                 (via_cache, private)
             })
             .collect();
-        MaskProgram { shared, per_query }
+        MaskProgram { shared, shared_uses, per_query }
     }
 
-    /// Which dimensions the staged kernel should copy per chunk: a
-    /// dimension is staged iff ≥ 2 mask gathers (shared-mask gathers,
-    /// query-private filter gathers, histogram axes) read it per chunk — a
-    /// single reader is served straight from the source array, since
-    /// staging it would be a pure copy tax.
+    /// Which dimensions the staged kernel should copy per chunk. Without
+    /// the cost model, a dimension is staged iff ≥ `stage_min_uses`
+    /// (floored at 2) mask gathers (shared-mask gathers, query-private
+    /// filter gathers, histogram axes) read it per chunk — a single reader
+    /// is served straight from the source array, since staging it would be
+    /// a pure copy tax. With the model, [`CostModel::should_stage`]
+    /// additionally demotes dimensions whose sampled distinct-codes-per-
+    /// chunk is small enough that their fk reads stay cache-resident
+    /// without a staging copy.
     fn staged_dims(&self, hist_plan: Option<&HistPlan>, program: &MaskProgram) -> Vec<bool> {
         let mut uses = vec![0usize; self.fks.len()];
         for f in &program.shared {
@@ -828,7 +1037,14 @@ impl<'a> ScanPlan<'a> {
                 uses[*di] += 1;
             }
         }
-        uses.into_iter().map(|u| u >= 2).collect()
+        let min_uses = self.opts.stage_min_uses;
+        uses.into_iter()
+            .enumerate()
+            .map(|(di, u)| match &self.model {
+                Some(m) => m.should_stage(di, u, min_uses),
+                None => u >= min_uses.max(2),
+            })
+            .collect()
     }
 
     fn fresh_state(&self, hist_plan: Option<&HistPlan>) -> ScanState {
@@ -1696,9 +1912,17 @@ mod tests {
         assert_eq!(ScanOptions::parallel(0).threads, 1);
         assert_eq!(ScanOptions::default().threads, 1);
         assert!(!ScanOptions::default().legacy_gather);
+        assert_eq!(ScanOptions::default().cost_samples, DEFAULT_COST_SAMPLES);
         let legacy = ScanOptions::parallel(3).with_legacy_gather();
         assert!(legacy.legacy_gather);
         assert_eq!(legacy.threads, 3);
+        // `with_threads` threads an existing option set without resetting
+        // the cost-model / probe knobs (`parallel` starts from defaults).
+        let tuned =
+            ScanOptions::default().with_cost_samples(7).with_probe_caps(16, 256).with_threads(0);
+        assert_eq!(tuned.threads, 1);
+        assert_eq!(tuned.cost_samples, 7);
+        assert_eq!((tuned.word_probe_cap, tuned.byte_probe_cap), (16, 256));
     }
 
     #[test]
@@ -1713,6 +1937,152 @@ mod tests {
         assert!(matches!(wide.probe, Probe::Wide), "2^16 + 1 rows → packed bitset");
         let empty = Filter::new(0, BitSet::zeros(0));
         assert!(matches!(empty.probe, Probe::Word(0)), "0-row dimension → empty word");
+    }
+
+    #[test]
+    fn probe_caps_override_classification() {
+        // Shrunken caps exercise every probe regime on a 40-row mask — no
+        // 2^16-row fixture needed.
+        let bits = BitSet::from_fn(40, |i| i % 3 == 0);
+        let word = Filter::build(0, bits.clone(), 64, 1 << 16, None);
+        assert!(matches!(word.probe, Probe::Word(_)));
+        let bytes = Filter::build(0, bits.clone(), 8, 1 << 16, None);
+        assert!(matches!(bytes.probe, Probe::Bytes(_)), "word cap 8 demotes to byte LUT");
+        let wide = Filter::build(0, bits.clone(), 8, 16, None);
+        assert!(matches!(wide.probe, Probe::Wide), "byte cap 16 demotes to packed bitset");
+        // A word cap above 64 still cannot admit masks past one register.
+        let big = Filter::build(0, BitSet::from_fn(100, |_| true), 1 << 20, 1 << 16, None);
+        assert!(matches!(big.probe, Probe::Bytes(_)), "word cap clamps at 64 bits");
+        // All three classifications answer identically.
+        let lane: Vec<u32> = (0..40).collect();
+        assert_eq!(word.gather_word(&lane), bytes.gather_word(&lane));
+        assert_eq!(word.gather_word(&lane), wide.gather_word(&lane));
+    }
+
+    #[test]
+    fn cost_model_plans_are_bit_identical_to_static() {
+        let s = schema();
+        let queries = [
+            StarQuery::count("c1")
+                .with(Predicate::range("A", "attr", 1, 2))
+                .with(Predicate::point("B", "attr", 0)),
+            StarQuery::count("c2")
+                .with(Predicate::range("A", "attr", 1, 2))
+                .with(Predicate::point("B", "attr", 1)),
+            StarQuery::sum("s", "qty").with(Predicate::point("A", "attr", 1)),
+        ];
+        let mut static_plan = ScanPlan::new(&s).unwrap();
+        let mut cost_plan = ScanPlan::with_options(&s, ScanOptions::default()).unwrap();
+        assert!(cost_plan.model.is_some(), "default options enable the model");
+        assert!(cost_plan.model.as_ref().unwrap().is_exact(), "6-row fact → exact model");
+        for q in &queries {
+            static_plan.add_query(q).unwrap();
+            cost_plan.add_query(q).unwrap();
+        }
+        assert_eq!(
+            static_plan.execute(ScanOptions::default()),
+            cost_plan.execute(ScanOptions::default())
+        );
+    }
+
+    #[test]
+    fn subsumed_private_mask_refines_from_the_shared_cache() {
+        let s = schema();
+        let mut plan = ScanPlan::with_options(&s, ScanOptions::default()).unwrap();
+        // A.attr ∈ {1,2} recurs in two queries behind a 1/2-selective B
+        // mask (prefix 0.5 → each private gather would cost ~1 full pass,
+        // so promotion saves ~2 > 1); A.attr = 1 is a strict subset of it.
+        plan.add_query(
+            &StarQuery::count("c1")
+                .with(Predicate::range("A", "attr", 1, 2))
+                .with(Predicate::point("B", "attr", 0)),
+        )
+        .unwrap();
+        plan.add_query(
+            &StarQuery::count("c2")
+                .with(Predicate::range("A", "attr", 1, 2))
+                .with(Predicate::point("B", "attr", 1)),
+        )
+        .unwrap();
+        plan.add_query(&StarQuery::count("c3").with(Predicate::point("A", "attr", 1))).unwrap();
+        let program = plan.mask_program(None);
+        assert_eq!(program.shared.len(), 1, "the recurring A range promotes");
+        assert_eq!(program.shared_uses, vec![2]);
+        assert_eq!(
+            program.per_query[2].0,
+            vec![0],
+            "the subset mask ANDs the shared subsumer first"
+        );
+        assert_eq!(program.per_query[2].1.len(), 1, "…but still runs its own gather");
+        // Refinement is exact: answers match the model-free and legacy paths.
+        let results = plan.execute(ScanOptions::default());
+        assert_eq!(results, plan.execute(ScanOptions::default().with_legacy_gather()));
+        assert_eq!(results[0].scalar().unwrap(), 2.0);
+        assert_eq!(results[1].scalar().unwrap(), 2.0);
+        assert_eq!(results[2].scalar().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn cost_model_demotes_cache_resident_staging() {
+        let s = schema();
+        // Two users of dimension A: the static rule stages it, but the
+        // model sees ≤ 3 distinct codes per chunk (cache-hot) and demotes.
+        let queries = [
+            StarQuery::count("c").with(Predicate::point("A", "attr", 1)),
+            StarQuery::count("d").with(Predicate::point("A", "attr", 2)),
+        ];
+        let mut static_plan = ScanPlan::new(&s).unwrap();
+        let mut cost_plan = ScanPlan::with_options(&s, ScanOptions::default()).unwrap();
+        for q in &queries {
+            static_plan.add_query(q).unwrap();
+            cost_plan.add_query(q).unwrap();
+        }
+        let sp = static_plan.mask_program(None);
+        assert_eq!(static_plan.staged_dims(None, &sp), vec![true, false]);
+        let cp = cost_plan.mask_program(None);
+        assert_eq!(
+            cost_plan.staged_dims(None, &cp),
+            vec![false, false],
+            "tiny dimension stays unstaged under the model"
+        );
+        assert_eq!(
+            static_plan.execute(ScanOptions::default()),
+            cost_plan.execute(ScanOptions::default()),
+            "staging is invisible to answers"
+        );
+    }
+
+    #[test]
+    fn adversarial_estimates_cannot_change_answers() {
+        let s = schema();
+        let queries = [
+            StarQuery::count("c1")
+                .with(Predicate::range("A", "attr", 1, 2))
+                .with(Predicate::point("B", "attr", 0)),
+            StarQuery::sum("s", "qty")
+                .with(Predicate::point("A", "attr", 1))
+                .with(Predicate::point("B", "attr", 1)),
+        ];
+        let mut truth_plan = ScanPlan::new(&s).unwrap();
+        for q in &queries {
+            truth_plan.add_query(q).unwrap();
+        }
+        let truth = truth_plan.execute(ScanOptions::default());
+        // Feed the planner maximally wrong estimates in both directions.
+        for (fa, fb, ra, rb) in [(0.0, 1.0, 1e6, 0.0), (1.0, 0.0, 0.0, 1e6), (0.5, 0.5, 1e6, 1e6)] {
+            let mut model =
+                crate::cost::CostModel::build(&s, &crate::cost::CostConfig::default()).unwrap();
+            model.force_fraction(0, fa);
+            model.force_fraction(1, fb);
+            model.force_residency(0, ra);
+            model.force_residency(1, rb);
+            let mut plan = ScanPlan::with_options(&s, ScanOptions::default()).unwrap();
+            plan.set_cost_model(Some(Arc::new(model)));
+            for q in &queries {
+                plan.add_query(q).unwrap();
+            }
+            assert_eq!(plan.execute(ScanOptions::default()), truth, "({fa}, {fb}, {ra}, {rb})");
+        }
     }
 
     #[test]

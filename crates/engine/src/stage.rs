@@ -16,12 +16,12 @@
 //!   The same buffer set stages the histogram-plan joint flat codes once
 //!   per chunk so every histogram kind drains a flat `u32` array.
 //! * `gather_word_*` — the three probe-specialized inner loops that turn
-//!   64 staged fk codes into one qualifying-row mask word. Each is a
-//!   4-wide manually unrolled loop with a pairwise OR-combine, so the four
-//!   per-row probes are independent (no loop-carried dependency until the
-//!   final combine) and LLVM can autovectorize / software-pipeline them —
-//!   plain safe Rust, no `std::simd`, verified by the bench gate rather
-//!   than asm inspection.
+//!   64 staged fk codes into one qualifying-row mask word. Each is an
+//!   8-wide manually unrolled loop with a pairwise OR-combine tree, so the
+//!   eight per-row probes are independent (no loop-carried dependency
+//!   until the balanced 3-level combine) and LLVM can autovectorize /
+//!   software-pipeline them — plain safe Rust, no `std::simd`, verified by
+//!   the bench gate rather than asm inspection.
 //!
 //! Everything here is bit-order preserving: staged codes are exact copies,
 //! the mask words are the same AND-conjunction the unstaged kernel
@@ -119,21 +119,28 @@ impl ChunkStage {
 
 /// Gathers one mask word from a dimension of ≤ 64 rows: the whole pass
 /// bitset lives in the `table` register, so each probe is a shift + AND.
-/// 4-wide unrolled with pairwise combines (no loop-carried dependency
-/// inside the quad).
+/// 8-wide unrolled with a pairwise OR-combine tree — the eight probes are
+/// independent and the combine is a balanced 3-level reduction, so nothing
+/// in the oct carries a dependency chain longer than three ORs.
 #[inline]
 pub(crate) fn gather_word_small(table: u64, fk: &[u32]) -> u64 {
     debug_assert!(fk.len() <= 64);
     let mut gathered = 0u64;
-    let quads = fk.len() & !3;
+    let octs = fk.len() & !7;
     let mut i = 0;
-    while i < quads {
+    while i < octs {
         let b0 = (table >> fk[i]) & 1;
         let b1 = (table >> fk[i + 1]) & 1;
         let b2 = (table >> fk[i + 2]) & 1;
         let b3 = (table >> fk[i + 3]) & 1;
-        gathered |= ((b0 | (b1 << 1)) | ((b2 | (b3 << 1)) << 2)) << i;
-        i += 4;
+        let b4 = (table >> fk[i + 4]) & 1;
+        let b5 = (table >> fk[i + 5]) & 1;
+        let b6 = (table >> fk[i + 6]) & 1;
+        let b7 = (table >> fk[i + 7]) & 1;
+        let lo = (b0 | (b1 << 1)) | ((b2 | (b3 << 1)) << 2);
+        let hi = (b4 | (b5 << 1)) | ((b6 | (b7 << 1)) << 2);
+        gathered |= (lo | (hi << 4)) << i;
+        i += 8;
     }
     while i < fk.len() {
         gathered |= ((table >> fk[i]) & 1) << i;
@@ -143,21 +150,28 @@ pub(crate) fn gather_word_small(table: u64, fk: &[u32]) -> u64 {
 }
 
 /// Gathers one mask word through a byte-granular `{0, 1}` lookup table
-/// (dimensions of ≤ 2^16 rows): each probe is one byte load, 4-wide
-/// unrolled with pairwise combines.
+/// (dimensions of ≤ 2^16 rows): each probe is one byte load, 8-wide
+/// unrolled with a pairwise OR-combine tree (eight independent loads in
+/// flight per iteration).
 #[inline]
 pub(crate) fn gather_word_bytes(lut: &[u8], fk: &[u32]) -> u64 {
     debug_assert!(fk.len() <= 64);
     let mut gathered = 0u64;
-    let quads = fk.len() & !3;
+    let octs = fk.len() & !7;
     let mut i = 0;
-    while i < quads {
+    while i < octs {
         let b0 = lut[fk[i] as usize] as u64;
         let b1 = lut[fk[i + 1] as usize] as u64;
         let b2 = lut[fk[i + 2] as usize] as u64;
         let b3 = lut[fk[i + 3] as usize] as u64;
-        gathered |= ((b0 | (b1 << 1)) | ((b2 | (b3 << 1)) << 2)) << i;
-        i += 4;
+        let b4 = lut[fk[i + 4] as usize] as u64;
+        let b5 = lut[fk[i + 5] as usize] as u64;
+        let b6 = lut[fk[i + 6] as usize] as u64;
+        let b7 = lut[fk[i + 7] as usize] as u64;
+        let lo = (b0 | (b1 << 1)) | ((b2 | (b3 << 1)) << 2);
+        let hi = (b4 | (b5 << 1)) | ((b6 | (b7 << 1)) << 2);
+        gathered |= (lo | (hi << 4)) << i;
+        i += 8;
     }
     while i < fk.len() {
         gathered |= (lut[fk[i] as usize] as u64) << i;
@@ -167,20 +181,27 @@ pub(crate) fn gather_word_bytes(lut: &[u8], fk: &[u32]) -> u64 {
 }
 
 /// Gathers one mask word from a packed bitset (dimensions past the byte-LUT
-/// cap): word index + shift per probe, 4-wide unrolled.
+/// cap): word index + shift per probe, 8-wide unrolled with a pairwise
+/// OR-combine tree.
 #[inline]
 pub(crate) fn gather_word_wide(bits: &BitSet, fk: &[u32]) -> u64 {
     debug_assert!(fk.len() <= 64);
     let mut gathered = 0u64;
-    let quads = fk.len() & !3;
+    let octs = fk.len() & !7;
     let mut i = 0;
-    while i < quads {
+    while i < octs {
         let b0 = bits.get_bit(fk[i] as usize);
         let b1 = bits.get_bit(fk[i + 1] as usize);
         let b2 = bits.get_bit(fk[i + 2] as usize);
         let b3 = bits.get_bit(fk[i + 3] as usize);
-        gathered |= ((b0 | (b1 << 1)) | ((b2 | (b3 << 1)) << 2)) << i;
-        i += 4;
+        let b4 = bits.get_bit(fk[i + 4] as usize);
+        let b5 = bits.get_bit(fk[i + 5] as usize);
+        let b6 = bits.get_bit(fk[i + 6] as usize);
+        let b7 = bits.get_bit(fk[i + 7] as usize);
+        let lo = (b0 | (b1 << 1)) | ((b2 | (b3 << 1)) << 2);
+        let hi = (b4 | (b5 << 1)) | ((b6 | (b7 << 1)) << 2);
+        gathered |= (lo | (hi << 4)) << i;
+        i += 8;
     }
     while i < fk.len() {
         gathered |= bits.get_bit(fk[i] as usize) << i;

@@ -35,6 +35,24 @@ struct TenantState {
     ledger: BudgetLedger,
     in_flight_epsilon: f64,
     in_flight_delta: f64,
+    /// Live reservations against this tenant. Settling the last one snaps
+    /// the in-flight accumulators back to exactly 0.0: repeated `+= ε` /
+    /// `-= ε` in thread-interleaved order can strand a ±1 ulp residue, and
+    /// "nothing is in flight" must mean *exactly* nothing.
+    in_flight_count: usize,
+}
+
+impl TenantState {
+    fn settle(&mut self, cost: &PrivacyBudget) {
+        self.in_flight_count = self.in_flight_count.saturating_sub(1);
+        if self.in_flight_count == 0 {
+            self.in_flight_epsilon = 0.0;
+            self.in_flight_delta = 0.0;
+        } else {
+            self.in_flight_epsilon = (self.in_flight_epsilon - cost.epsilon()).max(0.0);
+            self.in_flight_delta = (self.in_flight_delta - cost.delta()).max(0.0);
+        }
+    }
 }
 
 impl TenantState {
@@ -89,8 +107,7 @@ impl Reservation {
     /// be released to the caller.
     pub fn commit(mut self) -> Result<(), ServiceError> {
         let mut state = lock(&self.tenant);
-        state.in_flight_epsilon = (state.in_flight_epsilon - self.cost.epsilon()).max(0.0);
-        state.in_flight_delta = (state.in_flight_delta - self.cost.delta()).max(0.0);
+        state.settle(&self.cost);
         self.settled = true;
         // Cannot fail: `reserve` admitted spent + in-flight + cost under the
         // same tolerance the ledger charges with.
@@ -117,8 +134,7 @@ impl Reservation {
     fn release(&mut self) {
         if !self.settled {
             let mut state = lock(&self.tenant);
-            state.in_flight_epsilon = (state.in_flight_epsilon - self.cost.epsilon()).max(0.0);
-            state.in_flight_delta = (state.in_flight_delta - self.cost.delta()).max(0.0);
+            state.settle(&self.cost);
             self.settled = true;
             if let Some(ctx) = &self.audit {
                 ctx.trail.record(
@@ -183,6 +199,7 @@ impl BudgetAccountant {
                 ledger: BudgetLedger::new(allotment),
                 in_flight_epsilon: 0.0,
                 in_flight_delta: 0.0,
+                in_flight_count: 0,
             })),
         );
         Ok(())
@@ -227,6 +244,7 @@ impl BudgetAccountant {
         }
         state.in_flight_epsilon += cost.epsilon();
         state.in_flight_delta += cost.delta();
+        state.in_flight_count += 1;
         if let Some(ctx) = &audit {
             ctx.trail.record(
                 &state.name,

@@ -9,7 +9,12 @@
 //! [`crate::ServiceConfig::coalesce_window`] elapses or
 //! [`crate::ServiceConfig::max_batch`] requests pile up — partitions the
 //! drained requests by compatibility, and answers each partition through
-//! **one** fused scan, waking every caller with its own answer.
+//! **one** fused scan, waking every caller with its own answer. With
+//! [`crate::ServiceConfig::coalesce_window_max`] set, the hold window is
+//! *adaptive*: EWMAs over arrival gaps and observed queue depth collapse
+//! it to zero when traffic is too sparse or too serial to coalesce (idle
+//! and single-client requests stop paying the window tax) and stretch it —
+//! up to the bound — under genuinely concurrent burst.
 //!
 //! # Why coalescing is invisible to DP semantics
 //!
@@ -53,7 +58,7 @@ use crate::metrics::ServiceMetrics;
 use crate::service::{PmWork, ServiceAnswer, ServiceCore, WdWork};
 use dp_starj::CoreError;
 use starj_engine::{execute_batch_with, plan::AxisNames, StarQuery};
-use starj_telemetry::Stage;
+use starj_telemetry::{cost_counters, CostCounters, Stage};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -281,10 +286,89 @@ impl FairQueue {
 
 // ---- the queue and worker pool --------------------------------------------
 
+/// EWMA smoothing factor for the arrival-gap estimate: each new gap
+/// contributes 20%, so the estimate settles within a handful of arrivals
+/// without chasing every jittery gap.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// How many expected arrival gaps the adaptive window holds a drain open
+/// for: long enough to accumulate a meaningful fused batch under burst,
+/// short enough that the wait stays proportional to the traffic itself.
+const WINDOW_STRETCH: f64 = 8.0;
+
+/// Queue-depth EWMA above which the adaptive window may open. A lone
+/// client — however fast — sees depth 1 at every one of its own enqueues
+/// (the queue drains before it returns), so gap speed alone cannot
+/// distinguish "one fast client" (fusing gains nothing, the hold is pure
+/// latency tax) from "many concurrent clients" (fusing shines). Depth can:
+/// concurrent traffic piles jobs behind the window, pushing the average
+/// depth above 1. Requiring the EWMA to clear this threshold keeps a
+/// single-client stream permanently collapsed instead of oscillating
+/// open (latency grows) → gaps widen → closed (latency shrinks) → open.
+const DEPTH_OPEN: f64 = 1.25;
+
 #[derive(Debug, Default)]
 struct QueueState {
     queue: FairQueue,
     shutdown: bool,
+    /// Previous enqueue instant — the raw signal the adaptive window
+    /// derives arrival gaps from (`None` until the first arrival).
+    last_arrival: Option<Instant>,
+    /// EWMA of inter-arrival gaps in nanoseconds (0 until two arrivals).
+    ewma_gap_ns: f64,
+    /// EWMA of the queue depth observed at each enqueue (including the
+    /// arriving job) — the concurrency signal gating [`DEPTH_OPEN`].
+    ewma_depth: f64,
+    /// The current adaptive group-commit window. Only consulted when
+    /// [`Shared::window_max`] is non-zero; otherwise the fixed
+    /// [`Shared::window`] applies unchanged.
+    window: Duration,
+}
+
+impl QueueState {
+    /// Folds one arrival (its gap and the queue depth it observed) into
+    /// the EWMAs and re-derives the effective window (adaptive mode only;
+    /// called under the queue mutex).
+    ///
+    /// The decision rule: a drain stays open only while *both* signals say
+    /// fusing can pay — arrivals tight enough that the fixed window would
+    /// capture a second request (EWMA gap below it), **and** genuinely
+    /// concurrent traffic (EWMA depth at or above [`DEPTH_OPEN`]; a lone
+    /// client always measures depth 1 and never earns a hold). Otherwise
+    /// the window collapses to zero and idle requests stop paying the
+    /// window tax. When it opens, it stretches to [`WINDOW_STRETCH`]
+    /// expected gaps, bounded by `max`, so bursts fill fused batches.
+    /// Window choice only regroups batches — answers and ledgers are
+    /// batch-invariant — so this never touches DP semantics.
+    fn note_arrival(&mut self, now: Instant, depth: usize, fixed: Duration, max: Duration) {
+        let depth = depth.max(1) as f64;
+        let Some(prev) = self.last_arrival.replace(now) else {
+            // First arrival: no gap signal yet — start from the fixed
+            // window so a cold coalescer behaves exactly like before.
+            self.ewma_depth = depth;
+            self.window = fixed.min(max);
+            return;
+        };
+        let gap = now.saturating_duration_since(prev).as_nanos() as f64;
+        self.ewma_gap_ns = if self.ewma_gap_ns == 0.0 {
+            gap
+        } else {
+            (1.0 - EWMA_ALPHA) * self.ewma_gap_ns + EWMA_ALPHA * gap
+        };
+        self.ewma_depth = (1.0 - EWMA_ALPHA) * self.ewma_depth + EWMA_ALPHA * depth;
+        // Idle threshold: the fixed window when set, else the adaptive cap.
+        let threshold = if fixed.is_zero() { max } else { fixed.min(max) };
+        let threshold_ns = threshold.as_nanos() as f64;
+        let next = if self.ewma_gap_ns >= threshold_ns || self.ewma_depth < DEPTH_OPEN {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.ewma_gap_ns * WINDOW_STRETCH) as u64).min(max)
+        };
+        if next != self.window {
+            self.window = next;
+            CostCounters::add(&cost_counters().window_adjustments, 1);
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -295,6 +379,10 @@ struct Shared {
     /// Submitters wait here for queue space (bounded queue backpressure).
     drained: Condvar,
     window: Duration,
+    /// Non-zero turns the adaptive window on (see
+    /// [`crate::ServiceConfig::coalesce_window_max`]); zero keeps the
+    /// fixed `window` behavior.
+    window_max: Duration,
     max_batch: usize,
     capacity: usize,
     /// Per-tenant lane capacity; a tenant at its cap blocks only itself.
@@ -318,6 +406,7 @@ impl Coalescer {
             arrived: Condvar::new(),
             drained: Condvar::new(),
             window: config.coalesce_window,
+            window_max: config.coalesce_window_max,
             max_batch: config.max_batch.max(1),
             capacity: config.coalesce_queue.max(1),
             tenant_capacity: config.coalesce_tenant_queue.max(1),
@@ -347,6 +436,10 @@ impl Coalescer {
             state = self.shared.drained.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         state.queue.push(job);
+        if !self.shared.window_max.is_zero() {
+            let depth = state.queue.len();
+            state.note_arrival(Instant::now(), depth, self.shared.window, self.shared.window_max);
+        }
         drop(state);
         self.shared.arrived.notify_all();
     }
@@ -381,10 +474,14 @@ fn worker_loop(core: &Arc<ServiceCore>, shared: &Arc<Shared>) {
                 }
                 state = shared.arrived.wait(state).unwrap_or_else(|e| e.into_inner());
             }
-            if !shared.window.is_zero() {
+            // Fixed window by default; with adaptation on, the window the
+            // arrival stream has earned so far (re-read each drain, so a
+            // traffic shift takes effect on the very next batch).
+            let window = if shared.window_max.is_zero() { shared.window } else { state.window };
+            if !window.is_zero() {
                 // Group-commit window: hold the drain briefly so concurrent
                 // traffic can pile into one fused scan.
-                let deadline = Instant::now() + shared.window;
+                let deadline = Instant::now() + window;
                 while state.queue.len() < shared.max_batch && !state.shutdown {
                     let now = Instant::now();
                     if now >= deadline {
@@ -596,6 +693,76 @@ mod tests {
             acc.register(t, PrivacyBudget::pure(100.0).unwrap()).unwrap();
         }
         acc
+    }
+
+    #[test]
+    fn adaptive_window_collapses_when_idle_and_stretches_under_burst() {
+        let fixed = Duration::from_micros(200);
+        let max = Duration::from_millis(2);
+        let before = cost_counters().snapshot();
+        let mut s = QueueState::default();
+        let t0 = Instant::now();
+        s.note_arrival(t0, 1, fixed, max);
+        assert_eq!(s.window, fixed, "cold start behaves exactly like the fixed window");
+        // Sparse arrivals (1 ms apart, well past the 200 µs threshold):
+        // holding a drain open can never capture a second request, so the
+        // window collapses to zero.
+        let mut t = t0;
+        for _ in 0..4 {
+            t += Duration::from_millis(1);
+            s.note_arrival(t, 1, fixed, max);
+        }
+        assert_eq!(s.window, Duration::ZERO, "idle traffic must not pay the window tax");
+        // A concurrent burst (10 µs gaps, 4 jobs deep at each enqueue)
+        // re-opens the window, stretched to a few expected gaps — smaller
+        // than the fixed window because the burst itself is that tight.
+        for _ in 0..64 {
+            t += Duration::from_micros(10);
+            s.note_arrival(t, 4, fixed, max);
+        }
+        assert!(!s.window.is_zero(), "concurrent burst traffic re-opens the window");
+        assert!(s.window <= max, "the configured bound always holds");
+        assert!(s.window < fixed, "the window tracks the burst's own gap scale");
+        let delta = cost_counters().snapshot().since(&before);
+        assert!(delta.window_adjustments >= 2, "collapse and re-open each count");
+    }
+
+    #[test]
+    fn lone_fast_client_never_earns_a_window() {
+        // The oscillation regression: a single client issuing back-to-back
+        // requests has tight gaps, but every enqueue sees depth 1 — the
+        // depth gate must keep the window collapsed, or the client cycles
+        // window-open (latency grows) → gaps widen → window-closed →
+        // latency shrinks → re-open, forever.
+        let fixed = Duration::from_micros(200);
+        let max = Duration::from_millis(2);
+        let mut s = QueueState::default();
+        let mut t = Instant::now();
+        s.note_arrival(t, 1, fixed, max);
+        for _ in 0..128 {
+            t += Duration::from_micros(10);
+            s.note_arrival(t, 1, fixed, max);
+        }
+        assert_eq!(s.window, Duration::ZERO, "depth 1 means fusing gains nothing");
+    }
+
+    #[test]
+    fn adaptive_window_is_capped_by_the_configured_bound() {
+        let fixed = Duration::from_millis(1);
+        let max = Duration::from_micros(500);
+        let mut s = QueueState::default();
+        let t0 = Instant::now();
+        s.note_arrival(t0, 1, fixed, max);
+        assert_eq!(s.window, max, "even the cold-start window respects the cap");
+        // 60 µs gaps, 3 deep → stretched window 480 µs, inside the cap; a
+        // denser stream would want more but can never exceed it.
+        let mut t = t0;
+        for _ in 0..64 {
+            t += Duration::from_micros(60);
+            s.note_arrival(t, 3, fixed, max);
+        }
+        assert!(!s.window.is_zero());
+        assert!(s.window <= max);
     }
 
     #[test]

@@ -199,8 +199,12 @@ impl MetricsSnapshot {
         ]
     }
 
-    /// The snapshot as a stable JSON object: every counter by name, plus
-    /// `p50_latency_us` / `p99_latency_us` (null before the first request).
+    /// The snapshot as a stable JSON object: every counter by name,
+    /// `p50_latency_us` / `p99_latency_us` (null before the first
+    /// request), plus a `cost` sub-object embedding the *process-wide*
+    /// cost-model counters (sampling walks, estimate-cache traffic,
+    /// subsumption merges, window adjustments) — read at render time, not
+    /// at snapshot time, since they live outside any one service.
     pub fn to_json(&self) -> Json {
         let mut pairs: Vec<(String, Json)> = self
             .counter_entries()
@@ -215,6 +219,7 @@ impl MetricsSnapshot {
             "p99_latency_us".to_string(),
             self.p99_latency_us.map_or(Json::Null, Json::Num),
         ));
+        pairs.push(("cost".to_string(), starj_telemetry::cost_counters().snapshot().to_json()));
         Json::Obj(pairs)
     }
 
@@ -390,6 +395,10 @@ mod tests {
         m.latency.record(Duration::from_micros(5));
         let again = m.snapshot().to_json();
         assert!(again.get("p50_latency_us").and_then(starj_telemetry::Json::as_f64).is_some());
+        assert!(
+            again.get("cost").and_then(|c| c.get("walks")).is_some(),
+            "cost-model counters ride along as a sub-object"
+        );
         assert_eq!(s.counter_entries().len(), 12);
     }
 

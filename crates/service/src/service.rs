@@ -49,13 +49,13 @@ use dp_starj::workload::WdConfig;
 use dp_starj::{pm_kstar, wd_reconstruct, workload_axes, CoreError, PredicateWorkload};
 use starj_engine::{
     canonicalize, execute_batch_with, execute_weighted_batch_with, execute_with, Agg, QueryResult,
-    ScanOptions, StarQuery, StarSchema, WeightHistogram, WeightedQuery,
+    StarQuery, StarSchema, WeightHistogram, WeightedQuery,
 };
 use starj_graph::{Graph, KStarQuery};
 use starj_noise::{PrivacyBudget, StarRng};
 use starj_telemetry::{
-    kernel_counters, PromText, RequestKind, Stage, Telemetry, TelemetryConfig, TraceBuilder,
-    TraceOutcome,
+    cost_counters, kernel_counters, PromText, RequestKind, Stage, Telemetry, TelemetryConfig,
+    TraceBuilder, TraceOutcome,
 };
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
@@ -89,7 +89,21 @@ pub struct ServiceConfig {
     /// How long a coalescer worker holds a drain open for more traffic to
     /// pile in. Zero drains immediately (batching still happens naturally
     /// while workers are busy scanning, exactly like WAL group commit).
+    /// With [`ServiceConfig::coalesce_window_max`] non-zero this is only
+    /// the *starting* window — the coalescer adapts it to the observed
+    /// arrival rate from there.
     pub coalesce_window: Duration,
+    /// Upper bound for the *adaptive* group-commit window. Zero (the
+    /// default) keeps the fixed [`ServiceConfig::coalesce_window`]
+    /// behavior. Non-zero turns adaptation on: the coalescer tracks an
+    /// EWMA of request arrival gaps and derives the effective window from
+    /// it — collapsing to zero when traffic is too sparse for a hold to
+    /// ever capture a second request (idle single-client latency stops
+    /// paying the window tax), and stretching up to this bound under burst
+    /// so fused batches fill. Window choice only changes how requests
+    /// group into batches; answers, ledgers, and RNG draws are
+    /// batch-composition-invariant, so adaptation is privacy-free.
+    pub coalesce_window_max: Duration,
     /// Drain at this queue depth even before the window elapses (clamped
     /// to ≥ 1). Also the largest possible fused batch.
     pub max_batch: usize,
@@ -128,6 +142,7 @@ impl Default for ServiceConfig {
             scan_threads: 1,
             coalesce: false,
             coalesce_window: Duration::from_micros(200),
+            coalesce_window_max: Duration::ZERO,
             max_batch: 64,
             coalesce_workers: 2,
             coalesce_queue: 4096,
@@ -279,10 +294,11 @@ impl Service {
     pub fn new(schema: Arc<StarSchema>, mut config: ServiceConfig) -> Self {
         // `scan_threads > 1` propagates into the mechanism configs; at the
         // default of 1 any explicitly-set `pm.scan` / `wd.scan` is honored.
+        // `with_threads` (not `ScanOptions::parallel`) so explicitly-set
+        // cost-model / probe-cap knobs survive the thread-count override.
         if config.scan_threads > 1 {
-            let scan = ScanOptions::parallel(config.scan_threads);
-            config.pm.scan = scan;
-            config.wd.scan = scan;
+            config.pm.scan = config.pm.scan.with_threads(config.scan_threads);
+            config.wd.scan = config.wd.scan.with_threads(config.scan_threads);
         }
         let cache = AnswerCache::with_capacity(config.cache_capacity);
         let wcache = WeightHistogramCache::with_capacity(config.w_cache_capacity);
@@ -325,12 +341,17 @@ impl Service {
     /// to reclaim memory). Budget already spent stays spent — a repeat
     /// query pays again for a fresh release over the new data.
     pub fn refresh_schema(&self, schema: Arc<StarSchema>) -> u64 {
-        let version = {
+        let (old, version) = {
             let mut guard = self.core.schema.write().unwrap_or_else(|e| e.into_inner());
             let next = guard.1 + 1;
-            *guard = (schema, next);
-            next
+            let old = std::mem::replace(&mut guard.0, schema);
+            guard.1 = next;
+            (old, next)
         };
+        // The sampled cost model is keyed on the schema instance; drop the
+        // outgoing instance's entry so the registry never serves estimates
+        // for retired data (and a reused allocation can't alias them).
+        starj_engine::invalidate_cost_model(&old);
         self.core.cache.clear();
         self.core.wcache.clear();
         version
@@ -385,7 +406,8 @@ impl Service {
     /// The full service state as a Prometheus text-format (0.0.4)
     /// exposition: request counters, the latency histogram (cumulative
     /// buckets in seconds), per-tenant budget gauges, the process-wide
-    /// kernel profiling counters, and telemetry depth gauges.
+    /// kernel and cost-model profiling counters, and telemetry depth
+    /// gauges.
     pub fn prometheus_text(&self) -> String {
         let mut p = PromText::new();
         let snap = self.metrics();
@@ -439,6 +461,12 @@ impl Service {
                 &format!("Kernel profiling counter `{name}` (process-wide)."),
                 "counter",
             );
+            p.sample(&metric, &[], value as f64);
+        }
+
+        for (name, value) in cost_counters().snapshot().entries() {
+            let metric = format!("starj_cost_{name}_total");
+            p.header(&metric, &format!("Cost-model counter `{name}` (process-wide)."), "counter");
             p.sample(&metric, &[], value as f64);
         }
 
@@ -1258,7 +1286,7 @@ fn query_hash(mechanism: Mechanism, key: &RequestKey) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use starj_engine::{Column, Dimension, Domain, Predicate, Table};
+    use starj_engine::{Column, Dimension, Domain, Predicate, ScanOptions, Table};
 
     fn toy_schema() -> Arc<StarSchema> {
         let color = Domain::numeric("color", 4).unwrap();
@@ -1521,5 +1549,19 @@ mod tests {
         let again = service.pm_answer("t", &q, 1.0).unwrap();
         assert!(!again.cached);
         assert!((service.tenant_usage("t").unwrap().spent_epsilon - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_schema_invalidates_the_cost_model_registry() {
+        let schema = toy_schema();
+        let config = starj_engine::CostConfig::default();
+        let before = starj_engine::cost_model_for(&schema, &config).unwrap();
+        let service = Service::new(Arc::clone(&schema), ServiceConfig::default());
+        service.refresh_schema(toy_schema());
+        let after = starj_engine::cost_model_for(&schema, &config).unwrap();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "the outgoing schema's cached cost model must drop on refresh"
+        );
     }
 }

@@ -61,6 +61,112 @@ pub fn kernel_counters() -> &'static KernelCounters {
     &KERNEL
 }
 
+/// The cost-model counter set (one process-wide instance,
+/// [`cost_counters`]): sampling walks, estimate-cache traffic, and the
+/// plan-shape decisions the estimates drove. Same discipline as
+/// [`KernelCounters`] — relaxed atomics, flushed per build/plan, never
+/// touched inside the chunk loop.
+#[derive(Debug, Default)]
+pub struct CostCounters {
+    /// Wander-join-style row walks executed while building cost models
+    /// (one per sampled fact row per build).
+    pub walks: AtomicU64,
+    /// Cost models served from the per-(schema, data version) cache.
+    pub cache_hits: AtomicU64,
+    /// Cost models built by sampling (cache misses + explicit builds).
+    pub cache_builds: AtomicU64,
+    /// Private filters answered by AND-refining a subsuming shared mask
+    /// instead of a standalone gather pass.
+    pub subsumption_merges: AtomicU64,
+    /// Coalescer drain rounds whose adaptive window differed from the
+    /// configured fixed window (shrunk when idle, stretched under burst).
+    pub window_adjustments: AtomicU64,
+}
+
+static COST: CostCounters = CostCounters {
+    walks: AtomicU64::new(0),
+    cache_hits: AtomicU64::new(0),
+    cache_builds: AtomicU64::new(0),
+    subsumption_merges: AtomicU64::new(0),
+    window_adjustments: AtomicU64::new(0),
+};
+
+/// The process-wide cost-model counters.
+pub fn cost_counters() -> &'static CostCounters {
+    &COST
+}
+
+impl CostCounters {
+    /// Adds `n` to a counter (relaxed; these are tallies, not
+    /// synchronization points).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            walks: self.walks.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_builds: self.cache_builds.load(Ordering::Relaxed),
+            subsumption_merges: self.subsumption_merges.load(Ordering::Relaxed),
+            window_adjustments: self.window_adjustments.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the cost-model counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// See [`CostCounters::walks`].
+    pub walks: u64,
+    /// See [`CostCounters::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`CostCounters::cache_builds`].
+    pub cache_builds: u64,
+    /// See [`CostCounters::subsumption_merges`].
+    pub subsumption_merges: u64,
+    /// See [`CostCounters::window_adjustments`].
+    pub window_adjustments: u64,
+}
+
+impl CostSnapshot {
+    /// `(name, value)` pairs in declaration order — the single source the
+    /// Prometheus and JSON expositions both iterate.
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("walks", self.walks),
+            ("cache_hits", self.cache_hits),
+            ("cache_builds", self.cache_builds),
+            ("subsumption_merges", self.subsumption_merges),
+            ("window_adjustments", self.window_adjustments),
+        ]
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            walks: self.walks.saturating_sub(earlier.walks),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_builds: self.cache_builds.saturating_sub(earlier.cache_builds),
+            subsumption_merges: self.subsumption_merges.saturating_sub(earlier.subsumption_merges),
+            window_adjustments: self.window_adjustments.saturating_sub(earlier.window_adjustments),
+        }
+    }
+
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries()
+                .iter()
+                .map(|&(name, v)| (name.to_string(), Json::Num(v as f64)))
+                .collect(),
+        )
+    }
+}
+
 impl KernelCounters {
     /// Adds `n` to a counter (relaxed; these are tallies, not
     /// synchronization points).
@@ -162,6 +268,21 @@ impl KernelSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cost_snapshot_delta_and_json() {
+        let before = cost_counters().snapshot();
+        CostCounters::add(&cost_counters().walks, 7);
+        CostCounters::add(&cost_counters().subsumption_merges, 3);
+        CostCounters::add(&cost_counters().window_adjustments, 0);
+        let delta = cost_counters().snapshot().since(&before);
+        assert_eq!(delta.walks, 7);
+        assert_eq!(delta.subsumption_merges, 3);
+        assert_eq!(delta.window_adjustments, 0);
+        let json = delta.to_json();
+        assert_eq!(json.get("walks").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(delta.entries().len(), 5);
+    }
 
     #[test]
     fn snapshot_delta_and_json() {

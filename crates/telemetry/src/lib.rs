@@ -49,7 +49,9 @@ pub mod trace;
 
 pub use audit::{AuditEvent, AuditKind, AuditTrail};
 pub use clock::now_ns;
-pub use counters::{kernel_counters, KernelCounters, KernelSnapshot};
+pub use counters::{
+    cost_counters, kernel_counters, CostCounters, CostSnapshot, KernelCounters, KernelSnapshot,
+};
 pub use json::Json;
 pub use prom::PromText;
 pub use slowlog::SlowQueryLog;
