@@ -1,0 +1,231 @@
+//! Front-door throughput: the SQL gate serving concurrent wire clients
+//! over real TCP, plus a lockstep equivalence self-gate.
+//!
+//! ```text
+//! SSB_SF=0.05 GATE_QUERIES=200 cargo run --release -p starj-bench --bin gate_throughput
+//! ```
+//!
+//! Environment knobs: `SSB_SF` (default 0.05), `GATE_QUERIES` (requests
+//! per client, default 200), `GATE_CLIENTS` (default 8), `SEED`.
+//!
+//! The bin always self-gates (exit 2) on two properties:
+//!
+//! * **equivalence** — a sequential lockstep pass through the gate (SQL
+//!   rendered by `to_sql`, parsed back by the gate, served over the wire)
+//!   must produce answers, cache decisions, charges, and a final tenant
+//!   ledger bit-identical to direct [`Router`] calls on an
+//!   identically-configured twin. The gate parses and frames; it must add
+//!   zero privacy logic.
+//! * **exact ledgers** — after the concurrent phase, every tenant's spent
+//!   ε must bit-equal `queries × ε` (ε is dyadic, so the accountant's sum
+//!   is exact regardless of interleaving) with nothing left in flight.
+//!
+//! Absolute queries/sec is archived in `BENCH_gate.json` (keyed by
+//! `regime` for the drift gate), not gated — wire numbers vary with
+//! loopback stack and scheduler far more than kernel numbers do.
+
+use starj_bench::harness::{env_u64, Json};
+use starj_bench::TablePrinter;
+use starj_bench::{query_pool, root_seed, ssb_sf, ssb_slices};
+use starj_engine::{canonicalize, to_sql};
+use starj_gate::{Gate, GateClient, GateConfig};
+use starj_noise::PrivacyBudget;
+use starj_router::{Router, RouterConfig};
+use starj_service::ServiceConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DATASET: &str = "ssb";
+/// Dyadic per-query ε so ledger sums are exact in binary floating point.
+const EPSILON: f64 = 0.125;
+
+fn build_router(schema: &Arc<starj_engine::StarSchema>, clients: usize, seed: u64) -> Arc<Router> {
+    let shard_config = ServiceConfig { seed, cache_answers: false, ..ServiceConfig::default() };
+    let router =
+        Router::new(RouterConfig { shards: 1, seed, shard_config, ..RouterConfig::default() })
+            .expect("one shard");
+    router.add_dataset(DATASET, Arc::clone(schema)).expect("fresh dataset");
+    let allotment = PrivacyBudget::pure(1_000_000.0).expect("bench allotment");
+    for c in 0..clients {
+        router.register_tenant(DATASET, &format!("client-{c}"), allotment).expect("fresh tenant");
+    }
+    Arc::new(router)
+}
+
+fn gate_config(clients: usize) -> GateConfig {
+    GateConfig {
+        tokens: (0..clients).map(|c| (format!("tok-{c}"), format!("client-{c}"))).collect(),
+        ..GateConfig::default()
+    }
+}
+
+/// Sequential lockstep: every pool query rendered to SQL, served over the
+/// wire, and compared bit-for-bit against a direct call on a twin router.
+fn equivalence_check(schema: &Arc<starj_engine::StarSchema>, seed: u64) -> Result<(), String> {
+    let gated = build_router(schema, 1, seed);
+    let direct = build_router(schema, 1, seed);
+    let gate =
+        Gate::bind(Arc::clone(&gated), gate_config(1), "127.0.0.1:0").map_err(|e| e.to_string())?;
+    let mut client = GateClient::connect(gate.addr()).map_err(|e| e.to_string())?;
+
+    for (i, q) in query_pool().iter().take(60).enumerate() {
+        let sql = to_sql(schema, q);
+        let wire = client.sql("tok-0", DATASET, &sql, EPSILON).map_err(|e| e.to_string())?;
+        // The gate submits the canonical form; mirror it so both routers
+        // see identical requests in identical arrival order.
+        let canon = canonicalize(q);
+        let submitted = if canon.unsatisfiable { q.clone() } else { canon.to_query("sql") };
+        let reference = direct
+            .pm_answer(DATASET, "client-0", &submitted, EPSILON)
+            .map_err(|e| e.to_string())?;
+
+        if wire.get("ok").and_then(Json::as_f64) != Some(1.0) {
+            return Err(format!("query {i} refused over the wire: {}", wire.render()));
+        }
+        let value = wire.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let expected = reference.result.scalar().map_err(|e| e.to_string())?;
+        if value.to_bits() != expected.to_bits() {
+            return Err(format!("query {i} diverged: wire {value} vs direct {expected}"));
+        }
+        let cached = wire.get("cached").and_then(Json::as_f64).unwrap_or(f64::NAN) != 0.0;
+        if cached != reference.cached {
+            return Err(format!("query {i} cache decision diverged"));
+        }
+        let charge = wire.get("cost_epsilon").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let expected_charge = reference.cost.map_or(0.0, |c| c.epsilon());
+        if charge.to_bits() != expected_charge.to_bits() {
+            return Err(format!("query {i} charge diverged: {charge} vs {expected_charge}"));
+        }
+    }
+
+    let wire_usage = gated.tenant_usage(DATASET, "client-0").map_err(|e| e.to_string())?;
+    let direct_usage = direct.tenant_usage(DATASET, "client-0").map_err(|e| e.to_string())?;
+    if wire_usage.spent_epsilon.to_bits() != direct_usage.spent_epsilon.to_bits() {
+        return Err(format!(
+            "ledger diverged: wire spent {} vs direct {}",
+            wire_usage.spent_epsilon, direct_usage.spent_epsilon
+        ));
+    }
+    if wire_usage.in_flight_epsilon != 0.0 {
+        return Err(format!("{} ε still in flight after the run", wire_usage.in_flight_epsilon));
+    }
+    Ok(())
+}
+
+/// One concurrent measurement: `clients` threads, each its own TCP
+/// connection and tenant, pipelining SQL over the wire.
+fn measure(
+    schema: &Arc<starj_engine::StarSchema>,
+    clients: usize,
+    queries_per_client: usize,
+    seed: u64,
+) -> Result<(f64, u64), String> {
+    let router = build_router(schema, clients, seed);
+    let gate = Gate::bind(Arc::clone(&router), gate_config(clients), "127.0.0.1:0")
+        .map_err(|e| e.to_string())?;
+    let addr = gate.addr();
+    let pool: Arc<Vec<String>> = Arc::new(query_pool().iter().map(|q| to_sql(schema, q)).collect());
+
+    let start = Instant::now();
+    let served: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || -> Result<u64, String> {
+                    let mut client = GateClient::connect(addr).map_err(|e| e.to_string())?;
+                    let token = format!("tok-{c}");
+                    let mut ok = 0u64;
+                    for i in 0..queries_per_client {
+                        let sql = &pool[(c + i * 7) % pool.len()];
+                        let answer =
+                            client.sql(&token, DATASET, sql, EPSILON).map_err(|e| e.to_string())?;
+                        if answer.get("ok").and_then(Json::as_f64) != Some(1.0) {
+                            return Err(format!("client {c} refused: {}", answer.render()));
+                        }
+                        ok += 1;
+                    }
+                    Ok(ok)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum::<Result<u64, String>>()
+    })?;
+    let wall = start.elapsed().as_secs_f64();
+
+    // Exact-ledger gate: dyadic ε means each tenant's spend is exactly
+    // queries × ε however the requests interleaved.
+    let expected = EPSILON * queries_per_client as f64;
+    for c in 0..clients {
+        let usage =
+            router.tenant_usage(DATASET, &format!("client-{c}")).map_err(|e| e.to_string())?;
+        if usage.spent_epsilon.to_bits() != expected.to_bits() {
+            return Err(format!(
+                "client-{c} ledger drifted: spent {} expected {expected}",
+                usage.spent_epsilon
+            ));
+        }
+        if usage.in_flight_epsilon != 0.0 {
+            return Err(format!("client-{c} left {} ε in flight", usage.in_flight_epsilon));
+        }
+    }
+    Ok((wall, served))
+}
+
+fn main() {
+    let sf = ssb_sf();
+    let seed = root_seed();
+    let queries_per_client = env_u64("GATE_QUERIES", 200) as usize;
+    let max_clients = env_u64("GATE_CLIENTS", 8) as usize;
+    let schema = ssb_slices(sf, 1, seed).remove(0);
+
+    println!(
+        "Gate throughput (SF={sf}, up to {max_clients} wire clients, {queries_per_client} \
+         queries/client, ε={EPSILON}/query)\n"
+    );
+
+    if let Err(e) = equivalence_check(&schema, seed) {
+        eprintln!("EQUIVALENCE CHECK FAILED: gate diverged from direct router calls: {e}");
+        std::process::exit(2);
+    }
+    println!("equivalence self-check passed: SQL-over-wire ≡ direct router calls\n");
+
+    let mut client_counts = vec![1usize, max_clients.max(1)];
+    client_counts.dedup();
+    let table = TablePrinter::new(&["clients", "requests", "wall s", "queries/s"], &[8, 9, 8, 10]);
+    let mut samples: Vec<Json> = Vec::new();
+    for clients in client_counts {
+        let (wall, served) = match measure(&schema, clients, queries_per_client, seed) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("LEDGER GATE FAILED at {clients} clients: {e}");
+                std::process::exit(2);
+            }
+        };
+        let qps = served as f64 / wall.max(1e-9);
+        table.row(&[
+            &clients.to_string(),
+            &served.to_string(),
+            &format!("{wall:.2}"),
+            &format!("{qps:.0}"),
+        ]);
+        samples.push(Json::obj(vec![
+            // `regime` names the point for the drift gate.
+            ("regime", Json::Str(format!("{clients}-client-wire"))),
+            ("clients", Json::Num(clients as f64)),
+            ("requests", Json::Num(served as f64)),
+            ("wall_secs", Json::Num(wall)),
+            ("queries_per_sec", Json::Num(qps)),
+        ]));
+    }
+
+    Json::obj(vec![
+        ("bench", Json::Str("gate_throughput".into())),
+        ("scale_factor", Json::Num(sf)),
+        ("queries_per_client", Json::Num(queries_per_client as f64)),
+        ("epsilon", Json::Num(EPSILON)),
+        ("samples", Json::Arr(samples)),
+    ])
+    .write("BENCH_gate.json")
+    .expect("write BENCH_gate.json");
+    println!("\nwrote BENCH_gate.json");
+}

@@ -203,6 +203,26 @@ impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
 
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The `proptest::bool::ANY` singleton.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};

@@ -85,6 +85,6 @@ pub use plan::{
 pub use predicate::{Constraint, Predicate, WeightedPredicate};
 pub use query::{Agg, GroupAttr, QueryResult, StarQuery};
 pub use schema::{Dimension, StarSchema, SubDimension};
-pub use sql::to_sql;
+pub use sql::{escape_label, to_sql, unescape_label};
 pub use stats::{contributions, max_contribution, Contributions};
 pub use table::Table;

@@ -106,6 +106,21 @@ pub fn to_sql(schema: &StarSchema, query: &StarQuery) -> String {
     sql
 }
 
+/// Escapes a label for embedding in a single-quoted SQL string literal:
+/// each embedded `'` doubles to `''` (the standard SQL escape), so labels
+/// containing quotes render as well-formed SQL that [`unescape_label`]
+/// inverts exactly.
+pub fn escape_label(label: &str) -> String {
+    label.replace('\'', "''")
+}
+
+/// Inverts [`escape_label`]: collapses each `''` back to `'`. The parser
+/// side of the round trip (the gate crate) calls this on the body of a
+/// quoted literal before resolving it against the domain's labels.
+pub fn unescape_label(escaped: &str) -> String {
+    escaped.replace("''", "'")
+}
+
 fn render_predicate(schema: &StarSchema, p: &Predicate) -> String {
     let label = |code: u32| -> String {
         let domain =
@@ -113,7 +128,7 @@ fn render_predicate(schema: &StarSchema, p: &Predicate) -> String {
                 schema.subdim(&p.table).and_then(|(_, s)| s.table.domain(&p.attr).ok())
             });
         match domain.and_then(|d| d.label_of(code)) {
-            Some(l) => format!("'{l}'"),
+            Some(l) => format!("'{}'", escape_label(l)),
             None => code.to_string(),
         }
     };
@@ -242,6 +257,36 @@ mod tests {
         assert!(sql.contains("F.ck = Customer.pk"), "parent join present: {sql}");
         assert!(sql.contains("Customer.nk = Nation.nk"), "sub-dimension join present: {sql}");
         assert!(sql.contains("Nation.gdp = 2"));
+    }
+
+    #[test]
+    fn quote_bearing_labels_escape_on_render() {
+        // Adversarial labels: embedded quotes, a label that *is* the escape
+        // sequence, and SQL-looking text — all must render as well-formed
+        // single-quoted literals with `''` doubling.
+        let hostile =
+            Domain::categorical("name", vec!["O'Brien", "''", "x' OR '1'='1", "plain"]).unwrap();
+        let dim = Table::new(
+            "Cust",
+            vec![
+                Column::key("pk", vec![0, 1, 2, 3]),
+                Column::attr("name", hostile, vec![0, 1, 2, 3]),
+            ],
+        )
+        .unwrap();
+        let fact = Table::new("F", vec![Column::key("ck", vec![0, 1, 2, 3])]).unwrap();
+        let s = StarSchema::new(fact, vec![Dimension::new(dim, "pk", "ck")]).unwrap();
+
+        let q = StarQuery::count("q").with(Predicate::point("Cust", "name", 0));
+        assert!(to_sql(&s, &q).contains("Cust.name = 'O''Brien'"));
+
+        let q = StarQuery::count("q").with(Predicate::set("Cust", "name", vec![1, 2]));
+        let sql = to_sql(&s, &q);
+        assert!(sql.contains("Cust.name IN ('''''', 'x'' OR ''1''=''1')"), "got: {sql}");
+
+        for label in ["O'Brien", "''", "x' OR '1'='1", "plain", ""] {
+            assert_eq!(unescape_label(&escape_label(label)), label);
+        }
     }
 
     #[test]

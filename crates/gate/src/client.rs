@@ -1,0 +1,93 @@
+//! A small blocking client for the gate's wire protocol — what tests, the
+//! bench harness, and the example use to talk to a [`crate::Gate`].
+
+use crate::wire::{frame_of, read_frame, write_frame};
+use starj_telemetry::Json;
+use std::net::TcpStream;
+
+/// A blocking connection to a gate.
+#[derive(Debug)]
+pub struct GateClient {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl GateClient {
+    /// Connects to `addr` (anything `TcpStream::connect` accepts).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<GateClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(GateClient { stream, next_id: 1, max_frame: 1 << 24 })
+    }
+
+    /// Sends a raw request document (adding an `id` if the caller did not
+    /// set one) and returns the id it went out with.
+    pub fn send(&mut self, mut request: Json) -> std::io::Result<u64> {
+        let id = match request.get("id").and_then(Json::as_f64) {
+            Some(id) if id >= 1.0 => id as u64,
+            _ => {
+                let id = self.next_id;
+                if let Json::Obj(pairs) = &mut request {
+                    pairs.insert(0, ("id".to_string(), Json::Num(id as f64)));
+                }
+                id
+            }
+        };
+        self.next_id = self.next_id.max(id) + 1;
+        write_frame(&mut self.stream, &frame_of(&request))?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame. Errors on EOF (the server only
+    /// closes mid-conversation for frame-layer violations).
+    pub fn recv(&mut self) -> std::io::Result<Json> {
+        let body = read_frame(&mut self.stream, self.max_frame)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let text = String::from_utf8(body).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "response is not UTF-8")
+        })?;
+        Json::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one SQL request and blocks for its response. With pipelined
+    /// use (several [`GateClient::send`]s before [`GateClient::recv`]s),
+    /// responses come back in send order.
+    pub fn sql(
+        &mut self,
+        token: &str,
+        dataset: &str,
+        sql: &str,
+        epsilon: f64,
+    ) -> std::io::Result<Json> {
+        self.send(sql_request(0, token, dataset, sql, epsilon))?;
+        self.recv()
+    }
+
+    /// Sends a metrics request and blocks for the snapshot.
+    pub fn metrics(&mut self, token: &str) -> std::io::Result<Json> {
+        self.send(Json::obj(vec![
+            ("verb", Json::Str("metrics".into())),
+            ("token", Json::Str(token.into())),
+        ]))?;
+        self.recv()
+    }
+}
+
+/// Builds a `verb: "sql"` request document. `id` 0 lets
+/// [`GateClient::send`] assign the next sequential id.
+pub fn sql_request(id: u64, token: &str, dataset: &str, sql: &str, epsilon: f64) -> Json {
+    let mut pairs = Vec::new();
+    if id > 0 {
+        pairs.push(("id", Json::Num(id as f64)));
+    }
+    pairs.extend([
+        ("verb", Json::Str("sql".into())),
+        ("token", Json::Str(token.into())),
+        ("dataset", Json::Str(dataset.into())),
+        ("sql", Json::Str(sql.into())),
+        ("epsilon", Json::Num(epsilon)),
+    ]);
+    Json::obj(pairs)
+}

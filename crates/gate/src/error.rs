@@ -1,0 +1,95 @@
+//! Typed, position-carrying errors for the SQL front door.
+//!
+//! Everything that arrives over the wire is untrusted, so every failure
+//! mode is a value, never a panic: the lexer and parser report the byte
+//! offset they stopped at, the resolver reports the offset of the name or
+//! literal it could not bind, and the listener maps each variant to a
+//! stable machine-readable refusal code (see [`GateError::code`]).
+
+use std::fmt;
+
+/// Errors the SQL front door can return for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// The SQL text failed to lex: an unterminated string literal, a byte
+    /// outside the dialect's alphabet, or a numeric literal overflowing
+    /// `u32`. `pos` is the byte offset of the offending input.
+    Lex {
+        /// Byte offset into the SQL text.
+        pos: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The token stream failed to parse against the dialect grammar.
+    /// `pos` is the byte offset of the unexpected token.
+    Parse {
+        /// Byte offset into the SQL text.
+        pos: usize,
+        /// What the parser was expecting.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// The statement parsed but a name or literal failed to bind against
+    /// the schema: an unknown table or attribute, a label outside its
+    /// domain, a code beyond the domain size, a join condition that does
+    /// not match any declared foreign key, …
+    Resolve {
+        /// Byte offset of the name or literal that failed to bind.
+        pos: usize,
+        /// What failed to resolve.
+        message: String,
+    },
+}
+
+impl GateError {
+    /// The byte offset in the SQL text the error anchors to.
+    pub fn pos(&self) -> usize {
+        match self {
+            GateError::Lex { pos, .. }
+            | GateError::Parse { pos, .. }
+            | GateError::Resolve { pos, .. } => *pos,
+        }
+    }
+
+    /// The stable machine-readable refusal code the wire protocol uses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            GateError::Lex { .. } | GateError::Parse { .. } => "parse_error",
+            GateError::Resolve { .. } => "resolve_error",
+        }
+    }
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Lex { pos, message } => {
+                write!(f, "SQL lex error at byte {pos}: {message}")
+            }
+            GateError::Parse { pos, expected, found } => {
+                write!(f, "SQL parse error at byte {pos}: expected {expected}, found {found}")
+            }
+            GateError::Resolve { pos, message } => {
+                write!(f, "SQL resolve error at byte {pos}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_position() {
+        let e = GateError::Parse { pos: 17, expected: "FROM".into(), found: "end of input".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("17") && msg.contains("FROM") && msg.contains("end of input"));
+        assert_eq!(e.pos(), 17);
+        assert_eq!(e.code(), "parse_error");
+        assert_eq!(GateError::Resolve { pos: 0, message: String::new() }.code(), "resolve_error");
+    }
+}

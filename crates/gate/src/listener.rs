@@ -1,0 +1,502 @@
+//! The wire listener: a dependency-free blocking-accept front door.
+//!
+//! [`Gate::bind`] opens a TCP listener and serves the protocol in
+//! [`crate::wire`] with one accept thread plus one thread per connection —
+//! the same "std threads, no async runtime" shape as the service's
+//! coalescer worker pool (the workspace ships no tokio). Per connection:
+//!
+//! * **auth** — the first thing every request resolves is its token
+//!   against [`GateConfig::tokens`]; an unknown token is a structured
+//!   `unauthorized` refusal and costs nothing;
+//! * **pipelining with FIFO responses** — a client may stream many
+//!   requests without waiting; answers come back in request order.
+//!   Requests the service parks in its coalescer queue
+//!   ([`starj_service::Submitted::Queued`]) ride in a per-connection
+//!   FIFO; front entries are resolved (blocking) whenever the connection
+//!   goes idle, the peer closes, or …
+//! * **backpressure** — … more than [`GateConfig::max_in_flight`] answers
+//!   are outstanding: the reader stops pulling frames until the front of
+//!   the queue resolves, so a flooding client backs up its own TCP
+//!   stream instead of the server's memory, and the fair coalescer queue
+//!   sees at most `max_in_flight` of its jobs at a time;
+//! * **request-id threading** — each request's wire id is entered into
+//!   the ambient [`starj_telemetry::WireRequestScope`] around parse and
+//!   submit, so trace spans adopt it as their trace id and every audit
+//!   event the request ever produces (including refunds settled later on
+//!   a coalescer worker thread) carries it.
+//!
+//! Dropping the [`Gate`] stops accepting, joins every thread, and
+//! resolves all outstanding answers first — no request is abandoned.
+
+use crate::sql::parse_query;
+use crate::wire::{
+    answer_frame, frame_of, gate_refusal, refusal, router_code, write_frame, WireRequest,
+};
+use starj_engine::{canonicalize, to_sql, StarSchema};
+use starj_router::Router;
+use starj_service::{ServiceAnswer, ServiceError, Submitted};
+use starj_telemetry::{Json, WireRequestScope};
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-door configuration.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// `(token, tenant)` pairs: the token a client presents and the
+    /// tenant id its requests are billed to.
+    pub tokens: Vec<(String, String)>,
+    /// Maximum queued (not yet answered) requests per connection before
+    /// the reader stops pulling frames. Clamped to ≥ 1.
+    pub max_in_flight: usize,
+    /// Maximum frame size in bytes; larger frames close the connection
+    /// with a `frame_too_large` refusal.
+    pub max_frame: usize,
+    /// How often blocked reads wake up to notice shutdown or drain idle
+    /// queues.
+    pub poll_interval: Duration,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            tokens: Vec::new(),
+            max_in_flight: 32,
+            max_frame: 1 << 20,
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A bound, serving front door. Dropping it shuts the listener down and
+/// joins every spawned thread.
+#[derive(Debug)]
+pub struct Gate {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Gate {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `router` behind it.
+    pub fn bind(router: Arc<Router>, config: GateConfig, addr: &str) -> std::io::Result<Gate> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let config = Arc::new(GateConfig { max_in_flight: config.max_in_flight.max(1), ..config });
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new().name("starj-gate-accept".into()).spawn(move || {
+                let mut next_conn = 0u64;
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let router = Arc::clone(&router);
+                    let config = Arc::clone(&config);
+                    let shutdown = Arc::clone(&shutdown);
+                    let name = format!("starj-gate-conn-{next_conn}");
+                    next_conn += 1;
+                    let handle = std::thread::Builder::new()
+                        .name(name)
+                        .spawn(move || serve_connection(stream, &router, &config, &shutdown))
+                        .expect("spawn gate connection thread");
+                    let mut held = conns.lock().unwrap_or_else(|e| e.into_inner());
+                    // Reap finished connections so the handle list stays
+                    // proportional to live connections, not total served.
+                    let (done, live): (Vec<_>, Vec<_>) =
+                        held.drain(..).partition(|h| h.is_finished());
+                    for h in done {
+                        let _ = h.join();
+                    }
+                    *held = live;
+                    held.push(handle);
+                }
+            })?
+        };
+
+        Ok(Gate { addr, shutdown, accept: Some(accept), conns })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for Gate {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut held = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            held.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---- per-connection serving ------------------------------------------------
+
+/// One response slot in the per-connection FIFO.
+enum Entry {
+    /// Already rendered; waiting its turn behind earlier slots.
+    Ready(Json),
+    /// Parked in the service's coalescer; resolving blocks.
+    InFlight { id: u64, pending: Submitted<ServiceAnswer>, schema: Arc<StarSchema> },
+}
+
+fn resolve(entry: Entry) -> Json {
+    match entry {
+        Entry::Ready(json) => json,
+        Entry::InFlight { id, pending, schema } => match pending.wait() {
+            Ok(answer) => rendered_answer(id, &answer, &schema),
+            Err(err) => service_refusal(id, &err),
+        },
+    }
+}
+
+fn rendered_answer(id: u64, answer: &ServiceAnswer, schema: &StarSchema) -> Json {
+    let noisy_sql = answer.noisy_query.as_ref().map(|q| to_sql(schema, q));
+    answer_frame(id, answer, noisy_sql)
+}
+
+fn service_refusal(id: u64, err: &ServiceError) -> Json {
+    refusal(id, crate::wire::service_code(err), &err.to_string())
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    router: &Arc<Router>,
+    config: &GateConfig,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::default();
+    let mut queue: VecDeque<Entry> = VecDeque::new();
+
+    loop {
+        match reader.step(&mut stream, config.max_frame) {
+            Ok(Event::Idle) => {
+                // The client paused: flush everything outstanding so
+                // answers are not held hostage to the next request, then
+                // notice shutdown.
+                if flush(&mut stream, &mut queue, 0).is_err() {
+                    return;
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(Event::Eof) => {
+                let _ = flush(&mut stream, &mut queue, 0);
+                return;
+            }
+            Ok(Event::Frame(body)) => {
+                match WireRequest::decode(&body) {
+                    Err((id, code, message)) => {
+                        // Malformed frames refuse but keep the connection:
+                        // the framing itself was intact.
+                        queue.push_back(Entry::Ready(refusal(id, code, &message)));
+                    }
+                    Ok(request) => handle_request(router, config, request, &mut queue),
+                }
+                // Send whatever is deliverable, then enforce the
+                // in-flight cap before reading more.
+                if flush_ready(&mut stream, &mut queue).is_err()
+                    || flush(&mut stream, &mut queue, config.max_in_flight).is_err()
+                {
+                    return;
+                }
+            }
+            Err(FrameError::TooLarge(len)) => {
+                // The stream is no longer frame-aligned; refuse and close.
+                let _ = flush(&mut stream, &mut queue, 0);
+                let note = refusal(
+                    0,
+                    "frame_too_large",
+                    &format!("frame of {len} bytes exceeds the {}-byte cap", config.max_frame),
+                );
+                let _ = write_frame(&mut stream, &frame_of(&note));
+                return;
+            }
+            Err(FrameError::Io) => return,
+        }
+    }
+}
+
+/// Serves one decoded request, pushing its response (or parked handle)
+/// onto the connection's FIFO.
+fn handle_request(
+    router: &Arc<Router>,
+    config: &GateConfig,
+    request: WireRequest,
+    queue: &mut VecDeque<Entry>,
+) {
+    let id = request.id();
+    let Some(tenant) = authorize(config, &request) else {
+        queue.push_back(Entry::Ready(refusal(id, "unauthorized", "unknown auth token")));
+        return;
+    };
+    match request {
+        WireRequest::Metrics { .. } => {
+            queue.push_back(Entry::Ready(Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("ok", Json::Num(1.0)),
+                ("prometheus", Json::Str(router.prometheus_text())),
+                ("audit_jsonl", Json::Str(router.audit_jsonl())),
+            ])));
+        }
+        WireRequest::Sql { dataset, sql, epsilon, name, .. } => {
+            // The ambient wire id covers parse through submit: trace
+            // spans started and audit contexts captured inside the
+            // submit path adopt it (and carry it to worker threads).
+            let _scope = WireRequestScope::enter(id);
+            let schema = match router.dataset_schema(&dataset) {
+                Ok(schema) => schema,
+                Err(err) => {
+                    queue.push_back(Entry::Ready(refusal(id, router_code(&err), &err.to_string())));
+                    return;
+                }
+            };
+            let label = name.as_deref().unwrap_or("sql");
+            let query = match parse_query(&schema, &sql, label) {
+                // Serve the canonical form so presentation variants hit
+                // the same cache entry — except unsatisfiable queries,
+                // where `to_query` is lossy (it drops the contradictory
+                // predicates); submit those as parsed and let the service
+                // detect the contradiction and answer free.
+                Ok(query) => {
+                    let canon = canonicalize(&query);
+                    if canon.unsatisfiable {
+                        query
+                    } else {
+                        canon.to_query(label)
+                    }
+                }
+                Err(err) => {
+                    queue.push_back(Entry::Ready(gate_refusal(id, &err)));
+                    return;
+                }
+            };
+            match router.pm_submit(&dataset, &tenant, &query, epsilon) {
+                Ok(Submitted::Ready(answer)) => {
+                    queue.push_back(Entry::Ready(rendered_answer(id, &answer, &schema)));
+                }
+                Ok(pending @ Submitted::Queued(_)) => {
+                    queue.push_back(Entry::InFlight { id, pending, schema });
+                }
+                Err(err) => {
+                    queue.push_back(Entry::Ready(refusal(id, router_code(&err), &err.to_string())));
+                }
+            }
+        }
+    }
+}
+
+fn authorize(config: &GateConfig, request: &WireRequest) -> Option<String> {
+    let token = match request {
+        WireRequest::Sql { token, .. } | WireRequest::Metrics { token, .. } => token,
+    };
+    config.tokens.iter().find(|(t, _)| t == token).map(|(_, tenant)| tenant.clone())
+}
+
+/// Writes queue entries from the front until at most `keep_in_flight`
+/// unresolved entries remain (resolving blocks on parked answers).
+fn flush(
+    stream: &mut TcpStream,
+    queue: &mut VecDeque<Entry>,
+    keep_in_flight: usize,
+) -> std::io::Result<()> {
+    flush_ready(stream, queue)?;
+    while queue.len() > keep_in_flight {
+        let entry = queue.pop_front().expect("len checked");
+        let json = resolve(entry);
+        write_frame(stream, &frame_of(&json))?;
+        flush_ready(stream, queue)?;
+    }
+    Ok(())
+}
+
+/// Writes already-rendered entries from the front without blocking on
+/// parked ones (FIFO: stops at the first in-flight entry).
+fn flush_ready(stream: &mut TcpStream, queue: &mut VecDeque<Entry>) -> std::io::Result<()> {
+    while matches!(queue.front(), Some(Entry::Ready(_))) {
+        let Some(Entry::Ready(json)) = queue.pop_front() else { unreachable!() };
+        write_frame(stream, &frame_of(&json))?;
+    }
+    Ok(())
+}
+
+// ---- frame reading across read timeouts ------------------------------------
+
+enum Event {
+    Frame(Vec<u8>),
+    Idle,
+    Eof,
+}
+
+enum FrameError {
+    TooLarge(usize),
+    Io,
+}
+
+/// Accumulates one length-prefixed frame across short read timeouts, so a
+/// frame split over many TCP segments survives the poll loop.
+#[derive(Default)]
+struct FrameReader {
+    /// Bytes of the 4-byte length prefix read so far.
+    len_buf: [u8; 4],
+    len_got: usize,
+    /// The frame body being filled once the length is known.
+    body: Vec<u8>,
+    body_got: usize,
+}
+
+impl FrameReader {
+    fn step(&mut self, stream: &mut TcpStream, max_frame: usize) -> Result<Event, FrameError> {
+        use std::io::Read;
+        loop {
+            if self.len_got < 4 {
+                match stream.read(&mut self.len_buf[self.len_got..]) {
+                    Ok(0) => {
+                        return if self.len_got == 0 {
+                            Ok(Event::Eof)
+                        } else {
+                            // Mid-prefix EOF: a truncated frame, not clean.
+                            Err(FrameError::Io)
+                        };
+                    }
+                    Ok(n) => {
+                        self.len_got += n;
+                        if self.len_got == 4 {
+                            let len = u32::from_be_bytes(self.len_buf) as usize;
+                            if len > max_frame {
+                                return Err(FrameError::TooLarge(len));
+                            }
+                            self.body = vec![0u8; len];
+                            self.body_got = 0;
+                        }
+                    }
+                    Err(e) if is_timeout(&e) => return Ok(Event::Idle),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return Err(FrameError::Io),
+                }
+                continue;
+            }
+            if self.body_got == self.body.len() {
+                self.len_got = 0;
+                return Ok(Event::Frame(std::mem::take(&mut self.body)));
+            }
+            match stream.read(&mut self.body[self.body_got..]) {
+                Ok(0) => return Err(FrameError::Io),
+                Ok(n) => self.body_got += n,
+                Err(e) if is_timeout(&e) => return Ok(Event::Idle),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(FrameError::Io),
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::read_frame;
+
+    #[test]
+    fn frame_reader_survives_byte_dribble() {
+        // Feed a frame one byte at a time through a pair of connected
+        // sockets; the reader must reassemble it across timeouts.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut out = TcpStream::connect(addr).unwrap();
+            let mut frame = Vec::new();
+            write_frame(&mut std::io::Cursor::new(&mut frame), b"dribble").unwrap();
+            for b in frame {
+                out.write_all(&[b]).unwrap();
+                out.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(2))).unwrap();
+        let mut reader = FrameReader::default();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let body = loop {
+            match reader.step(&mut stream, 1024) {
+                Ok(Event::Frame(body)) => break body,
+                Ok(Event::Idle) => assert!(std::time::Instant::now() < deadline, "timed out"),
+                Ok(Event::Eof) => panic!("unexpected EOF"),
+                Err(_) => panic!("unexpected frame error"),
+            }
+        };
+        assert_eq!(body, b"dribble");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut out = TcpStream::connect(addr).unwrap();
+            out.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut reader = FrameReader::default();
+        loop {
+            match reader.step(&mut stream, 1024) {
+                Err(FrameError::TooLarge(len)) => {
+                    assert_eq!(len, u32::MAX as usize);
+                    break;
+                }
+                Ok(Event::Idle) => {}
+                other => panic!(
+                    "expected TooLarge, got {:?}",
+                    match other {
+                        Ok(Event::Frame(_)) => "frame",
+                        Ok(Event::Eof) => "eof",
+                        Ok(Event::Idle) => "idle",
+                        Err(FrameError::Io) => "io",
+                        Err(FrameError::TooLarge(_)) => unreachable!(),
+                    }
+                ),
+            }
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn read_frame_is_reexported_for_clients() {
+        // Silences the "unused import" the module doc promises about.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        assert_eq!(read_frame(&mut std::io::Cursor::new(buf), 16).unwrap().unwrap(), b"x");
+    }
+}

@@ -1,0 +1,866 @@
+//! Recursive-descent parser for the engine's rendered SQL dialect.
+//!
+//! [`starj_engine::to_sql`] renders every star-join query this workspace
+//! serves as a SELECT statement; this module is its inverse. The grammar
+//! is exactly the fragment the renderer emits (see the README's EBNF):
+//!
+//! ```text
+//! query      := SELECT agg (',' colref)* FROM table (',' table)*
+//!               [WHERE cond (AND cond)*] [GROUP BY colref (',' colref)*] [';']
+//! agg        := COUNT '(' '*' ')' | SUM '(' colref ['-' colref] ')'
+//! cond       := colref '=' colref            -- join (both sides columns)
+//!             | colref '=' literal           -- point predicate
+//!             | colref BETWEEN literal AND literal
+//!             | colref IN '(' [literal (',' literal)*] ')'
+//! colref     := ident '.' ident
+//! literal    := number | string              -- '...' with '' escaping
+//! ```
+//!
+//! Parsing happens in three passes, each total over untrusted input
+//! (typed [`GateError`]s, never panics):
+//!
+//! 1. **lex** — byte offsets ride every token, string literals unescape
+//!    `''` → `'` via [`starj_engine::unescape_label`];
+//! 2. **parse** — the grammar above, producing a position-carrying AST;
+//! 3. **resolve** — names bind against the [`StarSchema`]: the fact table
+//!    must appear in FROM, join conditions must match declared foreign
+//!    keys, predicate columns must be dimension (or snowflake
+//!    sub-dimension) attributes, and string literals must be labels of the
+//!    column's domain. Numeric literals pass through as raw codes — domain
+//!    *membership* is the service admission layer's job, so out-of-domain
+//!    codes round-trip instead of being silently clamped here.
+//!
+//! The resolved query then runs through the engine's `canon` pass
+//! ([`parse_canonical`]) so presentation differences (predicate order,
+//! `[v, v]` vs point, duplicate IN entries) collapse before anything is
+//! served or cached.
+
+use crate::error::GateError;
+use starj_engine::{
+    canonicalize, unescape_label, Agg, CanonicalQuery, GroupAttr, Predicate, StarQuery, StarSchema,
+};
+
+// ---- lexer ----------------------------------------------------------------
+
+/// One lexical token with the byte offset it started at.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Identifier or keyword (keywords are matched case-insensitively at
+    /// parse time; the raw spelling is kept for error messages).
+    Ident(String),
+    /// Single-quoted string literal, already unescaped.
+    Str(String),
+    /// Unsigned numeric literal (attribute codes are `u32`).
+    Num(u32),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Semi,
+    Star,
+    Minus,
+    Eq,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Num(n) => format!("number {n}"),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Eq => "`=`".into(),
+        }
+    }
+}
+
+fn lex(sql: &str) -> Result<Vec<(usize, Tok)>, GateError> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            b'.' => {
+                toks.push((i, Tok::Dot));
+                i += 1;
+            }
+            b'(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            b';' => {
+                toks.push((i, Tok::Semi));
+                i += 1;
+            }
+            b'*' => {
+                toks.push((i, Tok::Star));
+                i += 1;
+            }
+            b'-' => {
+                toks.push((i, Tok::Minus));
+                i += 1;
+            }
+            b'=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            b'\'' => {
+                // Scan to the closing quote, treating '' as an escaped
+                // quote (i.e. a closing quote followed immediately by
+                // another quote continues the literal).
+                let start = i;
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(GateError::Lex {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => j += 2,
+                        Some(b'\'') => break,
+                        Some(_) => j += 1,
+                    }
+                }
+                let raw = &sql[start + 1..j];
+                toks.push((start, Tok::Str(unescape_label(raw))));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let value = text.parse::<u32>().map_err(|_| GateError::Lex {
+                    pos: start,
+                    message: format!("numeric literal `{text}` exceeds the u32 code range"),
+                })?;
+                toks.push((start, Tok::Num(value)));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(sql[start..i].to_string())));
+            }
+            _ => {
+                return Err(GateError::Lex {
+                    pos: i,
+                    message: format!("unexpected byte 0x{b:02x} outside the dialect's alphabet"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---- AST ------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct ColRef {
+    table: String,
+    attr: String,
+    pos: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Literal {
+    pos: usize,
+    value: LitValue,
+}
+
+#[derive(Debug, Clone)]
+enum LitValue {
+    Code(u32),
+    Label(String),
+}
+
+#[derive(Debug)]
+enum AstAgg {
+    Count,
+    Sum(ColRef),
+    SumDiff(ColRef, ColRef),
+}
+
+#[derive(Debug)]
+enum AstCond {
+    Join { left: ColRef, right: ColRef },
+    Point { col: ColRef, value: Literal },
+    Between { col: ColRef, lo: Literal, hi: Literal },
+    InSet { col: ColRef, values: Vec<Literal> },
+}
+
+#[derive(Debug)]
+struct Ast {
+    agg: AstAgg,
+    /// Grouping columns echoed in the SELECT list after the aggregate.
+    select_groups: Vec<ColRef>,
+    /// FROM tables with positions.
+    tables: Vec<(String, usize)>,
+    conds: Vec<AstCond>,
+    group_by: Vec<ColRef>,
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+    /// Byte length of the input, the position reported at end-of-input.
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(usize, Tok)> {
+        self.toks.get(self.at)
+    }
+
+    fn pos(&self) -> usize {
+        self.peek().map_or(self.end, |(p, _)| *p)
+    }
+
+    fn found(&self) -> String {
+        self.peek().map_or_else(|| "end of input".into(), |(_, t)| t.describe())
+    }
+
+    fn error(&self, expected: impl Into<String>) -> GateError {
+        GateError::Parse { pos: self.pos(), expected: expected.into(), found: self.found() }
+    }
+
+    fn bump(&mut self) -> Option<(usize, Tok)> {
+        let t = self.toks.get(self.at).cloned();
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok, expected: &str) -> Result<usize, GateError> {
+        match self.peek() {
+            Some((pos, t)) if t == tok => {
+                let pos = *pos;
+                self.at += 1;
+                Ok(pos)
+            }
+            _ => Err(self.error(expected)),
+        }
+    }
+
+    /// Consumes an identifier matching `keyword` case-insensitively.
+    fn keyword(&mut self, keyword: &str) -> Result<usize, GateError> {
+        match self.peek() {
+            Some((pos, Tok::Ident(s))) if s.eq_ignore_ascii_case(keyword) => {
+                let pos = *pos;
+                self.at += 1;
+                Ok(pos)
+            }
+            _ => Err(self.error(format!("keyword {keyword}"))),
+        }
+    }
+
+    fn at_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some((_, Tok::Ident(s))) if s.eq_ignore_ascii_case(keyword))
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<(String, usize), GateError> {
+        match self.peek() {
+            Some((pos, Tok::Ident(s))) if !is_reserved(s) => {
+                let out = (s.clone(), *pos);
+                self.at += 1;
+                Ok(out)
+            }
+            _ => Err(self.error(expected)),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef, GateError> {
+        let (table, pos) = self.ident("a table-qualified column (`table.column`)")?;
+        self.eat(&Tok::Dot, "`.` after the table name")?;
+        let (attr, _) = self.ident("a column name after `.`")?;
+        Ok(ColRef { table, attr, pos })
+    }
+
+    fn literal(&mut self) -> Result<Literal, GateError> {
+        match self.bump() {
+            Some((pos, Tok::Num(n))) => Ok(Literal { pos, value: LitValue::Code(n) }),
+            Some((pos, Tok::Str(s))) => Ok(Literal { pos, value: LitValue::Label(s) }),
+            other => {
+                if let Some((pos, t)) = other {
+                    // Un-consume so the error reports the right position.
+                    self.at -= 1;
+                    let _ = (pos, t);
+                }
+                Err(self.error("a literal (number or 'string')"))
+            }
+        }
+    }
+
+    fn agg(&mut self) -> Result<AstAgg, GateError> {
+        if self.at_keyword("count") {
+            self.keyword("count")?;
+            self.eat(&Tok::LParen, "`(` after count")?;
+            self.eat(&Tok::Star, "`*` inside count(...)")?;
+            self.eat(&Tok::RParen, "`)` closing count(*)")?;
+            Ok(AstAgg::Count)
+        } else if self.at_keyword("sum") {
+            self.keyword("sum")?;
+            self.eat(&Tok::LParen, "`(` after sum")?;
+            let a = self.colref()?;
+            if matches!(self.peek(), Some((_, Tok::Minus))) {
+                self.bump();
+                let b = self.colref()?;
+                self.eat(&Tok::RParen, "`)` closing sum(a - b)")?;
+                Ok(AstAgg::SumDiff(a, b))
+            } else {
+                self.eat(&Tok::RParen, "`)` closing sum(...)")?;
+                Ok(AstAgg::Sum(a))
+            }
+        } else {
+            Err(self.error("an aggregate (count(*) or sum(...))"))
+        }
+    }
+
+    fn condition(&mut self) -> Result<AstCond, GateError> {
+        let col = self.colref()?;
+        if self.at_keyword("between") {
+            self.keyword("between")?;
+            let lo = self.literal()?;
+            self.keyword("and")?;
+            let hi = self.literal()?;
+            return Ok(AstCond::Between { col, lo, hi });
+        }
+        if self.at_keyword("in") {
+            self.keyword("in")?;
+            self.eat(&Tok::LParen, "`(` opening the IN list")?;
+            let mut values = Vec::new();
+            if !matches!(self.peek(), Some((_, Tok::RParen))) {
+                values.push(self.literal()?);
+                while matches!(self.peek(), Some((_, Tok::Comma))) {
+                    self.bump();
+                    values.push(self.literal()?);
+                }
+            }
+            self.eat(&Tok::RParen, "`)` closing the IN list")?;
+            return Ok(AstCond::InSet { col, values });
+        }
+        self.eat(&Tok::Eq, "`=`, BETWEEN, or IN after the column")?;
+        // The right-hand side disambiguates a join condition (another
+        // column reference) from a point predicate (a literal).
+        match self.peek() {
+            Some((_, Tok::Ident(s))) if !is_reserved(s) => {
+                let right = self.colref()?;
+                Ok(AstCond::Join { left: col, right })
+            }
+            _ => {
+                let value = self.literal()?;
+                Ok(AstCond::Point { col, value })
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Ast, GateError> {
+        self.keyword("select")?;
+        let agg = self.agg()?;
+        let mut select_groups = Vec::new();
+        while matches!(self.peek(), Some((_, Tok::Comma))) {
+            self.bump();
+            select_groups.push(self.colref()?);
+        }
+        self.keyword("from")?;
+        let mut tables = Vec::new();
+        let (first, pos) = self.ident("a table name after FROM")?;
+        tables.push((first, pos));
+        while matches!(self.peek(), Some((_, Tok::Comma))) {
+            self.bump();
+            let (name, pos) = self.ident("a table name after `,`")?;
+            tables.push((name, pos));
+        }
+        let mut conds = Vec::new();
+        if self.at_keyword("where") {
+            self.keyword("where")?;
+            conds.push(self.condition()?);
+            while self.at_keyword("and") {
+                self.keyword("and")?;
+                conds.push(self.condition()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.at_keyword("group") {
+            self.keyword("group")?;
+            self.keyword("by")?;
+            group_by.push(self.colref()?);
+            while matches!(self.peek(), Some((_, Tok::Comma))) {
+                self.bump();
+                group_by.push(self.colref()?);
+            }
+        }
+        if matches!(self.peek(), Some((_, Tok::Semi))) {
+            self.bump();
+        }
+        if self.peek().is_some() {
+            return Err(self.error("end of statement"));
+        }
+        Ok(Ast { agg, select_groups, tables, conds, group_by })
+    }
+}
+
+/// Keywords that can open a clause — an identifier in value position must
+/// not swallow these, or `WHERE a.b = c.d AND e.f = 1` would parse `AND`
+/// as a table name.
+fn is_reserved(word: &str) -> bool {
+    ["select", "from", "where", "and", "group", "by", "in", "between", "count", "sum"]
+        .iter()
+        .any(|k| word.eq_ignore_ascii_case(k))
+}
+
+// ---- resolver -------------------------------------------------------------
+
+/// Resolves a column reference to its domain for literal binding.
+fn predicate_domain<'s>(
+    schema: &'s StarSchema,
+    col: &ColRef,
+) -> Result<&'s starj_engine::Domain, GateError> {
+    if let Ok(dim) = schema.dim(&col.table) {
+        return dim
+            .table
+            .domain(&col.attr)
+            .map_err(|e| GateError::Resolve { pos: col.pos, message: e.to_string() });
+    }
+    if let Some((_, sub)) = schema.subdim(&col.table) {
+        return sub
+            .table
+            .domain(&col.attr)
+            .map_err(|e| GateError::Resolve { pos: col.pos, message: e.to_string() });
+    }
+    Err(GateError::Resolve {
+        pos: col.pos,
+        message: format!("`{}` is not a dimension or sub-dimension table", col.table),
+    })
+}
+
+/// Binds one literal against a domain: labels resolve through
+/// [`starj_engine::Domain::code_of`]; numeric codes pass through raw (the
+/// service admission layer validates membership, so out-of-domain codes
+/// round-trip rather than failing here).
+fn bind_literal(
+    domain: &starj_engine::Domain,
+    col: &ColRef,
+    lit: &Literal,
+) -> Result<u32, GateError> {
+    match &lit.value {
+        LitValue::Code(n) => Ok(*n),
+        LitValue::Label(label) => domain.code_of(label).ok_or_else(|| GateError::Resolve {
+            pos: lit.pos,
+            message: format!(
+                "'{label}' is not a label of domain `{}` (column {}.{})",
+                domain.name(),
+                col.table,
+                col.attr
+            ),
+        }),
+    }
+}
+
+/// Checks a join condition against the schema's declared links: fact → dim
+/// foreign keys and dim → sub-dimension snowflake links, either side first.
+fn validate_join(schema: &StarSchema, left: &ColRef, right: &ColRef) -> Result<(), GateError> {
+    let fact = schema.fact().name();
+    let matches_link = |a: &ColRef, b: &ColRef| -> bool {
+        // fact.fk = dim.pk
+        if a.table == fact {
+            if let Ok(dim) = schema.dim(&b.table) {
+                return dim.fk == a.attr && dim.pk == b.attr;
+            }
+        }
+        // dim.fk_in_dim = sub.pk
+        if let Some((parent, sub)) = schema.subdim(&b.table) {
+            return parent.table.name() == a.table && sub.fk_in_dim == a.attr && sub.pk == b.attr;
+        }
+        false
+    };
+    if matches_link(left, right) || matches_link(right, left) {
+        Ok(())
+    } else {
+        Err(GateError::Resolve {
+            pos: left.pos,
+            message: format!(
+                "join condition {}.{} = {}.{} does not match any declared foreign key",
+                left.table, left.attr, right.table, right.attr
+            ),
+        })
+    }
+}
+
+fn resolve(schema: &StarSchema, ast: &Ast, name: &str) -> Result<StarQuery, GateError> {
+    let fact = schema.fact().name();
+
+    // Every FROM table must be known, and the fact table must be present.
+    let mut saw_fact = false;
+    for (table, pos) in &ast.tables {
+        if table == fact {
+            saw_fact = true;
+        } else if schema.dim(table).is_err() && schema.subdim(table).is_none() {
+            return Err(GateError::Resolve {
+                pos: *pos,
+                message: format!("unknown table `{table}` in FROM"),
+            });
+        }
+    }
+    if !saw_fact {
+        let pos = ast.tables.first().map_or(0, |(_, p)| *p);
+        return Err(GateError::Resolve {
+            pos,
+            message: format!("FROM must include the fact table `{fact}`"),
+        });
+    }
+
+    let agg = match &ast.agg {
+        AstAgg::Count => Agg::Count,
+        AstAgg::Sum(col) => {
+            resolve_measure(schema, col)?;
+            Agg::Sum(col.attr.clone())
+        }
+        AstAgg::SumDiff(a, b) => {
+            resolve_measure(schema, a)?;
+            resolve_measure(schema, b)?;
+            Agg::SumDiff(a.attr.clone(), b.attr.clone())
+        }
+    };
+
+    let mut predicates = Vec::new();
+    for cond in &ast.conds {
+        match cond {
+            AstCond::Join { left, right } => validate_join(schema, left, right)?,
+            AstCond::Point { col, value } => {
+                let domain = predicate_domain(schema, col)?;
+                let code = bind_literal(domain, col, value)?;
+                predicates.push(Predicate::point(&col.table, &col.attr, code));
+            }
+            AstCond::Between { col, lo, hi } => {
+                let domain = predicate_domain(schema, col)?;
+                let lo = bind_literal(domain, col, lo)?;
+                let hi = bind_literal(domain, col, hi)?;
+                predicates.push(Predicate::range(&col.table, &col.attr, lo, hi));
+            }
+            AstCond::InSet { col, values } => {
+                let domain = predicate_domain(schema, col)?;
+                let codes = values.iter().map(|v| bind_literal(domain, col, v)).collect::<Result<
+                    Vec<u32>,
+                    GateError,
+                >>(
+                )?;
+                predicates.push(Predicate::set(&col.table, &col.attr, codes));
+            }
+        }
+    }
+
+    let mut group_by = Vec::new();
+    for col in &ast.group_by {
+        let dim = schema.dim(&col.table).map_err(|_| GateError::Resolve {
+            pos: col.pos,
+            message: format!(
+                "GROUP BY `{}.{}` must name a dimension attribute",
+                col.table, col.attr
+            ),
+        })?;
+        dim.table
+            .codes(&col.attr)
+            .map_err(|e| GateError::Resolve { pos: col.pos, message: e.to_string() })?;
+        group_by.push(GroupAttr::new(&col.table, &col.attr));
+    }
+
+    // The renderer echoes the grouping attributes in the SELECT list; a
+    // statement whose SELECT list disagrees with its GROUP BY clause is
+    // not in the dialect.
+    if ast.select_groups.len() != ast.group_by.len()
+        || ast
+            .select_groups
+            .iter()
+            .zip(&ast.group_by)
+            .any(|(s, g)| s.table != g.table || s.attr != g.attr)
+    {
+        let pos = ast.select_groups.first().or(ast.group_by.first()).map_or(0, |c| c.pos);
+        return Err(GateError::Resolve {
+            pos,
+            message: "SELECT list grouping columns must match the GROUP BY clause".into(),
+        });
+    }
+
+    Ok(StarQuery { name: name.to_string(), agg, predicates, group_by })
+}
+
+fn resolve_measure(schema: &StarSchema, col: &ColRef) -> Result<(), GateError> {
+    let fact = schema.fact().name();
+    if col.table != fact {
+        return Err(GateError::Resolve {
+            pos: col.pos,
+            message: format!("sum(...) must aggregate a `{fact}` measure, not `{}`", col.table),
+        });
+    }
+    schema
+        .fact()
+        .measure(&col.attr)
+        .map(|_| ())
+        .map_err(|e| GateError::Resolve { pos: col.pos, message: e.to_string() })
+}
+
+// ---- public API -----------------------------------------------------------
+
+/// Parses one SQL statement of the rendered dialect into an executable
+/// [`StarQuery`] labelled `name`, resolving every table, column, and label
+/// against `schema`. Total over untrusted input: typed errors, no panics.
+pub fn parse_query(schema: &StarSchema, sql: &str, name: &str) -> Result<StarQuery, GateError> {
+    let toks = lex(sql)?;
+    let mut parser = Parser { toks, at: 0, end: sql.len() };
+    let ast = parser.query()?;
+    resolve(schema, &ast, name)
+}
+
+/// [`parse_query`] followed by the engine's `canon` pass: the normal form
+/// presentation-equivalent statements collapse to, and the form the wire
+/// listener actually serves.
+pub fn parse_canonical(schema: &StarSchema, sql: &str) -> Result<CanonicalQuery, GateError> {
+    Ok(canonicalize(&parse_query(schema, sql, "sql")?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starj_engine::{
+        to_sql, Column, Constraint, Dimension, Domain, Predicate, SubDimension, Table,
+    };
+
+    fn schema() -> StarSchema {
+        let region = Domain::categorical("region", vec!["NORTH", "SOUTH"]).unwrap();
+        let cust = Table::new(
+            "Customer",
+            vec![
+                Column::key("pk", vec![0, 1]),
+                Column::attr("region", region, vec![0, 1]),
+                Column::key("nk", vec![0, 0]),
+            ],
+        )
+        .unwrap();
+        let year = Domain::numeric("year", 7).unwrap();
+        let date = Table::new(
+            "Date",
+            vec![Column::key("dk", vec![0, 1]), Column::attr("year", year, vec![0, 1])],
+        )
+        .unwrap();
+        let gdp = Domain::numeric("gdp", 3).unwrap();
+        let nation = Table::new(
+            "Nation",
+            vec![Column::key("nk", vec![0]), Column::attr("gdp", gdp, vec![2])],
+        )
+        .unwrap();
+        let fact = Table::new(
+            "Lineorder",
+            vec![
+                Column::key("custkey", vec![0, 1, 1]),
+                Column::key("orderdate", vec![0, 0, 1]),
+                Column::measure("revenue", vec![5, 6, 7]),
+                Column::measure("cost", vec![1, 1, 1]),
+            ],
+        )
+        .unwrap();
+        StarSchema::new(
+            fact,
+            vec![
+                Dimension::new(cust, "pk", "custkey").with_subdim(SubDimension {
+                    table: nation,
+                    pk: "nk".into(),
+                    fk_in_dim: "nk".into(),
+                }),
+                Dimension::new(date, "dk", "orderdate"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(q: &StarQuery) {
+        let s = schema();
+        let sql = to_sql(&s, q);
+        let parsed =
+            parse_canonical(&s, &sql).unwrap_or_else(|e| panic!("`{sql}` failed to parse: {e}"));
+        assert_eq!(parsed, canonicalize(q), "round trip through `{sql}`");
+    }
+
+    #[test]
+    fn rendered_queries_round_trip() {
+        roundtrip(&StarQuery::count("q"));
+        roundtrip(&StarQuery::count("q").with(Predicate::point("Customer", "region", 1)));
+        roundtrip(&StarQuery::sum("q", "revenue").with(Predicate::range("Date", "year", 0, 5)));
+        roundtrip(&StarQuery::count("q").with(Predicate::set("Date", "year", vec![0, 2, 4])));
+        roundtrip(
+            &StarQuery::sum_diff("q", "revenue", "cost")
+                .with(Predicate::point("Customer", "region", 0))
+                .group_by(GroupAttr::new("Date", "year")),
+        );
+        // Snowflake: the sub-dimension predicate pulls a two-hop join in.
+        roundtrip(&StarQuery::count("q").with(Predicate::point("Nation", "gdp", 2)));
+        // Degenerate constraints canon handles: inverted range, dup set.
+        roundtrip(&StarQuery::count("q").with(Predicate::range("Date", "year", 5, 2)));
+        roundtrip(&StarQuery::count("q").with(Predicate::set("Date", "year", vec![3, 3])));
+    }
+
+    #[test]
+    fn labels_resolve_and_unknown_labels_are_typed() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT count(*) FROM Lineorder, Customer \
+             WHERE Lineorder.custkey = Customer.pk AND Customer.region = 'SOUTH';",
+            "q",
+        )
+        .unwrap();
+        assert_eq!(q.predicates, vec![Predicate::point("Customer", "region", 1)]);
+
+        let err = parse_query(
+            &s,
+            "SELECT count(*) FROM Lineorder, Customer \
+             WHERE Lineorder.custkey = Customer.pk AND Customer.region = 'MOON';",
+            "q",
+        )
+        .unwrap_err();
+        assert!(matches!(err, GateError::Resolve { .. }), "got {err:?}");
+        assert!(err.to_string().contains("MOON"));
+    }
+
+    #[test]
+    fn quote_bearing_labels_parse_back() {
+        let hostile =
+            Domain::categorical("name", vec!["O'Brien", "''", "x' OR '1'='1", "plain"]).unwrap();
+        let dim = Table::new(
+            "Cust",
+            vec![
+                Column::key("pk", vec![0, 1, 2, 3]),
+                Column::attr("name", hostile, vec![0, 1, 2, 3]),
+            ],
+        )
+        .unwrap();
+        let fact = Table::new("F", vec![Column::key("ck", vec![0, 1, 2, 3])]).unwrap();
+        let s = StarSchema::new(fact, vec![Dimension::new(dim, "pk", "ck")]).unwrap();
+        for (q, _) in [
+            (StarQuery::count("q").with(Predicate::point("Cust", "name", 0)), "O'Brien"),
+            (StarQuery::count("q").with(Predicate::set("Cust", "name", vec![1, 2])), "''"),
+        ] {
+            let sql = to_sql(&s, &q);
+            let parsed = parse_canonical(&s, &sql).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
+            assert_eq!(parsed, canonicalize(&q), "hostile labels round trip via `{sql}`");
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_typed_with_positions() {
+        let s = schema();
+        for (sql, what) in [
+            ("", "empty input"),
+            ("SELECT", "bare select"),
+            ("SELECT count(*)", "missing FROM"),
+            ("SELECT count(*) FROM", "missing table"),
+            ("SELECT count(*) FROM Lineorder WHERE", "dangling WHERE"),
+            ("SELECT count(*) FROM Lineorder WHERE Date.year =", "dangling ="),
+            ("SELECT count(*) FROM Lineorder WHERE Date.year BETWEEN 1", "half a BETWEEN"),
+            ("SELECT count(*) FROM Lineorder WHERE Date.year IN (1,", "unclosed IN"),
+            ("SELECT count(*) FROM Lineorder GROUP BY", "dangling GROUP BY"),
+            ("SELECT count(*) FROM Lineorder; extra", "trailing garbage"),
+            ("SELECT max(*) FROM Lineorder;", "unsupported aggregate"),
+            ("SELECT count(*) FROM Lineorder WHERE Date.year = 'x", "unterminated string"),
+            ("SELECT count(*) FROM Lineorder WHERE Date.year = 99999999999", "u32 overflow"),
+            ("\u{1}\u{2}", "control bytes"),
+        ] {
+            let err =
+                parse_query(&s, sql, "q").expect_err(&format!("{what}: `{sql}` must not parse"));
+            assert!(err.pos() <= sql.len(), "{what}: position {} in bounds", err.pos());
+        }
+    }
+
+    #[test]
+    fn resolve_errors_are_typed() {
+        let s = schema();
+        for sql in [
+            // Unknown FROM table.
+            "SELECT count(*) FROM Lineorder, Ghost;",
+            // Fact table missing from FROM.
+            "SELECT count(*) FROM Customer;",
+            // Join condition that matches no declared foreign key.
+            "SELECT count(*) FROM Lineorder, Customer WHERE Lineorder.custkey = Customer.nk;",
+            // Predicate on a non-dimension table.
+            "SELECT count(*) FROM Lineorder WHERE Lineorder.revenue = 5;",
+            // sum over a non-measure.
+            "SELECT sum(Lineorder.custkey) FROM Lineorder;",
+            // sum over a dimension table.
+            "SELECT sum(Customer.region) FROM Lineorder, Customer;",
+            // GROUP BY on a sub-dimension (executor resolves dims only).
+            "SELECT count(*), Nation.gdp FROM Lineorder GROUP BY Nation.gdp;",
+            // SELECT grouping columns disagree with GROUP BY.
+            "SELECT count(*), Date.year FROM Lineorder, Date \
+             WHERE Lineorder.orderdate = Date.dk GROUP BY Date.year, Date.year;",
+        ] {
+            let err = parse_query(&s, sql, "q").expect_err(sql);
+            assert!(matches!(err, GateError::Resolve { .. }), "`{sql}` → {err:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_inputs_never_panic() {
+        let s = schema();
+        let samples = [
+            "'''''''''''''",
+            "SELECT count(*) FROM Lineorder WHERE ((((((((",
+            "select COUNT ( * ) from Lineorder ;",
+            "SELECT sum(Lineorder.revenue - Lineorder.cost - Lineorder.cost) FROM Lineorder;",
+            "SELECT count(*) FROM Lineorder WHERE Date.year IN ();",
+            "SELECT count(*) FROM Lineorder WHERE Date.year IN (1) AND",
+            ";;;;;",
+            "SELECT count(*) FROM Lineorder GROUP GROUP BY BY Date.year;",
+            "🦀🦀🦀",
+        ];
+        for sql in samples {
+            // Ok or typed Err are both fine; the point is totality.
+            let _ = parse_query(&s, sql, "q");
+        }
+        // Case-insensitive keywords with odd spacing do parse.
+        let q = parse_query(&s, "select COUNT ( * ) from Lineorder ;", "q").unwrap();
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn empty_in_list_is_unsatisfiable_after_canon() {
+        let s = schema();
+        let c = parse_canonical(
+            &s,
+            "SELECT count(*) FROM Lineorder, Date \
+             WHERE Lineorder.orderdate = Date.dk AND Date.year IN ();",
+        )
+        .unwrap();
+        assert!(c.unsatisfiable);
+        assert_eq!(
+            c,
+            canonicalize(&StarQuery::count("q").with(Predicate {
+                table: "Date".into(),
+                attr: "year".into(),
+                constraint: Constraint::Set(vec![]),
+            }))
+        );
+    }
+}

@@ -412,6 +412,14 @@ impl Router {
         Ok(())
     }
 
+    /// The current star schema of one hosted dataset. This is the schema
+    /// front doors (the gate's SQL parser) must resolve incoming names
+    /// against; it tracks [`Router::refresh_schema`] swaps.
+    pub fn dataset_schema(&self, dataset: &str) -> Result<Arc<StarSchema>, RouterError> {
+        let (service, _) = self.service_for(dataset)?;
+        Ok(service.schema())
+    }
+
     /// The tenant's budget usage against one dataset.
     pub fn tenant_usage(&self, dataset: &str, tenant: &str) -> Result<TenantUsage, RouterError> {
         let (service, shard) = self.service_for(dataset)?;

@@ -83,6 +83,11 @@ pub struct AuditCtx {
     pub query_hash: u64,
     /// The data version the request was admitted against.
     pub data_version: u64,
+    /// The wire request id captured at submit time (0 = internal). Carried
+    /// explicitly because settlement can happen on a different thread — a
+    /// coalescer worker refunding a stale job must still tag the Refund
+    /// event with the frame id of the connection that submitted it.
+    pub request_id: u64,
 }
 
 /// A committed-or-refunded hold on a tenant's budget. Obtained from
@@ -113,13 +118,14 @@ impl Reservation {
         // same tolerance the ledger charges with.
         state.ledger.charge(self.cost).map_err(ServiceError::InvalidBudget)?;
         if let Some(ctx) = &self.audit {
-            ctx.trail.record(
+            ctx.trail.record_for_request(
                 &state.name,
                 AuditKind::Commit,
                 ctx.query_hash,
                 self.cost.epsilon(),
                 self.cost.delta(),
                 ctx.data_version,
+                ctx.request_id,
             );
         }
         Ok(())
@@ -137,13 +143,14 @@ impl Reservation {
             state.settle(&self.cost);
             self.settled = true;
             if let Some(ctx) = &self.audit {
-                ctx.trail.record(
+                ctx.trail.record_for_request(
                     &state.name,
                     AuditKind::Refund,
                     ctx.query_hash,
                     self.cost.epsilon(),
                     self.cost.delta(),
                     ctx.data_version,
+                    ctx.request_id,
                 );
             }
         }
@@ -227,13 +234,14 @@ impl BudgetAccountant {
         if !state.admits(&cost) {
             let remaining = (state.ledger.remaining_epsilon() - state.in_flight_epsilon).max(0.0);
             if let Some(ctx) = &audit {
-                ctx.trail.record(
+                ctx.trail.record_for_request(
                     &state.name,
                     AuditKind::Refusal,
                     ctx.query_hash,
                     cost.epsilon(),
                     cost.delta(),
                     ctx.data_version,
+                    ctx.request_id,
                 );
             }
             return Err(ServiceError::BudgetExhausted {
@@ -246,13 +254,14 @@ impl BudgetAccountant {
         state.in_flight_delta += cost.delta();
         state.in_flight_count += 1;
         if let Some(ctx) = &audit {
-            ctx.trail.record(
+            ctx.trail.record_for_request(
                 &state.name,
                 AuditKind::Reserve,
                 ctx.query_hash,
                 cost.epsilon(),
                 cost.delta(),
                 ctx.data_version,
+                ctx.request_id,
             );
         }
         drop(state);

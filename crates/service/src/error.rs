@@ -36,6 +36,21 @@ pub enum ServiceError {
     InvalidQuery(EngineError),
     /// The requested privacy parameters are malformed (ε ≤ 0, δ ∉ [0, 1)).
     InvalidBudget(NoiseError),
+    /// DPSQL+-style minimum-frequency refusal: the cost model estimates
+    /// that a predicate admits fewer fact rows than the configured floor
+    /// ([`crate::ServiceConfig::min_pass_rows`]), so answering would
+    /// release a statistic about a population too small to hide in.
+    /// Refused at admission — **no budget was reserved or spent**.
+    BelowMinFrequency {
+        /// Table of the offending predicate.
+        table: String,
+        /// Attribute of the offending predicate.
+        attr: String,
+        /// Cost-model estimated fact rows the predicate admits.
+        estimated_rows: f64,
+        /// The configured minimum-frequency floor.
+        floor: u64,
+    },
     /// A k-star query was submitted to a service built without a graph.
     NoGraph,
     /// The underlying DP mechanism failed after admission; the reservation
@@ -69,6 +84,12 @@ impl fmt::Display for ServiceError {
             ServiceError::DuplicateTenant(t) => write!(f, "tenant `{t}` already registered"),
             ServiceError::InvalidQuery(e) => write!(f, "query rejected at admission: {e}"),
             ServiceError::InvalidBudget(e) => write!(f, "invalid privacy budget: {e}"),
+            ServiceError::BelowMinFrequency { table, attr, estimated_rows, floor } => write!(
+                f,
+                "predicate on `{table}.{attr}` refused by the minimum-frequency guard: \
+                 estimated {estimated_rows:.1} passing fact rows < floor {floor} \
+                 (no budget spent)"
+            ),
             ServiceError::NoGraph => {
                 write!(f, "k-star queries need a service built with a graph")
             }

@@ -38,7 +38,7 @@
 //! post-refresh request.
 
 use crate::accountant::{AuditCtx, BudgetAccountant, TenantUsage};
-use crate::admission::{validate_query, validate_workload};
+use crate::admission::{min_frequency_check, validate_query, validate_workload};
 use crate::cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 use crate::coalesce::{pending_pair, Coalescer, Job, PmJob, Submitted, WdJob};
 use crate::error::ServiceError;
@@ -129,6 +129,12 @@ pub struct ServiceConfig {
     /// on; [`TelemetryConfig::disabled`] turns every component off (the
     /// tracing-off arm of the coalesce bench's A/B).
     pub telemetry: TelemetryConfig,
+    /// DPSQL+-style minimum-frequency floor: refuse any query carrying a
+    /// predicate whose cost-model estimated passing fact-row count falls
+    /// below this many rows ([`ServiceError::BelowMinFrequency`], decided
+    /// at admission, before any budget is reserved). `0` (the default)
+    /// disables the guard.
+    pub min_pass_rows: u64,
 }
 
 impl Default for ServiceConfig {
@@ -150,6 +156,7 @@ impl Default for ServiceConfig {
             cache_w_histograms: true,
             w_cache_capacity: crate::wcache::DEFAULT_W_CACHE_CAPACITY,
             telemetry: TelemetryConfig::default(),
+            min_pass_rows: 0,
         }
     }
 }
@@ -608,6 +615,7 @@ impl Service {
         let (schema, version) = core.snapshot();
         for q in queries {
             core.admit(|| validate_query(&schema, q))?;
+            core.admit(|| min_frequency_check(&schema, &q.predicates, core.config.min_pass_rows))?;
         }
         trace.stage_end(Stage::Admission);
 
@@ -853,6 +861,9 @@ impl ServiceCore {
         let cost = trace.stage(Stage::Admission, || {
             let cost = self.admit_cost(epsilon)?;
             self.admit(|| validate_query(&schema, query))?;
+            self.admit(|| {
+                min_frequency_check(&schema, &query.predicates, self.config.min_pass_rows)
+            })?;
             Ok::<_, ServiceError>(cost)
         })?;
 
@@ -1238,6 +1249,9 @@ impl ServiceCore {
             trail: Arc::clone(trail),
             query_hash,
             data_version: version,
+            // Captured here — on the submitting thread — so settlement
+            // events recorded later on a coalescer worker still carry it.
+            request_id: starj_telemetry::current_wire_request_id(),
         });
         self.accountant.reserve_audited(tenant, cost, audit).inspect_err(|e| {
             if matches!(e, ServiceError::BudgetExhausted { .. }) {
@@ -1336,6 +1350,30 @@ mod tests {
         let m = service.metrics();
         assert_eq!(m.fused_scans, 1);
         assert_eq!(m.fused_queries_saved, 3);
+    }
+
+    #[test]
+    fn min_frequency_floor_refuses_without_spending() {
+        let config = ServiceConfig { min_pass_rows: 2, ..ServiceConfig::default() };
+        let service = Service::new(toy_schema(), config);
+        service.register_tenant("t", starj_noise::PrivacyBudget::pure(10.0).unwrap()).unwrap();
+
+        // Fact fks are [0, 0, 1, 2, 3, 3]: color = 1 admits one row — under
+        // the floor of 2 — while color = 0 admits two and is served.
+        let rare = StarQuery::count("rare").with(Predicate::point("D", "color", 1));
+        let err = service.pm_answer("t", &rare, 0.5).unwrap_err();
+        assert!(matches!(err, ServiceError::BelowMinFrequency { floor: 2, .. }), "got {err:?}");
+        let usage = service.tenant_usage("t").unwrap();
+        assert_eq!(usage.spent_epsilon, 0.0, "refusal at admission spends nothing");
+        assert_eq!(service.metrics().admission_rejections, 1);
+
+        let common = StarQuery::count("common").with(Predicate::point("D", "color", 0));
+        service.pm_answer("t", &common, 0.5).unwrap();
+        assert!(service.tenant_usage("t").unwrap().spent_epsilon > 0.0);
+
+        // The same floor guards the batch path.
+        let err = service.pm_batch_answer("t", &[common, rare], 0.5).unwrap_err();
+        assert!(matches!(err, ServiceError::BelowMinFrequency { .. }));
     }
 
     #[test]

@@ -74,14 +74,18 @@ pub struct AuditEvent {
     pub delta: f64,
     /// The data version the request was admitted against.
     pub data_version: u64,
+    /// The wire request id ambient on the recording thread (the network
+    /// front door's frame id; see [`crate::reqid`]). 0 = internal traffic.
+    pub request_id: u64,
     /// What happened.
     pub kind: AuditKind,
 }
 
 impl AuditEvent {
-    /// The event as a JSON object (one JSONL line).
+    /// The event as a JSON object (one JSONL line). The `request_id` key is
+    /// present only for wire traffic (non-zero ids).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("seq", Json::Num(self.seq as f64)),
             ("at_ns", Json::Num(self.at_ns as f64)),
             ("tenant", Json::Str(self.tenant.to_string())),
@@ -90,7 +94,11 @@ impl AuditEvent {
             ("epsilon", Json::Num(self.epsilon)),
             ("delta", Json::Num(self.delta)),
             ("data_version", Json::Num(self.data_version as f64)),
-        ])
+        ];
+        if self.request_id != 0 {
+            pairs.push(("request_id", Json::Num(self.request_id as f64)));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -140,7 +148,8 @@ impl AuditTrail {
         self.capacity > 0
     }
 
-    /// Appends one event. No-op when disabled.
+    /// Appends one event, stamped with the wire request id ambient on the
+    /// recording thread. No-op when disabled.
     pub fn record(
         &self,
         tenant: &Arc<str>,
@@ -149,6 +158,33 @@ impl AuditTrail {
         epsilon: f64,
         delta: f64,
         data_version: u64,
+    ) {
+        self.record_for_request(
+            tenant,
+            kind,
+            query_hash,
+            epsilon,
+            delta,
+            data_version,
+            crate::reqid::current_wire_request_id(),
+        );
+    }
+
+    /// [`AuditTrail::record`] with an explicit wire request id (0 =
+    /// internal). Settlement events fire on whatever thread settles the
+    /// reservation — a coalescer worker refusing a stale job, for example —
+    /// so callers that captured the id at submit time pass it here instead
+    /// of relying on the recording thread's ambient state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_for_request(
+        &self,
+        tenant: &Arc<str>,
+        kind: AuditKind,
+        query_hash: u64,
+        epsilon: f64,
+        delta: f64,
+        data_version: u64,
+        request_id: u64,
     ) {
         if !self.enabled() {
             return;
@@ -175,6 +211,7 @@ impl AuditTrail {
             epsilon,
             delta,
             data_version,
+            request_id,
             kind,
         });
         if state.events.len() > self.capacity {
@@ -312,6 +349,24 @@ mod tests {
         assert_eq!(trail.totals("b").refusals, 1);
         assert_eq!(trail.totals("a").refunded_epsilon, 0.5);
         assert_eq!(trail.tenants(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn ambient_wire_request_id_lands_on_events() {
+        let trail = AuditTrail::new(4);
+        {
+            let _scope = crate::reqid::WireRequestScope::enter(9001);
+            trail.record(&tenant("t"), AuditKind::Refusal, 1, 0.5, 0.0, 0);
+        }
+        trail.record(&tenant("t"), AuditKind::Reserve, 1, 0.5, 0.0, 0);
+        let events = trail.events();
+        assert_eq!(events[0].request_id, 9001, "wire-scoped event carries the frame id");
+        assert_eq!(events[1].request_id, 0, "internal traffic records no id");
+        let jsonl = trail.to_jsonl();
+        let first = Json::parse(jsonl.lines().next().expect("line")).expect("parses");
+        assert_eq!(first.get("request_id").and_then(Json::as_f64), Some(9001.0));
+        let second = Json::parse(jsonl.lines().nth(1).expect("line")).expect("parses");
+        assert!(second.get("request_id").is_none(), "zero ids are omitted");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod clock;
 pub mod counters;
 pub mod json;
 pub mod prom;
+pub mod reqid;
 pub mod slowlog;
 pub mod trace;
 
@@ -54,6 +55,9 @@ pub use counters::{
 };
 pub use json::Json;
 pub use prom::PromText;
+pub use reqid::{
+    clear_wire_request_id, current_wire_request_id, set_wire_request_id, WireRequestScope,
+};
 pub use slowlog::SlowQueryLog;
 pub use trace::{RequestKind, SpanRing, Stage, TraceBuilder, TraceOutcome, TraceRecord};
 

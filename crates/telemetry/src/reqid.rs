@@ -1,0 +1,106 @@
+//! The wire-request-id seam: a thread-local correlation id the network
+//! front door stamps before handing a request to the serving tier.
+//!
+//! The gate listener assigns (or accepts from the client) one id per wire
+//! frame. Everything privacy-relevant in the request pipeline — admission,
+//! canonicalization, the budget reserve/refusal decision — runs on the
+//! submitting thread, so a thread-local set around the submit call is
+//! enough for the id to reach both observability surfaces without
+//! threading a parameter through every service/router signature:
+//!
+//! * [`crate::TraceBuilder::start`] uses the ambient id (when non-zero) as
+//!   the span's `trace_id`, so the trace ring's span ids *are* the wire
+//!   request ids for front-door traffic;
+//! * [`crate::AuditTrail::record`] stamps it into every
+//!   [`crate::AuditEvent`], so a refusal or refund observed on the wire can
+//!   be found in the audit trail by the id the client saw.
+//!
+//! Id `0` means "no wire request" — internal traffic keeps its
+//! process-unique monotone trace ids and records `request_id: 0` (omitted
+//! from the JSONL rendering).
+//!
+//! Use the RAII [`WireRequestScope`] rather than the raw set/clear pair:
+//! the guard clears the slot even when the serving call errors or panics,
+//! so an id can never leak onto an unrelated request handled later by the
+//! same connection thread.
+
+use std::cell::Cell;
+
+thread_local! {
+    static WIRE_REQUEST_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Sets the calling thread's ambient wire request id (0 clears it).
+pub fn set_wire_request_id(id: u64) {
+    WIRE_REQUEST_ID.with(|slot| slot.set(id));
+}
+
+/// Clears the calling thread's ambient wire request id.
+pub fn clear_wire_request_id() {
+    set_wire_request_id(0);
+}
+
+/// The calling thread's ambient wire request id (0 = none).
+pub fn current_wire_request_id() -> u64 {
+    WIRE_REQUEST_ID.with(Cell::get)
+}
+
+/// RAII scope for the ambient wire request id: sets on construction,
+/// restores the previous value on drop (including unwinds).
+#[derive(Debug)]
+pub struct WireRequestScope {
+    previous: u64,
+}
+
+impl WireRequestScope {
+    /// Enters a scope in which `id` is the ambient wire request id.
+    pub fn enter(id: u64) -> WireRequestScope {
+        let previous = current_wire_request_id();
+        set_wire_request_id(id);
+        WireRequestScope { previous }
+    }
+}
+
+impl Drop for WireRequestScope {
+    fn drop(&mut self) {
+        set_wire_request_id(self.previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_sets_and_restores() {
+        assert_eq!(current_wire_request_id(), 0);
+        {
+            let _outer = WireRequestScope::enter(7);
+            assert_eq!(current_wire_request_id(), 7);
+            {
+                let _inner = WireRequestScope::enter(9);
+                assert_eq!(current_wire_request_id(), 9);
+            }
+            assert_eq!(current_wire_request_id(), 7, "inner scope restores outer id");
+        }
+        assert_eq!(current_wire_request_id(), 0);
+    }
+
+    #[test]
+    fn scope_restores_across_panics() {
+        let _ = std::panic::catch_unwind(|| {
+            let _scope = WireRequestScope::enter(42);
+            panic!("unwind through the scope");
+        });
+        assert_eq!(current_wire_request_id(), 0, "unwind cleared the slot");
+    }
+
+    #[test]
+    fn ids_are_thread_local() {
+        let _scope = WireRequestScope::enter(11);
+        std::thread::spawn(|| assert_eq!(current_wire_request_id(), 0))
+            .join()
+            .expect("spawned thread sees no ambient id");
+        assert_eq!(current_wire_request_id(), 11);
+    }
+}

@@ -251,13 +251,25 @@ pub struct TraceBuilder {
 }
 
 impl TraceBuilder {
-    /// Starts a span (stamping the request start when enabled).
+    /// Starts a span (stamping the request start when enabled). A non-zero
+    /// ambient wire request id ([`crate::reqid::set_wire_request_id`], set
+    /// by the network front door around its submit call) becomes the span's
+    /// trace id, so wire traffic is correlated by the id the client saw;
+    /// internal traffic keeps process-unique monotone ids.
     pub fn start(kind: RequestKind, tenant: &str, enabled: bool) -> TraceBuilder {
         let (tenant, tenant_len) =
             if enabled { truncate_tenant(tenant) } else { ([0; TENANT_BYTES], 0) };
+        let trace_id = if enabled {
+            match crate::reqid::current_wire_request_id() {
+                0 => NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+                wire => wire,
+            }
+        } else {
+            0
+        };
         TraceBuilder {
             enabled,
-            trace_id: if enabled { NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed) } else { 0 },
+            trace_id,
             kind,
             queued: false,
             start_ns: if enabled { now_ns() } else { 0 },

@@ -1,0 +1,331 @@
+//! SQL front-door round-trip properties: for every query `q` the engine
+//! can render, `parse(to_sql(q))` must be **canon-equal** to `q` — i.e.
+//! `canonicalize(parse(to_sql(schema, q))) == canonicalize(q)` — over
+//! random snowflake instances (the same generator family as
+//! `prop_scan_kernel`), random queries including sub-dimension predicates
+//! and group-bys, and domains whose labels are chosen to stress the
+//! quoting path. Plus a fuzz battery proving the parser is total over
+//! hostile byte soup.
+
+use dp_starj_repro::engine::{
+    canonicalize, to_sql, Column, Constraint, Dimension, Domain, GroupAttr, Predicate, StarQuery,
+    StarSchema, SubDimension, Table,
+};
+use dp_starj_repro::gate::{parse_canonical, parse_query, GateError};
+use proptest::prelude::*;
+
+const DOM_A: u32 = 5;
+const DOM_B: u32 = 3;
+const DOM_S: u32 = 4;
+
+/// Labels deliberately hostile to naive quoting: embedded quotes, doubled
+/// quotes, SQL-injection shapes, spaces, empty-ish strings. One per code
+/// of `A.x`'s domain.
+const HOSTILE_LABELS: [&str; DOM_A as usize] =
+    ["O'Brien", "''", "x' OR '1'='1", "plain", " leading space"];
+
+/// A random snowflake instance: dimension A (attribute `x`, snowflake
+/// sub-table S via link `sk`), dimension B (attribute `y`), and a fact
+/// table with a measure — the `prop_scan_kernel` shape.
+#[derive(Debug, Clone)]
+struct Instance {
+    dim_a_attrs: Vec<u32>,
+    dim_a_links: Vec<usize>,
+    sub_attrs: Vec<u32>,
+    dim_b_attrs: Vec<u32>,
+    fact: Vec<(usize, usize, i64)>,
+    /// Render `A.x` with the hostile categorical domain instead of a
+    /// numeric one, exercising label quoting/unescaping end to end.
+    labelled: bool,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1usize..9, 1usize..6, 1usize..5).prop_flat_map(|(na, nb, ns)| {
+        (
+            proptest::collection::vec(0u32..DOM_A, na),
+            proptest::collection::vec(0usize..ns, na),
+            proptest::collection::vec(0u32..DOM_S, ns),
+            proptest::collection::vec(0u32..DOM_B, nb),
+            proptest::collection::vec((0usize..na, 0usize..nb, -50i64..50), 0..60),
+            proptest::bool::ANY,
+        )
+            .prop_map(
+                |(dim_a_attrs, dim_a_links, sub_attrs, dim_b_attrs, fact, labelled)| Instance {
+                    dim_a_attrs,
+                    dim_a_links,
+                    sub_attrs,
+                    dim_b_attrs,
+                    fact,
+                    labelled,
+                },
+            )
+    })
+}
+
+fn build(instance: &Instance) -> StarSchema {
+    let da = if instance.labelled {
+        Domain::categorical("x", HOSTILE_LABELS.to_vec()).unwrap()
+    } else {
+        Domain::numeric("x", DOM_A).unwrap()
+    };
+    let db = Domain::numeric("y", DOM_B).unwrap();
+    let ds = Domain::numeric("s", DOM_S).unwrap();
+    let sub = Table::new(
+        "S",
+        vec![
+            Column::key("pk", (0..instance.sub_attrs.len() as u32).collect()),
+            Column::attr("s", ds, instance.sub_attrs.clone()),
+        ],
+    )
+    .unwrap();
+    let a = Table::new(
+        "A",
+        vec![
+            Column::key("pk", (0..instance.dim_a_attrs.len() as u32).collect()),
+            Column::attr("x", da, instance.dim_a_attrs.clone()),
+            Column::key("sk", instance.dim_a_links.iter().map(|&v| v as u32).collect()),
+        ],
+    )
+    .unwrap();
+    let b = Table::new(
+        "B",
+        vec![
+            Column::key("pk", (0..instance.dim_b_attrs.len() as u32).collect()),
+            Column::attr("y", db, instance.dim_b_attrs.clone()),
+        ],
+    )
+    .unwrap();
+    let fact = Table::new(
+        "F",
+        vec![
+            Column::key("fa", instance.fact.iter().map(|r| r.0 as u32).collect()),
+            Column::key("fb", instance.fact.iter().map(|r| r.1 as u32).collect()),
+            Column::measure("m", instance.fact.iter().map(|r| r.2).collect()),
+        ],
+    )
+    .unwrap();
+    let dim_a = Dimension::new(a, "pk", "fa").with_subdim(SubDimension {
+        table: sub,
+        pk: "pk".into(),
+        fk_in_dim: "sk".into(),
+    });
+    StarSchema::new(fact, vec![dim_a, Dimension::new(b, "pk", "fb")]).unwrap()
+}
+
+/// Characters for hostile-input fuzzing: the dialect's own alphabet plus
+/// quotes, control bytes, and multi-byte UTF-8 — everything a confused or
+/// malicious client might put on the wire.
+const FUZZ_ALPHABET: [char; 32] = [
+    'S',
+    'E',
+    'L',
+    'C',
+    'T',
+    'F',
+    'R',
+    'O',
+    'M',
+    'W',
+    'a',
+    'x',
+    'y',
+    '_',
+    '0',
+    '1',
+    '9',
+    ' ',
+    '\t',
+    '\n',
+    '\'',
+    '"',
+    '.',
+    ',',
+    '(',
+    ')',
+    ';',
+    '=',
+    '*',
+    '-',
+    '\u{1}',
+    '\u{1F980}',
+];
+
+fn garbage_strategy(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..FUZZ_ALPHABET.len(), 0..max_len)
+        .prop_map(|picks| picks.into_iter().map(|i| FUZZ_ALPHABET[i]).collect())
+}
+
+fn constraint_strategy(domain: u32) -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        (0..domain).prop_map(Constraint::Point),
+        (0..domain, 0..domain).prop_map(|(a, b)| Constraint::Range { lo: a.min(b), hi: a.max(b) }),
+        proptest::collection::vec(0..domain, 1..4).prop_map(Constraint::Set),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = StarQuery> {
+    (
+        proptest::collection::vec(constraint_strategy(DOM_A), 0..3),
+        proptest::collection::vec(constraint_strategy(DOM_B), 0..2),
+        proptest::collection::vec(constraint_strategy(DOM_S), 0..2),
+        0u32..3,
+        0u32..4,
+    )
+        .prop_map(|(on_a, on_b, on_s, agg_kind, group_kind)| {
+            let mut q = match agg_kind {
+                0 => StarQuery::count("q"),
+                1 => StarQuery::sum("q", "m"),
+                _ => StarQuery::sum_diff("q", "m", "m"),
+            };
+            for c in on_a {
+                q = q.with(Predicate { table: "A".into(), attr: "x".into(), constraint: c });
+            }
+            for c in on_b {
+                q = q.with(Predicate { table: "B".into(), attr: "y".into(), constraint: c });
+            }
+            for c in on_s {
+                q = q.with(Predicate { table: "S".into(), attr: "s".into(), constraint: c });
+            }
+            match group_kind {
+                1 => q = q.group_by(GroupAttr::new("A", "x")),
+                2 => q = q.group_by(GroupAttr::new("B", "y")),
+                3 => {
+                    q = q.group_by(GroupAttr::new("A", "x")).group_by(GroupAttr::new("B", "y"));
+                }
+                _ => {}
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tentpole round-trip property: rendering any query to SQL and
+    /// parsing it back lands on the same canonical form as the original.
+    #[test]
+    fn parse_inverts_render_up_to_canon(
+        instance in instance_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..6),
+    ) {
+        let schema = build(&instance);
+        for q in &queries {
+            let sql = to_sql(&schema, q);
+            let parsed = parse_canonical(&schema, &sql)
+                .unwrap_or_else(|e| panic!("`{sql}` failed to parse: {e}"));
+            prop_assert_eq!(
+                &parsed,
+                &canonicalize(q),
+                "round trip diverged through `{}`",
+                sql
+            );
+        }
+    }
+
+    /// Rendered SQL for a *satisfiable* canonical form parses back to the
+    /// same canonical form (the gate serves `canonicalize(parse(sql))`,
+    /// so canon must be a fixpoint of the round trip). Unsatisfiable
+    /// forms are excluded by design: `CanonicalQuery::to_query` drops the
+    /// contradictory predicates, so rendering one is lossy — which is
+    /// exactly why the gate submits unsatisfiable queries as parsed
+    /// instead of re-canonicalized.
+    #[test]
+    fn satisfiable_canon_is_a_round_trip_fixpoint(
+        instance in instance_strategy(),
+        query in query_strategy(),
+    ) {
+        let schema = build(&instance);
+        let canon = canonicalize(&query);
+        if !canon.unsatisfiable {
+            let sql = to_sql(&schema, &canon.to_query("q"));
+            let reparsed = parse_canonical(&schema, &sql)
+                .unwrap_or_else(|e| panic!("`{sql}` failed to parse: {e}"));
+            prop_assert_eq!(&reparsed, &canon, "canon not a fixpoint via `{}`", sql);
+        }
+    }
+
+    /// Totality fuzz: the parser never panics on arbitrary bytes, and any
+    /// error it returns anchors to a position inside the input.
+    #[test]
+    fn parser_is_total_over_hostile_input(
+        instance in instance_strategy(),
+        garbage in garbage_strategy(60),
+    ) {
+        let schema = build(&instance);
+        if let Err(e) = parse_query(&schema, &garbage, "q") {
+            prop_assert!(e.pos() <= garbage.len(), "position {} out of bounds", e.pos());
+        }
+    }
+
+    /// Mutation fuzz: splicing arbitrary bytes into *valid* statements
+    /// (prefixes/suffixes of rendered SQL around garbage) never panics.
+    #[test]
+    fn parser_is_total_over_mutated_statements(
+        instance in instance_strategy(),
+        query in query_strategy(),
+        cut in 0usize..200,
+        garbage in garbage_strategy(20),
+    ) {
+        let schema = build(&instance);
+        let sql = to_sql(&schema, &query);
+        let cut = cut.min(sql.len());
+        // Split at the nearest char boundary at or below `cut`.
+        let cut = (0..=cut).rev().find(|&i| sql.is_char_boundary(i)).unwrap_or(0);
+        let mutated = format!("{}{}{}", &sql[..cut], garbage, &sql[cut..]);
+        let _ = parse_query(&schema, &mutated, "q");
+    }
+}
+
+/// Deterministic spot-checks that the property tests above imply but that
+/// are worth pinning down with named, greppable cases.
+#[test]
+fn presentation_variants_collapse_to_one_canonical_form() {
+    let instance = Instance {
+        dim_a_attrs: vec![0, 1, 2, 3, 4],
+        dim_a_links: vec![0, 0, 1, 1, 0],
+        sub_attrs: vec![0, 3],
+        dim_b_attrs: vec![0, 1, 2],
+        fact: vec![(0, 0, 5), (1, 1, -3), (4, 2, 7)],
+        labelled: true,
+    };
+    let schema = build(&instance);
+    // Same meaning, three spellings: predicate order flipped, a point
+    // written as a 1-element range, a set with duplicates.
+    let a = "SELECT count(*) FROM F, A, B WHERE F.fa = A.pk AND F.fb = B.pk \
+             AND A.x = 'O''Brien' AND B.y IN (2, 1, 2);";
+    let b = "SELECT count(*) FROM F, B, A WHERE F.fb = B.pk AND F.fa = A.pk \
+             AND B.y IN (1, 2) AND A.x BETWEEN 0 AND 0;";
+    let ca = parse_canonical(&schema, a).unwrap();
+    let cb = parse_canonical(&schema, b).unwrap();
+    assert_eq!(ca, cb, "presentation variants must collapse");
+
+    let direct = canonicalize(
+        &StarQuery::count("q").with(Predicate::point("A", "x", 0)).with(Predicate::set(
+            "B",
+            "y",
+            vec![1, 2],
+        )),
+    );
+    assert_eq!(ca, direct);
+}
+
+#[test]
+fn join_conditions_are_validated_not_trusted() {
+    let instance = Instance {
+        dim_a_attrs: vec![0],
+        dim_a_links: vec![0],
+        sub_attrs: vec![0],
+        dim_b_attrs: vec![0],
+        fact: vec![],
+        labelled: false,
+    };
+    let schema = build(&instance);
+    // `F.fa = B.pk` is a syntactically fine equi-join that contradicts
+    // the declared keys; the resolver must refuse it.
+    let err =
+        parse_query(&schema, "SELECT count(*) FROM F, A, B WHERE F.fa = B.pk;", "q").unwrap_err();
+    assert!(matches!(err, GateError::Resolve { .. }), "got {err:?}");
+    // The snowflake link in either orientation is fine.
+    parse_query(&schema, "SELECT count(*) FROM F, A, S WHERE A.sk = S.pk;", "q").unwrap();
+    parse_query(&schema, "SELECT count(*) FROM F, A, S WHERE S.pk = A.sk;", "q").unwrap();
+}
