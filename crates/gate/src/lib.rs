@@ -16,8 +16,9 @@
 //!   ([`Gate`]) speaking length-prefixed JSON frames ([`wire`]), with
 //!   per-tenant token auth, a per-connection in-flight cap that
 //!   backpressures into the service's fair coalescer queue, structured
-//!   refusals for every service/router error, a `metrics` verb, and the
-//!   client's request id threaded into trace spans and audit events.
+//!   refusals for every service/router error, an admin-token-gated
+//!   `metrics` verb, and the client's request id threaded into trace
+//!   spans and audit events.
 //!
 //! The privacy posture is deliberate: the gate holds **no** privacy
 //! state. Admission, budget accounting, caching, and noise all stay in

@@ -7,7 +7,10 @@
 //!
 //! * **auth** — the first thing every request resolves is its token
 //!   against [`GateConfig::tokens`]; an unknown token is a structured
-//!   `unauthorized` refusal and costs nothing;
+//!   `unauthorized` refusal and costs nothing. The `metrics` verb is
+//!   additionally gated behind [`GateConfig::admin_tokens`] — its
+//!   exposition spans every tenant, so a plain tenant token gets a
+//!   `forbidden` refusal instead;
 //! * **pipelining with FIFO responses** — a client may stream many
 //!   requests without waiting; answers come back in request order.
 //!   Requests the service parks in its coalescer queue
@@ -50,6 +53,11 @@ pub struct GateConfig {
     /// `(token, tenant)` pairs: the token a client presents and the
     /// tenant id its requests are billed to.
     pub tokens: Vec<(String, String)>,
+    /// Tokens allowed to call the `metrics` verb. The exposition covers
+    /// **every** tenant (identities, ε/δ spends, query hashes, timing),
+    /// so a plain tenant token must not read it — tenant tokens get a
+    /// `forbidden` refusal. Empty (the default) disables the verb.
+    pub admin_tokens: Vec<String>,
     /// Maximum queued (not yet answered) requests per connection before
     /// the reader stops pulling frames. Clamped to ≥ 1.
     pub max_in_flight: usize,
@@ -65,6 +73,7 @@ impl Default for GateConfig {
     fn default() -> Self {
         GateConfig {
             tokens: Vec::new(),
+            admin_tokens: Vec::new(),
             max_in_flight: 32,
             max_frame: 1 << 20,
             poll_interval: Duration::from_millis(5),
@@ -225,6 +234,15 @@ fn serve_connection(
                 {
                     return;
                 }
+                // Notice shutdown here too: a client streaming frames
+                // back-to-back never yields an Idle event, and the drop
+                // path joins this thread — it must not need the client's
+                // cooperation to terminate. The request just handled is
+                // flushed first, so nothing is abandoned.
+                if shutdown.load(Ordering::SeqCst) {
+                    let _ = flush(&mut stream, &mut queue, 0);
+                    return;
+                }
             }
             Err(FrameError::TooLarge(len)) => {
                 // The stream is no longer frame-aligned; refuse and close.
@@ -251,20 +269,33 @@ fn handle_request(
     queue: &mut VecDeque<Entry>,
 ) {
     let id = request.id();
-    let Some(tenant) = authorize(config, &request) else {
-        queue.push_back(Entry::Ready(refusal(id, "unauthorized", "unknown auth token")));
-        return;
-    };
     match request {
-        WireRequest::Metrics { .. } => {
-            queue.push_back(Entry::Ready(Json::obj(vec![
-                ("id", Json::Num(id as f64)),
-                ("ok", Json::Num(1.0)),
-                ("prometheus", Json::Str(router.prometheus_text())),
-                ("audit_jsonl", Json::Str(router.audit_jsonl())),
-            ])));
+        WireRequest::Metrics { ref token, .. } => {
+            // The exposition is gate-wide: every tenant's identity,
+            // spend, query hashes, and timing. Admin tokens only — a
+            // tenant token reading it would be cross-tenant disclosure.
+            if config.admin_tokens.iter().any(|t| t == token) {
+                queue.push_back(Entry::Ready(Json::obj(vec![
+                    ("id", Json::Num(id as f64)),
+                    ("ok", Json::Num(1.0)),
+                    ("prometheus", Json::Str(router.prometheus_text())),
+                    ("audit_jsonl", Json::Str(router.audit_jsonl())),
+                ])));
+            } else if authorize(config, token).is_some() {
+                queue.push_back(Entry::Ready(refusal(
+                    id,
+                    "forbidden",
+                    "the metrics verb requires an admin token",
+                )));
+            } else {
+                queue.push_back(Entry::Ready(refusal(id, "unauthorized", "unknown auth token")));
+            }
         }
-        WireRequest::Sql { dataset, sql, epsilon, name, .. } => {
+        WireRequest::Sql { token, dataset, sql, epsilon, name, .. } => {
+            let Some(tenant) = authorize(config, &token) else {
+                queue.push_back(Entry::Ready(refusal(id, "unauthorized", "unknown auth token")));
+                return;
+            };
             // The ambient wire id covers parse through submit: trace
             // spans started and audit contexts captured inside the
             // submit path adopt it (and carry it to worker threads).
@@ -311,10 +342,8 @@ fn handle_request(
     }
 }
 
-fn authorize(config: &GateConfig, request: &WireRequest) -> Option<String> {
-    let token = match request {
-        WireRequest::Sql { token, .. } | WireRequest::Metrics { token, .. } => token,
-    };
+/// Resolves a tenant token to the tenant id it bills to.
+fn authorize(config: &GateConfig, token: &str) -> Option<String> {
     config.tokens.iter().find(|(t, _)| t == token).map(|(_, tenant)| tenant.clone())
 }
 

@@ -24,11 +24,16 @@
 //! 2. **parse** — the grammar above, producing a position-carrying AST;
 //! 3. **resolve** — names bind against the [`StarSchema`]: the fact table
 //!    must appear in FROM, join conditions must match declared foreign
-//!    keys, predicate columns must be dimension (or snowflake
-//!    sub-dimension) attributes, and string literals must be labels of the
-//!    column's domain. Numeric literals pass through as raw codes — domain
-//!    *membership* is the service admission layer's job, so out-of-domain
-//!    codes round-trip instead of being silently clamped here.
+//!    keys, every WHERE / GROUP BY column must name a table listed in
+//!    FROM, every non-fact FROM table must be covered by a validated join
+//!    condition (a bare table would be a cross join in real SQL — the
+//!    renderer never emits one, so it is refused rather than silently
+//!    served with star-join semantics), predicate columns must be
+//!    dimension (or snowflake sub-dimension) attributes, and string
+//!    literals must be labels of the column's domain. Numeric literals
+//!    pass through as raw codes — domain *membership* is the service
+//!    admission layer's job, so out-of-domain codes round-trip instead of
+//!    being silently clamped here.
 //!
 //! The resolved query then runs through the engine's `canon` pass
 //! ([`parse_canonical`]) so presentation differences (predicate order,
@@ -482,7 +487,10 @@ fn bind_literal(
 
 /// Checks a join condition against the schema's declared links: fact → dim
 /// foreign keys and dim → sub-dimension snowflake links, either side first.
-fn validate_join(schema: &StarSchema, left: &ColRef, right: &ColRef) -> Result<(), GateError> {
+/// On success returns the name of the table the condition *covers* — the
+/// primary-key side (dimension or sub-dimension) the join pulls in — so
+/// the resolver can demand that every non-fact FROM table is covered.
+fn validate_join(schema: &StarSchema, left: &ColRef, right: &ColRef) -> Result<String, GateError> {
     let fact = schema.fact().name();
     let matches_link = |a: &ColRef, b: &ColRef| -> bool {
         // fact.fk = dim.pk
@@ -497,8 +505,10 @@ fn validate_join(schema: &StarSchema, left: &ColRef, right: &ColRef) -> Result<(
         }
         false
     };
-    if matches_link(left, right) || matches_link(right, left) {
-        Ok(())
+    if matches_link(left, right) {
+        Ok(right.table.clone())
+    } else if matches_link(right, left) {
+        Ok(left.table.clone())
     } else {
         Err(GateError::Resolve {
             pos: left.pos,
@@ -533,6 +543,24 @@ fn resolve(schema: &StarSchema, ast: &Ast, name: &str) -> Result<StarQuery, Gate
         });
     }
 
+    // Standard SQL gives different semantics to a table in FROM without a
+    // join (a cross join) and to a predicate on a table outside FROM (an
+    // error); the renderer emits neither. Refuse both instead of silently
+    // serving star-join semantics for out-of-dialect input: every column
+    // reference must name a FROM table, and every non-fact FROM table
+    // must be covered by a validated join condition (checked after the
+    // conditions are walked, below).
+    let require_in_from = |col: &ColRef| -> Result<(), GateError> {
+        if ast.tables.iter().any(|(t, _)| *t == col.table) {
+            Ok(())
+        } else {
+            Err(GateError::Resolve {
+                pos: col.pos,
+                message: format!("table `{}` is referenced but not listed in FROM", col.table),
+            })
+        }
+    };
+
     let agg = match &ast.agg {
         AstAgg::Count => Agg::Count,
         AstAgg::Sum(col) => {
@@ -547,21 +575,29 @@ fn resolve(schema: &StarSchema, ast: &Ast, name: &str) -> Result<StarQuery, Gate
     };
 
     let mut predicates = Vec::new();
+    let mut joined: Vec<String> = Vec::new();
     for cond in &ast.conds {
         match cond {
-            AstCond::Join { left, right } => validate_join(schema, left, right)?,
+            AstCond::Join { left, right } => {
+                require_in_from(left)?;
+                require_in_from(right)?;
+                joined.push(validate_join(schema, left, right)?);
+            }
             AstCond::Point { col, value } => {
+                require_in_from(col)?;
                 let domain = predicate_domain(schema, col)?;
                 let code = bind_literal(domain, col, value)?;
                 predicates.push(Predicate::point(&col.table, &col.attr, code));
             }
             AstCond::Between { col, lo, hi } => {
+                require_in_from(col)?;
                 let domain = predicate_domain(schema, col)?;
                 let lo = bind_literal(domain, col, lo)?;
                 let hi = bind_literal(domain, col, hi)?;
                 predicates.push(Predicate::range(&col.table, &col.attr, lo, hi));
             }
             AstCond::InSet { col, values } => {
+                require_in_from(col)?;
                 let domain = predicate_domain(schema, col)?;
                 let codes = values.iter().map(|v| bind_literal(domain, col, v)).collect::<Result<
                     Vec<u32>,
@@ -573,8 +609,23 @@ fn resolve(schema: &StarSchema, ast: &Ast, name: &str) -> Result<StarQuery, Gate
         }
     }
 
+    // Every non-fact FROM table must be the covered side of some
+    // validated join — a bare table would be a cross join in real SQL.
+    for (table, pos) in &ast.tables {
+        if table != fact && !joined.iter().any(|j| j == table) {
+            return Err(GateError::Resolve {
+                pos: *pos,
+                message: format!(
+                    "table `{table}` in FROM has no join condition linking it to the star \
+                     (a cross join is outside the dialect)"
+                ),
+            });
+        }
+    }
+
     let mut group_by = Vec::new();
     for col in &ast.group_by {
+        require_in_from(col)?;
         let dim = schema.dim(&col.table).map_err(|_| GateError::Resolve {
             pos: col.pos,
             message: format!(
@@ -815,6 +866,20 @@ mod tests {
             // SELECT grouping columns disagree with GROUP BY.
             "SELECT count(*), Date.year FROM Lineorder, Date \
              WHERE Lineorder.orderdate = Date.dk GROUP BY Date.year, Date.year;",
+            // Dimension in FROM with no join condition: a cross join in
+            // real SQL, so serving star-join semantics would be wrong.
+            "SELECT count(*) FROM Lineorder, Customer;",
+            "SELECT count(*) FROM Lineorder, Customer \
+             WHERE Customer.region = 'SOUTH';",
+            // Predicate on a table absent from FROM.
+            "SELECT count(*) FROM Lineorder WHERE Customer.region = 'SOUTH';",
+            // Join condition naming a table absent from FROM.
+            "SELECT count(*) FROM Lineorder WHERE Lineorder.custkey = Customer.pk;",
+            // GROUP BY on a table absent from FROM.
+            "SELECT count(*), Date.year FROM Lineorder GROUP BY Date.year;",
+            // Snowflake sub-dimension in FROM without its linking join.
+            "SELECT count(*) FROM Lineorder, Customer, Nation \
+             WHERE Lineorder.custkey = Customer.pk AND Nation.gdp = 2;",
         ] {
             let err = parse_query(&s, sql, "q").expect_err(sql);
             assert!(matches!(err, GateError::Resolve { .. }), "`{sql}` → {err:?}");

@@ -12,10 +12,12 @@
 //! {"id": 8, "verb": "metrics", "token": "..."}
 //! ```
 //!
-//! `id` is the client's request id: non-zero, echoed on every response,
-//! and stamped into the server's trace spans and audit events so a wire
-//! request can be followed through the whole pipeline. Responses are
-//! either an answer:
+//! `id` is the client's request id: a positive integer no larger than
+//! 2^53 − 1 (the JSON layer is f64-based, so larger ids would be echoed
+//! imprecisely and break client-side correlation), echoed on every
+//! response, and stamped into the server's trace spans and audit events
+//! so a wire request can be followed through the whole pipeline.
+//! Responses are either an answer:
 //!
 //! ```text
 //! {"id": 7, "ok": true, "kind": "scalar", "value": 41.3, "cached": false,
@@ -101,10 +103,13 @@ pub enum WireRequest {
         name: Option<String>,
     },
     /// `verb: "metrics"` — Prometheus exposition + audit JSONL snapshot.
+    /// The snapshot spans every tenant, so the listener only serves it to
+    /// tokens in [`crate::GateConfig::admin_tokens`]; tenant tokens are
+    /// refused with `forbidden`.
     Metrics {
         /// Client request id (non-zero).
         id: u64,
-        /// Tenant auth token (any registered token may read metrics).
+        /// Admin auth token.
         token: String,
     },
 }
@@ -124,8 +129,12 @@ impl WireRequest {
             .map_err(|_| (0, "bad_request", "frame is not UTF-8".to_string()))?;
         let json = Json::parse(text).map_err(|e| (0, "bad_request", format!("bad JSON: {e}")))?;
         let id = json.get("id").and_then(Json::as_f64).unwrap_or(0.0);
-        if id <= 0.0 || id.fract() != 0.0 || id > u64::MAX as f64 {
-            return Err((0, "bad_request", "`id` must be a positive integer".into()));
+        // The id rides the f64-based JSON layer end to end, so the
+        // protocol caps it at Number.MAX_SAFE_INTEGER (2^53 − 1): above
+        // that the echoed id could differ from the one sent.
+        const MAX_ID: f64 = 9_007_199_254_740_991.0;
+        if id <= 0.0 || id.fract() != 0.0 || id > MAX_ID {
+            return Err((0, "bad_request", "`id` must be a positive integer <= 2^53 - 1".into()));
         }
         let id = id as u64;
         let str_field = |key: &str| -> Result<String, (u64, &'static str, String)> {
@@ -300,11 +309,19 @@ mod tests {
             (br#"{"id": 4, "verb": "sql"}"#, 4),   // missing fields
             (br#"{"id": 5}"#, 5),                  // missing verb
             (b"\xff\xfe", 0),                      // not UTF-8
+            // Above 2^53 − 1 the f64 JSON layer cannot echo the id
+            // exactly; the protocol refuses instead of corrupting it.
+            (&br#"{"id": 9007199254740992, "verb": "metrics", "token": "t"}"#[..], 0),
+            (&br#"{"id": 18446744073709551615, "verb": "metrics", "token": "t"}"#[..], 0),
         ] {
             let (id, code, _) = WireRequest::decode(body).unwrap_err();
             assert_eq!(id, want_id, "id salvaged from {body:?}");
             assert_eq!(code, "bad_request");
         }
+
+        // The largest exactly-representable id round-trips untouched.
+        let max_safe = br#"{"id": 9007199254740991, "verb": "metrics", "token": "t"}"#;
+        assert_eq!(WireRequest::decode(max_safe).unwrap().id(), 9_007_199_254_740_991);
     }
 
     #[test]

@@ -325,7 +325,15 @@ fn join_conditions_are_validated_not_trusted() {
     let err =
         parse_query(&schema, "SELECT count(*) FROM F, A, B WHERE F.fa = B.pk;", "q").unwrap_err();
     assert!(matches!(err, GateError::Resolve { .. }), "got {err:?}");
-    // The snowflake link in either orientation is fine.
-    parse_query(&schema, "SELECT count(*) FROM F, A, S WHERE A.sk = S.pk;", "q").unwrap();
-    parse_query(&schema, "SELECT count(*) FROM F, A, S WHERE S.pk = A.sk;", "q").unwrap();
+    // The snowflake link in either orientation is fine (with the parent
+    // dimension joined to the fact, as the renderer always emits).
+    parse_query(&schema, "SELECT count(*) FROM F, A, S WHERE F.fa = A.pk AND A.sk = S.pk;", "q")
+        .unwrap();
+    parse_query(&schema, "SELECT count(*) FROM F, A, S WHERE F.fa = A.pk AND S.pk = A.sk;", "q")
+        .unwrap();
+    // Without the fact join, A rides FROM as a bare cross join — real
+    // SQL semantics the star executor cannot honor, so it is refused.
+    let err =
+        parse_query(&schema, "SELECT count(*) FROM F, A, S WHERE A.sk = S.pk;", "q").unwrap_err();
+    assert!(matches!(err, GateError::Resolve { .. }), "got {err:?}");
 }

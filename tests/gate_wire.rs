@@ -30,6 +30,7 @@ use std::time::Duration;
 const DATASET: &str = "sales";
 const TOKEN: &str = "tok-alice";
 const TENANT: &str = "alice";
+const ADMIN_TOKEN: &str = "tok-admin";
 
 fn schema() -> Arc<StarSchema> {
     let domain = Domain::numeric("c", 4).unwrap();
@@ -66,6 +67,7 @@ fn router(config: ServiceConfig) -> Arc<Router> {
 fn gate_over(router: &Arc<Router>) -> Gate {
     let config = GateConfig {
         tokens: vec![(TOKEN.to_string(), TENANT.to_string())],
+        admin_tokens: vec![ADMIN_TOKEN.to_string()],
         ..GateConfig::default()
     };
     Gate::bind(Arc::clone(router), config, "127.0.0.1:0").unwrap()
@@ -291,9 +293,11 @@ fn refusal_codes_are_stable_and_keep_the_connection() {
 }
 
 /// The metrics verb serves the router's Prometheus exposition and the
-/// audit JSONL over the same connection, gated by the same tokens.
+/// audit JSONL — to admin tokens only. The snapshot spans every tenant
+/// (identities, spends, query hashes), so a plain tenant token gets a
+/// `forbidden` refusal instead of another tenant's metadata.
 #[test]
-fn metrics_verb_serves_prometheus_and_audit_jsonl() {
+fn metrics_verb_is_admin_only_and_serves_prometheus_and_audit_jsonl() {
     let router = router(ServiceConfig::default());
     let gate = gate_over(&router);
     let mut client = GateClient::connect(gate.addr()).unwrap();
@@ -304,11 +308,41 @@ fn metrics_verb_serves_prometheus_and_audit_jsonl() {
     let unauthorized = client.metrics("wrong").unwrap();
     assert_eq!(unauthorized.get("code").and_then(Json::as_str), Some("unauthorized"));
 
-    let metrics = client.metrics(TOKEN).unwrap();
+    // A registered *tenant* token is authenticated but not privileged:
+    // cross-tenant metadata stays behind the admin boundary.
+    let forbidden = client.metrics(TOKEN).unwrap();
+    assert_eq!(forbidden.get("code").and_then(Json::as_str), Some("forbidden"));
+    assert!(forbidden.get("prometheus").is_none() && forbidden.get("audit_jsonl").is_none());
+
+    let metrics = client.metrics(ADMIN_TOKEN).unwrap();
     assert_eq!(metrics.get("ok").and_then(Json::as_f64), Some(1.0));
     let prom = metrics.get("prometheus").and_then(Json::as_str).unwrap();
     assert!(prom.contains("starj_"), "prometheus text looks wrong:\n{prom}");
     let audit = metrics.get("audit_jsonl").and_then(Json::as_str).unwrap();
     assert!(audit.contains("\"commit\""), "audit trail missing the served commit:\n{audit}");
     assert!(audit.contains(&format!("\"{DATASET}\"")), "audit lines are dataset-tagged");
+}
+
+/// Dropping the gate must join its connection threads even when a client
+/// streams frames back-to-back and never goes idle — the shutdown flag
+/// has to be observed on the frame path, not just the idle path.
+#[test]
+fn shutdown_joins_even_under_a_continuously_streaming_client() {
+    let router = router(ServiceConfig::default());
+    let gate = gate_over(&router);
+    let addr = gate.addr();
+    let schema = router.dataset_schema(DATASET).unwrap();
+    let sql = to_sql(&schema, &StarQuery::count("q").with(Predicate::point("Dim", "c", 0)));
+
+    // Hammer without pausing; ε = -1 is an invalid-budget refusal, so the
+    // traffic is free and can run forever without exhausting anything.
+    let streamer = std::thread::spawn(move || {
+        let mut client = GateClient::connect(addr).unwrap();
+        while client.sql(TOKEN, DATASET, &sql, -1.0).is_ok() {}
+    });
+    // Let the stream get going, then shut down mid-flood. Without the
+    // frame-path shutdown check this join blocks forever (the test hangs).
+    std::thread::sleep(Duration::from_millis(200));
+    drop(gate);
+    streamer.join().unwrap();
 }
