@@ -1,7 +1,9 @@
 //! Service throughput: queries/sec through the multi-tenant DP query
-//! service at 1, 4 and 8 concurrent tenants, in both the cache-disabled
-//! ("fresh": every request runs the Predicate Mechanism) and cache-enabled
-//! ("cached": steady-state requests replay stored answers) regimes.
+//! service at 1, 4 and 8 concurrent tenants, in the cache-disabled
+//! ("fresh": every request runs the Predicate Mechanism), cache-enabled
+//! ("cached": steady-state requests replay stored answers), and journaled
+//! ("durable": fresh pipeline + write-ahead budget WAL, group fsync)
+//! regimes.
 //!
 //! ```text
 //! SSB_SF=0.05 SERVICE_QUERIES=2000 cargo run --release -p starj-bench --bin service_throughput
@@ -9,15 +11,36 @@
 //!
 //! Environment knobs: `SSB_SF` (scale factor, default 0.05),
 //! `SERVICE_QUERIES` (requests per tenant, default 1000), `SEED`.
+//!
+//! The durable journal is placed on tmpfs (`/dev/shm`) when available so
+//! the regime measures journaling CPU + group-commit coordination, not
+//! physical disk latency. With `DURABLE_GATE=1` the run **fails (exit 1)**
+//! if durable throughput at 8 tenants drops more than 10% below the fresh
+//! regime — the group-fsync batching must keep crash-safe accounting
+//! affordable.
 
 use starj_bench::harness::{env_u64, Json};
-use starj_bench::service::measure_throughput;
+use starj_bench::service::measure_throughput_with;
 use starj_bench::{root_seed, ssb_sf, TablePrinter};
+use starj_durable::TempDir;
+use starj_service::DurableConfig;
 use starj_ssb::{generate, SsbConfig};
 use std::sync::Arc;
 
 const TENANT_COUNTS: [usize; 3] = [1, 4, 8];
 const EPSILON: f64 = 0.1;
+/// Max tolerated qps drop of durable vs fresh at 8 tenants (gated).
+const DURABLE_OVERHEAD_CAP: f64 = 0.10;
+
+/// tmpfs when the host has it; the system temp dir otherwise.
+fn journal_root() -> std::path::PathBuf {
+    let shm = std::path::Path::new("/dev/shm");
+    if shm.is_dir() {
+        shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    }
+}
 
 fn main() {
     let sf = ssb_sf();
@@ -35,9 +58,33 @@ fn main() {
         &[8, 8, 9, 8, 10, 8, 9],
     );
     let mut samples: Vec<Json> = Vec::new();
-    for (regime, cache) in [("fresh", false), ("cached", true)] {
-        for &tenants in &TENANT_COUNTS {
-            let s = measure_throughput(&schema, tenants, queries_per_tenant, EPSILON, cache, seed);
+    let mut fresh_qps_at = [0.0f64; TENANT_COUNTS.len()];
+    let mut durable_qps_at = [0.0f64; TENANT_COUNTS.len()];
+    let journal_root = journal_root();
+    for (regime, cache) in [("fresh", false), ("cached", true), ("durable", false)] {
+        for (slot, &tenants) in TENANT_COUNTS.iter().enumerate() {
+            // One fresh journal directory per sample so segment counts and
+            // recovery scans never accumulate across runs.
+            let journal = if regime == "durable" {
+                Some(TempDir::in_dir(&journal_root, "bench-durable").expect("journal tempdir"))
+            } else {
+                None
+            };
+            let durable = journal.as_ref().map(|dir| DurableConfig::at(dir.path()));
+            let s = measure_throughput_with(
+                &schema,
+                tenants,
+                queries_per_tenant,
+                EPSILON,
+                cache,
+                seed,
+                durable,
+            );
+            match regime {
+                "fresh" => fresh_qps_at[slot] = s.qps,
+                "durable" => durable_qps_at[slot] = s.qps,
+                _ => {}
+            }
             table.row(&[
                 regime,
                 &tenants.to_string(),
@@ -65,15 +112,36 @@ fn main() {
         table.rule();
     }
 
+    let gate_slot = TENANT_COUNTS.len() - 1; // 8 tenants
+    let overhead = 1.0 - durable_qps_at[gate_slot] / fresh_qps_at[gate_slot];
+    println!(
+        "durable overhead at {} tenants: {:.1}% qps vs fresh (journal on {})",
+        TENANT_COUNTS[gate_slot],
+        overhead * 100.0,
+        journal_root.display()
+    );
+
     Json::obj(vec![
         ("bench", Json::Str("service_throughput".into())),
         ("scale_factor", Json::Num(sf)),
         ("fact_rows", Json::Num(schema.fact().num_rows() as f64)),
         ("queries_per_tenant", Json::Num(queries_per_tenant as f64)),
         ("epsilon", Json::Num(EPSILON)),
+        ("durable_overhead", Json::Num(overhead)),
         ("samples", Json::Arr(samples)),
     ])
     .write("BENCH_service.json")
     .expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");
+
+    if std::env::var("DURABLE_GATE").as_deref() == Ok("1") && overhead > DURABLE_OVERHEAD_CAP {
+        eprintln!(
+            "DURABLE_GATE: journaled throughput at {} tenants regressed {:.1}% vs fresh \
+             (cap {:.0}%) — group-fsync batching is not amortizing",
+            TENANT_COUNTS[gate_slot],
+            overhead * 100.0,
+            DURABLE_OVERHEAD_CAP * 100.0
+        );
+        std::process::exit(1);
+    }
 }

@@ -11,10 +11,15 @@
 //! * **cached** — the cache is enabled and the query pool is submitted
 //!   repeatedly, so steady-state requests replay stored answers. This
 //!   measures front-door overhead (admission + canonicalization + lookup).
+//! * **durable** — the fresh pipeline plus the write-ahead budget journal
+//!   (group fsync): every request additionally journals a Reserve and a
+//!   Commit record before its answer is released. Run against tmpfs this
+//!   isolates the journaling CPU + group-commit coordination cost from
+//!   physical disk latency.
 
 use starj_engine::{Predicate, StarQuery, StarSchema};
 use starj_noise::PrivacyBudget;
-use starj_service::{Service, ServiceConfig};
+use starj_service::{DurableConfig, Service, ServiceConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,8 +68,23 @@ pub fn measure_throughput(
     cache: bool,
     seed: u64,
 ) -> ThroughputSample {
-    let config = ServiceConfig { seed, cache_answers: cache, ..ServiceConfig::default() };
-    let service = Arc::new(Service::new(Arc::clone(schema), config));
+    measure_throughput_with(schema, tenants, queries_per_tenant, epsilon, cache, seed, None)
+}
+
+/// [`measure_throughput`] with an optional budget journal: `durable`
+/// points the service's write-ahead WAL at a directory (group fsync),
+/// measuring the full crash-safe accounting path.
+pub fn measure_throughput_with(
+    schema: &Arc<StarSchema>,
+    tenants: usize,
+    queries_per_tenant: usize,
+    epsilon: f64,
+    cache: bool,
+    seed: u64,
+    durable: Option<DurableConfig>,
+) -> ThroughputSample {
+    let config = ServiceConfig { seed, cache_answers: cache, durable, ..ServiceConfig::default() };
+    let service = Arc::new(Service::open(Arc::clone(schema), config).expect("journal opens"));
     // Budget sized so the accountant admits the whole run: throughput here
     // measures the serving pipeline, not refusal latency. The `max(1)` keeps
     // the allotment constructible for a degenerate zero-query run.
@@ -134,5 +154,18 @@ mod tests {
         assert_eq!(sample.requests, 60);
         assert!(sample.qps > 0.0);
         assert!(sample.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn durable_regime_journals_every_request() {
+        let schema = Arc::new(generate(&SsbConfig::at_scale(0.002, 7)).unwrap());
+        let dir = starj_durable::TempDir::new("bench-durable").unwrap();
+        let durable = DurableConfig::at(dir.path());
+        let sample = measure_throughput_with(&schema, 2, 20, 0.05, false, 7, Some(durable.clone()));
+        assert_eq!(sample.requests, 40);
+        // Reopen: every released answer must have a durable commit.
+        let config = ServiceConfig { durable: Some(durable), ..ServiceConfig::default() };
+        let recovered = Service::open(Arc::clone(&schema), config).unwrap();
+        assert_eq!(recovered.durable_status().unwrap().replay.commits, 40);
     }
 }

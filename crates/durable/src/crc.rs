@@ -1,0 +1,62 @@
+//! CRC32 (IEEE 802.3 polynomial, reflected) — the per-record checksum.
+//!
+//! Hand-rolled so the journal stays dependency-free. The table is built at
+//! compile time; the fold is the standard byte-at-a-time reflected form
+//! (same parameters as zlib's `crc32`, so segments are checkable with
+//! off-the-shelf tools).
+
+/// Reflected polynomial for IEEE CRC32 (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` (IEEE, reflected, init/final XOR `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let base = b"reserve tenant=acme eps=0.25".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal scratch-directory helper for tests and benches.
+//!
+//! The workspace is dependency-free, so there is no `tempfile` crate; this
+//! is the one shared stand-in. Directories are created under the system
+//! temp root (callers can redirect via [`TempDir::in_dir`], e.g. to
+//! `/dev/shm` for tmpfs benchmarking) and removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named directory deleted when the value drops.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `<system temp>/starj-<label>-<pid>-<n>`.
+    pub fn new(label: &str) -> std::io::Result<TempDir> {
+        Self::in_dir(&std::env::temp_dir(), label)
+    }
+
+    /// Create a unique directory under `root` (which must exist).
+    pub fn in_dir(root: &Path, label: &str) -> std::io::Result<TempDir> {
+        let name = format!(
+            "starj-{label}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = root.join(name);
+        if path.exists() {
+            std::fs::remove_dir_all(&path)?;
+        }
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept: PathBuf;
+        {
+            let dir = TempDir::new("unit").unwrap();
+            kept = dir.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(kept.join("probe"), b"x").unwrap();
+        }
+        assert!(!kept.exists(), "temp dir survived drop");
+    }
+
+    #[test]
+    fn two_dirs_never_collide() {
+        let a = TempDir::new("unit").unwrap();
+        let b = TempDir::new("unit").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -33,7 +33,7 @@ pub mod listener;
 pub mod sql;
 pub mod wire;
 
-pub use client::{sql_request, GateClient};
+pub use client::{sql_request, ClientConfig, GateClient, GateClientError};
 pub use error::GateError;
 pub use listener::{Gate, GateConfig};
 pub use sql::{parse_canonical, parse_query};

@@ -67,6 +67,13 @@ pub struct GateConfig {
     /// How often blocked reads wake up to notice shutdown or drain idle
     /// queues.
     pub poll_interval: Duration,
+    /// How long a connection may sit **mid-frame** — length prefix or
+    /// body partially received — before the gate gives up on it: the
+    /// reader answers a `timeout` refusal and closes. This bounds the
+    /// lifetime a slowloris-style trickle writer can pin a connection
+    /// thread; a client idle *between* frames is never timed out.
+    /// `Duration::ZERO` disables the deadline.
+    pub read_timeout: Duration,
 }
 
 impl Default for GateConfig {
@@ -77,6 +84,7 @@ impl Default for GateConfig {
             max_in_flight: 32,
             max_frame: 1 << 20,
             poll_interval: Duration::from_millis(5),
+            read_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -211,6 +219,21 @@ fn serve_connection(
                     return;
                 }
                 if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if reader.stalled(config.read_timeout) {
+                    // A half-received frame outlived the read deadline:
+                    // the peer is trickling bytes (or wedged). Refuse and
+                    // close rather than pin this thread indefinitely.
+                    let note = refusal(
+                        0,
+                        "timeout",
+                        &format!(
+                            "closed: a partial frame stalled past the {}ms read timeout",
+                            config.read_timeout.as_millis()
+                        ),
+                    );
+                    let _ = write_frame(&mut stream, &frame_of(&note));
                     return;
                 }
             }
@@ -397,9 +420,18 @@ struct FrameReader {
     /// The frame body being filled once the length is known.
     body: Vec<u8>,
     body_got: usize,
+    /// When the first byte of the frame in progress arrived; `None`
+    /// between frames. Drives [`GateConfig::read_timeout`].
+    partial_since: Option<std::time::Instant>,
 }
 
 impl FrameReader {
+    /// True when a partially received frame has sat longer than
+    /// `timeout` (zero disables the deadline).
+    fn stalled(&self, timeout: Duration) -> bool {
+        !timeout.is_zero() && self.partial_since.is_some_and(|since| since.elapsed() >= timeout)
+    }
+
     fn step(&mut self, stream: &mut TcpStream, max_frame: usize) -> Result<Event, FrameError> {
         use std::io::Read;
         loop {
@@ -414,6 +446,9 @@ impl FrameReader {
                         };
                     }
                     Ok(n) => {
+                        if self.partial_since.is_none() {
+                            self.partial_since = Some(std::time::Instant::now());
+                        }
                         self.len_got += n;
                         if self.len_got == 4 {
                             let len = u32::from_be_bytes(self.len_buf) as usize;
@@ -432,6 +467,7 @@ impl FrameReader {
             }
             if self.body_got == self.body.len() {
                 self.len_got = 0;
+                self.partial_since = None;
                 return Ok(Event::Frame(std::mem::take(&mut self.body)));
             }
             match stream.read(&mut self.body[self.body_got..]) {
@@ -518,6 +554,52 @@ mod tests {
                 ),
             }
         }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn partial_frame_clock_arms_mid_frame_and_clears_on_completion() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut out = TcpStream::connect(addr).unwrap();
+            let mut frame = Vec::new();
+            write_frame(&mut std::io::Cursor::new(&mut frame), b"slow").unwrap();
+            // Send half the frame, stall, then finish it.
+            out.write_all(&frame[..3]).unwrap();
+            out.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(40));
+            out.write_all(&frame[3..]).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(2))).unwrap();
+        let mut reader = FrameReader::default();
+        assert!(!reader.stalled(Duration::from_millis(1)), "no partial frame yet");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut saw_stall = false;
+        loop {
+            match reader.step(&mut stream, 1024) {
+                Ok(Event::Frame(body)) => {
+                    assert_eq!(body, b"slow");
+                    break;
+                }
+                Ok(Event::Idle) => {
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                    saw_stall |= reader.stalled(Duration::from_millis(10));
+                    // A generous deadline must NOT fire for a brief stall.
+                    assert!(!reader.stalled(Duration::from_secs(60)));
+                }
+                Ok(Event::Eof) => panic!("unexpected EOF"),
+                Err(_) => panic!("unexpected frame error"),
+            }
+        }
+        assert!(saw_stall, "the mid-frame stall should have tripped the short deadline");
+        assert!(
+            !reader.stalled(Duration::from_millis(1)),
+            "completing the frame clears the partial clock"
+        );
+        assert!(!reader.stalled(Duration::ZERO), "zero disables the deadline");
         writer.join().unwrap();
     }
 

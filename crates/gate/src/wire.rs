@@ -235,6 +235,11 @@ pub fn service_code(err: &ServiceError) -> &'static str {
         ServiceError::NoGraph => "no_graph",
         ServiceError::Mechanism(_) => "mechanism_failure",
         ServiceError::StaleDataVersion { .. } => "stale_data_version",
+        // Degraded mode: the budget journal is unavailable, so spends are
+        // refused while cache hits and free answers keep serving. Stable —
+        // clients key retry/alerting logic on it.
+        ServiceError::DurabilityUnavailable { .. } => "journal_unavailable",
+        ServiceError::Internal(_) => "internal",
     }
 }
 
@@ -356,6 +361,8 @@ mod tests {
                 estimated_rows: 0.5,
                 floor: 10,
             }),
+            service_code(&E::DurabilityUnavailable { reason: "disk gone".into() }),
+            service_code(&E::Internal("worker panicked".into())),
         ];
         let mut unique = codes.to_vec();
         unique.sort_unstable();

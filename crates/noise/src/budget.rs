@@ -172,6 +172,17 @@ impl BudgetLedger {
         self.spent_delta = (self.spent_delta - cost.delta).max(0.0);
     }
 
+    /// Sets the spent totals to exact recovered values — the adoption half
+    /// of WAL recovery (`starj-durable`). The bit patterns are installed
+    /// verbatim, **not** validated against the total: a recovered spend
+    /// that exceeds the allotment simply makes every future
+    /// [`BudgetLedger::can_charge`] refuse, which is the fail-closed
+    /// behaviour a ledger restored after a crash must have.
+    pub fn restore_spent(&mut self, epsilon: f64, delta: f64) {
+        self.spent_epsilon = epsilon;
+        self.spent_delta = delta;
+    }
+
     /// The total budget this ledger was opened with.
     pub fn total(&self) -> PrivacyBudget {
         self.total

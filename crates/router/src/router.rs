@@ -32,8 +32,8 @@ use starj_engine::{StarQuery, StarSchema};
 use starj_graph::{Graph, KStarQuery};
 use starj_noise::PrivacyBudget;
 use starj_service::{
-    BatchAnswer, KStarAnswer, Service, ServiceAnswer, ServiceConfig, ServiceError, Submitted,
-    TenantUsage, WorkloadAnswer,
+    BatchAnswer, DurableConfig, KStarAnswer, Service, ServiceAnswer, ServiceConfig, ServiceError,
+    Submitted, TenantUsage, WorkloadAnswer,
 };
 use starj_telemetry::PromText;
 use std::collections::{BTreeMap, HashMap};
@@ -56,6 +56,13 @@ pub struct RouterConfig {
     /// Per-shard overrides (e.g. coalescer on for the hot shard, off for
     /// the archival one). Later entries for the same shard win.
     pub shard_overrides: Vec<(u32, ServiceConfig)>,
+    /// Crash-safe budget accounting for every hosted dataset: when set,
+    /// each dataset's service journals to `<durable_root>/<dataset>` (its
+    /// own WAL namespace — budgets are per-dataset, so their journals must
+    /// be too). Dataset names become directory names verbatim; callers
+    /// keep them path-safe. Overrides any `durable` field in the shard
+    /// configs, which would otherwise aim every dataset at one directory.
+    pub durable_root: Option<std::path::PathBuf>,
 }
 
 impl Default for RouterConfig {
@@ -66,6 +73,7 @@ impl Default for RouterConfig {
             seed: 2023,
             shard_config: ServiceConfig::default(),
             shard_overrides: Vec::new(),
+            durable_root: None,
         }
     }
 }
@@ -74,6 +82,13 @@ impl RouterConfig {
     /// Overrides the service configuration for one shard (builder style).
     pub fn with_shard_config(mut self, shard: u32, config: ServiceConfig) -> Self {
         self.shard_overrides.push((shard, config));
+        self
+    }
+
+    /// Enables per-dataset budget journaling under `root` (builder style);
+    /// see [`RouterConfig::durable_root`].
+    pub fn with_durable_root(mut self, root: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_root = Some(root.into());
         self
     }
 
@@ -274,7 +289,24 @@ impl Router {
         }
         let shard = state.ring.place(name).ok_or(RouterError::NoShards)?;
         let tables: Vec<String> = schema.table_names().into_iter().map(str::to_string).collect();
-        let mut service = Service::new(schema, self.config.config_for(shard));
+        let mut config = self.config.config_for(shard);
+        if let Some(root) = &self.config.durable_root {
+            // Namespace the journal per dataset: budgets are per-dataset
+            // state, so two datasets must never share (or replay) one WAL.
+            let dir = root.join(name);
+            config.durable = Some(match config.durable.take() {
+                Some(mut durable) => {
+                    durable.dir = dir;
+                    durable
+                }
+                None => DurableConfig::at(dir),
+            });
+        }
+        let mut service = Service::open(schema, config).map_err(|source| RouterError::Shard {
+            dataset: name.to_string(),
+            shard,
+            source,
+        })?;
         if let Some(graph) = graph {
             service = service.with_graph(graph);
         }

@@ -21,10 +21,12 @@
 //! it, which the cross-crate stress test (`tests/service_concurrency.rs`)
 //! exercises with 8+ threads.
 
+use crate::durable::JournalCtx;
 use crate::error::ServiceError;
+use starj_durable::{RecordKind, ReplayedLedger};
 use starj_noise::{BudgetLedger, PrivacyBudget};
 use starj_telemetry::{AuditKind, AuditTrail};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 #[derive(Debug)]
@@ -100,6 +102,9 @@ pub struct Reservation {
     cost: PrivacyBudget,
     settled: bool,
     audit: Option<AuditCtx>,
+    /// When the owning service journals budget movements, the settlement
+    /// paths below journal **before** they mutate the ledger (write-ahead).
+    journal: Option<JournalCtx>,
 }
 
 impl Reservation {
@@ -110,8 +115,36 @@ impl Reservation {
 
     /// Converts the hold into committed spending. The query's answer may now
     /// be released to the caller.
+    ///
+    /// With a journal attached, the `Commit` record is made durable
+    /// **before** the ledger is charged (write-ahead, under the tenant
+    /// lock so per-tenant journal order equals charge order — that is
+    /// what makes recovery replay bit-identical). A journal failure here
+    /// settles the hold as a refund and returns
+    /// [`ServiceError::DurabilityUnavailable`]: the answer must not be
+    /// released, because a crash would forget the spend it represents.
     pub fn commit(mut self) -> Result<(), ServiceError> {
         let mut state = lock(&self.tenant);
+        if let Some(j) = &self.journal {
+            if let Err(e) =
+                j.state.append_spend(RecordKind::Commit, &state.name, &self.cost, &j.meta)
+            {
+                state.settle(&self.cost);
+                self.settled = true;
+                if let Some(ctx) = &self.audit {
+                    ctx.trail.record_for_request(
+                        &state.name,
+                        AuditKind::Refund,
+                        ctx.query_hash,
+                        self.cost.epsilon(),
+                        self.cost.delta(),
+                        ctx.data_version,
+                        ctx.request_id,
+                    );
+                }
+                return Err(e);
+            }
+        }
         state.settle(&self.cost);
         self.settled = true;
         // Cannot fail: `reserve` admitted spent + in-flight + cost under the
@@ -140,6 +173,12 @@ impl Reservation {
     fn release(&mut self) {
         if !self.settled {
             let mut state = lock(&self.tenant);
+            // Best-effort: a lost Refund record only over-states the
+            // recovered spend (replay ignores refunds), so the in-memory
+            // refund proceeds even if the journal is gone.
+            if let Some(j) = &self.journal {
+                j.state.append_note(RecordKind::Refund, &state.name, &self.cost, &j.meta);
+            }
             state.settle(&self.cost);
             self.settled = true;
             if let Some(ctx) = &self.audit {
@@ -183,6 +222,9 @@ pub struct TenantUsage {
 #[derive(Debug, Default)]
 pub struct BudgetAccountant {
     tenants: RwLock<HashMap<String, Arc<Mutex<TenantState>>>>,
+    /// Per-tenant `(spent_ε, spent_δ)` adopted from WAL recovery, applied
+    /// when the tenant (re-)registers. Exact bit patterns — never rounded.
+    recovered: Mutex<HashMap<String, (f64, f64)>>,
 }
 
 impl BudgetAccountant {
@@ -199,16 +241,51 @@ impl BudgetAccountant {
         if map.contains_key(tenant) {
             return Err(ServiceError::DuplicateTenant(tenant.to_string()));
         }
+        let mut ledger = BudgetLedger::new(allotment);
+        if let Some((eps, delta)) =
+            self.recovered.lock().unwrap_or_else(|e| e.into_inner()).remove(tenant)
+        {
+            // Recovery replayed this tenant's journal: resume from the true
+            // spend, bit-for-bit. A recovered spend above the new allotment
+            // stands — admission will refuse everything, which is the
+            // fail-closed posture for a ledger restored after a crash.
+            ledger.restore_spent(eps, delta);
+        }
         map.insert(
             tenant.to_string(),
             Arc::new(Mutex::new(TenantState {
                 name: Arc::from(tenant),
-                ledger: BudgetLedger::new(allotment),
+                ledger,
                 in_flight_epsilon: 0.0,
                 in_flight_delta: 0.0,
                 in_flight_count: 0,
             })),
         );
+        Ok(())
+    }
+
+    /// Installs WAL-recovered per-tenant spends, to be applied as tenants
+    /// register. Refuses (rather than merges) when any tenant is already
+    /// registered: replaying a journal *onto* live ledgers would
+    /// double-count every commit both sides saw, and there is no safe way
+    /// to reconcile after the fact — recovery belongs at startup, before
+    /// traffic.
+    pub fn adopt_recovery(
+        &self,
+        recovered: &BTreeMap<String, ReplayedLedger>,
+    ) -> Result<(), ServiceError> {
+        let map = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        if !map.is_empty() {
+            return Err(ServiceError::Internal(
+                "refusing to replay a budget journal onto a non-empty accountant: \
+                 recovery must run before any tenant registers"
+                    .into(),
+            ));
+        }
+        let mut pending = self.recovered.lock().unwrap_or_else(|e| e.into_inner());
+        for (tenant, ledger) in recovered {
+            pending.insert(tenant.clone(), (ledger.spent_epsilon, ledger.spent_delta));
+        }
         Ok(())
     }
 
@@ -229,10 +306,37 @@ impl BudgetAccountant {
         cost: PrivacyBudget,
         audit: Option<AuditCtx>,
     ) -> Result<Reservation, ServiceError> {
+        self.reserve_journaled(tenant, cost, audit, None)
+    }
+
+    /// [`BudgetAccountant::reserve_audited`] with a budget journal: the
+    /// `Reserve` record is made durable *before* any in-flight budget is
+    /// held (write-ahead). In degraded mode — or if the journal fails
+    /// right here — the spend is refused with
+    /// [`ServiceError::DurabilityUnavailable`] and nothing changes.
+    /// Refusal records are journaled best-effort (they spend nothing).
+    pub fn reserve_journaled(
+        &self,
+        tenant: &str,
+        cost: PrivacyBudget,
+        audit: Option<AuditCtx>,
+        journal: Option<JournalCtx>,
+    ) -> Result<Reservation, ServiceError> {
         let state_arc = self.tenant_arc(tenant)?;
         let mut state = lock(&state_arc);
+        if let Some(j) = &journal {
+            if j.state.is_degraded() {
+                j.state.note_degraded_refusal();
+                return Err(ServiceError::DurabilityUnavailable {
+                    reason: "journal broken by an earlier failure; restart to recover".into(),
+                });
+            }
+        }
         if !state.admits(&cost) {
             let remaining = (state.ledger.remaining_epsilon() - state.in_flight_epsilon).max(0.0);
+            if let Some(j) = &journal {
+                j.state.append_note(RecordKind::Refusal, &state.name, &cost, &j.meta);
+            }
             if let Some(ctx) = &audit {
                 ctx.trail.record_for_request(
                     &state.name,
@@ -250,6 +354,9 @@ impl BudgetAccountant {
                 remaining_epsilon: remaining,
             });
         }
+        if let Some(j) = &journal {
+            j.state.append_spend(RecordKind::Reserve, &state.name, &cost, &j.meta)?;
+        }
         state.in_flight_epsilon += cost.epsilon();
         state.in_flight_delta += cost.delta();
         state.in_flight_count += 1;
@@ -265,7 +372,7 @@ impl BudgetAccountant {
             );
         }
         drop(state);
-        Ok(Reservation { tenant: state_arc, cost, settled: false, audit })
+        Ok(Reservation { tenant: state_arc, cost, settled: false, audit, journal })
     }
 
     /// The tenant's current usage snapshot.

@@ -172,12 +172,16 @@ impl<T> SlotHandle<T> {
 
 impl<T> Drop for SlotHandle<T> {
     fn drop(&mut self) {
+        // A handle dropped unfilled means the worker unwound (panicked)
+        // before answering: wake the parked caller with a typed internal
+        // refusal. The job's reservation refunds alongside via its own
+        // RAII drop, so the caller can safely resubmit.
         if !self.filled {
-            self.set(Err(ServiceError::Mechanism(CoreError::Invalid(
-                "coalescer worker failed before answering this request; \
+            self.set(Err(ServiceError::Internal(
+                "coalescer worker panicked before answering this request; \
                  the budget reservation was refunded"
                     .into(),
-            ))));
+            )));
         }
     }
 }
@@ -515,6 +519,12 @@ fn worker_loop(core: &Arc<ServiceCore>, shared: &Arc<Shared>) {
 pub(crate) fn process_batch(core: &ServiceCore, jobs: Vec<Job>) {
     if jobs.is_empty() {
         return;
+    }
+    // Fault seam: the panic-containment regression test arms a Panic here
+    // to prove the unwind refunds every reservation, error-fills every
+    // slot, and leaves the worker alive for the next drain.
+    if let Some(plan) = &core.config.fault {
+        plan.trip("coalesce.drain");
     }
     ServiceMetrics::add(&core.metrics.coalesced_requests, jobs.len() as u64);
     ServiceMetrics::inc(&core.metrics.coalesced_batches);

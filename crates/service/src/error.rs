@@ -68,6 +68,21 @@ pub enum ServiceError {
     /// The underlying DP mechanism failed after admission; the reservation
     /// was rolled back, so the failed query spent nothing.
     Mechanism(CoreError),
+    /// The budget journal is unavailable (IO error, injected fault, disk
+    /// full), so the service is in **degraded mode**: cache hits and free
+    /// answers keep flowing, but nothing that would spend budget can be
+    /// journaled and is therefore refused. Fail-closed by design — an
+    /// un-journaled spend would be forgotten by a crash and re-granted
+    /// after restart, the one failure a DP accountant must never have.
+    /// Any reservation this request held was refunded.
+    DurabilityUnavailable {
+        /// Human-readable cause (journal error message).
+        reason: String,
+    },
+    /// An internal invariant failed while serving this request (e.g. a
+    /// coalescer worker panicked mid-drain). The caller's reservation was
+    /// refunded by RAII; resubmitting is safe.
+    Internal(String),
     /// A [`crate::Service::refresh_schema`] landed between this request's
     /// submit (admission, reservation, perturbation against the old data
     /// version) and its coalesced drain. Answering would release a result
@@ -108,6 +123,14 @@ impl fmt::Display for ServiceError {
                 write!(f, "k-star queries need a service built with a graph")
             }
             ServiceError::Mechanism(e) => write!(f, "mechanism failure (budget refunded): {e}"),
+            ServiceError::DurabilityUnavailable { reason } => write!(
+                f,
+                "budget journal unavailable — serving degraded (cache hits and free answers \
+                 only, new budget spends refused, reservation refunded): {reason}"
+            ),
+            ServiceError::Internal(msg) => {
+                write!(f, "internal service error (reservation refunded; safe to resubmit): {msg}")
+            }
             ServiceError::StaleDataVersion { submitted, current } => write!(
                 f,
                 "data refreshed while the request was queued (submitted against version \

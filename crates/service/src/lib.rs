@@ -41,7 +41,14 @@
 //!   ([`Service::audit_jsonl`]), and a Prometheus text endpoint
 //!   ([`Service::prometheus_text`]). Tracing reads clocks only at the
 //!   submit-/drain-time seams, so enabling it never perturbs an answer or
-//!   a ledger bit.
+//!   a ledger bit;
+//! * **durability** (via [`starj_durable`]) — an optional write-ahead
+//!   budget journal ([`DurableConfig`], opened by [`Service::open`]):
+//!   every commit record is fsync-durable *before* the ledger charges and
+//!   the answer is released, startup recovery replays per-tenant spends
+//!   bit-identically, and a journal failure latches degraded mode — cache
+//!   hits and free answers keep serving, new spends are refused with
+//!   [`ServiceError::DurabilityUnavailable`].
 //!
 //! # Quick start
 //!
@@ -81,6 +88,7 @@ pub mod accountant;
 pub mod admission;
 pub mod cache;
 pub mod coalesce;
+pub mod durable;
 pub mod error;
 pub mod metrics;
 pub mod service;
@@ -89,6 +97,7 @@ pub mod wcache;
 pub use accountant::{BudgetAccountant, Reservation, TenantUsage};
 pub use cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 pub use coalesce::{Pending, Submitted};
+pub use durable::{DurableConfig, DurableState, DurableStatus, RecordMeta, ReplaySummary};
 pub use error::ServiceError;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics, LATENCY_BUCKETS};
 pub use service::{

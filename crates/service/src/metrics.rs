@@ -123,6 +123,11 @@ pub struct ServiceMetrics {
     /// submit and their commit — while parked in the coalescer queue or
     /// while their scan was running (each one refunded its reservation).
     pub stale_refusals: AtomicU64,
+    /// Spend attempts refused with
+    /// [`crate::ServiceError::DurabilityUnavailable`] because the budget
+    /// journal was broken (degraded mode) or failed mid-request. Always 0
+    /// for services without a journal.
+    pub durable_refusals: AtomicU64,
     /// End-to-end request latency (successful requests only).
     pub latency: LatencyHistogram,
 }
@@ -154,6 +159,8 @@ pub struct MetricsSnapshot {
     pub w_cache_hits: u64,
     /// See [`ServiceMetrics::stale_refusals`].
     pub stale_refusals: u64,
+    /// See [`ServiceMetrics::durable_refusals`].
+    pub durable_refusals: u64,
     /// Median latency in µs (None before the first served query).
     pub p50_latency_us: Option<f64>,
     /// 99th-percentile latency in µs.
@@ -178,11 +185,12 @@ impl MetricsSnapshot {
         self.coalesced_batches += other.coalesced_batches;
         self.w_cache_hits += other.w_cache_hits;
         self.stale_refusals += other.stale_refusals;
+        self.durable_refusals += other.durable_refusals;
     }
 
     /// `(name, value)` counter pairs in declaration order — the single
     /// source the JSON, `Display`, and Prometheus expositions iterate.
-    pub fn counter_entries(&self) -> [(&'static str, u64); 12] {
+    pub fn counter_entries(&self) -> [(&'static str, u64); 13] {
         [
             ("queries_served", self.queries_served),
             ("cache_hits", self.cache_hits),
@@ -196,6 +204,7 @@ impl MetricsSnapshot {
             ("coalesced_batches", self.coalesced_batches),
             ("w_cache_hits", self.w_cache_hits),
             ("stale_refusals", self.stale_refusals),
+            ("durable_refusals", self.durable_refusals),
         ]
     }
 
@@ -238,6 +247,7 @@ impl MetricsSnapshot {
             coalesced_batches: 0,
             w_cache_hits: 0,
             stale_refusals: 0,
+            durable_refusals: 0,
             p50_latency_us: None,
             p99_latency_us: None,
         }
@@ -278,6 +288,7 @@ impl ServiceMetrics {
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             w_cache_hits: self.w_cache_hits.load(Ordering::Relaxed),
             stale_refusals: self.stale_refusals.load(Ordering::Relaxed),
+            durable_refusals: self.durable_refusals.load(Ordering::Relaxed),
             p50_latency_us: self.latency.quantile_us(0.50),
             p99_latency_us: self.latency.quantile_us(0.99),
         }
@@ -399,7 +410,7 @@ mod tests {
             again.get("cost").and_then(|c| c.get("walks")).is_some(),
             "cost-model counters ride along as a sub-object"
         );
-        assert_eq!(s.counter_entries().len(), 12);
+        assert_eq!(s.counter_entries().len(), 13);
     }
 
     #[test]

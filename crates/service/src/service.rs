@@ -41,12 +41,14 @@ use crate::accountant::{AuditCtx, BudgetAccountant, TenantUsage};
 use crate::admission::{min_frequency_check, validate_query, validate_workload};
 use crate::cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 use crate::coalesce::{pending_pair, Coalescer, Job, PmJob, Submitted, WdJob};
+use crate::durable::{DurableConfig, DurableState, DurableStatus, JournalCtx, RecordMeta};
 use crate::error::ServiceError;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::wcache::{WKey, WeightHistogramCache};
 use dp_starj::pm::PmConfig;
 use dp_starj::workload::WdConfig;
 use dp_starj::{pm_kstar, wd_reconstruct, workload_axes, CoreError, PredicateWorkload};
+use starj_durable::{BudgetWal, FaultPlan};
 use starj_engine::{
     canonicalize, execute_batch_with, execute_weighted_batch_with, execute_with, Agg, QueryResult,
     StarQuery, StarSchema, WeightHistogram, WeightedQuery,
@@ -135,6 +137,17 @@ pub struct ServiceConfig {
     /// at admission, before any budget is reserved). `0` (the default)
     /// disables the guard.
     pub min_pass_rows: u64,
+    /// Crash-safe budget accounting: when set, every reserve / commit /
+    /// refund / refusal is journaled to an fsync'd WAL in this directory
+    /// **before** the in-memory ledger moves, and
+    /// [`Service::open`] replays the journal at startup. `None` (the
+    /// default) keeps the pre-PR-9 in-memory-only accounting. Services
+    /// with a journal must be built with the fallible [`Service::open`].
+    pub durable: Option<DurableConfig>,
+    /// Deterministic fault injection for tests and failure drills: seams
+    /// in the journal (`wal.*`) and the coalescer (`coalesce.drain`)
+    /// consult this plan. `None` (the default) in production.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -157,6 +170,8 @@ impl Default for ServiceConfig {
             w_cache_capacity: crate::wcache::DEFAULT_W_CACHE_CAPACITY,
             telemetry: TelemetryConfig::default(),
             min_pass_rows: 0,
+            durable: None,
+            fault: None,
         }
     }
 }
@@ -284,6 +299,9 @@ pub(crate) struct ServiceCore {
     pub(crate) wcache: WeightHistogramCache,
     pub(crate) metrics: ServiceMetrics,
     pub(crate) telemetry: Telemetry,
+    /// Crash-safe accounting state; `None` when the service runs without a
+    /// journal ([`ServiceConfig::durable`] unset).
+    pub(crate) durable: Option<Arc<DurableState>>,
     request_counter: AtomicU64,
 }
 
@@ -298,7 +316,26 @@ pub struct Service {
 
 impl Service {
     /// A service over `schema` with the given configuration and no tenants.
-    pub fn new(schema: Arc<StarSchema>, mut config: ServiceConfig) -> Self {
+    ///
+    /// Infallible, so only valid for configurations without a budget
+    /// journal — opening a journal does IO and replays history, which can
+    /// fail. With [`ServiceConfig::durable`] set this panics; use
+    /// [`Service::open`] instead.
+    pub fn new(schema: Arc<StarSchema>, config: ServiceConfig) -> Self {
+        assert!(
+            config.durable.is_none(),
+            "ServiceConfig::durable is set: journal opening can fail, use Service::open"
+        );
+        Self::open(schema, config).expect("non-durable service construction is infallible")
+    }
+
+    /// A service over `schema`, opening (and replaying) the budget journal
+    /// when [`ServiceConfig::durable`] is set. Recovered per-tenant spends
+    /// are adopted by the accountant and applied as tenants re-register,
+    /// bit-for-bit. Fails with [`ServiceError::DurabilityUnavailable`] if
+    /// the journal cannot be opened or is corrupt mid-history (a torn
+    /// *tail* is recovered, not an error).
+    pub fn open(schema: Arc<StarSchema>, mut config: ServiceConfig) -> Result<Self, ServiceError> {
         // `scan_threads > 1` propagates into the mechanism configs; at the
         // default of 1 any explicitly-set `pm.scan` / `wd.scan` is honored.
         // `with_threads` (not `ScanOptions::parallel`) so explicitly-set
@@ -307,21 +344,40 @@ impl Service {
             config.pm.scan = config.pm.scan.with_threads(config.scan_threads);
             config.wd.scan = config.wd.scan.with_threads(config.scan_threads);
         }
+        let durable = match &config.durable {
+            None => None,
+            Some(durable_config) => {
+                let (wal, recovery) =
+                    BudgetWal::open(durable_config.wal_config(), config.fault.clone()).map_err(
+                        |e| ServiceError::DurabilityUnavailable { reason: e.to_string() },
+                    )?;
+                Some((Arc::new(DurableState::new(wal, &recovery)), recovery))
+            }
+        };
         let cache = AnswerCache::with_capacity(config.cache_capacity);
         let wcache = WeightHistogramCache::with_capacity(config.w_cache_capacity);
         let telemetry = Telemetry::new(&config.telemetry);
+        let accountant = BudgetAccountant::new();
+        let durable = match durable {
+            None => None,
+            Some((state, recovery)) => {
+                accountant.adopt_recovery(&recovery.tenants)?;
+                Some(state)
+            }
+        };
         let core = Arc::new(ServiceCore {
             schema: RwLock::new((schema, 0)),
             config,
-            accountant: BudgetAccountant::new(),
+            accountant,
             cache,
             wcache,
             metrics: ServiceMetrics::default(),
             telemetry,
+            durable,
             request_counter: AtomicU64::new(0),
         });
         let coalescer = core.config.coalesce.then(|| Coalescer::start(Arc::clone(&core)));
-        Service { core, graph: None, coalescer }
+        Ok(Service { core, graph: None, coalescer })
     }
 
     /// Attaches a graph so the service can answer k-star queries.
@@ -410,6 +466,20 @@ impl Service {
         self.core.telemetry.audit().to_jsonl()
     }
 
+    /// Durability status (journal counters, degraded flag, replay summary);
+    /// `None` for services without a budget journal.
+    pub fn durable_status(&self) -> Option<DurableStatus> {
+        self.core.durable.as_ref().map(|d| d.status())
+    }
+
+    /// True when a journal failure has latched degraded mode: cache hits
+    /// and free answers still flow, new budget spends are refused with
+    /// [`ServiceError::DurabilityUnavailable`] until the process restarts.
+    /// Always false for services without a journal.
+    pub fn is_degraded(&self) -> bool {
+        self.core.durable.as_ref().is_some_and(|d| d.is_degraded())
+    }
+
     /// The full service state as a Prometheus text-format (0.0.4)
     /// exposition: request counters, the latency histogram (cumulative
     /// buckets in seconds), per-tenant budget gauges, the process-wide
@@ -475,6 +545,54 @@ impl Service {
             let metric = format!("starj_cost_{name}_total");
             p.header(&metric, &format!("Cost-model counter `{name}` (process-wide)."), "counter");
             p.sample(&metric, &[], value as f64);
+        }
+
+        if let Some(durable) = &self.core.durable {
+            let status = durable.status();
+            let counters: [(&str, u64, &str); 7] = [
+                ("records", status.counters.records, "Journal records appended."),
+                ("bytes", status.counters.bytes, "Journal frame bytes appended."),
+                (
+                    "fsyncs",
+                    status.counters.fsyncs,
+                    "Fdatasync calls issued (group commit makes this <= records).",
+                ),
+                ("rotations", status.counters.rotations, "Journal segment rotations."),
+                ("journal_errors", status.journal_errors, "Journal failures observed."),
+                (
+                    "degraded_refusals",
+                    status.degraded_refusals,
+                    "Spends refused because the journal was unavailable.",
+                ),
+                (
+                    "replayed_records",
+                    status.replay.records,
+                    "Records replayed by startup recovery.",
+                ),
+            ];
+            for (name, value, help) in counters {
+                let metric = format!("starj_durable_{name}_total");
+                p.header(&metric, help, "counter");
+                p.sample(&metric, &[], value as f64);
+            }
+            p.header(
+                "starj_durable_degraded",
+                "1 once a journal failure latched degraded mode (restart to recover).",
+                "gauge",
+            );
+            p.sample("starj_durable_degraded", &[], if status.degraded { 1.0 } else { 0.0 });
+            p.header("starj_durable_segments", "Journal segment files on disk.", "gauge");
+            p.sample("starj_durable_segments", &[], status.counters.segments as f64);
+            p.header(
+                "starj_durable_torn_tail_truncated",
+                "1 if startup recovery truncated a torn journal tail.",
+                "gauge",
+            );
+            p.sample(
+                "starj_durable_torn_tail_truncated",
+                &[],
+                if status.replay.torn_tail_truncated { 1.0 } else { 0.0 },
+            );
         }
 
         let telemetry = &self.core.telemetry;
@@ -1253,9 +1371,22 @@ impl ServiceCore {
             // events recorded later on a coalescer worker still carry it.
             request_id: starj_telemetry::current_wire_request_id(),
         });
-        self.accountant.reserve_audited(tenant, cost, audit).inspect_err(|e| {
+        let journal = self.durable.as_ref().map(|state| {
+            JournalCtx::new(
+                Arc::clone(state),
+                RecordMeta {
+                    query_hash,
+                    data_version: version,
+                    request_id: starj_telemetry::current_wire_request_id(),
+                },
+            )
+        });
+        self.accountant.reserve_journaled(tenant, cost, audit, journal).inspect_err(|e| {
             if matches!(e, ServiceError::BudgetExhausted { .. }) {
                 ServiceMetrics::inc(&self.metrics.budget_refusals);
+            }
+            if matches!(e, ServiceError::DurabilityUnavailable { .. }) {
+                ServiceMetrics::inc(&self.metrics.durable_refusals);
             }
         })
     }

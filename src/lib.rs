@@ -5,6 +5,7 @@
 
 pub use dp_starj as core;
 pub use starj_baselines as baselines;
+pub use starj_durable as durable;
 pub use starj_engine as engine;
 pub use starj_gate as gate;
 pub use starj_graph as graph;

@@ -56,7 +56,7 @@ fn router(config: ServiceConfig) -> Arc<Router> {
         replication: 8,
         seed: 7,
         shard_config: config,
-        shard_overrides: vec![],
+        ..RouterConfig::default()
     })
     .unwrap();
     router.add_dataset(DATASET, schema()).unwrap();
@@ -171,7 +171,7 @@ fn budget_refusal_spends_nothing_and_lands_in_audit_with_wire_id() {
             replication: 8,
             seed: 7,
             shard_config: ServiceConfig::default(),
-            shard_overrides: vec![],
+            ..RouterConfig::default()
         })
         .unwrap();
         r.add_dataset(DATASET, schema()).unwrap();
@@ -321,6 +321,47 @@ fn metrics_verb_is_admin_only_and_serves_prometheus_and_audit_jsonl() {
     let audit = metrics.get("audit_jsonl").and_then(Json::as_str).unwrap();
     assert!(audit.contains("\"commit\""), "audit trail missing the served commit:\n{audit}");
     assert!(audit.contains(&format!("\"{DATASET}\"")), "audit lines are dataset-tagged");
+}
+
+/// A slowloris client — half a length prefix, then silence — must not pin
+/// its connection thread forever: after [`GateConfig::read_timeout`] the
+/// gate answers a structured `timeout` refusal and closes the connection.
+/// A client idle *between* frames is never timed out.
+#[test]
+fn slowloris_partial_frame_is_refused_with_timeout_and_closed() {
+    use dp_starj_repro::gate::wire::read_frame;
+    use std::io::Write;
+
+    let router = router(ServiceConfig::default());
+    let config = GateConfig {
+        tokens: vec![(TOKEN.to_string(), TENANT.to_string())],
+        poll_interval: Duration::from_millis(2),
+        read_timeout: Duration::from_millis(40),
+        ..GateConfig::default()
+    };
+    let gate = Gate::bind(Arc::clone(&router), config, "127.0.0.1:0").unwrap();
+
+    // A well-behaved client on the same gate: connect, idle far past the
+    // read deadline *between* frames, then get a normal answer.
+    let mut polite = GateClient::connect(gate.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+
+    // The slowloris peer: two bytes of a length prefix, then nothing.
+    let mut trickle = std::net::TcpStream::connect(gate.addr()).unwrap();
+    trickle.write_all(&[0, 0]).unwrap();
+    trickle.flush().unwrap();
+
+    let body = read_frame(&mut trickle, 1 << 20)
+        .unwrap()
+        .expect("the gate answers a refusal before closing");
+    let json = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(json.get("code").and_then(Json::as_str), Some("timeout"));
+    // ... and the connection is closed: the next read sees a clean EOF.
+    assert!(read_frame(&mut trickle, 1 << 20).unwrap().is_none());
+
+    let answer = polite.sql(TOKEN, DATASET, "SELECT count(*) FROM Fact;", 0.25).unwrap();
+    assert_eq!(answer.get("ok").and_then(Json::as_f64), Some(1.0), "idle-between-frames survives");
 }
 
 /// Dropping the gate must join its connection threads even when a client
