@@ -1,0 +1,342 @@
+//! Operator-plane overhead: what observing the fleet costs the fleet.
+//!
+//! ```text
+//! SSB_SF=0.05 OPS_QUERIES=200 cargo run --release -p starj-bench --bin ops_overhead
+//! ```
+//!
+//! Two regimes over identical coalesced wire traffic (8 clients by
+//! default, each its own TCP connection and tenant):
+//!
+//! * **bare** — router with no event bus, no HTTP endpoint: the fastest
+//!   the serving path goes;
+//! * **observed** — the full operator plane live: an event bus on every
+//!   shard, one wire subscriber draining the span/audit stream over the
+//!   gate, and an [`starj_ops::OpsServer`] being scraped at 1 Hz
+//!   (`GET /metrics` with the admin bearer token, like a stock Prometheus).
+//!
+//! Environment knobs: `SSB_SF` (default 0.05), `OPS_QUERIES` (requests
+//! per client, default 200), `OPS_CLIENTS` (default 8), `SEED`, and
+//! `OPS_GATE` — the allowed fractional qps overhead of the observed
+//! regime (default 0.05; `OPS_GATE=0` disables the gate, mirroring
+//! `TRACE_GATE`). The verdict is a median of three interleaved runs per
+//! regime, so one noisy run on a shared box cannot flip it; exit 1 on
+//! gate failure. Absolute numbers land in `BENCH_ops.json` (keyed by
+//! `regime`) for the CI drift gate.
+
+use starj_bench::harness::{env_f64, env_u64, Json};
+use starj_bench::{query_pool, root_seed, ssb_sf, ssb_slices, TablePrinter};
+use starj_engine::{to_sql, StarSchema};
+use starj_gate::{Gate, GateClient, GateConfig};
+use starj_noise::PrivacyBudget;
+use starj_ops::{OpsConfig, OpsServer};
+use starj_router::{Router, RouterConfig};
+use starj_service::ServiceConfig;
+use starj_telemetry::EventBus;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DATASET: &str = "ssb";
+const ADMIN_TOKEN: &str = "tok-ops-admin";
+/// Dyadic per-query ε so ledger sums are exact however requests interleave.
+const EPSILON: f64 = 0.125;
+
+fn build_router(
+    schema: &Arc<StarSchema>,
+    clients: usize,
+    seed: u64,
+    bus: Option<Arc<EventBus>>,
+) -> Arc<Router> {
+    let shard_config =
+        ServiceConfig { seed, cache_answers: false, coalesce: true, ..ServiceConfig::default() };
+    let router =
+        Router::new(RouterConfig { shards: 1, seed, shard_config, bus, ..RouterConfig::default() })
+            .expect("one shard");
+    router.add_dataset(DATASET, Arc::clone(schema)).expect("fresh dataset");
+    let allotment = PrivacyBudget::pure(1_000_000.0).expect("bench allotment");
+    for c in 0..clients {
+        router.register_tenant(DATASET, &format!("client-{c}"), allotment).expect("fresh tenant");
+    }
+    Arc::new(router)
+}
+
+fn gate_config(clients: usize) -> GateConfig {
+    GateConfig {
+        tokens: (0..clients).map(|c| (format!("tok-{c}"), format!("client-{c}"))).collect(),
+        admin_tokens: vec![ADMIN_TOKEN.to_string()],
+        ..GateConfig::default()
+    }
+}
+
+/// One authenticated `GET /metrics` over a fresh connection; returns true
+/// iff the endpoint answered 200.
+fn scrape(addr: SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return false };
+    let request = format!(
+        "GET /metrics HTTP/1.1\r\nHost: bench\r\nAuthorization: Bearer {ADMIN_TOKEN}\r\n\
+         Connection: close\r\n\r\n"
+    );
+    if stream.write_all(request.as_bytes()).is_err() {
+        return false;
+    }
+    let mut body = String::new();
+    stream.read_to_string(&mut body).is_ok() && body.starts_with("HTTP/1.1 200 ")
+}
+
+/// What one measured run produced.
+struct Sample {
+    qps: f64,
+    wall_secs: f64,
+    requests: u64,
+    /// Events the wire subscriber received (0 in the bare regime).
+    events_streamed: u64,
+    /// HTTP scrapes completed during the run (0 in the bare regime).
+    scrapes: u64,
+}
+
+/// One timed run: `clients` wire threads pipelining SQL through the gate.
+/// With `observed`, a live wire subscriber and a 1 Hz `/metrics` scraper
+/// run alongside for the whole window.
+fn measure(
+    schema: &Arc<StarSchema>,
+    clients: usize,
+    queries_per_client: usize,
+    seed: u64,
+    observed: bool,
+) -> Result<Sample, String> {
+    let bus = observed.then(EventBus::new);
+    let router = build_router(schema, clients, seed, bus);
+    let gate = Gate::bind(Arc::clone(&router), gate_config(clients), "127.0.0.1:0")
+        .map_err(|e| e.to_string())?;
+    let addr = gate.addr();
+    let pool: Arc<Vec<String>> = Arc::new(query_pool().iter().map(|q| to_sql(schema, q)).collect());
+
+    // The observer side: a draining wire subscriber (exits when the gate
+    // closes its connection) and a 1 Hz scraper (exits on the stop flag).
+    let stop = Arc::new(AtomicBool::new(false));
+    let events_streamed = Arc::new(AtomicU64::new(0));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let mut observer_threads = Vec::new();
+    let ops_server = if observed {
+        let server = OpsServer::bind(
+            Arc::clone(&router),
+            OpsConfig { admin_tokens: vec![ADMIN_TOKEN.to_string()], ..OpsConfig::default() },
+            "127.0.0.1:0",
+        )
+        .map_err(|e| e.to_string())?;
+        let ops_addr = server.addr();
+
+        let mut subscriber = GateClient::connect(addr).map_err(|e| e.to_string())?;
+        let (_, ack) = subscriber.subscribe(ADMIN_TOKEN, Some(4096)).map_err(|e| e.to_string())?;
+        if ack.get("ok").and_then(Json::as_f64) != Some(1.0) {
+            return Err(format!("subscribe refused: {}", ack.render()));
+        }
+        let streamed = Arc::clone(&events_streamed);
+        observer_threads.push(std::thread::spawn(move || {
+            while subscriber.recv().is_ok() {
+                streamed.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+
+        let stop = Arc::clone(&stop);
+        let scraped = Arc::clone(&scrapes);
+        observer_threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if scrape(ops_addr) {
+                    scraped.fetch_add(1, Ordering::Relaxed);
+                }
+                // 1 Hz cadence, sliced so shutdown is prompt.
+                for _ in 0..100 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }));
+        Some(server)
+    } else {
+        None
+    };
+
+    let start = Instant::now();
+    let served: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || -> Result<u64, String> {
+                    let mut client = GateClient::connect(addr).map_err(|e| e.to_string())?;
+                    let token = format!("tok-{c}");
+                    let mut ok = 0u64;
+                    for i in 0..queries_per_client {
+                        let sql = &pool[(c + i * 7) % pool.len()];
+                        let answer =
+                            client.sql(&token, DATASET, sql, EPSILON).map_err(|e| e.to_string())?;
+                        if answer.get("ok").and_then(Json::as_f64) != Some(1.0) {
+                            return Err(format!("client {c} refused: {}", answer.render()));
+                        }
+                        ok += 1;
+                    }
+                    Ok(ok)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum::<Result<u64, String>>()
+    })?;
+    let wall = start.elapsed().as_secs_f64();
+
+    // Exact-ledger check, as in gate_throughput: dyadic ε sums exactly.
+    let expected = EPSILON * queries_per_client as f64;
+    for c in 0..clients {
+        let usage =
+            router.tenant_usage(DATASET, &format!("client-{c}")).map_err(|e| e.to_string())?;
+        if usage.spent_epsilon.to_bits() != expected.to_bits() {
+            return Err(format!(
+                "client-{c} ledger drifted: spent {} expected {expected}",
+                usage.spent_epsilon
+            ));
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    drop(gate); // closes the subscriber's connection → its thread exits
+    drop(ops_server);
+    for handle in observer_threads {
+        let _ = handle.join();
+    }
+
+    Ok(Sample {
+        qps: served as f64 / wall.max(1e-9),
+        wall_secs: wall,
+        requests: served,
+        events_streamed: events_streamed.load(Ordering::Relaxed),
+        scrapes: scrapes.load(Ordering::Relaxed),
+    })
+}
+
+fn main() {
+    let sf = ssb_sf();
+    let seed = root_seed();
+    let queries_per_client = env_u64("OPS_QUERIES", 200) as usize;
+    let clients = env_u64("OPS_CLIENTS", 8) as usize;
+    let schema = ssb_slices(sf, 1, seed).remove(0);
+
+    println!(
+        "Operator-plane overhead (SF={sf}, {clients} coalesced wire clients, \
+         {queries_per_client} queries/client, ε={EPSILON}/query)\n"
+    );
+
+    // Three interleaved runs per regime; the medians carry the verdict.
+    let table = TablePrinter::new(
+        &["regime", "run", "requests", "wall s", "queries/s", "events", "scrapes"],
+        &[10, 5, 9, 8, 10, 8, 8],
+    );
+    let mut bare_qps: Vec<f64> = Vec::new();
+    let mut observed_qps: Vec<f64> = Vec::new();
+    let mut samples: Vec<Json> = Vec::new();
+    let mut last_observed: Option<Sample> = None;
+    for run in 0..3 {
+        for observed in [false, true] {
+            let regime = if observed { "observed" } else { "bare" };
+            let sample = match measure(&schema, clients, queries_per_client, seed, observed) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("LEDGER GATE FAILED ({regime} run {run}): {e}");
+                    std::process::exit(2);
+                }
+            };
+            table.row(&[
+                regime,
+                &run.to_string(),
+                &sample.requests.to_string(),
+                &format!("{:.2}", sample.wall_secs),
+                &format!("{:.0}", sample.qps),
+                &sample.events_streamed.to_string(),
+                &sample.scrapes.to_string(),
+            ]);
+            samples.push(Json::obj(vec![
+                ("regime", Json::Str(format!("{clients}-client-{regime}"))),
+                ("run", Json::Num(run as f64)),
+                ("clients", Json::Num(clients as f64)),
+                ("requests", Json::Num(sample.requests as f64)),
+                ("wall_secs", Json::Num(sample.wall_secs)),
+                ("queries_per_sec", Json::Num(sample.qps)),
+                ("events_streamed", Json::Num(sample.events_streamed as f64)),
+                ("scrapes", Json::Num(sample.scrapes as f64)),
+            ]));
+            if observed {
+                observed_qps.push(sample.qps);
+                last_observed = Some(sample);
+            } else {
+                bare_qps.push(sample.qps);
+            }
+        }
+    }
+
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite qps"));
+        v[v.len() / 2]
+    };
+    let (bare_med, observed_med) = (median(&mut bare_qps), median(&mut observed_qps));
+    let overhead = 1.0 - observed_med / bare_med.max(1e-9);
+    println!(
+        "\nmedians: bare {bare_med:.0} qps vs observed {observed_med:.0} qps \
+         ({:+.1}% overhead with a live subscriber + 1 Hz scrape)",
+        overhead * 100.0
+    );
+
+    Json::obj(vec![
+        ("bench", Json::Str("ops_overhead".into())),
+        ("scale_factor", Json::Num(sf)),
+        ("clients", Json::Num(clients as f64)),
+        ("queries_per_client", Json::Num(queries_per_client as f64)),
+        ("epsilon", Json::Num(EPSILON)),
+        ("samples", Json::Arr(samples)),
+        (
+            "gate",
+            Json::obj(vec![
+                ("bare_median_qps", Json::Num(bare_med)),
+                ("observed_median_qps", Json::Num(observed_med)),
+                ("overhead_frac", Json::Num(overhead)),
+            ]),
+        ),
+    ])
+    .write("BENCH_ops.json")
+    .expect("write BENCH_ops.json");
+    println!("wrote BENCH_ops.json");
+
+    // Sanity: the observed regime must actually have been observed, or
+    // the overhead number is vacuous.
+    let last = last_observed.expect("three observed runs completed");
+    if last.events_streamed == 0 {
+        eprintln!("OBSERVER GATE FAILED: the wire subscriber streamed no events");
+        std::process::exit(1);
+    }
+    if last.scrapes == 0 {
+        eprintln!("OBSERVER GATE FAILED: the 1 Hz scraper completed no scrapes");
+        std::process::exit(1);
+    }
+
+    // `OPS_GATE` is the allowed fractional qps overhead of full
+    // observability (default 5%); `OPS_GATE=0` disables the gate,
+    // mirroring `TRACE_GATE`.
+    let ops_gate = env_f64("OPS_GATE", 0.05);
+    if ops_gate > 0.0 && observed_med < (1.0 - ops_gate) * bare_med {
+        eprintln!(
+            "OPS GATE FAILED: observed median {observed_med:.0} qps is more than {:.0}% below \
+             bare median {bare_med:.0} qps at {clients} clients",
+            ops_gate * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gate passed: full observability costs {:.1}% (allowed {:.0}%), \
+         {} events streamed and {} scrapes in the last observed run",
+        overhead.max(0.0) * 100.0,
+        ops_gate * 100.0,
+        last.events_streamed,
+        last.scrapes
+    );
+}

@@ -1,0 +1,157 @@
+//! Operator-plane smoke test: bind the real HTTP endpoint, scrape it over
+//! real TCP the way Prometheus and curl would, lint what comes back.
+//!
+//! ```text
+//! SSB_SF=0.01 cargo run --release -p starj-bench --bin ops_smoke
+//! ```
+//!
+//! Serves a short SSB workload through a router (so the counters and the
+//! audit ledger are non-trivial), binds an [`starj_ops::OpsServer`] on an
+//! ephemeral port, then exercises every route:
+//!
+//! * `/healthz` and `/readyz` answer 200 unauthenticated;
+//! * `/metrics` refuses without the bearer token (401) and, with it,
+//!   returns a body that passes the workspace's Prometheus-text lint;
+//! * `/audit` returns JSONL in which every line parses and the `?tenant=`
+//!   filter actually filters.
+//!
+//! Environment knobs: `SSB_SF` (default 0.05), `SEED`. Exit 2 on any
+//! failure. The scraped `/metrics` body is archived to `OPS_scrape.txt`
+//! so CI keeps a human-readable exposition snapshot per run.
+
+use starj_bench::harness::Json;
+use starj_bench::{query_pool, root_seed, ssb_sf, ssb_slices};
+use starj_noise::PrivacyBudget;
+use starj_ops::{OpsConfig, OpsServer};
+use starj_router::{Router, RouterConfig};
+use starj_service::ServiceConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+const DATASET: &str = "ssb";
+const TENANT: &str = "smoke";
+const ADMIN_TOKEN: &str = "smoke-admin";
+
+/// One `GET` over a fresh connection; returns `(status, body)`.
+fn http_get(addr: SocketAddr, target: &str, token: Option<&str>) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let auth = token.map(|t| format!("Authorization: Bearer {t}\r\n")).unwrap_or_default();
+    stream
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n{auth}\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or("response head missing")?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparseable status line: {head}"))?;
+    Ok((status, body.to_string()))
+}
+
+fn run() -> Result<(), String> {
+    let sf = ssb_sf();
+    let seed = root_seed();
+    let schema = ssb_slices(sf, 1, seed).remove(0);
+
+    // A router with some history: counters, spans, and audit lines to
+    // expose.
+    let router = Router::new(RouterConfig {
+        shards: 1,
+        seed,
+        shard_config: ServiceConfig { seed, ..ServiceConfig::default() },
+        ..RouterConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    router.add_dataset(DATASET, schema).map_err(|e| e.to_string())?;
+    router
+        .register_tenant(DATASET, TENANT, PrivacyBudget::pure(100.0).unwrap())
+        .map_err(|e| e.to_string())?;
+    let router = Arc::new(router);
+    for q in query_pool().iter().take(20) {
+        router.pm_answer(DATASET, TENANT, q, 0.125).map_err(|e| e.to_string())?;
+    }
+
+    let server = OpsServer::bind(
+        Arc::clone(&router),
+        OpsConfig { admin_tokens: vec![ADMIN_TOKEN.to_string()], ..OpsConfig::default() },
+        "127.0.0.1:0",
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    println!("ops endpoint bound at http://{addr}");
+
+    // Probes: unauthenticated, one bit each.
+    let (status, body) = http_get(addr, "/healthz", None)?;
+    if status != 200 || body != "ok\n" {
+        return Err(format!("/healthz: got {status} {body:?}"));
+    }
+    let (status, body) = http_get(addr, "/readyz", None)?;
+    if status != 200 || body != "ready\n" {
+        return Err(format!("/readyz: got {status} {body:?}"));
+    }
+    println!("probes: /healthz ok, /readyz ready");
+
+    // The auth boundary on the cross-tenant surfaces.
+    let (status, _) = http_get(addr, "/metrics", None)?;
+    if status != 401 {
+        return Err(format!("/metrics without a token answered {status}, wanted 401"));
+    }
+    let (status, _) = http_get(addr, "/metrics", Some("not-the-token"))?;
+    if status != 401 {
+        return Err(format!("/metrics with a bad token answered {status}, wanted 401"));
+    }
+
+    // The scrape itself, linted.
+    let (status, metrics) = http_get(addr, "/metrics", Some(ADMIN_TOKEN))?;
+    if status != 200 {
+        return Err(format!("/metrics with the admin token answered {status}"));
+    }
+    let report = starj_telemetry::prom::lint(&metrics)
+        .map_err(|errors| format!("exposition fails lint: {errors:?}"))?;
+    println!(
+        "scrape: {} bytes, {} families, {} samples, lint clean",
+        metrics.len(),
+        report.families,
+        report.samples
+    );
+    std::fs::write("OPS_scrape.txt", &metrics).map_err(|e| e.to_string())?;
+    println!("wrote OPS_scrape.txt");
+
+    // The audit ledger: every line JSON, the tenant filter selective.
+    let (status, audit) = http_get(addr, "/audit", Some(ADMIN_TOKEN))?;
+    if status != 200 {
+        return Err(format!("/audit answered {status}"));
+    }
+    let lines = audit.lines().count();
+    if lines == 0 {
+        return Err("audit ledger is empty after 20 served queries".into());
+    }
+    for line in audit.lines() {
+        Json::parse(line).map_err(|e| format!("audit line is not JSON ({e}): {line}"))?;
+    }
+    let (status, filtered) = http_get(addr, &format!("/audit?tenant={TENANT}"), Some(ADMIN_TOKEN))?;
+    if status != 200 || filtered.lines().count() == 0 {
+        return Err(format!("filtered audit: status {status}, {} lines", filtered.lines().count()));
+    }
+    let (_, empty) = http_get(addr, "/audit?tenant=no-such-tenant", Some(ADMIN_TOKEN))?;
+    if !empty.trim().is_empty() {
+        return Err("the tenant filter does not filter".into());
+    }
+    println!("audit: {lines} JSONL lines, tenant filter selective");
+
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("OPS SMOKE FAILED: {e}");
+        std::process::exit(2);
+    }
+    println!("ops smoke passed");
+}

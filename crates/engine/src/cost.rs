@@ -240,6 +240,12 @@ impl CostModel {
         self.fact_rows
     }
 
+    /// Fact rows the model actually sampled (= the walk count behind every
+    /// estimate; equals [`CostModel::fact_rows`] for exact models).
+    pub fn sampled_rows(&self) -> usize {
+        self.sampled.first().map_or(0, Vec::len)
+    }
+
     /// Estimated fraction of **fact** rows whose `dim` fk lands on a set
     /// bit of `bits` (a dimension pass mask). Fact-weighted — a better
     /// ordering signal than the retired dimension-weighted `count_ones`,

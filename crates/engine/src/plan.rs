@@ -72,7 +72,7 @@ use crate::schema::StarSchema;
 use crate::stage::{
     gather_word_bytes, gather_word_small, gather_word_wide, ChunkStage, CHUNK_ROWS, CHUNK_WORDS,
 };
-use starj_telemetry::{cost_counters, kernel_counters, CostCounters, KernelCounters};
+use starj_telemetry::{cost_counters, kernel_counters, CostCounters, Json, KernelCounters};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -779,6 +779,81 @@ impl<'a> ScanPlan<'a> {
     /// Number of compiled queries.
     pub fn num_queries(&self) -> usize {
         self.queries.len()
+    }
+
+    /// Describes the plan the kernel would execute, without executing it:
+    /// per-query filter order with probe classes and (when the cost model
+    /// is on) sampled pass-fraction estimates with confidence intervals,
+    /// the cross-query mask-sharing program, and the per-dimension fk
+    /// staging decisions. Everything reported is derived from the same
+    /// structures [`ScanPlan::execute`] runs, so EXPLAIN output cannot
+    /// drift from the executed plan shape.
+    pub fn describe(&self) -> PlanExplain {
+        let hist_plan = HistPlan::build(&self.queries);
+        let program = self.mask_program(hist_plan.as_ref());
+        let staged = self.staged_dims(hist_plan.as_ref(), &program);
+        let model = self.model.as_deref();
+        let dims = self
+            .schema
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(di, d)| DimExplain {
+                table: d.table.name().to_string(),
+                rows: d.table.num_rows(),
+                staged: staged.get(di).copied().unwrap_or(false),
+                residency: model.map(|m| m.residency(di)),
+            })
+            .collect();
+        let queries = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let histogram = hist_plan
+                    .as_ref()
+                    .is_some_and(|hp| hp.assignment.get(qi).is_some_and(Option::is_some));
+                let filters = q
+                    .filters
+                    .iter()
+                    .map(|f| {
+                        let sharing = if program.shared.iter().any(|s| s.same_mask(f)) {
+                            "shared"
+                        } else if model.is_some()
+                            && program.shared.iter().any(|y| {
+                                y.dim == f.dim && !y.same_mask(f) && f.bits.is_subset(&y.bits)
+                            })
+                        {
+                            "private_subsumed"
+                        } else {
+                            "private"
+                        };
+                        let estimate = model.map(|m| m.pass_fraction(f.dim, &f.bits));
+                        FilterExplain {
+                            table: self.schema.dims()[f.dim].table.name().to_string(),
+                            probe: match f.probe {
+                                Probe::Word(_) => "word",
+                                Probe::Bytes(_) => "bytes",
+                                Probe::Wide => "bitset",
+                            },
+                            estimated_fraction: Self::est_fraction(f),
+                            ci: estimate.as_ref().map(|e| e.ci),
+                            samples: estimate.as_ref().map(|e| e.samples),
+                            sharing,
+                        }
+                    })
+                    .collect();
+                QueryExplain { filters, histogram, weighted_axes: q.weights.len() }
+            })
+            .collect();
+        PlanExplain {
+            fact_rows: self.fact_rows,
+            shared_masks: program.shared.len(),
+            cost_model: model
+                .map(|m| CostModelExplain { exact: m.is_exact(), sampled_rows: m.sampled_rows() }),
+            dims,
+            queries,
+        }
     }
 
     /// Executes every compiled query in **one** scan of the fact table,
@@ -1724,6 +1799,136 @@ pub(crate) fn dimension_bitsets(
     Ok(bitsets)
 }
 
+/// What [`ScanPlan::describe`] reports: the shape of the fused scan the
+/// kernel would run, derived from the exact structures `execute` uses.
+#[derive(Debug, Clone)]
+pub struct PlanExplain {
+    /// Fact-table rows the scan would visit.
+    pub fact_rows: usize,
+    /// Filters promoted to the cross-query shared-mask cache.
+    pub shared_masks: usize,
+    /// Sampling metadata when a cost model drives the plan, `None` when
+    /// the static heuristics did.
+    pub cost_model: Option<CostModelExplain>,
+    /// Per-dimension staging/residency decisions, schema order.
+    pub dims: Vec<DimExplain>,
+    /// Per-query filter order and histogram assignment, compile order.
+    pub queries: Vec<QueryExplain>,
+}
+
+/// One dimension's row in a [`PlanExplain`].
+#[derive(Debug, Clone)]
+pub struct DimExplain {
+    /// Dimension table name.
+    pub table: String,
+    /// Dimension table rows.
+    pub rows: usize,
+    /// Whether the fk column is staged (decoded once up front).
+    pub staged: bool,
+    /// Estimated fraction of the dimension touched per chunk (cost model
+    /// only).
+    pub residency: Option<f64>,
+}
+
+/// One compiled query's row in a [`PlanExplain`].
+#[derive(Debug, Clone)]
+pub struct QueryExplain {
+    /// Filters in the order the scan applies them (selectivity order).
+    pub filters: Vec<FilterExplain>,
+    /// Whether this query folds into the fused histogram pass.
+    pub histogram: bool,
+    /// Weighted aggregation axes (0 for plain counts).
+    pub weighted_axes: usize,
+}
+
+/// One filter's row in a [`QueryExplain`].
+#[derive(Debug, Clone)]
+pub struct FilterExplain {
+    /// Dimension table the filter probes.
+    pub table: String,
+    /// Probe class the kernel selected: `word`, `bytes`, or `bitset`.
+    pub probe: &'static str,
+    /// Pass fraction ordering the filter (sampled when the cost model is
+    /// on, static heuristic otherwise).
+    pub estimated_fraction: f64,
+    /// Half-width 95% confidence interval of the sampled fraction.
+    pub ci: Option<f64>,
+    /// Sample walks behind the estimate.
+    pub samples: Option<usize>,
+    /// `shared` (gathered once per chunk for all users),
+    /// `private_subsumed` (private gather refined through a shared
+    /// superset mask), or `private`.
+    pub sharing: &'static str,
+}
+
+/// Cost-model provenance in a [`PlanExplain`].
+#[derive(Debug, Clone, Copy)]
+pub struct CostModelExplain {
+    /// True when the model enumerated every row instead of sampling.
+    pub exact: bool,
+    /// Rows visited per dimension lane while sampling.
+    pub sampled_rows: usize,
+}
+
+impl PlanExplain {
+    /// Renders the plan description as a JSON object — the payload of the
+    /// gate's `explain` verb.
+    pub fn to_json(&self) -> Json {
+        let dims = self
+            .dims
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("table", Json::Str(d.table.clone())),
+                    ("rows", Json::Num(d.rows as f64)),
+                    ("staged", Json::Num(f64::from(u8::from(d.staged)))),
+                    ("residency", d.residency.map_or(Json::Null, Json::Num)),
+                ])
+            })
+            .collect();
+        let queries = self
+            .queries
+            .iter()
+            .map(|q| {
+                let filters = q
+                    .filters
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("table", Json::Str(f.table.clone())),
+                            ("probe", Json::Str(f.probe.to_string())),
+                            ("estimated_fraction", Json::Num(f.estimated_fraction)),
+                            ("ci", f.ci.map_or(Json::Null, Json::Num)),
+                            ("samples", f.samples.map_or(Json::Null, |s| Json::Num(s as f64))),
+                            ("sharing", Json::Str(f.sharing.to_string())),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("filters", Json::Arr(filters)),
+                    ("histogram", Json::Num(f64::from(u8::from(q.histogram)))),
+                    ("weighted_axes", Json::Num(q.weighted_axes as f64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("fact_rows", Json::Num(self.fact_rows as f64)),
+            ("shared_masks", Json::Num(self.shared_masks as f64)),
+            (
+                "cost_model",
+                self.cost_model.map_or(Json::Null, |m| {
+                    Json::obj(vec![
+                        ("exact", Json::Num(f64::from(u8::from(m.exact)))),
+                        ("sampled_rows", Json::Num(m.sampled_rows as f64)),
+                    ])
+                }),
+            ),
+            ("dims", Json::Arr(dims)),
+            ("queries", Json::Arr(queries)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1777,6 +1982,45 @@ mod tests {
         assert_eq!(results[0].scalar().unwrap(), 2.0);
         assert_eq!(results[1].scalar().unwrap(), 12.0);
         assert!((results[2].scalar().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn describe_reports_plan_shape_without_executing() {
+        let s = schema();
+        let mut plan = ScanPlan::new(&s).unwrap();
+        // The same predicate in two queries must show as shared; the
+        // B-side filter stays private.
+        plan.add_query(&StarQuery::count("c1").with(Predicate::point("A", "attr", 1))).unwrap();
+        plan.add_query(
+            &StarQuery::count("c2")
+                .with(Predicate::point("A", "attr", 1))
+                .with(Predicate::point("B", "attr", 0)),
+        )
+        .unwrap();
+        let before = fact_scan_count();
+        let ex = plan.describe();
+        assert_eq!(fact_scan_count(), before, "describe never touches the fact table");
+        assert_eq!(ex.fact_rows, 6);
+        assert_eq!(ex.dims.len(), 2);
+        assert_eq!(ex.dims[0].table, "A");
+        assert_eq!(ex.queries.len(), 2);
+        assert_eq!(ex.shared_masks, 1, "the repeated A filter promotes once");
+        assert!(ex.queries.iter().all(|q| q
+            .filters
+            .iter()
+            .filter(|f| f.table == "A")
+            .all(|f| f.sharing == "shared")));
+        assert!(ex.queries[1].filters.iter().any(|f| f.table == "B" && f.sharing == "private"));
+        for q in &ex.queries {
+            for f in &q.filters {
+                assert!(matches!(f.probe, "word" | "bytes" | "bitset"));
+                assert!((0.0..=1.0).contains(&f.estimated_fraction));
+            }
+        }
+        let rendered = ex.to_json().render();
+        let parsed = Json::parse(&rendered).expect("explain json parses");
+        assert_eq!(parsed.get("fact_rows").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(parsed.get("queries").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
     }
 
     #[test]

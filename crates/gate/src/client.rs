@@ -198,6 +198,43 @@ impl GateClient {
         ]))?;
         self.recv()
     }
+
+    /// Sends an explain request (admin token) and blocks for the report.
+    /// `profile` additionally executes the plan once — spending no
+    /// budget — to capture kernel-counter deltas.
+    pub fn explain(
+        &mut self,
+        token: &str,
+        dataset: &str,
+        sql: &str,
+        profile: bool,
+    ) -> std::io::Result<Json> {
+        self.send(Json::obj(vec![
+            ("verb", Json::Str("explain".into())),
+            ("token", Json::Str(token.into())),
+            ("dataset", Json::Str(dataset.into())),
+            ("sql", Json::Str(sql.into())),
+            ("profile", Json::Num(f64::from(u8::from(profile)))),
+        ]))?;
+        self.recv()
+    }
+
+    /// Sends a subscribe request (admin token) and blocks for the ack.
+    /// After an `ok` ack, event frames arrive on this connection as the
+    /// fleet produces them; read them with [`GateClient::recv`].
+    pub fn subscribe(
+        &mut self,
+        token: &str,
+        capacity: Option<usize>,
+    ) -> std::io::Result<(u64, Json)> {
+        let mut pairs =
+            vec![("verb", Json::Str("subscribe".into())), ("token", Json::Str(token.into()))];
+        if let Some(capacity) = capacity {
+            pairs.push(("capacity", Json::Num(capacity as f64)));
+        }
+        let id = self.send(Json::obj(pairs))?;
+        Ok((id, self.recv()?))
+    }
 }
 
 /// Dials `addrs` in order, retrying the whole list up to `retries` more

@@ -16,8 +16,10 @@
 //!   ([`Gate`]) speaking length-prefixed JSON frames ([`wire`]), with
 //!   per-tenant token auth, a per-connection in-flight cap that
 //!   backpressures into the service's fair coalescer queue, structured
-//!   refusals for every service/router error, an admin-token-gated
-//!   `metrics` verb, and the client's request id threaded into trace
+//!   refusals for every service/router error, admin-token-gated operator
+//!   verbs (`metrics`, `subscribe` for live audit/span streaming,
+//!   `explain` for no-budget plan reports), listener-level counters
+//!   ([`metrics`]), and the client's request id threaded into trace
 //!   spans and audit events.
 //!
 //! The privacy posture is deliberate: the gate holds **no** privacy
@@ -30,11 +32,13 @@
 pub mod client;
 pub mod error;
 pub mod listener;
+pub mod metrics;
 pub mod sql;
 pub mod wire;
 
 pub use client::{sql_request, ClientConfig, GateClient, GateClientError};
 pub use error::GateError;
 pub use listener::{Gate, GateConfig};
+pub use metrics::GateMetrics;
 pub use sql::{parse_canonical, parse_query};
 pub use wire::{router_code, service_code, WireRequest};

@@ -7,10 +7,17 @@
 //!
 //! * **auth** — the first thing every request resolves is its token
 //!   against [`GateConfig::tokens`]; an unknown token is a structured
-//!   `unauthorized` refusal and costs nothing. The `metrics` verb is
-//!   additionally gated behind [`GateConfig::admin_tokens`] — its
-//!   exposition spans every tenant, so a plain tenant token gets a
-//!   `forbidden` refusal instead;
+//!   `unauthorized` refusal and costs nothing. The operator verbs
+//!   (`metrics`, `subscribe`, `explain`) are additionally gated behind
+//!   [`GateConfig::admin_tokens`] — expositions and event streams span
+//!   every tenant and explain reports are un-noised, so a plain tenant
+//!   token gets a `forbidden` refusal instead;
+//! * **live streaming** — a `subscribe` turns the connection into an
+//!   event stream: whenever the reader goes idle (and after each served
+//!   frame) the connection drains its bounded per-subscriber ring onto
+//!   the wire. A consumer slower than the event rate loses oldest-first
+//!   and is told so via `dropped` notice frames; it can never grow the
+//!   server's memory or stall the serving path;
 //! * **pipelining with FIFO responses** — a client may stream many
 //!   requests without waiting; answers come back in request order.
 //!   Requests the service parks in its coalescer queue
@@ -31,6 +38,7 @@
 //! Dropping the [`Gate`] stops accepting, joins every thread, and
 //! resolves all outstanding answers first — no request is abandoned.
 
+use crate::metrics::GateMetrics;
 use crate::sql::parse_query;
 use crate::wire::{
     answer_frame, frame_of, gate_refusal, refusal, router_code, write_frame, WireRequest,
@@ -38,14 +46,20 @@ use crate::wire::{
 use starj_engine::{canonicalize, to_sql, StarSchema};
 use starj_router::Router;
 use starj_service::{ServiceAnswer, ServiceError, Submitted};
-use starj_telemetry::{Json, WireRequestScope};
+use starj_telemetry::{
+    Json, RequestKind, Subscription, Telemetry, TelemetryConfig, TraceContextScope, TraceOutcome,
+    WireRequestScope,
+};
 use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Ring capacity for a `subscribe` whose request omits `capacity`.
+const DEFAULT_SUBSCRIBE_CAPACITY: usize = 256;
 
 /// Front-door configuration.
 #[derive(Debug, Clone)]
@@ -89,6 +103,20 @@ impl Default for GateConfig {
     }
 }
 
+/// State shared by every connection thread of one gate: the config plus
+/// the listener's own metrics and (bus-backed) telemetry hub.
+#[derive(Debug)]
+pub struct GateShared {
+    config: GateConfig,
+    metrics: GateMetrics,
+    /// The gate's telemetry hub. Enabled only when the router carries an
+    /// [`starj_telemetry::EventBus`]: its sole job is publishing the
+    /// per-request root span (component `gate`) onto the stream, so
+    /// without a bus it is fully disabled and request serving skips even
+    /// the clock reads.
+    telemetry: Telemetry,
+}
+
 /// A bound, serving front door. Dropping it shuts the listener down and
 /// joins every spawned thread.
 #[derive(Debug)]
@@ -97,6 +125,7 @@ pub struct Gate {
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<GateShared>,
 }
 
 impl Gate {
@@ -107,11 +136,27 @@ impl Gate {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let config = Arc::new(GateConfig { max_in_flight: config.max_in_flight.max(1), ..config });
+        let telemetry = match router.bus() {
+            Some(bus) => Telemetry::new(&TelemetryConfig {
+                trace_capacity: 256,
+                audit_capacity: 0,
+                slow_query_us: u64::MAX,
+                slow_log_capacity: 0,
+                bus: Some(Arc::clone(bus)),
+                component: "gate".to_string(),
+            }),
+            None => Telemetry::disabled(),
+        };
+        let shared = Arc::new(GateShared {
+            config: GateConfig { max_in_flight: config.max_in_flight.max(1), ..config },
+            metrics: GateMetrics::default(),
+            telemetry,
+        });
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new().name("starj-gate-accept".into()).spawn(move || {
                 let mut next_conn = 0u64;
                 for stream in listener.incoming() {
@@ -119,14 +164,15 @@ impl Gate {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    GateMetrics::inc(&shared.metrics.connections_total);
                     let router = Arc::clone(&router);
-                    let config = Arc::clone(&config);
+                    let shared = Arc::clone(&shared);
                     let shutdown = Arc::clone(&shutdown);
                     let name = format!("starj-gate-conn-{next_conn}");
                     next_conn += 1;
                     let handle = std::thread::Builder::new()
                         .name(name)
-                        .spawn(move || serve_connection(stream, &router, &config, &shutdown))
+                        .spawn(move || serve_connection(stream, &router, &shared, &shutdown))
                         .expect("spawn gate connection thread");
                     let mut held = conns.lock().unwrap_or_else(|e| e.into_inner());
                     // Reap finished connections so the handle list stays
@@ -142,12 +188,17 @@ impl Gate {
             })?
         };
 
-        Ok(Gate { addr, shutdown, accept: Some(accept), conns })
+        Ok(Gate { addr, shutdown, accept: Some(accept), conns, shared })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The listener's own counters (connections, frames, verbs, refusals).
+    pub fn metrics(&self) -> &GateMetrics {
+        &self.shared.metrics
     }
 }
 
@@ -198,24 +249,50 @@ fn service_refusal(id: u64, err: &ServiceError) -> Json {
     refusal(id, crate::wire::service_code(err), &err.to_string())
 }
 
+/// Decrements `active_connections` on scope exit, whatever the exit path.
+struct ActiveGuard<'a>(&'a AtomicU64);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One connection's live `subscribe` stream, at most one per connection.
+struct LiveSubscription {
+    /// The subscribe request's id; every event frame echoes it.
+    id: u64,
+    sub: Subscription,
+    /// Drops already reported to the client, so each pump only announces
+    /// the delta since the previous notice.
+    drops_reported: u64,
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     router: &Arc<Router>,
-    config: &GateConfig,
+    shared: &GateShared,
     shutdown: &AtomicBool,
 ) {
+    let config = &shared.config;
+    let metrics = &shared.metrics;
+    GateMetrics::inc(&metrics.active_connections);
+    let _active = ActiveGuard(&metrics.active_connections);
     let _ = stream.set_read_timeout(Some(config.poll_interval));
     let _ = stream.set_nodelay(true);
     let mut reader = FrameReader::default();
     let mut queue: VecDeque<Entry> = VecDeque::new();
+    let mut subscription: Option<LiveSubscription> = None;
 
     loop {
         match reader.step(&mut stream, config.max_frame) {
             Ok(Event::Idle) => {
                 // The client paused: flush everything outstanding so
                 // answers are not held hostage to the next request, then
-                // notice shutdown.
-                if flush(&mut stream, &mut queue, 0).is_err() {
+                // push any queued stream events, then notice shutdown.
+                if flush(&mut stream, &mut queue, 0, metrics).is_err()
+                    || pump_subscription(&mut stream, &mut subscription, metrics).is_err()
+                {
                     return;
                 }
                 if shutdown.load(Ordering::SeqCst) {
@@ -233,27 +310,31 @@ fn serve_connection(
                             config.read_timeout.as_millis()
                         ),
                     );
-                    let _ = write_frame(&mut stream, &frame_of(&note));
+                    let _ = send_frame(&mut stream, metrics, &note);
                     return;
                 }
             }
             Ok(Event::Eof) => {
-                let _ = flush(&mut stream, &mut queue, 0);
+                let _ = flush(&mut stream, &mut queue, 0, metrics);
                 return;
             }
             Ok(Event::Frame(body)) => {
+                GateMetrics::inc(&metrics.frames_in);
                 match WireRequest::decode(&body) {
                     Err((id, code, message)) => {
                         // Malformed frames refuse but keep the connection:
                         // the framing itself was intact.
                         queue.push_back(Entry::Ready(refusal(id, code, &message)));
                     }
-                    Ok(request) => handle_request(router, config, request, &mut queue),
+                    Ok(request) => {
+                        handle_request(router, shared, request, &mut queue, &mut subscription)
+                    }
                 }
                 // Send whatever is deliverable, then enforce the
                 // in-flight cap before reading more.
-                if flush_ready(&mut stream, &mut queue).is_err()
-                    || flush(&mut stream, &mut queue, config.max_in_flight).is_err()
+                if flush_ready(&mut stream, &mut queue, metrics).is_err()
+                    || flush(&mut stream, &mut queue, config.max_in_flight, metrics).is_err()
+                    || pump_subscription(&mut stream, &mut subscription, metrics).is_err()
                 {
                     return;
                 }
@@ -263,19 +344,19 @@ fn serve_connection(
                 // cooperation to terminate. The request just handled is
                 // flushed first, so nothing is abandoned.
                 if shutdown.load(Ordering::SeqCst) {
-                    let _ = flush(&mut stream, &mut queue, 0);
+                    let _ = flush(&mut stream, &mut queue, 0, metrics);
                     return;
                 }
             }
             Err(FrameError::TooLarge(len)) => {
                 // The stream is no longer frame-aligned; refuse and close.
-                let _ = flush(&mut stream, &mut queue, 0);
+                let _ = flush(&mut stream, &mut queue, 0, metrics);
                 let note = refusal(
                     0,
                     "frame_too_large",
                     &format!("frame of {len} bytes exceeds the {}-byte cap", config.max_frame),
                 );
-                let _ = write_frame(&mut stream, &frame_of(&note));
+                let _ = send_frame(&mut stream, metrics, &note);
                 return;
             }
             Err(FrameError::Io) => return,
@@ -283,38 +364,158 @@ fn serve_connection(
     }
 }
 
+/// The single chokepoint every outbound frame passes through: counts it,
+/// and when it is a refusal (`ok` = 0) tallies its stable code.
+fn send_frame(stream: &mut TcpStream, metrics: &GateMetrics, json: &Json) -> std::io::Result<()> {
+    GateMetrics::inc(&metrics.frames_out);
+    if json.get("ok").and_then(Json::as_f64) == Some(0.0) {
+        metrics.refusal(json.get("code").and_then(Json::as_str).unwrap_or("unknown"));
+    }
+    write_frame(stream, &frame_of(json))
+}
+
+/// Drains the connection's live subscription (if any) onto the wire:
+/// every queued event becomes one frame echoing the subscription's id,
+/// and newly dropped events are announced with a `dropped` notice frame
+/// so loss is visible to the consumer that caused it.
+fn pump_subscription(
+    stream: &mut TcpStream,
+    subscription: &mut Option<LiveSubscription>,
+    metrics: &GateMetrics,
+) -> std::io::Result<()> {
+    let Some(live) = subscription.as_mut() else { return Ok(()) };
+    let dropped = live.sub.dropped();
+    if dropped > live.drops_reported {
+        let delta = dropped - live.drops_reported;
+        GateMetrics::add(&metrics.events_dropped, delta);
+        live.drops_reported = dropped;
+        let notice = Json::obj(vec![
+            ("id", Json::Num(live.id as f64)),
+            ("ok", Json::Num(1.0)),
+            ("event", Json::Str("dropped".into())),
+            ("dropped", Json::Num(delta as f64)),
+            ("dropped_total", Json::Num(dropped as f64)),
+        ]);
+        send_frame(stream, metrics, &notice)?;
+    }
+    for event in live.sub.drain() {
+        let mut json = event.to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.insert(0, ("ok".to_string(), Json::Num(1.0)));
+            pairs.insert(0, ("id".to_string(), Json::Num(live.id as f64)));
+        }
+        GateMetrics::inc(&metrics.events_streamed);
+        send_frame(stream, metrics, &json)?;
+    }
+    Ok(())
+}
+
 /// Serves one decoded request, pushing its response (or parked handle)
 /// onto the connection's FIFO.
 fn handle_request(
     router: &Arc<Router>,
-    config: &GateConfig,
+    shared: &GateShared,
     request: WireRequest,
     queue: &mut VecDeque<Entry>,
+    subscription: &mut Option<LiveSubscription>,
 ) {
+    let config = &shared.config;
     let id = request.id();
     match request {
         WireRequest::Metrics { ref token, .. } => {
+            GateMetrics::inc(&shared.metrics.verb_metrics);
             // The exposition is gate-wide: every tenant's identity,
             // spend, query hashes, and timing. Admin tokens only — a
             // tenant token reading it would be cross-tenant disclosure.
-            if config.admin_tokens.iter().any(|t| t == token) {
+            if is_admin(config, token) {
+                // The gate's own families use disjoint names, so the
+                // concatenation is still one well-formed exposition.
+                let mut prometheus = router.prometheus_text();
+                prometheus.push_str(&shared.metrics.prometheus_text());
                 queue.push_back(Entry::Ready(Json::obj(vec![
                     ("id", Json::Num(id as f64)),
                     ("ok", Json::Num(1.0)),
-                    ("prometheus", Json::Str(router.prometheus_text())),
+                    ("prometheus", Json::Str(prometheus)),
                     ("audit_jsonl", Json::Str(router.audit_jsonl())),
                 ])));
-            } else if authorize(config, token).is_some() {
+            } else {
+                queue.push_back(Entry::Ready(admin_refusal(config, id, token, "metrics")));
+            }
+        }
+        WireRequest::Subscribe { ref token, capacity, .. } => {
+            GateMetrics::inc(&shared.metrics.verb_subscribe);
+            // The stream interleaves every tenant's audit events and
+            // spans, so it is admin-gated exactly like `metrics`.
+            if !is_admin(config, token) {
+                queue.push_back(Entry::Ready(admin_refusal(config, id, token, "subscribe")));
+                return;
+            }
+            let Some(bus) = router.bus() else {
                 queue.push_back(Entry::Ready(refusal(
                     id,
-                    "forbidden",
-                    "the metrics verb requires an admin token",
+                    "no_stream",
+                    "this router was built without an event bus; nothing to subscribe to",
                 )));
-            } else {
-                queue.push_back(Entry::Ready(refusal(id, "unauthorized", "unknown auth token")));
+                return;
+            };
+            if subscription.is_some() {
+                queue.push_back(Entry::Ready(refusal(
+                    id,
+                    "already_subscribed",
+                    "this connection already carries a subscription",
+                )));
+                return;
+            }
+            let sub = bus.subscribe(capacity.unwrap_or(DEFAULT_SUBSCRIBE_CAPACITY));
+            queue.push_back(Entry::Ready(Json::obj(vec![
+                ("id", Json::Num(id as f64)),
+                ("ok", Json::Num(1.0)),
+                ("kind", Json::Str("subscribed".into())),
+                ("capacity", Json::Num(sub.capacity() as f64)),
+            ])));
+            *subscription = Some(LiveSubscription { id, sub, drops_reported: 0 });
+        }
+        WireRequest::Explain { ref token, ref dataset, ref sql, profile, .. } => {
+            GateMetrics::inc(&shared.metrics.verb_explain);
+            // Explain reports carry exact, un-noised plan statistics
+            // (sampled selectivities, row counts) — admin only.
+            if !is_admin(config, token) {
+                queue.push_back(Entry::Ready(admin_refusal(config, id, token, "explain")));
+                return;
+            }
+            let _scope = WireRequestScope::enter(id);
+            let schema = match router.dataset_schema(dataset) {
+                Ok(schema) => schema,
+                Err(err) => {
+                    queue.push_back(Entry::Ready(refusal(id, router_code(&err), &err.to_string())));
+                    return;
+                }
+            };
+            let query = match parse_query(&schema, sql, "explain") {
+                Ok(query) => query,
+                Err(err) => {
+                    queue.push_back(Entry::Ready(gate_refusal(id, &err)));
+                    return;
+                }
+            };
+            match router.explain(dataset, &query, profile) {
+                Ok(report) => {
+                    let mut json = report.to_json();
+                    if let Json::Obj(pairs) = &mut json {
+                        pairs.insert(0, ("dataset".to_string(), Json::Str(dataset.clone())));
+                        pairs.insert(0, ("kind".to_string(), Json::Str("explain".into())));
+                        pairs.insert(0, ("ok".to_string(), Json::Num(1.0)));
+                        pairs.insert(0, ("id".to_string(), Json::Num(id as f64)));
+                    }
+                    queue.push_back(Entry::Ready(json));
+                }
+                Err(err) => {
+                    queue.push_back(Entry::Ready(refusal(id, router_code(&err), &err.to_string())));
+                }
             }
         }
         WireRequest::Sql { token, dataset, sql, epsilon, name, .. } => {
+            GateMetrics::inc(&shared.metrics.verb_sql);
             let Some(tenant) = authorize(config, &token) else {
                 queue.push_back(Entry::Ready(refusal(id, "unauthorized", "unknown auth token")));
                 return;
@@ -323,6 +524,18 @@ fn handle_request(
             // spans started and audit contexts captured inside the
             // submit path adopt it (and carry it to worker threads).
             let _scope = WireRequestScope::enter(id);
+            // The gate's root span. Started *inside* the wire scope so
+            // its trace id is the wire id, and entered as the ambient
+            // parent so the router fan-out / service spans this request
+            // produces all hang off it — one wire id stitches the whole
+            // gate → router → shard → worker timeline back together.
+            let trace = shared.telemetry.trace_start(RequestKind::Gate, &tenant);
+            // Only with tracing on: a disabled builder's child context is
+            // all zeros and would clobber the wire-id scope above.
+            let _span_scope = shared
+                .telemetry
+                .tracing_enabled()
+                .then(|| TraceContextScope::enter(trace.child_context()));
             let schema = match router.dataset_schema(&dataset) {
                 Ok(schema) => schema,
                 Err(err) => {
@@ -352,16 +565,46 @@ fn handle_request(
             };
             match router.pm_submit(&dataset, &tenant, &query, epsilon) {
                 Ok(Submitted::Ready(answer)) => {
+                    let outcome = if answer.cached {
+                        TraceOutcome::Cached
+                    } else if answer.cost.is_none() {
+                        TraceOutcome::Free
+                    } else {
+                        TraceOutcome::Ok
+                    };
+                    shared.telemetry.trace_finish(trace, outcome);
                     queue.push_back(Entry::Ready(rendered_answer(id, &answer, &schema)));
                 }
                 Ok(pending @ Submitted::Queued(_)) => {
+                    // The root span covers parse + submit; the queued
+                    // evaluation gets its own (child) spans on the
+                    // coalescer side.
+                    shared.telemetry.trace_finish(trace, TraceOutcome::Ok);
                     queue.push_back(Entry::InFlight { id, pending, schema });
                 }
                 Err(err) => {
+                    // Refusals never land in the span ring or the stream —
+                    // dropping the builder unfinished is the refusal path.
                     queue.push_back(Entry::Ready(refusal(id, router_code(&err), &err.to_string())));
                 }
             }
         }
+    }
+}
+
+/// True iff `token` may use the admin verbs (`metrics`, `subscribe`,
+/// `explain`).
+fn is_admin(config: &GateConfig, token: &str) -> bool {
+    config.admin_tokens.iter().any(|t| t == token)
+}
+
+/// The right refusal for a non-admin token on an admin verb: `forbidden`
+/// for a valid tenant token, `unauthorized` for an unknown one.
+fn admin_refusal(config: &GateConfig, id: u64, token: &str, verb: &str) -> Json {
+    if authorize(config, token).is_some() {
+        refusal(id, "forbidden", &format!("the {verb} verb requires an admin token"))
+    } else {
+        refusal(id, "unauthorized", "unknown auth token")
     }
 }
 
@@ -376,23 +619,28 @@ fn flush(
     stream: &mut TcpStream,
     queue: &mut VecDeque<Entry>,
     keep_in_flight: usize,
+    metrics: &GateMetrics,
 ) -> std::io::Result<()> {
-    flush_ready(stream, queue)?;
+    flush_ready(stream, queue, metrics)?;
     while queue.len() > keep_in_flight {
         let entry = queue.pop_front().expect("len checked");
         let json = resolve(entry);
-        write_frame(stream, &frame_of(&json))?;
-        flush_ready(stream, queue)?;
+        send_frame(stream, metrics, &json)?;
+        flush_ready(stream, queue, metrics)?;
     }
     Ok(())
 }
 
 /// Writes already-rendered entries from the front without blocking on
 /// parked ones (FIFO: stops at the first in-flight entry).
-fn flush_ready(stream: &mut TcpStream, queue: &mut VecDeque<Entry>) -> std::io::Result<()> {
+fn flush_ready(
+    stream: &mut TcpStream,
+    queue: &mut VecDeque<Entry>,
+    metrics: &GateMetrics,
+) -> std::io::Result<()> {
     while matches!(queue.front(), Some(Entry::Ready(_))) {
         let Some(Entry::Ready(json)) = queue.pop_front() else { unreachable!() };
-        write_frame(stream, &frame_of(&json))?;
+        send_frame(stream, metrics, &json)?;
     }
     Ok(())
 }

@@ -10,7 +10,17 @@
 //! {"id": 7, "verb": "sql", "token": "...", "dataset": "ssb",
 //!  "sql": "SELECT count(*) FROM ...;", "epsilon": 0.5, "name": "q7"?}
 //! {"id": 8, "verb": "metrics", "token": "..."}
+//! {"id": 9, "verb": "subscribe", "token": "...", "capacity": 256?}
+//! {"id": 10, "verb": "explain", "token": "...", "dataset": "ssb",
+//!  "sql": "SELECT count(*) FROM ...;", "profile": 1?}
 //! ```
+//!
+//! `subscribe` and `explain` are admin verbs (see
+//! [`crate::GateConfig::admin_tokens`]): subscriptions stream every
+//! tenant's audit events, and explain reports expose un-noised plan
+//! statistics. After a `subscribe` ack, event frames tagged with the
+//! subscription's `id` flow until the connection closes; see
+//! [`crate::Gate`] for the event frame shapes.
 //!
 //! `id` is the client's request id: a positive integer no larger than
 //! 2^53 − 1 (the JSON layer is f64-based, so larger ids would be echoed
@@ -112,13 +122,44 @@ pub enum WireRequest {
         /// Admin auth token.
         token: String,
     },
+    /// `verb: "subscribe"` — stream audit events, completed trace spans,
+    /// and slow-query records over this connection as they happen. The
+    /// stream spans every tenant, so it is admin-gated like `metrics`.
+    Subscribe {
+        /// Client request id (non-zero); event frames echo it.
+        id: u64,
+        /// Admin auth token.
+        token: String,
+        /// Optional per-subscriber ring capacity (events buffered while
+        /// this connection is busy); the bus default applies when absent.
+        capacity: Option<usize>,
+    },
+    /// `verb: "explain"` — resolve and plan one statement without
+    /// spending budget; optionally execute it once to profile kernel
+    /// counters. Plan shapes and sampled selectivities are un-noised and
+    /// data-dependent, so this verb is admin-gated.
+    Explain {
+        /// Client request id (non-zero).
+        id: u64,
+        /// Admin auth token.
+        token: String,
+        /// Target dataset name.
+        dataset: String,
+        /// The SQL text.
+        sql: String,
+        /// Execute once and report kernel-counter deltas.
+        profile: bool,
+    },
 }
 
 impl WireRequest {
     /// The client request id.
     pub fn id(&self) -> u64 {
         match self {
-            WireRequest::Sql { id, .. } | WireRequest::Metrics { id, .. } => *id,
+            WireRequest::Sql { id, .. }
+            | WireRequest::Metrics { id, .. }
+            | WireRequest::Subscribe { id, .. }
+            | WireRequest::Explain { id, .. } => *id,
         }
     }
 
@@ -161,6 +202,27 @@ impl WireRequest {
                 })
             }
             Some("metrics") => Ok(WireRequest::Metrics { id, token: str_field("token")? }),
+            Some("subscribe") => {
+                let capacity = match json.get("capacity") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let n = v.as_f64().filter(|n| *n >= 1.0 && n.fract() == 0.0).ok_or((
+                            id,
+                            "bad_request",
+                            "`capacity` must be a positive integer".to_string(),
+                        ))?;
+                        Some(n as usize)
+                    }
+                };
+                Ok(WireRequest::Subscribe { id, token: str_field("token")?, capacity })
+            }
+            Some("explain") => Ok(WireRequest::Explain {
+                id,
+                token: str_field("token")?,
+                dataset: str_field("dataset")?,
+                sql: str_field("sql")?,
+                profile: json.get("profile").and_then(Json::as_f64).is_some_and(|v| v != 0.0),
+            }),
             Some(other) => Err((id, "bad_request", format!("unknown verb `{other}`"))),
             None => Err((id, "bad_request", "missing string field `verb`".into())),
         }
@@ -327,6 +389,45 @@ mod tests {
         // The largest exactly-representable id round-trips untouched.
         let max_safe = br#"{"id": 9007199254740991, "verb": "metrics", "token": "t"}"#;
         assert_eq!(WireRequest::decode(max_safe).unwrap().id(), 9_007_199_254_740_991);
+    }
+
+    #[test]
+    fn subscribe_and_explain_requests_decode() {
+        let sub = br#"{"id": 9, "verb": "subscribe", "token": "a", "capacity": 64}"#;
+        match WireRequest::decode(sub).unwrap() {
+            WireRequest::Subscribe { id, capacity, .. } => {
+                assert_eq!(id, 9);
+                assert_eq!(capacity, Some(64));
+            }
+            other => panic!("wrong verb: {other:?}"),
+        }
+        let sub_default = br#"{"id": 9, "verb": "subscribe", "token": "a"}"#;
+        match WireRequest::decode(sub_default).unwrap() {
+            WireRequest::Subscribe { capacity, .. } => assert!(capacity.is_none()),
+            other => panic!("wrong verb: {other:?}"),
+        }
+        let bad_cap = br#"{"id": 9, "verb": "subscribe", "token": "a", "capacity": 0.5}"#;
+        assert_eq!(WireRequest::decode(bad_cap).unwrap_err().1, "bad_request");
+
+        let explain =
+            br#"{"id": 10, "verb": "explain", "token": "a", "dataset": "ssb", "sql": "SELECT count(*) FROM F;", "profile": 1}"#;
+        match WireRequest::decode(explain).unwrap() {
+            WireRequest::Explain { id, dataset, profile, .. } => {
+                assert_eq!(id, 10);
+                assert_eq!(dataset, "ssb");
+                assert!(profile);
+            }
+            other => panic!("wrong verb: {other:?}"),
+        }
+        // Profile defaults to off; dataset is required.
+        let plain = br#"{"id": 11, "verb": "explain", "token": "a", "dataset": "ssb", "sql": "SELECT count(*) FROM F;"}"#;
+        match WireRequest::decode(plain).unwrap() {
+            WireRequest::Explain { profile, .. } => assert!(!profile),
+            other => panic!("wrong verb: {other:?}"),
+        }
+        let no_dataset =
+            br#"{"id": 12, "verb": "explain", "token": "a", "sql": "SELECT count(*) FROM F;"}"#;
+        assert_eq!(WireRequest::decode(no_dataset).unwrap_err().1, "bad_request");
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! A minimal HTTP/1.0–1.1 server-side shim: just enough of RFC 9112 for
+//! a metrics scraper or a shell `curl` — and nothing more.
+//!
+//! The workspace ships no HTTP stack, and the operator plane needs only
+//! `GET` with headers (no bodies, no chunked encoding, no TLS): a
+//! Prometheus scrape is one `GET /metrics` with an `Authorization`
+//! header, repeated over a keep-alive connection. This module parses
+//! exactly that subset — total over hostile input, with typed errors the
+//! server turns into 4xx responses — and renders responses with the
+//! `Content-Length` framing every 1.x client understands.
+
+/// One parsed request head (request line + headers; operator-plane
+/// requests carry no body).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The decoded path, query string stripped (`/metrics`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Minor HTTP version: `0` for HTTP/1.0, `1` for HTTP/1.1.
+    pub minor: u8,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+}
+
+/// Why a request head failed to parse. Each variant maps to one 4xx.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line or a header line is malformed.
+    BadRequest,
+    /// The version is not HTTP/1.0 or HTTP/1.1.
+    UnsupportedVersion,
+}
+
+impl Request {
+    /// Parses one request head: everything up to (and excluding) the
+    /// blank line.
+    pub fn parse(head: &str) -> Result<Request, HttpError> {
+        let mut lines = head.split("\r\n").filter(|l| !l.is_empty());
+        let request_line = lines.next().ok_or(HttpError::BadRequest)?;
+        let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+        let method = parts.next().ok_or(HttpError::BadRequest)?.to_string();
+        let target = parts.next().ok_or(HttpError::BadRequest)?;
+        let version = parts.next().ok_or(HttpError::BadRequest)?;
+        if parts.next().is_some() {
+            return Err(HttpError::BadRequest);
+        }
+        let minor = match version {
+            "HTTP/1.0" => 0,
+            "HTTP/1.1" => 1,
+            _ => return Err(HttpError::UnsupportedVersion),
+        };
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        if raw_path.is_empty() || !raw_path.starts_with('/') {
+            return Err(HttpError::BadRequest);
+        }
+        let query = raw_query
+            .map(|q| {
+                q.split('&')
+                    .filter(|pair| !pair.is_empty())
+                    .map(|pair| {
+                        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                        (percent_decode(k), percent_decode(v))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line.split_once(':').ok_or(HttpError::BadRequest)?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadRequest);
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        Ok(Request { method, path: percent_decode(raw_path), query, minor, headers })
+    }
+
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter with this name.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The `Authorization: Bearer <token>` credential, if present.
+    pub fn bearer_token(&self) -> Option<&str> {
+        let auth = self.header("authorization")?;
+        let (scheme, token) = auth.split_once(' ')?;
+        scheme.eq_ignore_ascii_case("bearer").then(|| token.trim()).filter(|t| !t.is_empty())
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 defaults to yes (`Connection: close` opts out), HTTP/1.0
+    /// defaults to no (`Connection: keep-alive` opts in).
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.minor >= 1,
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-for-space. Invalid escapes pass through
+/// verbatim (the operator plane should show what it got, not guess).
+pub fn percent_decode(s: &str) -> String {
+    fn hex(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut decoded = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                decoded.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    decoded.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    decoded.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                decoded.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&decoded).into_owned()
+}
+
+/// Renders one complete response with `Content-Length` framing.
+pub fn response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_heads_parse() {
+        let req = Request::parse(
+            "GET /audit?tenant=acme%20corp&x=a+b HTTP/1.1\r\nHost: localhost\r\nAuthorization: Bearer  secret\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/audit");
+        assert_eq!(req.query_param("tenant"), Some("acme corp"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.bearer_token(), Some("secret"));
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_version() {
+        let v10 = Request::parse("GET / HTTP/1.0\r\n").unwrap();
+        assert!(!v10.keep_alive());
+        let v10_ka = Request::parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n").unwrap();
+        assert!(v10_ka.keep_alive());
+        let v11_close = Request::parse("GET / HTTP/1.1\r\nConnection: close\r\n").unwrap();
+        assert!(!v11_close.keep_alive());
+    }
+
+    #[test]
+    fn hostile_heads_error_instead_of_panicking() {
+        for head in [
+            "",
+            "GET",
+            "GET /",
+            "GET / HTTP/2.0\r\n",
+            "GET / HTTP/1.1 extra\r\n",
+            "GET noslash HTTP/1.1\r\n",
+            "GET / HTTP/1.1\r\nno colon here\r\n",
+            "GET / HTTP/1.1\r\nbad header: x\r\n",
+        ] {
+            assert!(Request::parse(head).is_err(), "should refuse: {head:?}");
+        }
+        assert_eq!(
+            Request::parse("GET / HTTP/2.0\r\n").unwrap_err(),
+            HttpError::UnsupportedVersion
+        );
+    }
+
+    #[test]
+    fn percent_decoding_is_total() {
+        assert_eq!(percent_decode("a%2Fb%20c+d"), "a/b c d");
+        assert_eq!(percent_decode("bad%2"), "bad%2", "truncated escape passes through");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz", "non-hex escape passes through");
+        assert_eq!(percent_decode("%ff"), "\u{fffd}", "invalid UTF-8 is replaced, not fatal");
+    }
+
+    #[test]
+    fn responses_carry_length_framing() {
+        let bytes = response(200, "OK", "text/plain", b"hello", true, &[("X-Extra", "1")]);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-Extra: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # starj-ops — the operator plane's HTTP face
+//!
+//! Everything observable in this workspace is already *in memory*: the
+//! telemetry crate renders Prometheus text and audit JSONL, the service
+//! and router expose them as strings, the gate serves them over its own
+//! framed wire protocol. What was missing is the door a stock toolchain
+//! walks through: Prometheus scrapes HTTP, Grafana dashboards sit on
+//! Prometheus, and an operator's first reflex is `curl`. This crate is
+//! that door — a dependency-free HTTP/1 endpoint ([`OpsServer`]) serving
+//!
+//! * `GET /metrics` — Prometheus text format 0.0.4, straight from the
+//!   fleet's counters (admin bearer token required);
+//! * `GET /audit` — the privacy ledger as JSONL, optionally filtered to
+//!   one tenant with `?tenant=` (admin bearer token required);
+//! * `GET /healthz` / `GET /readyz` — unauthenticated one-bit probes:
+//!   liveness, and the durable layer's degraded mode as readiness.
+//!
+//! [`OpsSource`] abstracts what is being exposed: a sharded
+//! [`starj_router::Router`] (the normal fleet deployment) or a single
+//! [`starj_service::Service`]. The HTTP shim itself lives in [`http`] and
+//! follows the workspace's "std threads, hand-rolled, total over hostile
+//! input" house style — no tokio, no hyper, no serde.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+
+pub use server::{OpsConfig, OpsServer};
+
+/// What an exposition endpoint serves: anything that can render its
+/// metrics, filter its audit ledger, and report readiness.
+pub trait OpsSource: Send + Sync + 'static {
+    /// The Prometheus text-format exposition.
+    fn prometheus(&self) -> String;
+    /// The audit ledger as JSONL, optionally filtered to one tenant.
+    fn audit_jsonl(&self, tenant: Option<&str>) -> String;
+    /// False once the process should stop receiving traffic (degraded
+    /// mode: budget durability lost, spends refused).
+    fn ready(&self) -> bool;
+}
+
+impl OpsSource for starj_router::Router {
+    fn prometheus(&self) -> String {
+        self.prometheus_text()
+    }
+
+    fn audit_jsonl(&self, tenant: Option<&str>) -> String {
+        match tenant {
+            Some(tenant) => self.audit_jsonl_for(tenant),
+            None => self.audit_jsonl(),
+        }
+    }
+
+    fn ready(&self) -> bool {
+        !self.any_degraded()
+    }
+}
+
+impl OpsSource for starj_service::Service {
+    fn prometheus(&self) -> String {
+        self.prometheus_text()
+    }
+
+    fn audit_jsonl(&self, tenant: Option<&str>) -> String {
+        match tenant {
+            Some(tenant) => self.audit_jsonl_for(tenant),
+            None => self.audit_jsonl(),
+        }
+    }
+
+    fn ready(&self) -> bool {
+        !self.is_degraded()
+    }
+}

@@ -32,10 +32,13 @@ use starj_engine::{StarQuery, StarSchema};
 use starj_graph::{Graph, KStarQuery};
 use starj_noise::PrivacyBudget;
 use starj_service::{
-    BatchAnswer, DurableConfig, KStarAnswer, Service, ServiceAnswer, ServiceConfig, ServiceError,
-    Submitted, TenantUsage, WorkloadAnswer,
+    BatchAnswer, DurableConfig, ExplainReport, KStarAnswer, Service, ServiceAnswer, ServiceConfig,
+    ServiceError, Submitted, TenantUsage, WorkloadAnswer,
 };
-use starj_telemetry::PromText;
+use starj_telemetry::{
+    EventBus, PromText, RequestKind, Stage, Telemetry, TelemetryConfig, TraceContextScope,
+    TraceOutcome,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -63,6 +66,13 @@ pub struct RouterConfig {
     /// keep them path-safe. Overrides any `durable` field in the shard
     /// configs, which would otherwise aim every dataset at one directory.
     pub durable_root: Option<std::path::PathBuf>,
+    /// Live operator streaming: when set, every shard service publishes
+    /// its completed spans, audit events, and slow-query records onto
+    /// this bus (component-labelled `shard<id>/<dataset>`), and the
+    /// router publishes a `fanout` parent span around every cross-shard
+    /// batch so subscribers can stitch the full gate → router → shard
+    /// timeline by trace id. `None` (the default) streams nothing.
+    pub bus: Option<Arc<EventBus>>,
 }
 
 impl Default for RouterConfig {
@@ -74,6 +84,7 @@ impl Default for RouterConfig {
             shard_config: ServiceConfig::default(),
             shard_overrides: Vec::new(),
             durable_root: None,
+            bus: None,
         }
     }
 }
@@ -89,6 +100,13 @@ impl RouterConfig {
     /// see [`RouterConfig::durable_root`].
     pub fn with_durable_root(mut self, root: impl Into<std::path::PathBuf>) -> Self {
         self.durable_root = Some(root.into());
+        self
+    }
+
+    /// Streams every shard's telemetry (and the router's fan-out spans)
+    /// onto `bus` (builder style); see [`RouterConfig::bus`].
+    pub fn with_bus(mut self, bus: Arc<EventBus>) -> Self {
+        self.bus = Some(bus);
         self
     }
 
@@ -227,6 +245,10 @@ pub struct Router {
     config: RouterConfig,
     state: RwLock<RouterState>,
     counters: RouterCounters,
+    /// The router's own span source: publishes `fanout` parent spans onto
+    /// the streaming bus. Fully disabled (inert builders, no clock reads)
+    /// when no bus is configured.
+    telemetry: Telemetry,
 }
 
 impl Router {
@@ -236,6 +258,17 @@ impl Router {
             return Err(RouterError::NoShards);
         }
         let ring = HashRing::new(0..config.shards as u32, config.replication, config.seed);
+        let telemetry = match &config.bus {
+            Some(bus) => Telemetry::new(&TelemetryConfig {
+                trace_capacity: 256,
+                audit_capacity: 0,
+                slow_query_us: u64::MAX,
+                slow_log_capacity: 0,
+                bus: Some(Arc::clone(bus)),
+                component: "router".to_string(),
+            }),
+            None => Telemetry::disabled(),
+        };
         Ok(Router {
             config,
             state: RwLock::new(RouterState {
@@ -244,6 +277,7 @@ impl Router {
                 tables: HashMap::new(),
             }),
             counters: RouterCounters::default(),
+            telemetry,
         })
     }
 
@@ -290,6 +324,13 @@ impl Router {
         let shard = state.ring.place(name).ok_or(RouterError::NoShards)?;
         let tables: Vec<String> = schema.table_names().into_iter().map(str::to_string).collect();
         let mut config = self.config.config_for(shard);
+        if let Some(bus) = &self.config.bus {
+            // Every shard service streams onto the router's bus; the
+            // component label names the hop so subscribers can stitch the
+            // fanout → shard timeline without guessing.
+            config.telemetry.bus = Some(Arc::clone(bus));
+            config.telemetry.component = format!("shard{shard}/{name}");
+        }
         if let Some(root) = &self.config.durable_root {
             // Namespace the journal per dataset: budgets are per-dataset
             // state, so two datasets must never share (or replay) one WAL.
@@ -528,6 +569,37 @@ impl Router {
         Self::wrap(dataset, shard, service.pm_batch_answer(tenant, queries, epsilon))
     }
 
+    /// Describes what serving `query` against `dataset` would do, without
+    /// doing it — [`starj_service::Service::explain`] on the owning shard.
+    /// Spends no budget; operator-plane only (the gate admin-gates its
+    /// `explain` verb because the report is exact and un-noised).
+    pub fn explain(
+        &self,
+        dataset: &str,
+        query: &StarQuery,
+        profile: bool,
+    ) -> Result<ExplainReport, RouterError> {
+        let (service, shard) = self.service_for(dataset)?;
+        Self::wrap(dataset, shard, service.explain(query, profile))
+    }
+
+    /// [`Router::explain`] wherever the query's tables live, returning the
+    /// owning dataset alongside the report.
+    pub fn explain_routed(
+        &self,
+        query: &StarQuery,
+        profile: bool,
+    ) -> Result<(String, ExplainReport), RouterError> {
+        let dataset = self.route_query(query)?;
+        let report = self.explain(&dataset, query, profile)?;
+        Ok((dataset, report))
+    }
+
+    /// The live streaming bus every shard publishes onto, when configured.
+    pub fn bus(&self) -> Option<&Arc<EventBus>> {
+        self.config.bus.as_ref()
+    }
+
     /// Answers a k-star query against a dataset hosted with a graph.
     pub fn kstar_answer(
         &self,
@@ -672,7 +744,15 @@ impl Router {
         let shares: Vec<f64> =
             groups.iter().map(|g| epsilon * g.indices.len() as f64 / total).collect();
 
+        // The fan-out parent span: inherits the gate's ambient trace
+        // context on this thread, and each worker re-enters this span's
+        // child context so the per-shard `pm_batch` spans parent to it —
+        // one trace id stitches gate → fanout → shard → worker.
+        let mut trace = self.telemetry.trace_start(RequestKind::Fanout, tenant);
+        let ctx = trace.child_context();
+
         // Execute: one sub-batch per owning shard, concurrently.
+        trace.stage_begin(Stage::FusedScan);
         let results: Vec<Result<BatchAnswer, ServiceError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .iter()
@@ -681,11 +761,15 @@ impl Router {
                     let subset: Vec<StarQuery> =
                         group.indices.iter().map(|&i| queries[i].clone()).collect();
                     let service = Arc::clone(&group.service);
-                    scope.spawn(move || service.pm_batch_answer(tenant, &subset, share))
+                    scope.spawn(move || {
+                        let _span = TraceContextScope::enter(ctx);
+                        service.pm_batch_answer(tenant, &subset, share)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("fan-out worker panicked")).collect()
         });
+        trace.stage_end(Stage::FusedScan);
 
         // Merge: failures in (shard, dataset) order, answers in original
         // submission order.
@@ -724,6 +808,14 @@ impl Router {
             .into_iter()
             .map(|a| a.expect("every query belongs to exactly one group"))
             .collect();
+        let outcome = if summaries.iter().all(|g| g.cached) {
+            TraceOutcome::Cached
+        } else if summaries.iter().all(|g| g.cost.is_none()) {
+            TraceOutcome::Free
+        } else {
+            TraceOutcome::Ok
+        };
+        self.telemetry.trace_finish(trace, outcome);
         Ok(FanoutAnswer { answers, groups: summaries })
     }
 
@@ -866,6 +958,28 @@ impl Router {
             out.push_str(&service.telemetry().audit().to_jsonl_tagged(&[("dataset", name)]));
         }
         out
+    }
+
+    /// One tenant's fleet-wide audit trail as JSONL, dataset-tagged like
+    /// [`Router::audit_jsonl`] — the `/audit?tenant=` filter of the
+    /// operator plane.
+    pub fn audit_jsonl_for(&self, tenant: &str) -> String {
+        let services: Vec<(String, Arc<Service>)> = {
+            let state = self.read();
+            state.datasets.iter().map(|(name, e)| (name.clone(), Arc::clone(&e.service))).collect()
+        };
+        let mut out = String::new();
+        for (name, service) in &services {
+            out.push_str(&service.telemetry().audit().to_jsonl_for(tenant, &[("dataset", name)]));
+        }
+        out
+    }
+
+    /// True when any hosted dataset has latched degraded mode (its budget
+    /// journal failed) — the one-bit readiness signal `/readyz` serves.
+    pub fn any_degraded(&self) -> bool {
+        let state = self.read();
+        state.datasets.values().any(|e| e.service.is_degraded())
     }
 }
 

@@ -90,6 +90,7 @@ pub mod cache;
 pub mod coalesce;
 pub mod durable;
 pub mod error;
+pub mod explain;
 pub mod metrics;
 pub mod service;
 pub mod wcache;
@@ -99,6 +100,7 @@ pub use cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 pub use coalesce::{Pending, Submitted};
 pub use durable::{DurableConfig, DurableState, DurableStatus, RecordMeta, ReplaySummary};
 pub use error::ServiceError;
+pub use explain::{ExplainProfile, ExplainReport};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics, LATENCY_BUCKETS};
 pub use service::{
     BatchAnswer, KStarAnswer, Service, ServiceAnswer, ServiceConfig, WorkloadAnswer,

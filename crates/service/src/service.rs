@@ -43,6 +43,7 @@ use crate::cache::{AnswerCache, CachedAnswer, Mechanism, RequestKey};
 use crate::coalesce::{pending_pair, Coalescer, Job, PmJob, Submitted, WdJob};
 use crate::durable::{DurableConfig, DurableState, DurableStatus, JournalCtx, RecordMeta};
 use crate::error::ServiceError;
+use crate::explain::ExplainReport;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::wcache::{WKey, WeightHistogramCache};
 use dp_starj::pm::PmConfig;
@@ -466,6 +467,12 @@ impl Service {
         self.core.telemetry.audit().to_jsonl()
     }
 
+    /// One tenant's audit trail as JSONL, oldest first — the
+    /// `/audit?tenant=` filter of the operator plane.
+    pub fn audit_jsonl_for(&self, tenant: &str) -> String {
+        self.core.telemetry.audit().to_jsonl_for(tenant, &[])
+    }
+
     /// Durability status (journal counters, degraded flag, replay summary);
     /// `None` for services without a budget journal.
     pub fn durable_status(&self) -> Option<DurableStatus> {
@@ -663,6 +670,42 @@ impl Service {
                 }
             },
         }
+    }
+
+    /// Describes what serving `query` *would* do, without doing it: the
+    /// canonical SQL the cache would key on, the compiled plan shape
+    /// (filter order, probe classes, mask sharing, fk staging, cost-model
+    /// estimates with confidence intervals), and — when `profile` is set —
+    /// the kernel-counter deltas of one discarded profiling scan. Spends
+    /// no budget, draws no noise, inserts nothing into the cache, and
+    /// writes no audit event. Operator-plane only: the report is exact
+    /// and un-noised, so the gate restricts its `explain` verb to admin
+    /// tokens.
+    pub fn explain(&self, query: &StarQuery, profile: bool) -> Result<ExplainReport, ServiceError> {
+        let core = &self.core;
+        let (schema, version) = core.snapshot();
+        validate_query(&schema, query)?;
+        let canon = canonicalize(query);
+        let canonical = canon.to_query(&query.name);
+        let canonical_sql = starj_engine::to_sql(&schema, &canonical);
+        if canon.unsatisfiable {
+            return Ok(ExplainReport {
+                canonical_sql,
+                unsatisfiable: true,
+                data_version: version,
+                plan: None,
+                profile: None,
+            });
+        }
+        let (plan, profiled) =
+            crate::explain::describe_query(&schema, &canonical, core.config.pm.scan, profile)?;
+        Ok(ExplainReport {
+            canonical_sql,
+            unsatisfiable: false,
+            data_version: version,
+            plan: Some(plan),
+            profile: profiled,
+        })
     }
 
     /// Answers a counting-query workload with Workload Decomposition under

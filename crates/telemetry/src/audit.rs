@@ -27,6 +27,7 @@
 //! use the running per-tenant totals, which survive eviction.
 
 use crate::clock::now_ns;
+use crate::events::EventBus;
 use crate::json::Json;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -135,12 +136,28 @@ struct TrailState {
 pub struct AuditTrail {
     state: Mutex<TrailState>,
     capacity: usize,
+    /// Live streaming: every recorded event is also published here.
+    bus: Option<Arc<EventBus>>,
+    component: Arc<str>,
 }
 
 impl AuditTrail {
     /// A trail holding at most `capacity` events (0 = disabled).
     pub fn new(capacity: usize) -> AuditTrail {
-        AuditTrail { state: Mutex::new(TrailState::default()), capacity }
+        AuditTrail {
+            state: Mutex::new(TrailState::default()),
+            capacity,
+            bus: None,
+            component: Arc::from("service"),
+        }
+    }
+
+    /// The same trail also streaming every event to `bus` (labeled
+    /// `component`), when one is given.
+    pub fn with_bus(mut self, bus: Option<Arc<EventBus>>, component: Arc<str>) -> AuditTrail {
+        self.bus = bus;
+        self.component = component;
+        self
     }
 
     /// True iff the trail records anything.
@@ -203,7 +220,7 @@ impl AuditTrail {
             AuditKind::Refund => totals.refunded_epsilon += epsilon,
             AuditKind::Refusal => totals.refusals += 1,
         }
-        state.events.push_back(AuditEvent {
+        let event = AuditEvent {
             seq,
             at_ns: now_ns(),
             tenant: Arc::clone(tenant),
@@ -213,7 +230,11 @@ impl AuditTrail {
             data_version,
             request_id,
             kind,
-        });
+        };
+        if let Some(bus) = &self.bus {
+            bus.publish_audit(&self.component, &event);
+        }
+        state.events.push_back(event);
         if state.events.len() > self.capacity {
             state.events.pop_front();
             state.dropped += 1;
@@ -270,25 +291,39 @@ impl AuditTrail {
     /// first. `extra` key/value pairs (e.g. `("dataset", name)` from a
     /// router roll-up) are appended to every line.
     pub fn to_jsonl_tagged(&self, extra: &[(&str, &str)]) -> String {
-        let mut out = String::new();
-        for event in self.events() {
-            let mut obj = match event.to_json() {
-                Json::Obj(pairs) => pairs,
-                _ => unreachable!("AuditEvent::to_json returns an object"),
-            };
-            for (k, v) in extra {
-                obj.push((k.to_string(), Json::Str(v.to_string())));
-            }
-            out.push_str(&Json::Obj(obj).render());
-            out.push('\n');
-        }
-        out
+        render_jsonl(&self.events(), extra)
+    }
+
+    /// One tenant's retained events as JSONL, oldest first, with `extra`
+    /// pairs appended to every line — the `/audit?tenant=` filter of the
+    /// operator plane.
+    pub fn to_jsonl_for(&self, tenant: &str, extra: &[(&str, &str)]) -> String {
+        render_jsonl(&self.events_for(tenant), extra)
     }
 
     /// Every retained event as JSONL, oldest first.
     pub fn to_jsonl(&self) -> String {
         self.to_jsonl_tagged(&[])
     }
+}
+
+/// Renders events as JSONL with `extra` key/value pairs appended to every
+/// line (escaped like any other string — hostile names cannot break a
+/// line).
+fn render_jsonl(events: &[AuditEvent], extra: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for event in events {
+        let mut obj = match event.to_json() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!("AuditEvent::to_json returns an object"),
+        };
+        for (k, v) in extra {
+            obj.push(((*k).to_string(), Json::Str((*v).to_string())));
+        }
+        out.push_str(&Json::Obj(obj).render());
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,323 @@
+//! Live operator streaming: a process-wide event bus fanning completed
+//! trace spans, audit events, and slow-query records out to subscribers.
+//!
+//! # Never backpressure the serving path
+//!
+//! The bus is written from the request pipeline (span completion, audit
+//! append), so its publish side must be cheap and — critically — must
+//! never block on a consumer. Each subscriber owns a **bounded** queue;
+//! a publish into a full queue evicts the oldest event and increments the
+//! subscriber's drop counter instead of waiting. A stalled operator
+//! therefore costs the serving path one `VecDeque` rotation, never a
+//! stall, and the loss is itself observable (the drop counter is reported
+//! in the exposition and on the wire). With no subscribers attached the
+//! publish path is a single relaxed atomic load.
+//!
+//! # Wiring
+//!
+//! One [`EventBus`] is shared by every component that should stream into
+//! the same operator connection: [`crate::TelemetryConfig::bus`] threads
+//! it into each `Service` hub (the router clones one bus into every
+//! shard's config), and the gate subscribes connections to it. Events
+//! carry a component label (`gate`, `router`, or the dataset name) so a
+//! fleet-wide stream stays attributable.
+
+use crate::audit::AuditEvent;
+use crate::json::Json;
+use crate::trace::TraceRecord;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a streamed event is.
+#[derive(Debug, Clone)]
+pub enum OpsPayload {
+    /// A completed request span (from the span ring's write path).
+    Span(TraceRecord),
+    /// A privacy-budget audit event (reserve / commit / refund / refusal).
+    Audit(AuditEvent),
+    /// A completed span that crossed the slow-query threshold.
+    Slow(TraceRecord),
+}
+
+impl OpsPayload {
+    /// Stable event-type name (`event` field of the wire frame).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OpsPayload::Span(_) => "span",
+            OpsPayload::Audit(_) => "audit",
+            OpsPayload::Slow(_) => "slow_query",
+        }
+    }
+}
+
+/// One streamed event: the payload plus the component it came from.
+#[derive(Debug, Clone)]
+pub struct OpsEvent {
+    /// Which component published it (`gate`, `router`, or a dataset name).
+    pub component: Arc<str>,
+    /// The event itself.
+    pub payload: OpsPayload,
+}
+
+impl OpsEvent {
+    /// The event as one JSON object: `event` + `component` discriminators
+    /// followed by the payload's own fields.
+    pub fn to_json(&self) -> Json {
+        let inner = match &self.payload {
+            OpsPayload::Span(r) | OpsPayload::Slow(r) => r.to_json(),
+            OpsPayload::Audit(e) => e.to_json(),
+        };
+        let mut pairs = vec![
+            ("event".to_string(), Json::Str(self.payload.kind().to_string())),
+            ("component".to_string(), Json::Str(self.component.to_string())),
+        ];
+        match inner {
+            Json::Obj(fields) => pairs.extend(fields),
+            other => pairs.push(("payload".to_string(), other)),
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Shared state of one subscriber: the bounded queue and its counters.
+#[derive(Debug)]
+struct SubscriberState {
+    queue: Mutex<VecDeque<OpsEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// A live subscription handle. Dropping it detaches the subscriber; the
+/// bus garbage-collects the slot on its next publish.
+#[derive(Debug)]
+pub struct Subscription {
+    state: Arc<SubscriberState>,
+    bus: Arc<EventBus>,
+}
+
+impl Subscription {
+    /// Takes every queued event, oldest first.
+    pub fn drain(&self) -> Vec<OpsEvent> {
+        let mut queue = self.state.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.drain(..).collect()
+    }
+
+    /// Events evicted from this subscriber's queue because it was full —
+    /// the observable cost of a consumer slower than the event rate.
+    pub fn dropped(&self) -> u64 {
+        self.state.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently queued.
+    pub fn queued(&self) -> usize {
+        self.state.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The queue bound this subscription was created with.
+    pub fn capacity(&self) -> usize {
+        self.state.capacity
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.state.closed.store(true, Ordering::Release);
+        self.bus.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The fan-out bus. Cheap to share (`Arc`); all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct EventBus {
+    subscribers: Mutex<Vec<Arc<SubscriberState>>>,
+    /// Open subscriptions (fast-path gate for the publish side).
+    active: AtomicUsize,
+    published: AtomicU64,
+    /// Σ drops across all subscribers ever attached (survives detach).
+    dropped_total: AtomicU64,
+}
+
+impl EventBus {
+    /// A bus with no subscribers.
+    pub fn new() -> Arc<EventBus> {
+        Arc::new(EventBus::default())
+    }
+
+    /// Attaches a subscriber with a queue bounded at `capacity` events
+    /// (clamped to ≥ 1).
+    pub fn subscribe(self: &Arc<Self>, capacity: usize) -> Subscription {
+        let state = Arc::new(SubscriberState {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        self.subscribers.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&state));
+        self.active.fetch_add(1, Ordering::Relaxed);
+        Subscription { state, bus: Arc::clone(self) }
+    }
+
+    /// True iff at least one subscription is open — publishers with
+    /// expensive event construction may check this first.
+    pub fn has_subscribers(&self) -> bool {
+        self.active.load(Ordering::Relaxed) > 0
+    }
+
+    /// Open subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Events published so far (counted once per publish, not per
+    /// subscriber).
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Σ events dropped across every subscriber ever attached.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+
+    /// Publishes one event to every open subscriber; full queues drop
+    /// their oldest event instead of blocking. Detached subscribers are
+    /// garbage-collected here.
+    pub fn publish(&self, event: OpsEvent) {
+        if !self.has_subscribers() {
+            return;
+        }
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let mut subs = self.subscribers.lock().unwrap_or_else(|e| e.into_inner());
+        subs.retain(|s| !s.closed.load(Ordering::Acquire));
+        for (i, sub) in subs.iter().enumerate() {
+            let mut queue = sub.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= sub.capacity {
+                queue.pop_front();
+                sub.dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped_total.fetch_add(1, Ordering::Relaxed);
+            }
+            // The last subscriber takes the event by move.
+            if i + 1 == subs.len() {
+                queue.push_back(event);
+                break;
+            }
+            queue.push_back(event.clone());
+        }
+    }
+
+    /// Publishes a span record under `component`.
+    pub fn publish_span(&self, component: &Arc<str>, record: &TraceRecord) {
+        if self.has_subscribers() {
+            self.publish(OpsEvent {
+                component: Arc::clone(component),
+                payload: OpsPayload::Span(record.clone()),
+            });
+        }
+    }
+
+    /// Publishes a slow-query record under `component`.
+    pub fn publish_slow(&self, component: &Arc<str>, record: &TraceRecord) {
+        if self.has_subscribers() {
+            self.publish(OpsEvent {
+                component: Arc::clone(component),
+                payload: OpsPayload::Slow(record.clone()),
+            });
+        }
+    }
+
+    /// Publishes an audit event under `component`.
+    pub fn publish_audit(&self, component: &Arc<str>, event: &AuditEvent) {
+        if self.has_subscribers() {
+            self.publish(OpsEvent {
+                component: Arc::clone(component),
+                payload: OpsPayload::Audit(event.clone()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RequestKind, TraceBuilder, TraceOutcome};
+
+    fn span() -> TraceRecord {
+        TraceBuilder::start(RequestKind::Pm, "t", true)
+            .finish(TraceOutcome::Ok)
+            .expect("enabled builder yields a record")
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_a_noop() {
+        let bus = EventBus::new();
+        bus.publish_span(&Arc::from("c"), &span());
+        assert_eq!(bus.published(), 0, "no subscriber → publish short-circuits");
+    }
+
+    #[test]
+    fn events_fan_out_to_every_subscriber_in_order() {
+        let bus = EventBus::new();
+        let a = bus.subscribe(8);
+        let b = bus.subscribe(8);
+        let component: Arc<str> = Arc::from("ds");
+        for _ in 0..3 {
+            bus.publish_span(&component, &span());
+        }
+        assert_eq!(bus.published(), 3);
+        for sub in [&a, &b] {
+            let events = sub.drain();
+            assert_eq!(events.len(), 3);
+            assert!(events.windows(2).all(|w| match (&w[0].payload, &w[1].payload) {
+                (OpsPayload::Span(x), OpsPayload::Span(y)) => x.span_id < y.span_id,
+                _ => false,
+            }));
+            assert_eq!(&*events[0].component, "ds");
+        }
+        assert_eq!(a.drain().len(), 0, "drain empties the queue");
+    }
+
+    #[test]
+    fn full_queues_drop_oldest_and_count() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(2);
+        let c: Arc<str> = Arc::from("c");
+        let records: Vec<TraceRecord> = (0..5).map(|_| span()).collect();
+        for r in &records {
+            bus.publish_span(&c, r);
+        }
+        assert_eq!(sub.dropped(), 3, "drops are counted");
+        assert_eq!(bus.dropped_total(), 3);
+        let events = sub.drain();
+        assert_eq!(events.len(), 2, "queue stays bounded");
+        match &events[1].payload {
+            OpsPayload::Span(r) => assert_eq!(r.span_id, records[4].span_id, "newest survives"),
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_subscriptions_detach() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(4);
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(sub);
+        assert_eq!(bus.subscriber_count(), 0);
+        bus.publish_span(&Arc::from("c"), &span());
+        assert_eq!(bus.published(), 0, "detached bus is quiet again");
+    }
+
+    #[test]
+    fn events_render_as_tagged_json() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(4);
+        bus.publish_slow(&Arc::from("router"), &span());
+        let events = sub.drain();
+        let json = events[0].to_json().render();
+        let parsed = Json::parse(&json).expect("event json parses");
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("slow_query"));
+        assert_eq!(parsed.get("component").and_then(Json::as_str), Some("router"));
+        assert!(parsed.get("span_id").is_some());
+    }
+}

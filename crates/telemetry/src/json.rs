@@ -23,6 +23,26 @@ pub enum Json {
     Null,
 }
 
+/// Escapes and quotes one string per the JSON spec — shared by string
+/// values and object keys (both can carry hostile tenant/dataset names).
+fn render_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl Json {
     /// Convenience object constructor.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
@@ -40,26 +60,15 @@ impl Json {
                 }
             }
             Json::Num(_) => "null".into(),
-            Json::Str(s) => {
-                let mut out = String::with_capacity(s.len() + 2);
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '\\' => out.push_str("\\\\"),
-                        '"' => out.push_str("\\\""),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-                out
-            }
+            Json::Str(s) => render_string(s),
             Json::Obj(pairs) => {
-                let body: Vec<String> =
-                    pairs.iter().map(|(k, v)| format!("\"{k}\": {}", v.render())).collect();
+                // Keys escape exactly like string values: a tenant or
+                // dataset name carrying `"`, `\`, or a newline must not be
+                // able to break a JSONL line.
+                let body: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", render_string(k), v.render()))
+                    .collect();
                 format!("{{{}}}", body.join(", "))
             }
             Json::Arr(items) => {
@@ -73,6 +82,12 @@ impl Json {
     /// Writes the pretty-enough single-line serialization to `path`.
     pub fn write(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.render() + "\n")
+    }
+
+    /// Escapes `s` as a JSON string literal (including the quotes) — the
+    /// one escape routine shared by string values and object keys.
+    pub fn escape_str(s: &str) -> String {
+        render_string(s)
     }
 
     /// Parses a JSON document (the full grammar: objects, arrays, strings
@@ -326,5 +341,17 @@ mod tests {
         assert_eq!(arr[0].as_f64(), Some(1.0));
         assert_eq!(arr[1].as_f64(), Some(0.0));
         assert!(matches!(arr[2], Json::Null));
+    }
+
+    #[test]
+    fn hostile_object_keys_escape_and_round_trip() {
+        // Regression: keys used to render unescaped, so a tenant name with
+        // a quote or newline produced an unparseable JSONL line.
+        let hostile = "evil\"name\\with\nnewline\tand\u{1}ctl";
+        let doc = Json::Obj(vec![(hostile.to_string(), Json::Num(1.0))]);
+        let rendered = doc.render();
+        let parsed = Json::parse(&rendered).expect("hostile key renders parseable JSON");
+        assert_eq!(parsed.get(hostile).and_then(Json::as_f64), Some(1.0));
+        assert_eq!(Json::escape_str("a\"b"), "\"a\\\"b\"", "escape_str exposes the shared routine");
     }
 }

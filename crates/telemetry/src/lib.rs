@@ -42,6 +42,7 @@
 pub mod audit;
 pub mod clock;
 pub mod counters;
+pub mod events;
 pub mod json;
 pub mod prom;
 pub mod reqid;
@@ -53,10 +54,12 @@ pub use clock::now_ns;
 pub use counters::{
     cost_counters, kernel_counters, CostCounters, CostSnapshot, KernelCounters, KernelSnapshot,
 };
+pub use events::{EventBus, OpsEvent, OpsPayload, Subscription};
 pub use json::Json;
 pub use prom::PromText;
 pub use reqid::{
-    clear_wire_request_id, current_wire_request_id, set_wire_request_id, WireRequestScope,
+    clear_wire_request_id, current_trace_context, current_wire_request_id, set_trace_context,
+    set_wire_request_id, TraceContext, TraceContextScope, WireRequestScope,
 };
 pub use slowlog::SlowQueryLog;
 pub use trace::{RequestKind, SpanRing, Stage, TraceBuilder, TraceOutcome, TraceRecord};
@@ -78,6 +81,14 @@ pub struct TelemetryConfig {
     pub slow_query_us: u64,
     /// Slow-query log capacity. `0` disables the log.
     pub slow_log_capacity: usize,
+    /// Live streaming: completed spans, audit events, and slow-query
+    /// records are also published to this bus (for gate `subscribe`
+    /// connections). `None` (the default) streams nothing; the publish
+    /// path with no subscribers is one relaxed atomic load either way.
+    pub bus: Option<Arc<EventBus>>,
+    /// Component label stamped on streamed events (a router sets each
+    /// shard service's label to its dataset name).
+    pub component: String,
 }
 
 impl Default for TelemetryConfig {
@@ -87,6 +98,8 @@ impl Default for TelemetryConfig {
             audit_capacity: 8192,
             slow_query_us: 10_000,
             slow_log_capacity: 128,
+            bus: None,
+            component: "service".to_string(),
         }
     }
 }
@@ -100,28 +113,46 @@ impl TelemetryConfig {
             audit_capacity: 0,
             slow_query_us: u64::MAX,
             slow_log_capacity: 0,
+            bus: None,
+            component: "service".to_string(),
         }
+    }
+
+    /// The same configuration streaming onto `bus` under `component`.
+    pub fn with_bus(mut self, bus: Arc<EventBus>, component: impl Into<String>) -> Self {
+        self.bus = Some(bus);
+        self.component = component.into();
+        self
     }
 }
 
-/// One service's telemetry hub: span ring + audit trail + slow-query log.
+/// One service's telemetry hub: span ring + audit trail + slow-query log,
+/// plus (optionally) the live streaming bus they publish onto.
 #[derive(Debug)]
 pub struct Telemetry {
     ring: Option<SpanRing>,
     audit: Arc<AuditTrail>,
     slow: SlowQueryLog,
+    bus: Option<Arc<EventBus>>,
+    component: Arc<str>,
 }
 
 impl Telemetry {
     /// A hub with the given capacities (0 disables a component).
     pub fn new(config: &TelemetryConfig) -> Telemetry {
+        let component: Arc<str> = Arc::from(config.component.as_str());
         Telemetry {
             ring: (config.trace_capacity > 0).then(|| SpanRing::new(config.trace_capacity)),
-            audit: Arc::new(AuditTrail::new(config.audit_capacity)),
+            audit: Arc::new(
+                AuditTrail::new(config.audit_capacity)
+                    .with_bus(config.bus.clone(), Arc::clone(&component)),
+            ),
             slow: SlowQueryLog::new(
                 config.slow_query_us.saturating_mul(1_000),
                 config.slow_log_capacity,
             ),
+            bus: config.bus.clone(),
+            component,
         }
     }
 
@@ -142,14 +173,26 @@ impl Telemetry {
     }
 
     /// Completes a trace: stamps the end time and outcome, records the
-    /// span into the ring, and offers it to the slow-query log.
+    /// span into the ring, offers it to the slow-query log, and streams it
+    /// to any live subscribers.
     pub fn trace_finish(&self, builder: TraceBuilder, outcome: TraceOutcome) {
         if let Some(ring) = &self.ring {
             if let Some(record) = builder.finish(outcome) {
                 ring.record(&record);
                 self.slow.observe(&record);
+                if let Some(bus) = &self.bus {
+                    bus.publish_span(&self.component, &record);
+                    if record.duration_ns() >= self.slow.threshold_ns() {
+                        bus.publish_slow(&self.component, &record);
+                    }
+                }
             }
         }
+    }
+
+    /// The live streaming bus this hub publishes onto, when configured.
+    pub fn bus(&self) -> Option<&Arc<EventBus>> {
+        self.bus.as_ref()
     }
 
     /// The shared audit trail (the accountant holds clones of this handle

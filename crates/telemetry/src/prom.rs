@@ -84,6 +84,186 @@ fn render_value(value: f64) -> String {
     }
 }
 
+/// What [`lint`] verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintReport {
+    /// Metric families with a `# HELP` + `# TYPE` pair.
+    pub families: usize,
+    /// Sample lines checked.
+    pub samples: usize,
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_sample_value(s: &str) -> bool {
+    matches!(s, "NaN" | "+Inf" | "-Inf") || s.parse::<f64>().is_ok()
+}
+
+/// The base family of a sample name: histogram/summary suffixes
+/// (`_bucket`, `_count`, `_sum`) attach to their family's headers.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_count", "_sum"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Parses `name{label="value",...} value` off one sample line, returning
+/// the metric name or an error description.
+fn check_sample_line(line: &str) -> Result<String, String> {
+    let (name_end, has_labels) = match (line.find('{'), line.find(' ')) {
+        (Some(b), Some(s)) if b < s => (b, true),
+        (_, Some(s)) => (s, false),
+        _ => return Err("no value separator".into()),
+    };
+    let name = &line[..name_end];
+    if !is_metric_name(name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    let mut rest = &line[name_end..];
+    if has_labels {
+        rest = &rest[1..]; // past '{'
+        loop {
+            let eq = rest.find('=').ok_or("label without `=`")?;
+            let label = &rest[..eq];
+            if !is_label_name(label) {
+                return Err(format!("invalid label name `{label}`"));
+            }
+            rest = &rest[eq + 1..];
+            if !rest.starts_with('"') {
+                return Err("label value not quoted".into());
+            }
+            rest = &rest[1..];
+            // Walk the escaped value to its closing quote.
+            let mut bytes = rest.char_indices();
+            let close = loop {
+                match bytes.next() {
+                    None => return Err("unterminated label value".into()),
+                    Some((_, '\\')) => match bytes.next() {
+                        Some((_, '\\' | '"' | 'n')) => {}
+                        _ => return Err("invalid escape in label value".into()),
+                    },
+                    Some((i, '"')) => break i,
+                    Some((_, '\n')) => return Err("raw newline in label value".into()),
+                    Some(_) => {}
+                }
+            };
+            rest = &rest[close + 1..];
+            match rest.chars().next() {
+                Some(',') => rest = &rest[1..],
+                Some('}') => {
+                    rest = &rest[1..];
+                    break;
+                }
+                _ => return Err("label list not `,`- or `}`-terminated".into()),
+            }
+        }
+        if !rest.starts_with(' ') {
+            return Err("no space between labels and value".into());
+        }
+    }
+    let mut parts = rest.trim_start().split(' ');
+    let value = parts.next().unwrap_or("");
+    if !is_sample_value(value) {
+        return Err(format!("invalid sample value `{value}`"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("invalid timestamp `{ts}`"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing garbage after value".into());
+    }
+    Ok(name.to_string())
+}
+
+/// Lints a Prometheus text-format (0.0.4) exposition: every line must be a
+/// well-formed `# HELP` / `# TYPE` header or a parseable sample whose
+/// family was declared first, label names/values must be legal (escapes
+/// limited to `\\`, `\"`, `\n`), sample values must be numbers or the
+/// spec spellings, and no family may be declared twice. Returns what was
+/// checked, or every violation with its line number.
+pub fn lint(text: &str) -> Result<LintReport, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut samples = 0usize;
+    for (no, line) in text.lines().enumerate() {
+        let no = no + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !is_metric_name(name) {
+                errors.push(format!("line {no}: HELP for invalid metric name `{name}`"));
+            } else if helped.iter().any(|h| h == name) {
+                errors.push(format!("line {no}: duplicate HELP for `{name}`"));
+            } else {
+                helped.push(name.to_string());
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !is_metric_name(name) {
+                errors.push(format!("line {no}: TYPE for invalid metric name `{name}`"));
+            } else if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                errors.push(format!("line {no}: unknown TYPE `{kind}` for `{name}`"));
+            } else if typed.iter().any(|(n, _)| n == name) {
+                errors.push(format!("line {no}: duplicate TYPE for `{name}`"));
+            } else {
+                typed.push((name.to_string(), kind.to_string()));
+            }
+        } else if line.starts_with('#') {
+            // Plain comments are legal; nothing to check.
+        } else {
+            match check_sample_line(line) {
+                Err(e) => errors.push(format!("line {no}: {e}")),
+                Ok(name) => {
+                    samples += 1;
+                    let family = family_of(&name);
+                    let declared = typed
+                        .iter()
+                        .any(|(n, kind)| n == &name || (n == family && kind == "histogram"));
+                    if !declared {
+                        errors.push(format!("line {no}: sample `{name}` has no TYPE header"));
+                    }
+                }
+            }
+        }
+    }
+    for (name, _) in &typed {
+        if !helped.iter().any(|h| h == name) {
+            errors.push(format!("TYPE without HELP for `{name}`"));
+        }
+    }
+    if errors.is_empty() {
+        Ok(LintReport { families: typed.len(), samples })
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +295,33 @@ mod tests {
         let mut p = PromText::new();
         p.sample("m", &[("a", "1"), ("b", "2")], 1.0);
         assert_eq!(p.render(), "m{a=\"1\",b=\"2\"} 1\n");
+    }
+
+    #[test]
+    fn lint_accepts_rendered_expositions_with_hostile_labels() {
+        let mut p = PromText::new();
+        p.header("starj_m_total", "Help with a \\ backslash.", "counter");
+        p.sample("starj_m_total", &[("tenant", "evil\"name\\\nend")], 3.0);
+        p.header("starj_lat_seconds", "A histogram.", "histogram");
+        p.sample("starj_lat_seconds_bucket", &[("le", "+Inf")], 2.0);
+        p.sample("starj_lat_seconds_count", &[], 2.0);
+        let text = p.render();
+        let report = lint(&text).expect("rendered exposition lints clean");
+        assert_eq!(report.families, 2);
+        assert_eq!(report.samples, 3);
+    }
+
+    #[test]
+    fn lint_rejects_malformed_lines() {
+        let broken_value = "# HELP m h\n# TYPE m gauge\nm not_a_number\n";
+        assert!(lint(broken_value).is_err());
+        let unescaped = "# HELP m h\n# TYPE m gauge\nm{l=\"a\"b\"} 1\n";
+        assert!(lint(unescaped).is_err(), "raw quote inside a label value");
+        let undeclared = "m 1\n";
+        assert!(lint(undeclared).is_err(), "sample without TYPE header");
+        let bad_type = "# HELP m h\n# TYPE m widget\nm 1\n";
+        assert!(lint(bad_type).is_err());
+        let dup = "# HELP m h\n# HELP m h\n# TYPE m gauge\nm 1\n";
+        assert!(lint(dup).is_err());
     }
 }

@@ -26,6 +26,7 @@
 
 use crate::clock::now_ns;
 use crate::json::Json;
+use crate::reqid::TraceContext;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One pipeline stage of a request span.
@@ -96,6 +97,11 @@ pub enum RequestKind {
     PmBatch,
     /// `kstar_answer`.
     KStar,
+    /// A router cross-shard fan-out (the parent span of the per-shard
+    /// `pm_batch` spans it spawns).
+    Fanout,
+    /// One gate wire request (the root span of a streamed timeline).
+    Gate,
 }
 
 impl RequestKind {
@@ -106,6 +112,8 @@ impl RequestKind {
             RequestKind::Wd => "wd",
             RequestKind::PmBatch => "pm_batch",
             RequestKind::KStar => "kstar",
+            RequestKind::Fanout => "fanout",
+            RequestKind::Gate => "gate",
         }
     }
 
@@ -114,6 +122,8 @@ impl RequestKind {
             1 => RequestKind::Wd,
             2 => RequestKind::PmBatch,
             3 => RequestKind::KStar,
+            4 => RequestKind::Fanout,
+            5 => RequestKind::Gate,
             _ => RequestKind::Pm,
         }
     }
@@ -159,8 +169,16 @@ const TENANT_BYTES: usize = 24;
 /// `[start, end]` pair per recorded stage. Plain data, cheap to clone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
-    /// Process-unique trace id (monotone allocation order).
+    /// The fleet-wide trace id: the wire request id for front-door
+    /// traffic (every span of one routed request shares it), a
+    /// process-unique monotone id for internal traffic.
     pub trace_id: u64,
+    /// Process-unique id of *this* span (monotone allocation order).
+    pub span_id: u64,
+    /// Span id of the parent span (0 = root). Parent/child links let an
+    /// operator reconstruct the gate → router → shard → worker timeline
+    /// from the streamed spans of one trace id.
+    pub parent_span_id: u64,
     /// The endpoint.
     pub kind: RequestKind,
     /// How the request completed.
@@ -212,6 +230,8 @@ impl TraceRecord {
             .collect();
         Json::obj(vec![
             ("trace_id", Json::Num(self.trace_id as f64)),
+            ("span_id", Json::Num(self.span_id as f64)),
+            ("parent_span_id", Json::Num(self.parent_span_id as f64)),
             ("kind", Json::Str(self.kind.name().to_string())),
             ("tenant", Json::Str(self.tenant().to_string())),
             ("outcome", Json::Str(self.outcome.name().to_string())),
@@ -235,6 +255,10 @@ fn truncate_tenant(tenant: &str) -> ([u8; TENANT_BYTES], u8) {
 }
 
 static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+/// Span ids draw from their own counter so a span id can never collide
+/// with an internally-allocated trace id (both are process-unique either
+/// way; keeping the spaces apart just makes logs less confusing).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// The per-request span under construction: inert stack data carried in
 /// the request's work struct. Disabled builders skip the clock entirely.
@@ -242,6 +266,9 @@ static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 pub struct TraceBuilder {
     enabled: bool,
     trace_id: u64,
+    span_id: u64,
+    parent_span_id: u64,
+    request_id: u64,
     kind: RequestKind,
     queued: bool,
     start_ns: u64,
@@ -252,17 +279,22 @@ pub struct TraceBuilder {
 
 impl TraceBuilder {
     /// Starts a span (stamping the request start when enabled). A non-zero
-    /// ambient wire request id ([`crate::reqid::set_wire_request_id`], set
-    /// by the network front door around its submit call) becomes the span's
-    /// trace id, so wire traffic is correlated by the id the client saw;
-    /// internal traffic keeps process-unique monotone ids.
+    /// ambient trace context ([`crate::reqid`], set by the network front
+    /// door around its submit call and re-entered by the router inside its
+    /// fan-out workers) supplies the span's trace id and parent span id,
+    /// so wire traffic is correlated by the id the client saw and child
+    /// spans link to the span that spawned them; internal traffic keeps
+    /// process-unique monotone trace ids and parentless spans. Every
+    /// enabled span gets a fresh process-unique span id.
     pub fn start(kind: RequestKind, tenant: &str, enabled: bool) -> TraceBuilder {
         let (tenant, tenant_len) =
             if enabled { truncate_tenant(tenant) } else { ([0; TENANT_BYTES], 0) };
+        let ctx =
+            if enabled { crate::reqid::current_trace_context() } else { TraceContext::default() };
         let trace_id = if enabled {
-            match crate::reqid::current_wire_request_id() {
+            match ctx.trace_id {
                 0 => NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
-                wire => wire,
+                ambient => ambient,
             }
         } else {
             0
@@ -270,6 +302,9 @@ impl TraceBuilder {
         TraceBuilder {
             enabled,
             trace_id,
+            span_id: if enabled { NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed) } else { 0 },
+            parent_span_id: ctx.parent_span_id,
+            request_id: ctx.request_id,
             kind,
             queued: false,
             start_ns: if enabled { now_ns() } else { 0 },
@@ -282,6 +317,23 @@ impl TraceBuilder {
     /// The span's trace id (0 when disabled).
     pub fn trace_id(&self) -> u64 {
         self.trace_id
+    }
+
+    /// The span's own id (0 when disabled).
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// The trace context a *child* of this span should run under: same
+    /// request and trace ids, this span as the parent. The router enters
+    /// it ([`crate::reqid::TraceContextScope`]) inside each fan-out worker
+    /// so shard spans link back to the fan-out span.
+    pub fn child_context(&self) -> TraceContext {
+        TraceContext {
+            request_id: self.request_id,
+            trace_id: self.trace_id,
+            parent_span_id: self.span_id,
+        }
     }
 
     /// Times `f` as `stage`. The closure always runs; a disabled builder
@@ -316,8 +368,11 @@ impl TraceBuilder {
         self.queued = true;
     }
 
-    /// Stamps the end time and outcome. `None` when disabled.
-    pub(crate) fn finish(mut self, outcome: TraceOutcome) -> Option<TraceRecord> {
+    /// Stamps the end time and outcome. `None` when disabled. Public so
+    /// non-`Service` components (the gate's root span, the router's
+    /// fan-out span) can close spans they started through a hub's
+    /// [`crate::Telemetry::trace_finish`]-equivalent path.
+    pub fn finish(mut self, outcome: TraceOutcome) -> Option<TraceRecord> {
         if !self.enabled {
             return None;
         }
@@ -332,6 +387,8 @@ impl TraceBuilder {
         }
         Some(TraceRecord {
             trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_span_id: self.parent_span_id,
             kind: self.kind,
             outcome,
             queued: self.queued,
@@ -346,8 +403,8 @@ impl TraceBuilder {
 
 // ---- the ring --------------------------------------------------------------
 
-/// Atomic words per slot: version + trace_id + meta + start + end +
-/// 3 tenant words + 2 words per stage.
+/// Atomic words per slot: version + trace/span/parent ids + meta + start +
+/// end + 3 tenant words + 2 words per stage.
 const TENANT_WORDS: usize = TENANT_BYTES / 8;
 
 struct Slot {
@@ -355,6 +412,8 @@ struct Slot {
     /// around the field stores; readers retry on odd or changed versions.
     version: AtomicU64,
     trace_id: AtomicU64,
+    span_id: AtomicU64,
+    parent_span_id: AtomicU64,
     /// Packed `kind | outcome << 8 | queued << 16 | tenant_len << 24`.
     meta: AtomicU64,
     start_ns: AtomicU64,
@@ -368,6 +427,8 @@ impl Slot {
         Slot {
             version: AtomicU64::new(0),
             trace_id: AtomicU64::new(0),
+            span_id: AtomicU64::new(0),
+            parent_span_id: AtomicU64::new(0),
             meta: AtomicU64::new(0),
             start_ns: AtomicU64::new(0),
             end_ns: AtomicU64::new(0),
@@ -423,6 +484,8 @@ impl SpanRing {
         // the bump for the reader's `Acquire` pairing.
         slot.version.fetch_add(1, Ordering::Release);
         slot.trace_id.store(record.trace_id, Ordering::Relaxed);
+        slot.span_id.store(record.span_id, Ordering::Relaxed);
+        slot.parent_span_id.store(record.parent_span_id, Ordering::Relaxed);
         let meta = u64::from(record.kind as u8)
             | (u64::from(record.outcome as u8) << 8)
             | (u64::from(u8::from(record.queued)) << 16)
@@ -456,6 +519,8 @@ impl SpanRing {
                 continue;
             }
             let trace_id = slot.trace_id.load(Ordering::Relaxed);
+            let span_id = slot.span_id.load(Ordering::Relaxed);
+            let parent_span_id = slot.parent_span_id.load(Ordering::Relaxed);
             let meta = slot.meta.load(Ordering::Relaxed);
             let start_ns = slot.start_ns.load(Ordering::Relaxed);
             let end_ns = slot.end_ns.load(Ordering::Relaxed);
@@ -476,6 +541,8 @@ impl SpanRing {
                 let tenant_len = ((meta >> 24) as u8).min(TENANT_BYTES as u8);
                 return Some(TraceRecord {
                     trace_id,
+                    span_id,
+                    parent_span_id,
                     kind: RequestKind::from_u8(meta as u8),
                     outcome: TraceOutcome::from_u8((meta >> 8) as u8),
                     queued: (meta >> 16) & 1 == 1,
@@ -594,8 +661,38 @@ mod tests {
         let r = record("t", RequestKind::KStar);
         let json = r.to_json().render();
         assert!(json.contains("\"kind\": \"kstar\""));
+        assert!(json.contains("\"span_id\""));
+        assert!(json.contains("\"parent_span_id\""));
         assert!(json.contains("\"admission\""));
         assert!(!json.contains("fused_scan"), "absent stages are omitted");
         assert!(Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn spans_inherit_the_ambient_trace_context() {
+        use crate::reqid::{TraceContext, TraceContextScope};
+        let parent = TraceBuilder::start(RequestKind::Pm, "t", true);
+        assert_eq!(parent.child_context().parent_span_id, parent.span_id());
+        let _scope = TraceContextScope::enter(TraceContext {
+            request_id: 42,
+            trace_id: 42,
+            parent_span_id: parent.span_id(),
+        });
+        let child = TraceBuilder::start(RequestKind::PmBatch, "t", true);
+        let r = child.finish(TraceOutcome::Ok).expect("enabled");
+        assert_eq!(r.trace_id, 42, "trace id comes from the ambient context");
+        assert_eq!(r.parent_span_id, parent.span_id());
+        assert_ne!(r.span_id, parent.span_id(), "every span gets its own id");
+        assert_ne!(r.span_id, 0);
+    }
+
+    #[test]
+    fn disabled_builders_ignore_the_ambient_context() {
+        use crate::reqid::WireRequestScope;
+        let _scope = WireRequestScope::enter(99);
+        let b = TraceBuilder::start(RequestKind::Pm, "t", false);
+        assert_eq!(b.trace_id(), 0);
+        assert_eq!(b.span_id(), 0);
+        assert!(b.finish(TraceOutcome::Ok).is_none());
     }
 }

@@ -11,6 +11,7 @@ pub use starj_gate as gate;
 pub use starj_graph as graph;
 pub use starj_linalg as linalg;
 pub use starj_noise as noise;
+pub use starj_ops as ops;
 pub use starj_router as router;
 pub use starj_service as service;
 pub use starj_ssb as ssb;
